@@ -1,0 +1,50 @@
+//! Figure 10b: strong scaling on DGX-2 — zero-copy SpTRSV on
+//! 1/4/8/12/16 GPUs (32 total tasks), normalized per matrix to the
+//! single-GPU cuSPARSE `csrsv2()` baseline.
+//!
+//! Paper's finding: the DGX-2 curve is *flatter* than DGX-1's — through
+//! the switch, the active bandwidth per GPU stays constant as more
+//! GPUs join, so adding GPUs adds compute but not per-GPU wires.
+
+use mgpu_sim::MachineConfig;
+use sptrsv::SolverKind;
+use sptrsv_bench::{geomean, harness_corpus, print_table, r2, run_variant};
+
+fn main() {
+    let corpus = harness_corpus();
+    let highlight = sparsemat::corpus::fig10_names();
+    let gpu_counts = [1usize, 4, 8, 12, 16];
+
+    let mut rows = Vec::new();
+    let mut all: Vec<Vec<f64>> = vec![Vec::new(); gpu_counts.len()];
+    for nm in &corpus {
+        let csrsv2 = run_variant(nm, MachineConfig::dgx2(1), SolverKind::LevelSet);
+        let mut row = vec![nm.name.to_string()];
+        for (k, &g) in gpu_counts.iter().enumerate() {
+            let rep = run_variant(
+                nm,
+                MachineConfig::dgx2(g),
+                SolverKind::ZeroCopyTotal { total: 32 },
+            );
+            let s = rep.speedup_over(&csrsv2);
+            all[k].push(s);
+            row.push(r2(s));
+        }
+        if highlight.contains(&nm.name) {
+            rows.push(row);
+        }
+    }
+    let mut avg = vec!["Avg. (all 16)".to_string()];
+    for s in &all {
+        avg.push(r2(geomean(s)));
+    }
+    rows.push(avg);
+
+    print_table(
+        "Figure 10b: DGX-2 strong scaling, speedup over single-GPU csrsv2 (32 total tasks)",
+        &["matrix", "1 GPU", "4 GPUs", "8 GPUs", "12 GPUs", "16 GPUs"],
+        &rows,
+    );
+    println!("\npaper: scaling is flatter than DGX-1 — per-GPU switch bandwidth is");
+    println!("constant, so extra GPUs add compute but no extra active links.");
+}

@@ -1,0 +1,50 @@
+//! Figure 3: the Unified-Memory page-thrashing characterization.
+//!
+//! (a) page-fault counts and (b) performance of the UM design on
+//! 2/4/8 GPUs of a DGX-1, normalized to the 2-GPU run, for four
+//! representative matrices. Paper's finding: fault counts *grow* with
+//! GPU count (up to 11.71× on one matrix) and performance *degrades*
+//! for every matrix except nlpkkt160 (the embarrassingly parallel one).
+
+use mgpu_sim::MachineConfig;
+use sptrsv::SolverKind;
+use sptrsv_bench::{harness_matrix, print_table, r2, run_variant};
+
+fn main() {
+    let gpu_counts = [2usize, 4, 8];
+    let names = sparsemat::corpus::fig3_names();
+
+    let mut fault_rows = Vec::new();
+    let mut perf_rows = Vec::new();
+    for &name in names {
+        let nm = harness_matrix(name);
+        let runs: Vec<_> = gpu_counts
+            .iter()
+            .map(|&g| run_variant(&nm, MachineConfig::dgx1(g), SolverKind::Unified))
+            .collect();
+        let f0 = runs[0].stats.total_um_faults().max(1) as f64;
+        let t0 = runs[0].timings.total.as_ns() as f64;
+        fault_rows.push(
+            std::iter::once(name.to_string())
+                .chain(runs.iter().map(|r| r2(r.stats.total_um_faults() as f64 / f0)))
+                .collect(),
+        );
+        perf_rows.push(
+            std::iter::once(name.to_string())
+                .chain(runs.iter().map(|r| r2(t0 / r.timings.total.as_ns() as f64)))
+                .collect(),
+        );
+    }
+    print_table(
+        "Figure 3a: UM page faults, normalized to 2 GPUs",
+        &["matrix", "2 GPUs", "4 GPUs", "8 GPUs"],
+        &fault_rows,
+    );
+    print_table(
+        "Figure 3b: UM performance (1/time), normalized to 2 GPUs",
+        &["matrix", "2 GPUs", "4 GPUs", "8 GPUs"],
+        &perf_rows,
+    );
+    println!("\npaper: faults grow with GPU count (up to 11.71x); performance degrades");
+    println!("2->8 GPUs for all but the most parallel matrix (nlpkkt160).");
+}

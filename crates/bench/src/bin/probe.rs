@@ -1,0 +1,58 @@
+//! Calibration probe: absolute per-variant timings and counters for a
+//! few corpus matrices. Not part of the paper's figures — a tuning aid.
+
+use mgpu_sim::MachineConfig;
+use sptrsv::SolverKind;
+use sptrsv_bench::{harness_matrix, run_variant};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn tweak(mut cfg: MachineConfig) -> MachineConfig {
+    if let Some(v) = env_u64("UM_REMOTE_ATOMIC") {
+        cfg.um.remote_atomic_ns = v;
+    }
+    if let Some(v) = env_u64("UM_FAULT_SERVICE") {
+        cfg.um.fault_service_ns = v;
+    }
+    if let Some(v) = env_u64("UM_MIGRATE_THRESHOLD") {
+        cfg.um.migrate_threshold = v as u32;
+    }
+    cfg
+}
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let names = if names.is_empty() {
+        vec!["powersim".to_string(), "nlpkkt160".to_string(), "chipcool0".to_string(), "dblp-2010".to_string()]
+    } else {
+        names
+    };
+    for name in &names {
+        let nm = harness_matrix(name);
+        println!(
+            "\n--- {name}: n={} nnz={} levels={} par={:.0} ---",
+            nm.achieved.rows, nm.achieved.nnz, nm.achieved.levels, nm.achieved.parallelism
+        );
+        for kind in [
+            SolverKind::LevelSet,
+            SolverKind::SyncFree,
+            SolverKind::Unified,
+            SolverKind::UnifiedTasks { per_gpu: 8 },
+            SolverKind::ShmemBlocked,
+            SolverKind::ZeroCopy { per_gpu: 8 },
+        ] {
+            let r = run_variant(&nm, tweak(MachineConfig::dgx1(4)), kind);
+            println!(
+                "{}  remote_ops={} migr={} cross={} pcie={}KB nvlink={}KB",
+                r.summary(),
+                r.stats.um_remote_ops,
+                r.stats.um_migrations,
+                r.cross_edges,
+                r.stats.pcie_bytes / 1024,
+                r.stats.nvlink_bytes / 1024,
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared harness for regenerating every table and figure of the
+//! paper's evaluation (§VI). Each `src/bin/figN.rs` binary prints the
+//! corresponding rows/series; `benches/` wraps the same runs in
+//! Criterion for wall-clock tracking of the implementation itself.
+
+use mgpu_sim::MachineConfig;
+use sparsemat::{corpus, NamedMatrix};
+use sptrsv::{solve, SolveOptions, SolveReport, SolverKind};
+
+/// Row/nnz caps used by the figure harnesses. Smaller than the corpus
+/// defaults so a full figure regenerates in seconds; override with the
+/// `SPTRSV_SCALE` environment variable (e.g. `SPTRSV_SCALE=2.0`).
+pub const HARNESS_ROW_CAP: usize = 12_000;
+/// Default nnz cap companion to [`HARNESS_ROW_CAP`].
+pub const HARNESS_NNZ_CAP: usize = 240_000;
+
+/// Scale factor from `SPTRSV_SCALE` (default 1.0).
+pub fn scale_factor() -> f64 {
+    std::env::var("SPTRSV_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Load the Table-I analog corpus at harness scale.
+pub fn harness_corpus() -> Vec<NamedMatrix> {
+    let s = scale_factor();
+    corpus::corpus_scaled(
+        (HARNESS_ROW_CAP as f64 * s) as usize,
+        (HARNESS_NNZ_CAP as f64 * s) as usize,
+    )
+}
+
+/// Load one analog by name at harness scale.
+pub fn harness_matrix(name: &str) -> NamedMatrix {
+    let s = scale_factor();
+    corpus::by_name_scaled(
+        name,
+        (HARNESS_ROW_CAP as f64 * s) as usize,
+        (HARNESS_NNZ_CAP as f64 * s) as usize,
+    )
+    .unwrap_or_else(|| panic!("unknown corpus matrix {name}"))
+}
+
+/// Run one solver variant on one corpus matrix and verify it.
+pub fn run_variant(nm: &NamedMatrix, cfg: MachineConfig, kind: SolverKind) -> SolveReport {
+    let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0xB0B + nm.matrix.n() as u64);
+    let opts = SolveOptions { kind, ..SolveOptions::default() };
+    solve(&nm.matrix, &b, cfg, &opts)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kind.label(), nm.name))
+}
+
+/// Geometric mean (the right average for speedup ratios).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-300).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Render an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{:<w$}", c, w = widths[i] + 2));
+            } else {
+                s.push_str(&format!("{:>w$}", c, w = widths[i] + 2));
+            }
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Format a ratio with two decimals.
+pub fn r2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_factor_defaults_to_one() {
+        // (cannot set env safely in parallel tests; just check the default path)
+        assert!(scale_factor() >= 1.0 || scale_factor() > 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The event calendar.
+//!
+//! [`EventQueue`] is a binary-heap calendar keyed on
+//! `(SimTime, sequence)`. The sequence number makes event ordering a
+//! *total* order: two events scheduled for the same instant are
+//! delivered in the order they were pushed. That FIFO tie-break is what
+//! makes simulations replayable bit-for-bit.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+/// Heap entry ordered solely by key — the payload never participates in
+/// comparisons, so `E` needs no `Ord` bound.
+#[derive(Debug)]
+struct Entry<E> {
+    key: Key,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A time-ordered queue of typed events.
+///
+/// The queue also owns the simulation clock: popping an event advances
+/// [`EventQueue::now`] to that event's timestamp. Scheduling into the
+/// past is a logic error and panics in debug builds (it is clamped to
+/// `now` in release builds, which keeps long benchmark runs alive while
+/// still surfacing the bug under `cargo test`).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty calendar at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// An empty calendar with pre-allocated capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            now: SimTime::ZERO,
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the calendar.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (for run statistics).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// `at` must not precede the current clock; see the type-level docs
+    /// for the debug/release behaviour on violation.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let key = Key { at, seq: self.seq };
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Entry { key, event }));
+    }
+
+    /// Schedule `event` at `now + delay_ns`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay_ns: u64, event: E) {
+        self.schedule_at(self.now.after(delay_ns), event);
+    }
+
+    /// Pop the earliest event and advance the clock to its timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(Entry { key, event }) = self.heap.pop()?;
+        debug_assert!(key.at >= self.now, "event calendar went backwards");
+        self.now = key.at;
+        Some((key.at, event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.key.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(30), "c");
+        q.schedule_at(SimTime::from_ns(10), "a");
+        q.schedule_at(SimTime::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_ns(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(100, ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ns(100));
+        assert_eq!(q.now(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, "first");
+        q.pop().unwrap();
+        q.schedule_in(10, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_ns(), 20);
+    }
+
+    #[test]
+    fn counts_scheduled_events() {
+        let mut q = EventQueue::new();
+        q.schedule_in(1, ());
+        q.schedule_in(2, ());
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_in(7, ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // release builds clamp instead of panicking
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_in(100, ());
+        q.pop();
+        q.schedule_at(SimTime::from_ns(1), ());
+    }
+}

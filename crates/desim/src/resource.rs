@@ -1,0 +1,182 @@
+//! Multi-server FIFO resources for duration-known work.
+//!
+//! A [`Resource`] models a bank of identical servers (GPU execution
+//! lanes, a link's transfer engines, a fault handler). Callers *reserve*
+//! a server for a known duration at the current simulation time; the
+//! resource returns the completion time, which the caller schedules as
+//! an event. Because DES event processing calls `acquire` in
+//! non-decreasing time order, reservation order equals arrival order and
+//! the discipline is FIFO.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A bank of `servers` identical FIFO servers.
+#[derive(Debug)]
+pub struct Resource {
+    /// Earliest instant each server becomes free.
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    servers: usize,
+    busy_ns: u64,
+    jobs: u64,
+    queued_ns: u64,
+}
+
+impl Resource {
+    /// Create a resource with `servers` parallel servers.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a Resource needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        Resource {
+            free_at,
+            servers,
+            busy_ns: 0,
+            jobs: 0,
+            queued_ns: 0,
+        }
+    }
+
+    /// Number of servers in the bank.
+    #[inline]
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Reserve one server at time `now` for `dur_ns`; returns the
+    /// completion time (`>= now + dur_ns`, later if all servers busy).
+    #[inline]
+    pub fn acquire(&mut self, now: SimTime, dur_ns: u64) -> SimTime {
+        let Reverse(earliest) = self.free_at.pop().expect("server heap invariant");
+        let start = earliest.max(now);
+        let end = start.after(dur_ns);
+        self.free_at.push(Reverse(end));
+        self.busy_ns += dur_ns;
+        self.queued_ns += start - now;
+        self.jobs += 1;
+        end
+    }
+
+    /// Like [`acquire`](Self::acquire) but also returns the start time,
+    /// for callers that need to know the queueing delay of this job.
+    #[inline]
+    pub fn acquire_timed(&mut self, now: SimTime, dur_ns: u64) -> (SimTime, SimTime) {
+        let Reverse(earliest) = self.free_at.pop().expect("server heap invariant");
+        let start = earliest.max(now);
+        let end = start.after(dur_ns);
+        self.free_at.push(Reverse(end));
+        self.busy_ns += dur_ns;
+        self.queued_ns += start - now;
+        self.jobs += 1;
+        (start, end)
+    }
+
+    /// Earliest time a new job arriving at `now` could start.
+    #[inline]
+    pub fn next_free(&self, now: SimTime) -> SimTime {
+        let Reverse(earliest) = *self.free_at.peek().expect("server heap invariant");
+        earliest.max(now)
+    }
+
+    /// Total busy server-nanoseconds consumed so far.
+    #[inline]
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Total nanoseconds jobs spent waiting for a server.
+    #[inline]
+    pub fn queued_ns(&self) -> u64 {
+        self.queued_ns
+    }
+
+    /// Number of jobs served.
+    #[inline]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Mean utilization over `[0, horizon]`: busy server-time divided by
+    /// total server capacity. Returns a value in `[0, 1]` for feasible
+    /// schedules.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (self.servers as f64 * horizon.as_ns() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes() {
+        let mut r = Resource::new(1);
+        let t0 = SimTime::ZERO;
+        assert_eq!(r.acquire(t0, 10).as_ns(), 10);
+        assert_eq!(r.acquire(t0, 10).as_ns(), 20);
+        assert_eq!(r.acquire(t0, 5).as_ns(), 25);
+        assert_eq!(r.busy_ns(), 25);
+        assert_eq!(r.jobs(), 3);
+    }
+
+    #[test]
+    fn parallel_servers_overlap() {
+        let mut r = Resource::new(2);
+        let t0 = SimTime::ZERO;
+        assert_eq!(r.acquire(t0, 10).as_ns(), 10);
+        assert_eq!(r.acquire(t0, 10).as_ns(), 10);
+        // third job waits for the earliest of the two to free up
+        assert_eq!(r.acquire(t0, 10).as_ns(), 20);
+    }
+
+    #[test]
+    fn idle_server_starts_at_now() {
+        let mut r = Resource::new(1);
+        assert_eq!(r.acquire(SimTime::from_ns(100), 10).as_ns(), 110);
+        // arriving later than the server frees: starts immediately
+        assert_eq!(r.acquire(SimTime::from_ns(500), 10).as_ns(), 510);
+    }
+
+    #[test]
+    fn acquire_timed_reports_queueing() {
+        let mut r = Resource::new(1);
+        let t0 = SimTime::ZERO;
+        r.acquire(t0, 100);
+        let (start, end) = r.acquire_timed(SimTime::from_ns(30), 10);
+        assert_eq!(start.as_ns(), 100);
+        assert_eq!(end.as_ns(), 110);
+        assert_eq!(r.queued_ns(), 70);
+    }
+
+    #[test]
+    fn utilization_is_fractional() {
+        let mut r = Resource::new(2);
+        r.acquire(SimTime::ZERO, 50);
+        // one of two servers busy for 50 of 100 ns => 25%
+        assert!((r.utilization(SimTime::from_ns(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn next_free_peeks_without_reserving() {
+        let mut r = Resource::new(1);
+        r.acquire(SimTime::ZERO, 40);
+        assert_eq!(r.next_free(SimTime::from_ns(10)).as_ns(), 40);
+        assert_eq!(r.next_free(SimTime::from_ns(90)).as_ns(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = Resource::new(0);
+    }
+}

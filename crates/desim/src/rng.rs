@@ -1,0 +1,210 @@
+//! Deterministic pseudo-random numbers for the simulator.
+//!
+//! The engine deliberately ships its own tiny RNG instead of pulling a
+//! general-purpose crate into the hot path: simulations must replay
+//! bit-identically across versions, so the generator's exact stream is
+//! part of the engine's contract. [`Pcg32`] is the classic PCG-XSH-RR
+//! 64/32 generator (O'Neill 2014); [`split_mix64`] is used to expand a
+//! single user seed into well-distributed stream seeds.
+
+/// One step of the SplitMix64 sequence; good for seed expansion.
+#[inline]
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// PCG-XSH-RR 64/32: small, fast, statistically solid, reproducible.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    const MULT: u64 = 6_364_136_223_846_793_005;
+
+    /// Seed a generator; distinct `(seed, stream)` pairs produce
+    /// independent sequences.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Seed from a single value (stream derived via SplitMix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let a = split_mix64(&mut s);
+        let b = split_mix64(&mut s);
+        Pcg32::new(a, b)
+    }
+
+    /// Next 32 uniform random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(Self::MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniform random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (unbiased).
+    #[inline]
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "next_below(0) is meaningless");
+        loop {
+            let x = self.next_u32();
+            let m = (x as u64).wrapping_mul(bound as u64);
+            let l = m as u32;
+            if l >= bound.wrapping_neg() % bound {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi - lo) as u64;
+        if span <= u32::MAX as u64 {
+            lo + self.next_below(span as u32) as usize
+        } else {
+            lo + (self.next_u64() % span) as usize
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of entropy.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Derive an independent child generator (for per-entity streams).
+    pub fn fork(&mut self) -> Pcg32 {
+        let a = self.next_u64();
+        let b = self.next_u64();
+        Pcg32::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.next_below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::seed_from_u64(13);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn fork_gives_independent_streams() {
+        let mut parent = Pcg32::seed_from_u64(99);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..64).filter(|_| c1.next_u32() == c2.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn range_usize_bounds() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = rng.range_usize(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Lightweight statistics collectors for simulation instrumentation.
+//!
+//! Everything here is O(1) per observation and allocation-free after
+//! construction, so collectors can sit on hot simulation paths.
+
+use crate::time::SimTime;
+
+/// A plain monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Welford's online mean/variance plus min/max.
+#[derive(Debug, Clone, Copy)]
+pub struct Online {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Online {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Online {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Online {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Time-weighted integral of a piecewise-constant signal, e.g. "number
+/// of busy warps over time". Yields exact time averages.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Start at value 0 at t = 0.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_t: SimTime::ZERO,
+            value: 0.0,
+            integral: 0.0,
+            peak: 0.0,
+        }
+    }
+
+    /// Set the signal to `value` from time `now` on.
+    #[inline]
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.integral += self.value * (now - self.last_t) as f64;
+        self.last_t = now;
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Add `delta` to the signal at time `now`.
+    #[inline]
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Time average of the signal over `[0, horizon]`.
+    pub fn average(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let tail = self.value * (horizon - self.last_t) as f64;
+        (self.integral + tail) / horizon.as_ns() as f64
+    }
+
+    /// Peak signal value seen.
+    #[inline]
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Current signal value.
+    #[inline]
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Power-of-two bucketed histogram of `u64` magnitudes (latencies,
+/// sizes). Bucket `k` holds values in `[2^(k-1), 2^k)`; bucket 0 holds 0.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record a value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q in [0,1]`: upper bound of the bucket
+    /// containing the q-th observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return if k == 0 { 0 } else { (1u128 << k) as u64 - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterate `(bucket_upper_bound, count)` over non-empty buckets.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| {
+                let ub = if k == 0 { 0 } else { ((1u128 << k) - 1) as u64 };
+                (ub, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn online_matches_closed_form() {
+        let mut o = Online::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            o.record(x);
+        }
+        assert_eq!(o.count(), 8);
+        assert!((o.mean() - 5.0).abs() < 1e-12);
+        assert!((o.variance() - 4.0).abs() < 1e-12);
+        assert!((o.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(o.min(), 2.0);
+        assert_eq!(o.max(), 9.0);
+    }
+
+    #[test]
+    fn online_empty_is_safe() {
+        let o = Online::new();
+        assert_eq!(o.mean(), 0.0);
+        assert_eq!(o.variance(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_ns(0), 2.0);
+        tw.set(SimTime::from_ns(10), 4.0);
+        tw.set(SimTime::from_ns(30), 0.0);
+        // 2*10 + 4*20 + 0*70 over 100 ns = 1.0
+        assert!((tw.average(SimTime::from_ns(100)) - 1.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_deltas() {
+        let mut tw = TimeWeighted::new();
+        tw.add(SimTime::from_ns(0), 1.0);
+        tw.add(SimTime::from_ns(50), 1.0);
+        assert_eq!(tw.current(), 2.0);
+        // 1*50 + 2*50 over 100
+        assert!((tw.average(SimTime::from_ns(100)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - (1010.0 / 6.0)).abs() < 1e-9);
+        let buckets: Vec<_> = h.iter_nonzero().collect();
+        // 0 -> bucket 0; 1 -> [1,1]; 2,3 -> [2,3]; 4 -> [4,7]; 1000 -> [512,1023]
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+        assert!((255..=1023).contains(&q50));
+    }
+}

@@ -1,0 +1,159 @@
+//! Virtual simulation time.
+//!
+//! [`SimTime`] is a thin wrapper over `u64` nanoseconds. Nanosecond
+//! integer resolution (rather than `f64` seconds) keeps event ordering
+//! exact and platform-independent, which is a precondition for the
+//! engine's determinism guarantee.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable time; used as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Time expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference `self - earlier`, in nanoseconds.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Checked addition of a nanosecond delay (saturates at `MAX`).
+    #[inline]
+    pub fn after(self, delay_ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delay_ns))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-scale rendering: picks ns / µs / ms / s automatically.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 10_000 {
+            write!(f, "{ns} ns")
+        } else if ns < 10_000_000 {
+            write!(f, "{:.2} us", self.as_us_f64())
+        } else if ns < 10_000_000_000 {
+            write!(f, "{:.3} ms", self.as_ms_f64())
+        } else {
+            write!(f, "{:.4} s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(SimTime::from_ns(1500).as_us_f64(), 1.5);
+        assert_eq!(SimTime::from_ms(1500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100);
+        assert_eq!((t + 50).as_ns(), 150);
+        let mut u = t;
+        u += 25;
+        assert_eq!(u.as_ns(), 125);
+        assert_eq!(u - t, 25);
+        // saturating difference never panics or wraps
+        assert_eq!(t - u, 0);
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        assert_eq!(SimTime::MAX.after(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + 100, SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_ns(1));
+        assert!(SimTime::from_us(1) < SimTime::from_ms(1));
+        assert!(SimTime::from_ms(1) < SimTime::MAX);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimTime::from_ns(42).to_string(), "42 ns");
+        assert_eq!(SimTime::from_us(42).to_string(), "42.00 us");
+        assert_eq!(SimTime::from_ms(42).to_string(), "42.000 ms");
+        assert_eq!(SimTime::from_ms(42_000).to_string(), "42.0000 s");
+    }
+}

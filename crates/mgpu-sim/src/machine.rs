@@ -1,0 +1,850 @@
+//! The assembled multi-GPU node.
+//!
+//! [`Machine`] owns every shared hardware resource — warp slots,
+//! execution lanes, kernel launchers, fault handlers, NVLink /
+//! NVSwitch / PCIe links — plus the [`crate::um`] and [`crate::shmem`]
+//! subsystems, and exposes the cost/semantics API that the solver
+//! executor drives. It is passive (no internal event loop); every
+//! method takes the current simulation time and returns completion
+//! times computed against FIFO resources, so the caller's event order
+//! fully determines the run.
+
+use crate::shmem::ShmemStats;
+use crate::spec::MachineConfig;
+use crate::topology::{
+    Route, Topology, NVLINK_BW, NVLINK_LAT_NS, NVSWITCH_LAT_NS, NVSWITCH_PORT_BW, PCIE_BW,
+    PCIE_LAT_NS,
+};
+use crate::um::{ReadAccess, UnifiedMemory, UmRange, WriteAccess};
+use crate::GpuId;
+use desim::{Gate, Pcg32, Resource, SimTime};
+
+/// Aggregated run statistics, snapshotted by the executor at the end of
+/// a solve.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// UM page faults per GPU.
+    pub um_faults: Vec<u64>,
+    /// UM page migrations (incl. duplications).
+    pub um_migrations: u64,
+    /// UM read-duplication events.
+    pub um_duplications: u64,
+    /// Bytes moved by UM migrations.
+    pub um_migrated_bytes: u64,
+    /// UM remote (non-migrating) operations over the fabric.
+    pub um_remote_ops: u64,
+    /// PGAS operation ledger.
+    pub shmem: ShmemStats,
+    /// Bytes carried per fabric class.
+    pub nvlink_bytes: u64,
+    /// Bytes through NVSwitch ports.
+    pub switch_bytes: u64,
+    /// Bytes over PCIe (host staging / out-of-core).
+    pub pcie_bytes: u64,
+    /// Kernel launches per GPU.
+    pub kernel_launches: Vec<u64>,
+    /// Busy execution-lane nanoseconds per GPU.
+    pub exec_busy_ns: Vec<u64>,
+    /// Peak resident warps per GPU.
+    pub peak_warps: Vec<usize>,
+}
+
+impl MachineStats {
+    /// Total UM faults across GPUs.
+    pub fn total_um_faults(&self) -> u64 {
+        self.um_faults.iter().sum()
+    }
+
+    /// Total bytes over all fabrics.
+    pub fn total_fabric_bytes(&self) -> u64 {
+        self.nvlink_bytes + self.switch_bytes + self.pcie_bytes
+    }
+}
+
+/// One modeled multi-GPU node.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    topo: Topology,
+    // --- per-GPU resources ---
+    warp_slots: Vec<Gate>,
+    exec: Vec<Resource>,
+    launcher: Vec<Resource>,
+    fault_handler: Vec<Resource>,
+    alloc_bytes: Vec<u64>,
+    // --- fabric resources ---
+    pair_link_res: Vec<Resource>, // parallel to topo.pair_links()
+    port_in: Vec<Resource>,       // NVSwitch ingress per GPU
+    port_out: Vec<Resource>,      // NVSwitch egress per GPU
+    pcie: Vec<Resource>,          // host link per GPU
+    // --- subsystems ---
+    um: UnifiedMemory,
+    shmem_stats: ShmemStats,
+    /// Warps currently spin-polling a remote location (set by the
+    /// executor); drives the fabric-congestion factor.
+    polling_load: u64,
+    /// Total fine-grained poll capacity of the active fabric.
+    poll_capacity: u64,
+    // --- counters ---
+    nvlink_bytes: u64,
+    switch_bytes: u64,
+    pcie_bytes: u64,
+    kernel_launches: Vec<u64>,
+    rng: Pcg32,
+}
+
+impl Machine {
+    /// Build a machine from its configuration.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        let g = cfg.gpus;
+        let topo = Topology::new(cfg.topology, g);
+        let mk = |f: &dyn Fn() -> Resource| (0..g).map(|_| f()).collect::<Vec<_>>();
+        let pair_link_res: Vec<Resource> = topo
+            .pair_links()
+            .iter()
+            .map(|l| Resource::new(l.lanes as usize))
+            .collect();
+        // Fine-grained poll capacity of the active fabric: total NVLink
+        // lanes (DGX-1 style) or switch-port equivalents (DGX-2).
+        let total_lanes: u64 = match cfg.topology {
+            crate::topology::TopologyKind::Dgx2 => {
+                g as u64 * (NVSWITCH_PORT_BW / NVLINK_BW) as u64
+            }
+            _ => topo.pair_links().iter().map(|l| l.lanes as u64).sum::<u64>().max(1),
+        };
+        let poll_capacity = total_lanes * cfg.shmem.poll_capacity_per_link;
+        Machine {
+            warp_slots: (0..g).map(|_| Gate::new(cfg.gpu.warp_slots())).collect(),
+            exec: mk(&|| Resource::new(cfg.gpu.exec_lanes)),
+            launcher: mk(&|| Resource::new(1)),
+            fault_handler: mk(&|| Resource::new(cfg.um.fault_handlers)),
+            alloc_bytes: vec![0; g],
+            pair_link_res,
+            port_in: mk(&|| Resource::new(1)),
+            port_out: mk(&|| Resource::new(1)),
+            pcie: mk(&|| Resource::new(1)),
+            um: UnifiedMemory::new(cfg.um.clone(), g),
+            shmem_stats: ShmemStats::default(),
+            polling_load: 0,
+            poll_capacity,
+            nvlink_bytes: 0,
+            switch_bytes: 0,
+            pcie_bytes: 0,
+            kernel_launches: vec![0; g],
+            rng: Pcg32::seed_from_u64(cfg.seed),
+            topo,
+            cfg,
+        }
+    }
+
+    /// Number of GPUs in the job.
+    #[inline]
+    pub fn n_gpus(&self) -> usize {
+        self.cfg.gpus
+    }
+
+    /// The machine configuration.
+    #[inline]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The interconnect topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Deterministic jitter in `[0, bound_ns)` (poll-phase offsets).
+    #[inline]
+    pub fn jitter(&mut self, bound_ns: u64) -> u64 {
+        if bound_ns == 0 {
+            0
+        } else {
+            self.rng.next_u64() % bound_ns
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernels & occupancy
+    // ------------------------------------------------------------------
+
+    /// Launch a kernel on `gpu` at `now`; returns the time the kernel's
+    /// warps become eligible for scheduling. Launches of one process
+    /// serialize through the host-side launcher.
+    pub fn launch_kernel(&mut self, gpu: GpuId, now: SimTime) -> SimTime {
+        self.kernel_launches[gpu] += 1;
+        self.launcher[gpu].acquire(now, self.cfg.gpu.launch_ns)
+    }
+
+    /// Try to take a resident-warp slot immediately.
+    pub fn try_warp_slot(&mut self, gpu: GpuId) -> bool {
+        self.warp_slots[gpu].try_acquire()
+    }
+
+    /// Queue `token` for a warp slot on `gpu` (FIFO, hardware dispatch
+    /// order).
+    pub fn enqueue_warp(&mut self, gpu: GpuId, token: u64) {
+        self.warp_slots[gpu].enqueue(token);
+    }
+
+    /// Release a warp slot; returns the token of the admitted waiter,
+    /// if any.
+    pub fn release_warp(&mut self, gpu: GpuId) -> Option<u64> {
+        self.warp_slots[gpu].release()
+    }
+
+    /// Charge `dur_ns` of warp execution on `gpu`'s lanes starting at
+    /// `now`; returns completion time.
+    pub fn exec(&mut self, gpu: GpuId, now: SimTime, dur_ns: u64) -> SimTime {
+        self.exec[gpu].acquire(now, dur_ns)
+    }
+
+    // ------------------------------------------------------------------
+    // Fabric transfers
+    // ------------------------------------------------------------------
+
+    fn transfer_ns(bytes: u64, bw_bytes_per_ns: f64) -> u64 {
+        (bytes as f64 / bw_bytes_per_ns).ceil() as u64
+    }
+
+    /// Move `bytes` from `src` to `dst`, occupying the fabric; returns
+    /// arrival time. `src == dst` is free.
+    pub fn transfer(&mut self, src: GpuId, dst: GpuId, bytes: u64, now: SimTime) -> SimTime {
+        match self.topo.route(src, dst) {
+            Route::Local => now,
+            Route::Direct { link } => {
+                self.nvlink_bytes += bytes;
+                let dur = Self::transfer_ns(bytes, NVLINK_BW);
+                self.pair_link_res[link].acquire(now, dur).after(NVLINK_LAT_NS)
+            }
+            Route::Switched => {
+                self.switch_bytes += bytes;
+                let dur = Self::transfer_ns(bytes, NVSWITCH_PORT_BW);
+                let egress = self.port_out[src].acquire(now, dur);
+                let ingress = self.port_in[dst].acquire(egress, dur);
+                ingress.after(NVSWITCH_LAT_NS)
+            }
+            Route::HostStaged => {
+                self.pcie_bytes += bytes;
+                let dur = Self::transfer_ns(bytes, PCIE_BW);
+                let up = self.pcie[src].acquire(now, dur).after(PCIE_LAT_NS);
+                
+                self.pcie[dst].acquire(up, dur).after(PCIE_LAT_NS)
+            }
+        }
+    }
+
+    /// Host ↔ device transfer over `gpu`'s PCIe link (out-of-core
+    /// streaming); returns completion.
+    pub fn host_transfer(&mut self, gpu: GpuId, bytes: u64, now: SimTime) -> SimTime {
+        self.pcie_bytes += bytes;
+        let dur = Self::transfer_ns(bytes, PCIE_BW);
+        self.pcie[gpu].acquire(now, dur).after(PCIE_LAT_NS)
+    }
+
+    // ------------------------------------------------------------------
+    // NVSHMEM-style one-sided operations
+    // ------------------------------------------------------------------
+
+    /// One-sided `get` of `bytes` from `target`'s symmetric heap into
+    /// `requester`; returns data-arrival time.
+    ///
+    /// # Panics
+    /// Panics when the pair is not P2P-connected — NVSHMEM requires
+    /// peer access (the paper's 4-GPU DGX-1 limit).
+    pub fn shmem_get(
+        &mut self,
+        requester: GpuId,
+        target: GpuId,
+        bytes: u64,
+        now: SimTime,
+    ) -> SimTime {
+        self.shmem_stats.gets += 1;
+        self.shmem_stats.get_bytes += bytes;
+        if requester == target {
+            return now.after(self.cfg.gpu.atomic_ns);
+        }
+        assert!(
+            self.topo.p2p(requester, target),
+            "NVSHMEM get between non-P2P GPUs {requester} and {target}"
+        );
+        let base = self.congested(self.shmem_base_latency(requester, target));
+        // wire occupancy: fine-grained gets ride a min-size packet
+        let t = self.transfer(target, requester, bytes.max(32), now);
+        t.after(base)
+    }
+
+    /// One-sided `put` of `bytes` from `src` into `target`'s heap.
+    pub fn shmem_put(&mut self, src: GpuId, target: GpuId, bytes: u64, now: SimTime) -> SimTime {
+        self.shmem_stats.puts += 1;
+        self.shmem_stats.put_bytes += bytes;
+        if src == target {
+            return now.after(self.cfg.gpu.atomic_ns);
+        }
+        assert!(
+            self.topo.p2p(src, target),
+            "NVSHMEM put between non-P2P GPUs {src} and {target}"
+        );
+        let base = self.cfg.shmem.put_latency_ns
+            + if matches!(self.topo.route(src, target), Route::Switched) {
+                self.cfg.shmem.switch_hop_ns
+            } else {
+                0
+            };
+        let base = self.congested(base);
+        let t = self.transfer(src, target, bytes.max(32), now);
+        t.after(base)
+    }
+
+    fn shmem_base_latency(&self, a: GpuId, b: GpuId) -> u64 {
+        self.cfg.shmem.get_latency_ns
+            + if matches!(self.topo.route(a, b), Route::Switched) {
+                self.cfg.shmem.switch_hop_ns
+            } else {
+                0
+            }
+    }
+
+    /// Warp-parallel gather: `requester` gets `bytes_per_peer` from
+    /// every peer concurrently (threads of the warp issue to different
+    /// PEs, §IV-B), then reduces with `log2(peers+1)` shuffle steps.
+    /// Returns the time the reduced value is available.
+    pub fn shmem_gather_reduce(
+        &mut self,
+        requester: GpuId,
+        peers: &[GpuId],
+        bytes_per_peer: u64,
+        now: SimTime,
+    ) -> SimTime {
+        let mut latest = now;
+        for &p in peers {
+            if p == requester {
+                continue;
+            }
+            let t = self.shmem_get(requester, p, bytes_per_peer, now);
+            latest = latest.max(t);
+        }
+        let lanes = (peers.len() + 1).next_power_of_two().trailing_zeros() as u64;
+        latest.after(self.cfg.gpu.shuffle_ns * lanes.max(1))
+    }
+
+    /// Record `rounds` remote-poll iterations over `active_peers` peers
+    /// of which `polled` were actually fetched (r.in_degree caching
+    /// skips the rest). Traffic is accounted analytically — poll gets
+    /// are 4-byte reads that would swamp the event calendar if
+    /// simulated one by one.
+    pub fn record_polling(&mut self, rounds: u64, active_peers: u64, polled: u64) {
+        self.shmem_stats.poll_rounds += rounds;
+        self.shmem_stats.poll_gets += polled;
+        self.shmem_stats.poll_gets_saved += active_peers.saturating_mul(rounds) - polled;
+        // attribute wire bytes to the dominant fabric class
+        let bytes = polled * 4;
+        match self.cfg.topology {
+            crate::topology::TopologyKind::Dgx2 => self.switch_bytes += bytes,
+            _ => self.nvlink_bytes += bytes,
+        }
+    }
+
+    /// `nvshmem_fence` (naive-design ablation).
+    pub fn shmem_fence(&mut self, now: SimTime) -> SimTime {
+        self.shmem_stats.fences += 1;
+        now.after(self.cfg.shmem.fence_ns)
+    }
+
+    /// `nvshmem_quiet` (naive-design ablation).
+    pub fn shmem_quiet(&mut self, now: SimTime) -> SimTime {
+        self.shmem_stats.quiets += 1;
+        now.after(self.cfg.shmem.quiet_ns)
+    }
+
+    /// Remote-poll round period for the lock-wait loop of Alg. 3.
+    pub fn remote_poll_period_ns(&self) -> u64 {
+        self.cfg.shmem.get_latency_ns + self.cfg.shmem.poll_gap_ns
+    }
+
+    // ------------------------------------------------------------------
+    // Fabric congestion from spin polling
+    // ------------------------------------------------------------------
+
+    /// A warp started spin-polling a remote location.
+    #[inline]
+    pub fn polling_started(&mut self) {
+        self.polling_load += 1;
+    }
+
+    /// A warp stopped spin-polling.
+    #[inline]
+    pub fn polling_stopped(&mut self) {
+        debug_assert!(self.polling_load > 0, "polling underflow");
+        self.polling_load = self.polling_load.saturating_sub(1);
+    }
+
+    /// Current latency multiplier (×1000) for fine-grained remote
+    /// operations: `1 + load / capacity`. With 2 DGX-1 GPUs all poll
+    /// traffic shares one link; each added GPU adds links, so the
+    /// factor falls — the §VI-D "active bandwidth per GPU" effect.
+    #[inline]
+    pub fn congestion_millis(&self) -> u64 {
+        1_000 + 1_000 * self.polling_load / self.poll_capacity.max(1)
+    }
+
+    /// Stretch a fine-grained remote latency by the congestion factor.
+    #[inline]
+    pub fn congested(&self, latency_ns: u64) -> u64 {
+        latency_ns * self.congestion_millis() / 1_000
+    }
+
+    // ------------------------------------------------------------------
+    // Unified memory
+    // ------------------------------------------------------------------
+
+    /// Allocate a managed array of `bytes` (cudaMallocManaged).
+    pub fn um_alloc(&mut self, bytes: u64) -> UmRange {
+        self.um.alloc(bytes)
+    }
+
+    /// UM page granularity.
+    pub fn um_page_bytes(&self) -> u64 {
+        self.um.page_bytes()
+    }
+
+    /// System-wide atomic *write* by `gpu` into a UM page.
+    ///
+    /// Returns `(warp_free, durable)`: system atomics are
+    /// fire-and-forget for the issuing warp, so `warp_free` is just the
+    /// issue cost, while `durable` is when the value is globally
+    /// observable. Access-counter migrations run asynchronously in the
+    /// driver (charged to the fault handler and fabric) and gate
+    /// durability, not the warp. Only first-touch faults from
+    /// host-resident pages block the warp itself.
+    pub fn um_write(&mut self, gpu: GpuId, page: usize, now: SimTime) -> (SimTime, SimTime) {
+        let access = self.um.write(page, gpu, now);
+        let issue = now.after(self.cfg.gpu.atomic_ns);
+        let out = match access {
+            WriteAccess::LocalHit => (issue, issue),
+            WriteAccess::RemoteAtomic { holder } => {
+                let lat = self.congested(self.um.remote_atomic_ns());
+                (issue, self.transfer(gpu, holder, 32, now).after(lat))
+            }
+            WriteAccess::Fault { src: None } => {
+                // genuine first-touch fault: the warp stalls
+                let done = self.charge_fault(gpu, None, now);
+                (done, done)
+            }
+            WriteAccess::Fault { src } => {
+                // async access-counter migration / replica collapse
+                let done = self.charge_fault(gpu, src, now);
+                (issue, done)
+            }
+        };
+        self.apply_um_charges();
+        out
+    }
+
+    /// Read by `gpu` from a UM page; returns data-ready time.
+    pub fn um_read(&mut self, gpu: GpuId, page: usize, now: SimTime) -> SimTime {
+        let access = self.um.read(page, gpu, now);
+        let done = match access {
+            ReadAccess::LocalHit => now.after(self.cfg.gpu.atomic_ns),
+            ReadAccess::RemoteRead { holder } => {
+                let lat = self.congested(self.um.remote_atomic_ns());
+                self.transfer(holder, gpu, 32, now).after(lat)
+            }
+            ReadAccess::MigrateFault { src } | ReadAccess::DuplicateFault { src } => {
+                self.charge_fault(gpu, src, now)
+            }
+        };
+        self.apply_um_charges();
+        done
+    }
+
+    /// When a busy-waiting warp on `gpu` can observe a value written to
+    /// `page` at `written_at`: one local poll period if a copy is (or
+    /// bounces) local, otherwise a remote poll round (which may trip
+    /// the access counter and fault).
+    pub fn um_visible_at(&mut self, gpu: GpuId, page: usize, written_at: SimTime) -> SimTime {
+        let poll = self.cfg.gpu.poll_ns;
+        let probe = written_at.after(poll / 2 + self.jitter(poll));
+        if self.um.has_local_copy(page, gpu, probe) {
+            self.apply_um_charges();
+            probe
+        } else {
+            // remote poll period: the spin loop reads over the fabric
+            let period = self.um.remote_atomic_ns() + self.cfg.gpu.poll_ns;
+            let probe = written_at.after(self.jitter(period + 1));
+            self.um_read(gpu, page, probe)
+        }
+    }
+
+    /// Spin-poll period of the unified-memory lock-wait loop: the read
+    /// of `s.in_degree[i]` rides the fabric when the page is remote.
+    pub fn um_poll_period_ns(&self) -> u64 {
+        self.um.remote_atomic_ns() + self.cfg.gpu.poll_ns
+    }
+
+    /// Apply `rounds` of spin-poll pressure from `gpu` against a UM
+    /// page; if the access counter migrates the page toward the poller,
+    /// the fault is charged and its completion time returned.
+    pub fn um_poll_pressure(
+        &mut self,
+        gpu: GpuId,
+        page: usize,
+        rounds: u32,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let src = self.um.holder_of(page, now).filter(|&h| h != gpu);
+        if self.um.poll_pressure(page, gpu, rounds, now) {
+            let done = self.charge_fault(gpu, src, now);
+            self.apply_um_charges();
+            Some(done)
+        } else {
+            None
+        }
+    }
+
+    /// Dense first-touch sweep of a managed range (the analysis-phase
+    /// pattern): the driver coalesces contiguous faults, so the cost is
+    /// one bulk transfer plus batched fault servicing rather than a
+    /// per-page penalty.
+    pub fn um_bulk_sweep(&mut self, gpu: GpuId, range: &crate::um::UmRange, now: SimTime) -> SimTime {
+        let moved = self.um.bulk_sweep(range, gpu, now);
+        self.apply_um_charges();
+        if moved == 0 {
+            return now.after(self.cfg.gpu.atomic_ns);
+        }
+        // batches of 64 pages share one fault service
+        let batches = (moved as u64).div_ceil(64);
+        let service = batches * self.um.fault_service_ns();
+        let t = self.fault_handler[gpu].acquire(now, service);
+        let bytes = moved as u64 * self.um.page_bytes();
+        self.host_transfer(gpu, bytes, t)
+    }
+
+    fn charge_fault(&mut self, gpu: GpuId, src: Option<GpuId>, now: SimTime) -> SimTime {
+        let service = self.fault_handler[gpu].acquire(now, self.um.fault_service_ns());
+        match src {
+            Some(s) if s != gpu => {
+                let bytes = self.um.page_bytes();
+                self.transfer(s, gpu, bytes, service)
+            }
+            _ => {
+                // host-sourced page
+                let bytes = self.um.page_bytes();
+                self.host_transfer(gpu, bytes, service)
+            }
+        }
+    }
+
+    /// Drain deferred watcher-bounce charges into handler occupancy.
+    fn apply_um_charges(&mut self) {
+        for (gpu, at) in self.um.take_charges() {
+            let service = self.um.fault_service_ns();
+            self.fault_handler[gpu].acquire(at, service);
+        }
+    }
+
+    /// Register a busy-waiting warp of `gpu` on `page`.
+    pub fn um_watch(&mut self, gpu: GpuId, page: usize) {
+        self.um.watch(page, gpu);
+    }
+
+    /// Deregister a busy-waiting warp.
+    pub fn um_unwatch(&mut self, gpu: GpuId, page: usize) {
+        self.um.unwatch(page, gpu);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accounting (out-of-core)
+    // ------------------------------------------------------------------
+
+    /// Account `bytes` of device allocation on `gpu`.
+    pub fn account_alloc(&mut self, gpu: GpuId, bytes: u64) {
+        self.alloc_bytes[gpu] += bytes;
+    }
+
+    /// Fraction of `gpu`'s allocation that exceeds device capacity and
+    /// must page over PCIe (0.0 when everything fits).
+    pub fn spill_ratio(&self, gpu: GpuId) -> f64 {
+        let cap = self.cfg.gpu.mem_bytes as f64;
+        let used = self.alloc_bytes[gpu] as f64;
+        if used <= cap {
+            0.0
+        } else {
+            (used - cap) / used
+        }
+    }
+
+    /// Whether the job's data fits in device memory on every GPU.
+    pub fn fits_in_memory(&self) -> bool {
+        (0..self.n_gpus()).all(|g| self.spill_ratio(g) == 0.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Snapshot all counters.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            um_faults: self.um.faults().to_vec(),
+            um_migrations: self.um.migrations(),
+            um_duplications: self.um.duplications(),
+            um_migrated_bytes: self.um.migrated_bytes(),
+            um_remote_ops: self.um.remote_ops(),
+            shmem: self.shmem_stats.clone(),
+            nvlink_bytes: self.nvlink_bytes,
+            switch_bytes: self.switch_bytes,
+            pcie_bytes: self.pcie_bytes,
+            kernel_launches: self.kernel_launches.clone(),
+            exec_busy_ns: self.exec.iter().map(Resource::busy_ns).collect(),
+            peak_warps: self.warp_slots.iter().map(Gate::peak_in_use).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineConfig;
+
+    fn m4() -> Machine {
+        Machine::new(MachineConfig::dgx1(4))
+    }
+
+    #[test]
+    fn kernel_launches_serialize_per_gpu() {
+        let mut m = m4();
+        let t0 = SimTime::ZERO;
+        let a = m.launch_kernel(0, t0);
+        let b = m.launch_kernel(0, t0);
+        let c = m.launch_kernel(1, t0);
+        assert_eq!(a.as_ns(), 6_000);
+        assert_eq!(b.as_ns(), 12_000, "same-GPU launches queue");
+        assert_eq!(c.as_ns(), 6_000, "different GPU launches in parallel");
+        assert_eq!(m.stats().kernel_launches, vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn warp_slots_cap_at_spec() {
+        let mut m = m4();
+        let slots = m.config().gpu.warp_slots();
+        for _ in 0..slots {
+            assert!(m.try_warp_slot(0));
+        }
+        assert!(!m.try_warp_slot(0));
+        m.enqueue_warp(0, 99);
+        assert_eq!(m.release_warp(0), Some(99));
+    }
+
+    #[test]
+    fn nvlink_transfer_uses_double_links() {
+        let mut m = m4();
+        // 0-3 is a double link: two concurrent transfers don't queue
+        let t0 = SimTime::ZERO;
+        let bytes = 25_000; // 1 us at 25 B/ns
+        let a = m.transfer(0, 3, bytes, t0);
+        let b = m.transfer(0, 3, bytes, t0);
+        assert_eq!(a, b, "double link carries two transfers concurrently");
+        // 0-1 is single: second transfer queues
+        let c = m.transfer(0, 1, bytes, t0);
+        let d = m.transfer(0, 1, bytes, t0);
+        assert!(d > c);
+    }
+
+    #[test]
+    fn shmem_get_rejects_non_p2p() {
+        let mut m = Machine::new(MachineConfig::dgx1(8));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.shmem_get(0, 5, 4, SimTime::ZERO)
+        }));
+        assert!(r.is_err(), "0-5 is not P2P on DGX-1");
+    }
+
+    #[test]
+    fn shmem_gather_is_parallel_across_peers() {
+        let mut m = m4();
+        let t = m.shmem_gather_reduce(0, &[0, 1, 2, 3], 8, SimTime::ZERO);
+        // parallel gets: roughly one get latency + shuffles, far less
+        // than 3 sequential gets
+        assert!(t.as_ns() < 2 * m.config().shmem.get_latency_ns + 3_000, "{t}");
+        assert_eq!(m.stats().shmem.gets, 3);
+    }
+
+    #[test]
+    fn um_write_local_remote_and_fault() {
+        let mut m = m4();
+        let r = m.um_alloc(4096);
+        // first touch faults from host and blocks the warp
+        let (free1, t1) = m.um_write(0, r.first_page, SimTime::ZERO);
+        assert!(t1.as_ns() >= 6_000, "first touch faults from host");
+        assert_eq!(free1, t1, "first-touch fault blocks the warp");
+        let (_, t2) = m.um_write(0, r.first_page, t1);
+        assert_eq!(t2 - t1, m.config().gpu.atomic_ns, "second write is a local atomic");
+        // cross-GPU writes under the threshold are remote atomics:
+        // fire-and-forget for the warp, durable after the wire latency
+        let (free3, t3) = m.um_write(1, r.first_page, t2);
+        assert_eq!(free3 - t2, m.config().gpu.atomic_ns);
+        assert!(t3 - t2 >= m.config().um.remote_atomic_ns);
+        assert_eq!(m.stats().total_um_faults(), 1);
+        // crossing the access counter migrates (asynchronously)
+        let mut t = t3;
+        for _ in 0..m.config().um.migrate_threshold {
+            let (f, d) = m.um_write(1, r.first_page, t);
+            assert!(f <= d);
+            t = d;
+        }
+        assert_eq!(m.stats().total_um_faults(), 2, "threshold crossing faults");
+    }
+
+    #[test]
+    fn um_bulk_sweep_batches_faults() {
+        let mut m = m4();
+        let r = m.um_alloc(100 * 4096);
+        let t = m.um_bulk_sweep(0, &r, SimTime::ZERO);
+        // 100 pages in ceil(100/64)=2 batches, not 100 serialized services
+        assert!(t.as_ns() < 100 * m.config().um.fault_service_ns / 4);
+        assert_eq!(m.stats().total_um_faults(), 100, "counts stay per page");
+        let t2 = m.um_bulk_sweep(0, &r, t);
+        assert_eq!(t2 - t, m.config().gpu.atomic_ns, "resident sweep is free");
+    }
+
+    #[test]
+    fn um_visible_after_bounce_for_watcher() {
+        // pre-Volta ablation config: watcher steal-back enabled
+        let mut cfg = MachineConfig::dgx1(4);
+        cfg.um.bounce_delay_ns = 25_000;
+        let mut m = Machine::new(cfg);
+        let r = m.um_alloc(4096);
+        m.um_watch(1, r.first_page);
+        // first touch migrates to GPU 0 and arms the watcher bounce
+        let (_, w) = m.um_write(0, r.first_page, SimTime::ZERO);
+        let vis = m.um_visible_at(1, r.first_page, w);
+        assert!(vis > w);
+        // after the bounce delay, the watcher holds a replica and the
+        // bounce fault was counted
+        assert!(m.um_visible_at(1, r.first_page, w.after(1_000_000)) > w);
+        assert!(m.stats().um_faults[1] >= 1);
+    }
+
+    #[test]
+    fn um_default_polls_remotely_without_bounce() {
+        let mut m = m4();
+        let r = m.um_alloc(4096);
+        m.um_watch(1, r.first_page);
+        let (_, w) = m.um_write(0, r.first_page, SimTime::ZERO);
+        // waiter sees the value via a remote poll round, no fault
+        let vis = m.um_visible_at(1, r.first_page, w);
+        assert!(vis > w);
+        assert_eq!(m.stats().um_faults[1], 0, "no steal-back on Volta default");
+        assert!(m.stats().um_remote_ops >= 1);
+    }
+
+    #[test]
+    fn polling_accounting_tracks_savings() {
+        let mut m = m4();
+        m.record_polling(10, 3, 12);
+        let s = m.stats().shmem;
+        assert_eq!(s.poll_rounds, 10);
+        assert_eq!(s.poll_gets, 12);
+        assert_eq!(s.poll_gets_saved, 18);
+    }
+
+    #[test]
+    fn spill_ratio_reflects_capacity() {
+        let mut m = m4();
+        assert_eq!(m.spill_ratio(0), 0.0);
+        let cap = m.config().gpu.mem_bytes;
+        m.account_alloc(0, cap * 2);
+        assert!((m.spill_ratio(0) - 0.5).abs() < 1e-12);
+        assert!(!m.fits_in_memory());
+    }
+
+    #[test]
+    fn dgx2_routes_via_ports() {
+        let mut m = Machine::new(MachineConfig::dgx2(16));
+        let t = m.transfer(0, 15, 120_000, SimTime::ZERO);
+        assert!(t.as_ns() >= NVSWITCH_LAT_NS);
+        assert_eq!(m.stats().switch_bytes, 120_000);
+        // port serialization: a second concurrent transfer from GPU 0 queues
+        let t2 = m.transfer(0, 14, 120_000, SimTime::ZERO);
+        assert!(t2 > t);
+    }
+
+    #[test]
+    fn host_staged_path_on_dgx1_far_pairs() {
+        let mut m = Machine::new(MachineConfig::dgx1(8));
+        let t = m.transfer(0, 5, 16_000, SimTime::ZERO);
+        assert!(t.as_ns() >= 2 * PCIE_LAT_NS, "two PCIe hops");
+        assert_eq!(m.stats().pcie_bytes, 16_000);
+    }
+
+    #[test]
+    fn host_transfer_charges_pcie() {
+        let mut m = m4();
+        let t = m.host_transfer(2, 160_000, SimTime::ZERO);
+        // 160 KB at 16 B/ns = 10 us + 9 us latency
+        assert!(t.as_ns() >= 19_000);
+        assert_eq!(m.stats().pcie_bytes, 160_000);
+        // per-GPU PCIe links are independent
+        let t2 = m.host_transfer(3, 160_000, SimTime::ZERO);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn shmem_put_and_ordering_ops() {
+        let mut m = m4();
+        let p = m.shmem_put(0, 1, 8, SimTime::ZERO);
+        assert!(p.as_ns() >= m.config().shmem.put_latency_ns);
+        let f = m.shmem_fence(p);
+        assert_eq!(f - p, m.config().shmem.fence_ns);
+        let q = m.shmem_quiet(f);
+        assert_eq!(q - f, m.config().shmem.quiet_ns);
+        let s = m.stats().shmem;
+        assert_eq!((s.puts, s.fences, s.quiets), (1, 1, 1));
+    }
+
+    #[test]
+    fn congestion_rises_with_polling_load() {
+        let mut m = m4();
+        let base = m.congestion_millis();
+        assert_eq!(base, 1_000, "no pollers, no congestion");
+        for _ in 0..10_000 {
+            m.polling_started();
+        }
+        let loaded = m.congestion_millis();
+        assert!(loaded > base, "congestion factor must grow: {loaded}");
+        let lat = m.congested(1_400);
+        assert!(lat > 1_400);
+        for _ in 0..10_000 {
+            m.polling_stopped();
+        }
+        assert_eq!(m.congestion_millis(), 1_000);
+    }
+
+    #[test]
+    fn dgx2_has_more_poll_capacity_than_dgx1_pairs() {
+        // the Fig. 8/10b mechanism: switched fabrics absorb poll storms
+        let mut d1 = Machine::new(MachineConfig::dgx1(2));
+        let mut d2 = Machine::new(MachineConfig::dgx2(2));
+        for _ in 0..2_000 {
+            d1.polling_started();
+            d2.polling_started();
+        }
+        assert!(d1.congestion_millis() > d2.congestion_millis());
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut a = m4();
+        let mut b = m4();
+        for bound in [1u64, 10, 1000] {
+            for _ in 0..100 {
+                let ja = a.jitter(bound);
+                assert!(ja < bound);
+                assert_eq!(ja, b.jitter(bound));
+            }
+        }
+        assert_eq!(a.jitter(0), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! NVSHMEM-style symmetric-heap accounting (§IV-A).
+//!
+//! The semantic content of the zero-copy design lives in the solver
+//! executor (who reads/writes which heap copy when); what this module
+//! owns is the *operation ledger*: one-sided gets/puts, local atomics
+//! on the symmetric heap, remote-poll rounds of the lock-wait loop, and
+//! the fence/quiet ordering operations that the naive Get-Update-Put
+//! design would need (kept for the ablation experiment E9/E10).
+
+/// Operation counters for the PGAS layer.
+#[derive(Debug, Clone, Default)]
+pub struct ShmemStats {
+    /// One-sided get operations issued.
+    pub gets: u64,
+    /// Bytes fetched by gets.
+    pub get_bytes: u64,
+    /// One-sided put operations issued.
+    pub puts: u64,
+    /// Bytes written by puts.
+    pub put_bytes: u64,
+    /// Device atomics on the *local* symmetric heap copy (the
+    /// zero-copy design's publish path, Alg. 3 lines 35–36).
+    pub local_amos: u64,
+    /// Remote poll rounds executed by lock-wait loops.
+    pub poll_rounds: u64,
+    /// Gets issued by poll rounds (≤ `poll_rounds × (PEs−1)`; the
+    /// r.in_degree caching optimization skips satisfied peers).
+    pub poll_gets: u64,
+    /// Gets *saved* by the r.in_degree caching optimization.
+    pub poll_gets_saved: u64,
+    /// `nvshmem_fence` calls (naive design only).
+    pub fences: u64,
+    /// `nvshmem_quiet` calls (naive design only).
+    pub quiets: u64,
+}
+
+impl ShmemStats {
+    /// Total gets including poll-loop gets.
+    pub fn total_gets(&self) -> u64 {
+        self.gets + self.poll_gets
+    }
+
+    /// Total bytes moved one-sidedly (gets + puts + poll gets at 4 B).
+    pub fn total_bytes(&self) -> u64 {
+        self.get_bytes + self.put_bytes + self.poll_gets * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_polls_and_data() {
+        let s = ShmemStats {
+            gets: 10,
+            get_bytes: 80,
+            puts: 2,
+            put_bytes: 8,
+            poll_gets: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_gets(), 15);
+        assert_eq!(s.total_bytes(), 80 + 8 + 20);
+    }
+}

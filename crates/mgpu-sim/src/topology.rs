@@ -1,0 +1,266 @@
+//! Interconnect topologies.
+//!
+//! * **DGX-1** (hybrid cube-mesh, Fig. in §III-B of the paper / Tartan
+//!   \[29\]): 8 V100s, 6 NVLink ports each, with double links on some
+//!   pairs. GPUs 0–3 form a fully connected clique — which is exactly
+//!   why the paper can run NVSHMEM on at most 4 GPUs of a DGX-1 — and
+//!   several pairs (e.g. 0–5) have *no* direct link and must route
+//!   through PCIe/host.
+//! * **DGX-2**: 16 V100s all-to-all through NVSwitch; every GPU has a
+//!   single 6-link port into the fabric, so per-GPU bandwidth stays
+//!   constant as peers are added (the §VI-D flat-scaling observation).
+//! * **PCIe host links** connect every GPU to the host for UM
+//!   host-routing and out-of-core traffic.
+
+use crate::GpuId;
+
+/// Which machine fabric to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// DGX-1 hybrid cube-mesh NVLink.
+    Dgx1,
+    /// DGX-2 NVSwitch all-to-all.
+    Dgx2,
+    /// Fully connected single-link NVLink mesh (synthetic, for ablations).
+    AllToAllNvlink,
+    /// No peer links at all — every transfer routes through PCIe
+    /// (models a commodity multi-GPU box, for ablations).
+    PcieOnly,
+}
+
+/// DGX-1V NVLink pairs with link multiplicity (each V100 has 6 ports).
+pub const DGX1_LINKS: &[(GpuId, GpuId, u32)] = &[
+    (0, 1, 1),
+    (0, 2, 1),
+    (0, 3, 2),
+    (0, 4, 2),
+    (1, 2, 2),
+    (1, 3, 1),
+    (1, 5, 2),
+    (2, 3, 1),
+    (2, 6, 2),
+    (3, 7, 2),
+    (4, 5, 1),
+    (4, 6, 1),
+    (4, 7, 2),
+    (5, 6, 2),
+    (5, 7, 1),
+    (6, 7, 1),
+];
+
+/// NVLink 2.0 per-link bandwidth, one direction, bytes/ns (25 GB/s).
+pub const NVLINK_BW: f64 = 25.0;
+/// NVSwitch per-GPU port bandwidth, one direction, bytes/ns (120 GB/s).
+pub const NVSWITCH_PORT_BW: f64 = 120.0;
+/// PCIe 3.0 x16 bandwidth, bytes/ns (16 GB/s).
+pub const PCIE_BW: f64 = 16.0;
+/// Base NVLink hardware latency, ns.
+pub const NVLINK_LAT_NS: u64 = 700;
+/// NVSwitch fabric latency, ns.
+pub const NVSWITCH_LAT_NS: u64 = 1_000;
+/// PCIe + host path latency, ns.
+pub const PCIE_LAT_NS: u64 = 9_000;
+
+/// How two endpoints are physically connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Same GPU — no interconnect involved.
+    Local,
+    /// Direct NVLink(s); payload carries the link index into
+    /// [`Topology::pair_links`].
+    Direct {
+        /// Index into the pair-link table.
+        link: usize,
+    },
+    /// Through the NVSwitch fabric: source egress port + destination
+    /// ingress port.
+    Switched,
+    /// No peer path — staged through host PCIe (two PCIe hops).
+    HostStaged,
+}
+
+/// A pair link (DGX-1 style): endpoints + multiplicity.
+#[derive(Debug, Clone, Copy)]
+pub struct PairLink {
+    /// Lower endpoint.
+    pub a: GpuId,
+    /// Higher endpoint.
+    pub b: GpuId,
+    /// Number of physical NVLinks bonded on this pair.
+    pub lanes: u32,
+}
+
+/// An instantiated topology with a dense route table.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    gpus: usize,
+    pair_links: Vec<PairLink>,
+    /// `route[src * gpus + dst]`
+    routes: Vec<Route>,
+}
+
+impl Topology {
+    /// Build the route table for `gpus` devices of the given kind.
+    pub fn new(kind: TopologyKind, gpus: usize) -> Topology {
+        let mut pair_links = Vec::new();
+        match kind {
+            TopologyKind::Dgx1 => {
+                for &(a, b, lanes) in DGX1_LINKS {
+                    if a < gpus && b < gpus {
+                        pair_links.push(PairLink { a, b, lanes });
+                    }
+                }
+            }
+            TopologyKind::AllToAllNvlink => {
+                for a in 0..gpus {
+                    for b in a + 1..gpus {
+                        pair_links.push(PairLink { a, b, lanes: 1 });
+                    }
+                }
+            }
+            TopologyKind::Dgx2 | TopologyKind::PcieOnly => {}
+        }
+        let mut routes = vec![Route::Local; gpus * gpus];
+        for s in 0..gpus {
+            for d in 0..gpus {
+                routes[s * gpus + d] = if s == d {
+                    Route::Local
+                } else {
+                    match kind {
+                        TopologyKind::Dgx2 => Route::Switched,
+                        TopologyKind::PcieOnly => Route::HostStaged,
+                        TopologyKind::Dgx1 | TopologyKind::AllToAllNvlink => {
+                            match pair_links
+                                .iter()
+                                .position(|l| (l.a, l.b) == (s.min(d), s.max(d)))
+                            {
+                                Some(link) => Route::Direct { link },
+                                None => Route::HostStaged,
+                            }
+                        }
+                    }
+                };
+            }
+        }
+        Topology { kind, gpus, pair_links, routes }
+    }
+
+    /// Topology kind.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of GPUs.
+    pub fn gpus(&self) -> usize {
+        self.gpus
+    }
+
+    /// The pair-link table (empty for switched fabrics).
+    pub fn pair_links(&self) -> &[PairLink] {
+        &self.pair_links
+    }
+
+    /// Route between two GPUs.
+    #[inline]
+    pub fn route(&self, src: GpuId, dst: GpuId) -> Route {
+        self.routes[src * self.gpus + dst]
+    }
+
+    /// True when `src` and `dst` can do peer-to-peer communication
+    /// (required by NVSHMEM; the paper's 4-GPU DGX-1 limit).
+    pub fn p2p(&self, src: GpuId, dst: GpuId) -> bool {
+        !matches!(self.route(src, dst), Route::HostStaged)
+    }
+
+    /// True when *all* GPU pairs are P2P-connected — the precondition
+    /// for running the NVSHMEM solvers on this machine.
+    pub fn fully_p2p(&self) -> bool {
+        (0..self.gpus).all(|s| (0..self.gpus).all(|d| self.p2p(s, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx1_port_budget_is_six_per_gpu() {
+        let mut ports = [0u32; 8];
+        for &(a, b, lanes) in DGX1_LINKS {
+            ports[a] += lanes;
+            ports[b] += lanes;
+        }
+        assert!(ports.iter().all(|&p| p == 6), "V100 has 6 NVLink ports: {ports:?}");
+    }
+
+    #[test]
+    fn dgx1_first_four_gpus_form_a_clique() {
+        let t = Topology::new(TopologyKind::Dgx1, 4);
+        assert!(t.fully_p2p(), "paper runs NVSHMEM on GPUs 0-3 of DGX-1");
+    }
+
+    #[test]
+    fn dgx1_eight_gpus_are_not_fully_p2p() {
+        let t = Topology::new(TopologyKind::Dgx1, 8);
+        assert!(!t.fully_p2p());
+        assert!(!t.p2p(0, 5), "0-5 has no direct NVLink on DGX-1V");
+        assert!(t.p2p(0, 4));
+        assert!(matches!(t.route(0, 5), Route::HostStaged));
+    }
+
+    #[test]
+    fn dgx2_is_fully_switched() {
+        let t = Topology::new(TopologyKind::Dgx2, 16);
+        assert!(t.fully_p2p());
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    assert!(matches!(t.route(s, d), Route::Switched));
+                }
+            }
+        }
+        assert!(t.pair_links().is_empty());
+    }
+
+    #[test]
+    fn double_links_present_where_documented() {
+        let t = Topology::new(TopologyKind::Dgx1, 8);
+        let Route::Direct { link } = t.route(0, 3) else {
+            panic!("0-3 must be direct")
+        };
+        assert_eq!(t.pair_links()[link].lanes, 2);
+        let Route::Direct { link } = t.route(0, 1) else {
+            panic!("0-1 must be direct")
+        };
+        assert_eq!(t.pair_links()[link].lanes, 1);
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_reachability() {
+        for kind in [TopologyKind::Dgx1, TopologyKind::Dgx2, TopologyKind::AllToAllNvlink] {
+            let t = Topology::new(kind, 8.min(if kind == TopologyKind::Dgx2 { 16 } else { 8 }));
+            for s in 0..t.gpus() {
+                for d in 0..t.gpus() {
+                    assert_eq!(t.p2p(s, d), t.p2p(d, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcie_only_routes_everything_through_host() {
+        let t = Topology::new(TopologyKind::PcieOnly, 4);
+        assert!(!t.fully_p2p());
+        assert!(matches!(t.route(1, 2), Route::HostStaged));
+        assert!(matches!(t.route(2, 2), Route::Local));
+    }
+
+    #[test]
+    fn local_route_on_diagonal() {
+        let t = Topology::new(TopologyKind::Dgx1, 8);
+        for g in 0..8 {
+            assert!(matches!(t.route(g, g), Route::Local));
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! CUDA Unified Memory model (§III of the paper).
+//!
+//! State machine per migration-granule ("page"):
+//!
+//! * Pages start **host-resident** (first-touch after
+//!   `cudaMallocManaged` + `cudaMemset`); the first device access
+//!   always faults the page in.
+//! * A device access to a page resident *elsewhere* normally executes
+//!   as a **remote operation over NVLink** (Volta supports native
+//!   NVLink atomics) — no migration, just wire latency. The UVM
+//!   access-counter heuristic tracks remote accesses per page; once
+//!   they cross [`crate::spec::UmSpec::migrate_threshold`], the page
+//!   **migrates** to the accessor (a page fault: driver service +
+//!   page-sized transfer). Reads that cross the threshold *duplicate*
+//!   the page read-only instead (Volta read duplication).
+//! * Writes to a replicated page collapse the replicas and take
+//!   exclusive ownership at the writer (a write fault).
+//! * GPUs that busy-wait on a page (the lock-wait loop of Algorithm 2)
+//!   register as **watchers**. After a *migration* lands at a writer,
+//!   watchers pull the page straight back: a *bounce* is scheduled
+//!   [`crate::spec::UmSpec::bounce_delay_ns`] later, replicating the
+//!   page across the watchers, each paying a read fault. This is the
+//!   ping-pong of Fig. 2 / Fig. 3, and it grows with the number of
+//!   GPUs because more GPUs watch (and write) every hot page.
+//!
+//! The model is *lazy*: bounces are applied on the next access, so no
+//! event queue is needed and the caller's determinism is preserved.
+//! Fault-handler occupancy and page transfers are charged by
+//! [`crate::machine::Machine`], which drains
+//! [`UnifiedMemory::take_charges`] after every access.
+
+use crate::spec::UmSpec;
+use crate::GpuId;
+use desim::SimTime;
+
+/// Maximum GPUs a machine can have (DGX-2 = 16); watcher masks are u32.
+pub const MAX_GPUS: usize = 16;
+
+/// A contiguous managed allocation, identified by its page range.
+#[derive(Debug, Clone, Copy)]
+pub struct UmRange {
+    /// First page index.
+    pub first_page: usize,
+    /// Number of pages.
+    pub pages: usize,
+    /// Bytes per page used when mapping offsets to pages.
+    pub page_bytes: u64,
+}
+
+impl UmRange {
+    /// Page holding `byte_offset` within this allocation.
+    #[inline]
+    pub fn page_of(&self, byte_offset: u64) -> usize {
+        let p = (byte_offset / self.page_bytes) as usize;
+        debug_assert!(p < self.pages, "offset beyond allocation");
+        self.first_page + p
+    }
+}
+
+/// Who holds a valid copy of a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Valid only on the host.
+    Host,
+    /// Exclusively resident on one GPU.
+    Single(GpuId),
+    /// Read-only replicas on the GPUs in the mask (bit per GPU).
+    Replicated(u32),
+}
+
+/// What a write access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAccess {
+    /// Page exclusive at the writer — plain device atomic.
+    LocalHit,
+    /// System atomic executed remotely over the fabric against the
+    /// holder (`None` would be host, but host-resident pages fault
+    /// instead); no migration.
+    RemoteAtomic {
+        /// GPU currently holding the page.
+        holder: GpuId,
+    },
+    /// Write fault: collapse replicas / migrate from `src`
+    /// (`None` = host). Page becomes exclusive at the writer.
+    Fault {
+        /// Where the valid copy came from.
+        src: Option<GpuId>,
+    },
+}
+
+/// What a read access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadAccess {
+    /// A valid local copy existed.
+    LocalHit,
+    /// Remote read over the fabric against the holder; no migration.
+    RemoteRead {
+        /// GPU currently holding the page.
+        holder: GpuId,
+    },
+    /// Read fault, page *migrated* from `src` (`None` = host).
+    MigrateFault {
+        /// Where the valid copy came from.
+        src: Option<GpuId>,
+    },
+    /// Read fault, page *duplicated* read-only from `src`.
+    DuplicateFault {
+        /// Where the valid copy came from.
+        src: Option<GpuId>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PageState {
+    residency: Residency,
+    /// Per-GPU count of busy-waiting warps.
+    watchers: [u32; MAX_GPUS],
+    /// Pending bounce: at this instant the page replicates to watchers.
+    bounce_at: SimTime,
+    bounce_mask: u32,
+    /// Remote accesses per GPU since the page last moved (UVM access
+    /// counters are tracked per accessing processor).
+    remote_accesses: [u16; MAX_GPUS],
+    /// Distinct-GPU read faults since the last write (read duplication).
+    read_streak: u32,
+}
+
+impl PageState {
+    fn new() -> Self {
+        PageState {
+            residency: Residency::Host,
+            watchers: [0; MAX_GPUS],
+            bounce_at: SimTime::MAX,
+            bounce_mask: 0,
+            remote_accesses: [0; MAX_GPUS],
+            read_streak: 0,
+        }
+    }
+
+    fn watcher_mask(&self) -> u32 {
+        let mut m = 0;
+        for (g, &c) in self.watchers.iter().enumerate() {
+            if c > 0 {
+                m |= 1 << g;
+            }
+        }
+        m
+    }
+
+    fn has_copy(&self, gpu: GpuId) -> bool {
+        match self.residency {
+            Residency::Host => false,
+            Residency::Single(g) => g == gpu,
+            Residency::Replicated(m) => m & (1 << gpu) != 0,
+        }
+    }
+
+    /// A representative holder GPU for a remote access (`None` = host).
+    fn holder(&self) -> Option<GpuId> {
+        match self.residency {
+            Residency::Host => None,
+            Residency::Single(g) => Some(g),
+            Residency::Replicated(m) => {
+                debug_assert!(m != 0);
+                Some(m.trailing_zeros() as GpuId)
+            }
+        }
+    }
+}
+
+/// A deferred fault charge the machine must apply: `(gpu, at)`.
+pub type Charge = (GpuId, SimTime);
+
+/// The unified-memory subsystem of one machine.
+#[derive(Debug)]
+pub struct UnifiedMemory {
+    spec: UmSpec,
+    gpus: usize,
+    pages: Vec<PageState>,
+    /// Deferred watcher-bounce fault charges for the machine to apply.
+    charges: Vec<Charge>,
+    // --- counters ---
+    faults: Vec<u64>,
+    migrations: u64,
+    duplications: u64,
+    migrated_bytes: u64,
+    remote_ops: u64,
+}
+
+impl UnifiedMemory {
+    /// New UM subsystem for `gpus` devices.
+    pub fn new(spec: UmSpec, gpus: usize) -> Self {
+        assert!(gpus <= MAX_GPUS);
+        UnifiedMemory {
+            spec,
+            gpus,
+            pages: Vec::new(),
+            charges: Vec::new(),
+            faults: vec![0; gpus],
+            migrations: 0,
+            duplications: 0,
+            migrated_bytes: 0,
+            remote_ops: 0,
+        }
+    }
+
+    /// Managed allocation of `bytes`, page-granular.
+    pub fn alloc(&mut self, bytes: u64) -> UmRange {
+        let pages = bytes.div_ceil(self.spec.page_bytes).max(1) as usize;
+        let first_page = self.pages.len();
+        self.pages.extend((0..pages).map(|_| PageState::new()));
+        UmRange { first_page, pages, page_bytes: self.spec.page_bytes }
+    }
+
+    /// Page granularity in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.spec.page_bytes
+    }
+
+    /// Total pages allocated.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Apply a pending watcher bounce if its time has come.
+    fn apply_pending(&mut self, page: usize, now: SimTime) {
+        let p = &mut self.pages[page];
+        if p.bounce_at > now || p.bounce_mask == 0 {
+            return;
+        }
+        let at = p.bounce_at;
+        let mask = p.bounce_mask;
+        p.bounce_at = SimTime::MAX;
+        p.bounce_mask = 0;
+        let holder_mask = match p.residency {
+            Residency::Host => 0,
+            Residency::Single(g) => 1 << g,
+            Residency::Replicated(m) => m,
+        };
+        let new_mask = holder_mask | mask;
+        let gained = new_mask & !holder_mask;
+        p.residency = Residency::Replicated(new_mask);
+        p.remote_accesses = [0; MAX_GPUS];
+        let page_bytes = self.spec.page_bytes;
+        for g in 0..self.gpus {
+            if gained & (1 << g) != 0 {
+                self.faults[g] += 1;
+                self.migrations += 1;
+                self.migrated_bytes += page_bytes;
+                self.charges.push((g, at));
+            }
+        }
+    }
+
+    fn record_migration(&mut self, gpu: GpuId) {
+        self.faults[gpu] += 1;
+        self.migrations += 1;
+        self.migrated_bytes += self.spec.page_bytes;
+    }
+
+    /// Schedule the watcher steal-back after a migration to a writer
+    /// (disabled when `bounce_delay_ns == u64::MAX`, the Volta default).
+    fn arm_bounce(&mut self, page: usize, writer: GpuId, now: SimTime) {
+        if self.spec.bounce_delay_ns == u64::MAX {
+            return;
+        }
+        let mask = self.pages[page].watcher_mask() & !(1 << writer);
+        if mask != 0 {
+            let p = &mut self.pages[page];
+            p.bounce_mask |= mask;
+            p.bounce_at = p.bounce_at.min(now.after(self.spec.bounce_delay_ns));
+        }
+    }
+
+    /// A GPU issues a system-wide atomic write into `page` at `now`.
+    pub fn write(&mut self, page: usize, gpu: GpuId, now: SimTime) -> WriteAccess {
+        self.apply_pending(page, now);
+        let p = &self.pages[page];
+        match p.residency {
+            Residency::Single(g) if g == gpu => {
+                self.pages[page].read_streak = 0;
+                WriteAccess::LocalHit
+            }
+            Residency::Host => {
+                // first touch: fault the page in, exclusive at writer
+                let p = &mut self.pages[page];
+                p.residency = Residency::Single(gpu);
+                p.remote_accesses = [0; MAX_GPUS];
+                p.read_streak = 0;
+                self.record_migration(gpu);
+                self.arm_bounce(page, gpu, now);
+                WriteAccess::Fault { src: None }
+            }
+            Residency::Replicated(mask) => {
+                // write collapses replicas: write fault, exclusive here
+                let src = if mask & !(1 << gpu) != 0 {
+                    Some((mask & !(1 << gpu)).trailing_zeros() as GpuId)
+                } else {
+                    None
+                };
+                let p = &mut self.pages[page];
+                p.residency = Residency::Single(gpu);
+                p.remote_accesses = [0; MAX_GPUS];
+                p.read_streak = 0;
+                self.record_migration(gpu);
+                self.arm_bounce(page, gpu, now);
+                WriteAccess::Fault { src }
+            }
+            Residency::Single(holder) => {
+                // remote atomic unless the access counter trips
+                let p = &mut self.pages[page];
+                p.remote_accesses[gpu] += 1;
+                p.read_streak = 0;
+                if u32::from(p.remote_accesses[gpu]) >= self.spec.migrate_threshold {
+                    p.residency = Residency::Single(gpu);
+                    p.remote_accesses = [0; MAX_GPUS];
+                    self.record_migration(gpu);
+                    self.arm_bounce(page, gpu, now);
+                    WriteAccess::Fault { src: Some(holder) }
+                } else {
+                    self.remote_ops += 1;
+                    WriteAccess::RemoteAtomic { holder }
+                }
+            }
+        }
+    }
+
+    /// A GPU reads `page` at `now`.
+    pub fn read(&mut self, page: usize, gpu: GpuId, now: SimTime) -> ReadAccess {
+        self.apply_pending(page, now);
+        let p = &self.pages[page];
+        if p.has_copy(gpu) {
+            return ReadAccess::LocalHit;
+        }
+        match p.residency {
+            Residency::Host => {
+                let p = &mut self.pages[page];
+                p.residency = Residency::Single(gpu);
+                p.remote_accesses = [0; MAX_GPUS];
+                self.record_migration(gpu);
+                ReadAccess::MigrateFault { src: None }
+            }
+            Residency::Single(_) | Residency::Replicated(_) => {
+                let holder = p.holder().expect("device-resident page has a holder");
+                let p = &mut self.pages[page];
+                p.remote_accesses[gpu] += 1;
+                if u32::from(p.remote_accesses[gpu]) >= self.spec.migrate_threshold {
+                    p.remote_accesses = [0; MAX_GPUS];
+                    p.read_streak += 1;
+                    if p.read_streak >= self.spec.dup_threshold {
+                        // duplicate read-only at the reader
+                        let mut mask = match p.residency {
+                            Residency::Single(h) => 1u32 << h,
+                            Residency::Replicated(m) => m,
+                            Residency::Host => 0,
+                        };
+                        mask |= 1 << gpu;
+                        p.residency = Residency::Replicated(mask);
+                        self.duplications += 1;
+                        self.record_migration(gpu);
+                        ReadAccess::DuplicateFault { src: Some(holder) }
+                    } else {
+                        p.residency = Residency::Single(gpu);
+                        self.record_migration(gpu);
+                        ReadAccess::MigrateFault { src: Some(holder) }
+                    }
+                } else {
+                    self.remote_ops += 1;
+                    ReadAccess::RemoteRead { holder }
+                }
+            }
+        }
+    }
+
+    /// Register `rounds` spin-poll reads by `gpu` against `page` (the
+    /// lock-wait loop of Algorithm 2). Polls are remote reads that feed
+    /// the access counter, so sustained polling migrates the page
+    /// toward the poller — after which the spin loop runs at local
+    /// speed until a remote writer steals the page again. Returns
+    /// `true` when this pressure migrated the page here.
+    pub fn poll_pressure(&mut self, page: usize, gpu: GpuId, rounds: u32, now: SimTime) -> bool {
+        if rounds == 0 {
+            return false;
+        }
+        self.apply_pending(page, now);
+        let p = &mut self.pages[page];
+        if p.has_copy(gpu) {
+            return false;
+        }
+        self.remote_ops += u64::from(rounds);
+        let c = &mut p.remote_accesses[gpu];
+        *c = c.saturating_add(rounds.min(u16::MAX as u32) as u16);
+        if u32::from(*c) >= self.spec.migrate_threshold {
+            p.remote_accesses = [0; MAX_GPUS];
+            // polls are reads: the counter crossing *duplicates* the
+            // page at the poller (other pollers keep their replicas),
+            // so several waiting GPUs can spin locally at once; the
+            // next write collapses the replicas.
+            let mask = match p.residency {
+                Residency::Host => 0,
+                Residency::Single(h) => 1 << h,
+                Residency::Replicated(m) => m,
+            };
+            p.residency = Residency::Replicated(mask | (1 << gpu));
+            self.duplications += 1;
+            self.record_migration(gpu);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bulk first-touch sweep of a whole range by one GPU (the
+    /// analysis-phase access pattern: dense, in address order, which the
+    /// UVM driver coalesces into large migrations). Returns the number
+    /// of pages that actually moved; counters are updated accordingly.
+    pub fn bulk_sweep(&mut self, range: &UmRange, gpu: GpuId, now: SimTime) -> usize {
+        let mut moved = 0;
+        for p in range.first_page..range.first_page + range.pages {
+            self.apply_pending(p, now);
+            if !self.pages[p].has_copy(gpu) {
+                let pg = &mut self.pages[p];
+                pg.residency = Residency::Single(gpu);
+                pg.remote_accesses = [0; MAX_GPUS];
+                self.record_migration(gpu);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// True when `gpu` holds a valid copy right now (after applying any
+    /// due bounce) — the cheap-poll case of the lock-wait loop.
+    pub fn has_local_copy(&mut self, page: usize, gpu: GpuId, now: SimTime) -> bool {
+        self.apply_pending(page, now);
+        self.pages[page].has_copy(gpu)
+    }
+
+    /// Current holder for a remote access (None = host-resident).
+    pub fn holder_of(&mut self, page: usize, now: SimTime) -> Option<GpuId> {
+        self.apply_pending(page, now);
+        self.pages[page].holder()
+    }
+
+    /// Register a busy-waiting warp of `gpu` on `page`.
+    pub fn watch(&mut self, page: usize, gpu: GpuId) {
+        self.pages[page].watchers[gpu] += 1;
+    }
+
+    /// Remove one busy-waiting warp of `gpu` from `page`.
+    pub fn unwatch(&mut self, page: usize, gpu: GpuId) {
+        let w = &mut self.pages[page].watchers[gpu];
+        debug_assert!(*w > 0, "unwatch without watch");
+        *w = w.saturating_sub(1);
+    }
+
+    /// Drain deferred watcher-bounce fault charges.
+    pub fn take_charges(&mut self) -> Vec<Charge> {
+        std::mem::take(&mut self.charges)
+    }
+
+    /// Fault-service time per fault.
+    pub fn fault_service_ns(&self) -> u64 {
+        self.spec.fault_service_ns
+    }
+
+    /// Remote-atomic latency.
+    pub fn remote_atomic_ns(&self) -> u64 {
+        self.spec.remote_atomic_ns
+    }
+
+    /// Page-fault count per GPU.
+    pub fn faults(&self) -> &[u64] {
+        &self.faults
+    }
+
+    /// Total fault count across GPUs.
+    pub fn total_faults(&self) -> u64 {
+        self.faults.iter().sum()
+    }
+
+    /// Total page migrations (incl. duplications).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Read-duplication events.
+    pub fn duplications(&self) -> u64 {
+        self.duplications
+    }
+
+    /// Bytes moved by migrations/duplications.
+    pub fn migrated_bytes(&self) -> u64 {
+        self.migrated_bytes
+    }
+
+    /// Remote (non-migrating) operations over the fabric.
+    pub fn remote_ops(&self) -> u64 {
+        self.remote_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(gpus: usize) -> UnifiedMemory {
+        UnifiedMemory::new(UmSpec::default(), gpus)
+    }
+
+    fn um_with(gpus: usize, f: impl FnOnce(&mut UmSpec)) -> UnifiedMemory {
+        let mut spec = UmSpec::default();
+        f(&mut spec);
+        UnifiedMemory::new(spec, gpus)
+    }
+
+    #[test]
+    fn alloc_is_page_granular() {
+        let mut u = um(2);
+        let r = u.alloc(1);
+        assert_eq!(r.pages, 1);
+        let r2 = u.alloc(5 * 4096);
+        assert_eq!(r2.pages, 5);
+        assert_eq!(r2.first_page, 1);
+        assert_eq!(u.n_pages(), 6);
+        assert_eq!(r2.page_of(4096), 2);
+    }
+
+    #[test]
+    fn first_write_faults_from_host_then_local() {
+        let mut u = um(2);
+        let r = u.alloc(4096);
+        let w = u.write(r.first_page, 0, SimTime::ZERO);
+        assert_eq!(w, WriteAccess::Fault { src: None });
+        assert_eq!(u.faults()[0], 1);
+        let w = u.write(r.first_page, 0, SimTime::from_ns(10));
+        assert_eq!(w, WriteAccess::LocalHit);
+        assert_eq!(u.faults()[0], 1);
+    }
+
+    #[test]
+    fn cross_gpu_writes_are_remote_atomics_until_threshold() {
+        let mut u = um_with(2, |s| s.migrate_threshold = 4);
+        let r = u.alloc(4096);
+        u.write(r.first_page, 0, SimTime::ZERO);
+        for k in 0..3 {
+            let w = u.write(r.first_page, 1, SimTime::from_ns(100 + k));
+            assert_eq!(w, WriteAccess::RemoteAtomic { holder: 0 }, "op {k}");
+        }
+        // fourth remote access crosses the access-counter threshold
+        let w = u.write(r.first_page, 1, SimTime::from_ns(200));
+        assert_eq!(w, WriteAccess::Fault { src: Some(0) });
+        assert_eq!(u.faults()[1], 1);
+        assert_eq!(u.remote_ops(), 3);
+    }
+
+    #[test]
+    fn reads_duplicate_after_repeated_pressure() {
+        let mut u = um_with(4, |s| {
+            s.migrate_threshold = 2;
+            s.dup_threshold = 2;
+        });
+        let r = u.alloc(4096);
+        u.write(r.first_page, 0, SimTime::ZERO);
+        // first threshold crossing migrates
+        assert!(matches!(u.read(r.first_page, 1, SimTime::from_ns(1)), ReadAccess::RemoteRead { .. }));
+        assert!(matches!(
+            u.read(r.first_page, 1, SimTime::from_ns(2)),
+            ReadAccess::MigrateFault { src: Some(0) }
+        ));
+        // second crossing duplicates
+        assert!(matches!(u.read(r.first_page, 2, SimTime::from_ns(3)), ReadAccess::RemoteRead { .. }));
+        assert!(matches!(
+            u.read(r.first_page, 2, SimTime::from_ns(4)),
+            ReadAccess::DuplicateFault { .. }
+        ));
+        assert!(u.has_local_copy(r.first_page, 1, SimTime::from_ns(5)));
+        assert!(u.has_local_copy(r.first_page, 2, SimTime::from_ns(5)));
+        assert_eq!(u.duplications(), 1);
+    }
+
+    #[test]
+    fn write_collapses_replicas() {
+        let mut u = um_with(4, |s| {
+            s.migrate_threshold = 1;
+            s.dup_threshold = 1;
+        });
+        let r = u.alloc(4096);
+        u.write(r.first_page, 0, SimTime::ZERO);
+        u.read(r.first_page, 1, SimTime::from_ns(10)); // duplicates at threshold 1
+        assert!(u.has_local_copy(r.first_page, 1, SimTime::from_ns(11)));
+        let w = u.write(r.first_page, 3, SimTime::from_ns(30));
+        assert!(matches!(w, WriteAccess::Fault { src: Some(_) }));
+        assert!(u.has_local_copy(r.first_page, 3, SimTime::from_ns(40)));
+        assert!(!u.has_local_copy(r.first_page, 1, SimTime::from_ns(40)));
+    }
+
+    #[test]
+    fn watcher_bounce_steals_page_after_migration() {
+        let mut u = um_with(2, |s| {
+            s.migrate_threshold = 1;
+            s.bounce_delay_ns = 25_000;
+        });
+        let r = u.alloc(4096);
+        let page = r.first_page;
+        u.watch(page, 1);
+        u.write(page, 0, SimTime::ZERO); // host fault -> exclusive at 0, bounce armed
+        assert!(u.has_local_copy(page, 0, SimTime::from_ns(100)));
+        assert!(!u.has_local_copy(page, 1, SimTime::from_ns(100)));
+        let late = SimTime::from_ns(100_000);
+        assert!(u.has_local_copy(page, 1, late), "watcher stole a replica");
+        assert_eq!(u.faults()[1], 1);
+        let charges = u.take_charges();
+        assert_eq!(charges.len(), 1);
+        assert_eq!(charges[0].0, 1);
+        assert!(u.take_charges().is_empty(), "charges drain once");
+    }
+
+    #[test]
+    fn unwatch_stops_bounces() {
+        let mut u = um_with(2, |s| s.bounce_delay_ns = 25_000);
+        let r = u.alloc(4096);
+        u.watch(r.first_page, 1);
+        u.unwatch(r.first_page, 1);
+        u.write(r.first_page, 0, SimTime::ZERO);
+        assert!(u.has_local_copy(r.first_page, 0, SimTime::from_ns(1_000_000)));
+        assert_eq!(u.faults()[1], 0);
+    }
+
+    #[test]
+    fn bulk_sweep_touches_every_page_once() {
+        let mut u = um(2);
+        let r = u.alloc(10 * 4096);
+        let moved = u.bulk_sweep(&r, 0, SimTime::ZERO);
+        assert_eq!(moved, 10);
+        assert_eq!(u.faults()[0], 10);
+        // second sweep by the same GPU is free
+        assert_eq!(u.bulk_sweep(&r, 0, SimTime::from_ns(1)), 0);
+        // sweep by the other GPU steals everything
+        assert_eq!(u.bulk_sweep(&r, 1, SimTime::from_ns(2)), 10);
+    }
+
+    #[test]
+    fn more_watchers_mean_more_faults() {
+        // the Fig. 3a mechanism: fault count grows with GPU count
+        let mut totals = Vec::new();
+        for gpus in [2usize, 4, 8] {
+            let mut u = um_with(gpus, |s| {
+                s.migrate_threshold = 1;
+                s.bounce_delay_ns = 25_000;
+            });
+            let r = u.alloc(4096);
+            let page = r.first_page;
+            for g in 1..gpus {
+                u.watch(page, g);
+            }
+            let mut t = 0u64;
+            for _ in 0..100 {
+                u.write(page, 0, SimTime::from_ns(t));
+                t += 100_000; // beyond bounce delay: full ping-pong each round
+            }
+            let _ = u.has_local_copy(page, 0, SimTime::from_ns(t + 1_000_000));
+            totals.push(u.total_faults());
+        }
+        assert!(totals[0] < totals[1] && totals[1] < totals[2], "{totals:?}");
+    }
+
+    #[test]
+    fn holder_is_tracked() {
+        let mut u = um(3);
+        let r = u.alloc(4096);
+        assert_eq!(u.holder_of(r.first_page, SimTime::ZERO), None);
+        u.write(r.first_page, 2, SimTime::ZERO);
+        assert_eq!(u.holder_of(r.first_page, SimTime::from_ns(1)), Some(2));
+    }
+}

@@ -1,0 +1,154 @@
+//! COO (triplet) assembly into validated CSC.
+//!
+//! The builder accepts entries in any order, sums duplicates (the
+//! Matrix Market convention for assembled matrices) and produces a
+//! sorted, validated [`CscMatrix`].
+
+use crate::csc::CscMatrix;
+use crate::error::MatrixError;
+use crate::Idx;
+
+/// Accumulates `(row, col, value)` triplets for an `n × n` matrix.
+#[derive(Debug, Clone)]
+pub struct TripletBuilder {
+    n: usize,
+    entries: Vec<(Idx, Idx, f64)>, // (col, row, value) for column-major sort
+}
+
+impl TripletBuilder {
+    /// New builder for an `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        TripletBuilder { n, entries: Vec::new() }
+    }
+
+    /// New builder with capacity for `cap` triplets.
+    pub fn with_capacity(n: usize, cap: usize) -> Self {
+        TripletBuilder { n, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Dimension this builder assembles for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of triplets pushed so far (before duplicate summing).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add one entry; duplicates are summed at build time.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        self.entries.push((col as Idx, row as Idx, value));
+    }
+
+    /// Assemble into CSC: sorts column-major, sums duplicates, validates.
+    pub fn build(mut self) -> Result<CscMatrix, MatrixError> {
+        for &(c, r, _) in &self.entries {
+            if r as usize >= self.n || c as usize >= self.n {
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: r as usize,
+                    col: c as usize,
+                    n: self.n,
+                });
+            }
+        }
+        self.entries
+            .sort_unstable_by_key(|a| (a.0, a.1));
+
+        let mut col_ptr = vec![0usize; self.n + 1];
+        let mut row_idx: Vec<Idx> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+
+        // Sorted column-major, so duplicates are adjacent.
+        let mut prev: Option<(Idx, Idx)> = None;
+        for &(c, r, v) in &self.entries {
+            if prev == Some((c, r)) {
+                *values.last_mut().expect("duplicate follows an entry") += v;
+            } else {
+                row_idx.push(r);
+                values.push(v);
+                col_ptr[c as usize + 1] += 1;
+                prev = Some((c, r));
+            }
+        }
+        for j in 0..self.n {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        CscMatrix::try_new(self.n, col_ptr, row_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csc() {
+        let mut b = TripletBuilder::new(3);
+        b.push(2, 1, 4.0);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 3.0);
+        b.push(2, 0, 2.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(2, 0), Some(2.0));
+        assert_eq!(m.get(1, 1), Some(3.0));
+        assert_eq!(m.get(2, 1), Some(4.0));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn sums_duplicates() {
+        let mut b = TripletBuilder::new(2);
+        b.push(1, 0, 1.0);
+        b.push(1, 0, 2.5);
+        b.push(0, 0, 1.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 0), Some(3.5));
+    }
+
+    #[test]
+    fn duplicate_detection_does_not_merge_across_columns() {
+        // Same row index, adjacent columns — must stay distinct entries.
+        let mut b = TripletBuilder::new(3);
+        b.push(2, 0, 1.0);
+        b.push(2, 1, 2.0);
+        b.push(2, 2, 3.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(2, 0), Some(1.0));
+        assert_eq!(m.get(2, 1), Some(2.0));
+        assert_eq!(m.get(2, 2), Some(3.0));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut b = TripletBuilder::new(2);
+        b.push(2, 0, 1.0);
+        assert!(matches!(b.build(), Err(MatrixError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn empty_build_is_valid() {
+        let m = TripletBuilder::new(3).build().unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.n(), 3);
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut b = TripletBuilder::with_capacity(4, 16);
+        assert!(b.is_empty());
+        b.push(0, 0, 1.0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.n(), 4);
+    }
+}

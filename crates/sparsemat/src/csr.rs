@@ -1,0 +1,186 @@
+//! Compressed sparse row storage.
+//!
+//! CSR is used by the factorization kernels ([`crate::factor`]) and by
+//! row-oriented analysis; the solvers themselves consume CSC. A CSR
+//! matrix is represented as the transpose-of-CSC trick: the same arrays
+//! with rows and columns swapped, so conversion is a single transpose
+//! pass.
+
+use crate::csc::CscMatrix;
+use crate::error::MatrixError;
+use crate::Idx;
+
+/// A validated compressed-sparse-row matrix over `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Idx>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw parts, validating invariants (mirrors CSC).
+    pub fn try_new(
+        n: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Idx>,
+        values: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        // Validate by viewing the arrays as a CSC matrix (same invariants).
+        CscMatrix::try_new(n, row_ptr, col_idx, values).map(|m| {
+            let (n, row_ptr, col_idx, values) = Self::into_csc_parts(m);
+            CsrMatrix { n, row_ptr, col_idx, values }
+        })
+    }
+
+    fn into_csc_parts(m: CscMatrix) -> (usize, Vec<usize>, Vec<Idx>, Vec<f64>) {
+        let n = m.n();
+        let col_ptr = m.col_ptr().to_vec();
+        let row_idx = m.row_idx().to_vec();
+        let values = m.values().to_vec();
+        (n, col_ptr, row_idx, values)
+    }
+
+    /// Convert from CSC (one transpose pass, O(n + nnz)).
+    pub fn from_csc(csc: &CscMatrix) -> Self {
+        let t = csc.transpose();
+        CsrMatrix {
+            n: t.n(),
+            row_ptr: t.col_ptr().to_vec(),
+            col_idx: t.row_idx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Convert to CSC (one transpose pass).
+    pub fn to_csc(&self) -> CscMatrix {
+        // Reinterpret self's arrays as a CSC matrix (which is our
+        // transpose) and transpose it back into a genuine CSC layout.
+        CscMatrix::from_parts_unchecked(
+            self.n,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            self.values.clone(),
+        )
+        .transpose()
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entry count.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row pointer array (`n + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, row-major.
+    #[inline]
+    pub fn col_idx(&self) -> &[Idx] {
+        &self.col_idx
+    }
+
+    /// Stored values, row-major.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable values (structure fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Iterate `(col, value)` of row `i` in ascending column order.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (Idx, f64)> + '_ {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Value at `(row, col)` if stored.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        self.col_idx[lo..hi]
+            .binary_search(&(col as Idx))
+            .ok()
+            .map(|k| self.values[lo + k])
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for (c, v) in self.row(i) {
+                acc += v * x[c as usize];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TripletBuilder;
+
+    fn sample() -> CscMatrix {
+        let mut b = TripletBuilder::new(3);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 2.0);
+        b.push(1, 1, 3.0);
+        b.push(2, 0, 4.0);
+        b.push(2, 2, 5.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn csc_csr_roundtrip() {
+        let csc = sample();
+        let csr = CsrMatrix::from_csc(&csc);
+        assert_eq!(csr.nnz(), csc.nnz());
+        assert_eq!(csr.to_csc(), csc);
+    }
+
+    #[test]
+    fn row_iteration_matches_get() {
+        let csr = CsrMatrix::from_csc(&sample());
+        let row2: Vec<_> = csr.row(2).collect();
+        assert_eq!(row2, vec![(0, 4.0), (2, 5.0)]);
+        assert_eq!(csr.get(2, 0), Some(4.0));
+        assert_eq!(csr.get(0, 2), None);
+    }
+
+    #[test]
+    fn matvec_agrees_with_csc() {
+        let csc = sample();
+        let csr = CsrMatrix::from_csc(&csc);
+        let x = vec![1.0, -2.0, 0.5];
+        assert_eq!(csc.matvec(&x), csr.matvec(&x));
+    }
+
+    #[test]
+    fn try_new_validates() {
+        let e = CsrMatrix::try_new(2, vec![0, 2, 2], vec![1, 0], vec![1.0, 1.0]);
+        assert!(e.is_err());
+        let ok = CsrMatrix::try_new(2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]);
+        assert!(ok.is_ok());
+    }
+}

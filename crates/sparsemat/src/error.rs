@@ -1,0 +1,94 @@
+//! Error types for matrix construction, validation and I/O.
+
+use std::fmt;
+
+/// Everything that can go wrong building, validating or reading a
+/// sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// An index exceeded the declared dimension.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared dimension.
+        n: usize,
+    },
+    /// `col_ptr`/`row_ptr` is not monotonically non-decreasing or has
+    /// the wrong length/terminator.
+    MalformedPointers(String),
+    /// Indices within a column/row are unsorted or duplicated.
+    UnsortedIndices {
+        /// The column (CSC) or row (CSR) where the violation occurred.
+        outer: usize,
+    },
+    /// A triangular matrix is missing a diagonal entry.
+    MissingDiagonal(usize),
+    /// A diagonal entry is exactly zero — the system is singular.
+    ZeroDiagonal(usize),
+    /// The matrix is not triangular in the direction requested.
+    NotTriangular {
+        /// Which triangle was expected.
+        expected: &'static str,
+        /// Row of the violating entry.
+        row: usize,
+        /// Column of the violating entry.
+        col: usize,
+    },
+    /// Matrix Market parsing failure.
+    Parse(String),
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds { row, col, n } => {
+                write!(f, "index ({row}, {col}) out of bounds for dimension {n}")
+            }
+            MatrixError::MalformedPointers(msg) => write!(f, "malformed pointer array: {msg}"),
+            MatrixError::UnsortedIndices { outer } => {
+                write!(f, "unsorted or duplicate indices in column/row {outer}")
+            }
+            MatrixError::MissingDiagonal(i) => write!(f, "missing diagonal entry at {i}"),
+            MatrixError::ZeroDiagonal(i) => write!(f, "zero diagonal entry at {i} (singular)"),
+            MatrixError::NotTriangular { expected, row, col } => {
+                write!(f, "entry ({row}, {col}) violates {expected} triangular structure")
+            }
+            MatrixError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
+            MatrixError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MatrixError::IndexOutOfBounds { row: 5, col: 6, n: 4 };
+        assert!(e.to_string().contains("(5, 6)"));
+        let e = MatrixError::ZeroDiagonal(3);
+        assert!(e.to_string().contains("singular"));
+        let e = MatrixError::NotTriangular { expected: "lower", row: 1, col: 2 };
+        assert!(e.to_string().contains("lower"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: MatrixError = io.into();
+        assert!(matches!(e, MatrixError::Io(_)));
+    }
+}

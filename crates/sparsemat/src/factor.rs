@@ -1,0 +1,280 @@
+//! Factorization substrate — the MA48 stand-in.
+//!
+//! The paper factorizes its SuiteSparse inputs with MA48 (HSL) to obtain
+//! the lower-triangular `L` that SpTRSV solves (§VI-A). MA48 is
+//! proprietary Fortran; we provide the two standard open alternatives
+//! used throughout the SpTRSV literature:
+//!
+//! * [`ilu0`] — incomplete LU with zero fill-in. Preserves the sparsity
+//!   pattern of `A`, which is exactly what the paper's structural
+//!   metrics (levels, parallelism) are computed from.
+//! * [`CscMatrix::triangular_part`] — the `tril(A)`/`triu(A)` trick.
+//!
+//! Both produce a solvable `(L, U)` pair whose level structure matches
+//! the input's dependency pattern, which is the property the
+//! experiments rely on (see DESIGN.md §1).
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::MatrixError;
+use crate::Triangle;
+
+/// Result of an (incomplete) LU factorization: `A ≈ L · U` with `L`
+/// unit-lower-triangular (unit diagonal stored explicitly) and `U`
+/// upper triangular.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Lower factor, unit diagonal stored, CSC.
+    pub l: CscMatrix,
+    /// Upper factor, CSC.
+    pub u: CscMatrix,
+}
+
+/// ILU(0): incomplete LU restricted to the sparsity pattern of `A`.
+///
+/// Standard IKJ formulation on CSR. Zero or absent diagonal pivots are
+/// replaced by `pivot_fill` (a small diagonal shift keeps the factor
+/// solvable; the paper's experiments only need structural fidelity).
+pub fn ilu0(a: &CscMatrix, pivot_fill: f64) -> Result<LuFactors, MatrixError> {
+    assert!(pivot_fill != 0.0, "pivot_fill must be nonzero");
+    let n = a.n();
+    // Ensure a full diagonal so pivots exist in the pattern.
+    let csr = CsrMatrix::from_csc(&with_full_diagonal(a, pivot_fill));
+    let row_ptr = csr.row_ptr().to_vec();
+    let col_idx = csr.col_idx().to_vec();
+    let mut val = csr.values().to_vec();
+
+    // diag_pos[i] = position of a_ii within row i.
+    let mut diag_pos = vec![usize::MAX; n];
+    for i in 0..n {
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            if col_idx[k] as usize == i {
+                diag_pos[i] = k;
+                break;
+            }
+        }
+        if diag_pos[i] == usize::MAX {
+            return Err(MatrixError::MissingDiagonal(i));
+        }
+    }
+
+    // Scatter map: column -> position in the current row (usize::MAX = absent).
+    let mut pos_of = vec![usize::MAX; n];
+    for i in 0..n {
+        let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+        for k in lo..hi {
+            pos_of[col_idx[k] as usize] = k;
+        }
+        // Eliminate using rows k < i that appear in row i's pattern.
+        for kk in lo..hi {
+            let k = col_idx[kk] as usize;
+            if k >= i {
+                break; // columns sorted: done with the strictly-lower part
+            }
+            let mut pivot = val[diag_pos[k]];
+            if pivot == 0.0 {
+                pivot = pivot_fill;
+            }
+            let factor = val[kk] / pivot;
+            val[kk] = factor;
+            // Row k's upper part updates row i where the pattern matches.
+            for kj in diag_pos[k] + 1..row_ptr[k + 1] {
+                let j = col_idx[kj] as usize;
+                let p = pos_of[j];
+                if p != usize::MAX {
+                    val[p] -= factor * val[kj];
+                }
+            }
+        }
+        if val[diag_pos[i]] == 0.0 {
+            val[diag_pos[i]] = pivot_fill;
+        }
+        for k in lo..hi {
+            pos_of[col_idx[k] as usize] = usize::MAX;
+        }
+    }
+
+    // Split the combined factor into L (unit diag) and U.
+    let combined = CsrMatrix::try_new(n, row_ptr, col_idx, val)?.to_csc();
+    let mut l = combined.triangular_part(Triangle::Lower, 1.0);
+    // Force L's diagonal to exactly 1 (unit lower factor).
+    set_diagonal(&mut l, 1.0);
+    let u = combined.triangular_part(Triangle::Upper, pivot_fill);
+    l.validate_triangular(Triangle::Lower)?;
+    u.validate_triangular(Triangle::Upper)?;
+    Ok(LuFactors { l, u })
+}
+
+/// Copy of `a` with every missing diagonal entry inserted as `fill`.
+fn with_full_diagonal(a: &CscMatrix, fill: f64) -> CscMatrix {
+    let n = a.n();
+    let mut b = crate::build::TripletBuilder::with_capacity(n, a.nnz() + n);
+    for j in 0..n {
+        let mut saw = false;
+        for (r, v) in a.col(j) {
+            if r as usize == j {
+                saw = true;
+                b.push(r as usize, j, if v == 0.0 { fill } else { v });
+            } else {
+                b.push(r as usize, j, v);
+            }
+        }
+        if !saw {
+            b.push(j, j, fill);
+        }
+    }
+    b.build().expect("diagonal completion preserves validity")
+}
+
+fn set_diagonal(m: &mut CscMatrix, v: f64) {
+    let n = m.n();
+    for j in 0..n {
+        let lo = m.col_ptr()[j];
+        if m.row_idx()[lo] as usize == j {
+            m.values_mut()[lo] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TripletBuilder;
+    use crate::gen;
+
+    /// Dense-LU reference on a small matrix, no pivoting, to compare
+    /// ILU(0) against on a full-pattern input (where ILU(0) == LU).
+    fn dense_lu(a: &CscMatrix) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let n = a.n();
+        let mut m = vec![vec![0.0; n]; n];
+        for j in 0..n {
+            for (r, v) in a.col(j) {
+                m[r as usize][j] = v;
+            }
+        }
+        for k in 0..n {
+            for i in k + 1..n {
+                m[i][k] /= m[k][k];
+                for j in k + 1..n {
+                    m[i][j] -= m[i][k] * m[k][j];
+                }
+            }
+        }
+        let mut l = vec![vec![0.0; n]; n];
+        let mut u = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            l[i][i] = 1.0;
+            for j in 0..n {
+                if j < i {
+                    l[i][j] = m[i][j];
+                } else {
+                    u[i][j] = m[i][j];
+                }
+            }
+        }
+        (l, u)
+    }
+
+    fn dense_full(n: usize, seed: u64) -> CscMatrix {
+        let mut rng = desim::Pcg32::seed_from_u64(seed);
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = if i == j {
+                    n as f64 + rng.next_f64() // diagonally dominant
+                } else {
+                    rng.range_f64(-1.0, 1.0)
+                };
+                b.push(i, j, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ilu0_on_full_pattern_equals_lu() {
+        let a = dense_full(8, 42);
+        let f = ilu0(&a, 1e-8).unwrap();
+        let (dl, du) = dense_lu(&a);
+        for i in 0..8 {
+            for j in 0..8 {
+                let lv = f.l.get(i, j).unwrap_or(0.0);
+                let uv = f.u.get(i, j).unwrap_or(0.0);
+                assert!((lv - dl[i][j]).abs() < 1e-9, "L[{i}][{j}]: {lv} vs {}", dl[i][j]);
+                assert!((uv - du[i][j]).abs() < 1e-9, "U[{i}][{j}]: {uv} vs {}", du[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn ilu0_preserves_pattern() {
+        let a = gen::grid_laplacian(8, 8);
+        let f = ilu0(&a, 1e-8).unwrap();
+        // L ∪ U pattern (minus the unit diagonal of L) must be within A's
+        // pattern plus the diagonal.
+        for j in 0..a.n() {
+            for (r, _) in f.l.col(j) {
+                let r = r as usize;
+                assert!(
+                    r == j || a.get(r, j).is_some(),
+                    "fill-in at L({r},{j}) violates ILU(0)"
+                );
+            }
+            for (r, _) in f.u.col(j) {
+                let r = r as usize;
+                assert!(r == j || a.get(r, j).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn ilu0_factors_are_solvable_triangles() {
+        let a = gen::grid_laplacian(10, 7);
+        let f = ilu0(&a, 1e-8).unwrap();
+        f.l.validate_triangular(Triangle::Lower).unwrap();
+        f.u.validate_triangular(Triangle::Upper).unwrap();
+        assert!(f.l.col(0).next().unwrap().1 == 1.0, "unit diagonal");
+    }
+
+    #[test]
+    fn ilu0_exact_for_tridiagonal() {
+        // Tridiagonal: no fill-in exists, so ILU(0) is the exact LU and
+        // L·U must reproduce A.
+        let n = 16;
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            b.push(i, i, 4.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+                b.push(i - 1, i, -1.0);
+            }
+        }
+        let a = b.build().unwrap();
+        let f = ilu0(&a, 1e-8).unwrap();
+        // multiply L*U densely and compare
+        let n = a.n();
+        for i in 0..n {
+            for j in 0..n {
+                let mut lu = 0.0;
+                for k in 0..n {
+                    lu += f.l.get(i, k).unwrap_or(0.0) * f.u.get(k, j).unwrap_or(0.0);
+                }
+                let av = a.get(i, j).unwrap_or(0.0);
+                assert!((lu - av).abs() < 1e-10, "LU({i},{j})={lu} vs A={av}");
+            }
+        }
+    }
+
+    #[test]
+    fn ilu0_handles_missing_diagonal() {
+        let mut b = TripletBuilder::new(3);
+        b.push(0, 0, 2.0);
+        b.push(1, 0, 1.0);
+        // (1,1) missing
+        b.push(2, 2, 3.0);
+        let a = b.build().unwrap();
+        let f = ilu0(&a, 1e-4).unwrap();
+        f.l.validate_triangular(Triangle::Lower).unwrap();
+        f.u.validate_triangular(Triangle::Upper).unwrap();
+    }
+}

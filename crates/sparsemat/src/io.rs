@@ -1,0 +1,248 @@
+//! Matrix Market (`.mtx`) reader and writer.
+//!
+//! Supports the coordinate format with `real` / `integer` / `pattern`
+//! fields and `general` / `symmetric` symmetry — enough to load the
+//! SuiteSparse matrices the paper evaluates when they are available on
+//! disk. Pattern entries read as `1.0`; symmetric inputs are expanded
+//! to full storage.
+
+use crate::build::TripletBuilder;
+use crate::csc::CscMatrix;
+use crate::error::MatrixError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Read a Matrix Market coordinate matrix from any reader.
+///
+/// Rectangular inputs are rejected (the solvers need square systems).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CscMatrix, MatrixError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| MatrixError::Parse("empty file".into()))?
+        .map_err(MatrixError::from)?;
+    let h: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err(MatrixError::Parse(format!("bad header: {header}")));
+    }
+    if h[2] != "coordinate" {
+        return Err(MatrixError::Parse(format!("unsupported format: {}", h[2])));
+    }
+    let field = match h[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(MatrixError::Parse(format!("unsupported field: {other}"))),
+    };
+    let symmetry = match h[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(MatrixError::Parse(format!("unsupported symmetry: {other}"))),
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(MatrixError::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| MatrixError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| MatrixError::Parse(format!("size: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(MatrixError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+    if rows != cols {
+        return Err(MatrixError::Parse(format!(
+            "matrix is {rows}x{cols}; only square systems are supported"
+        )));
+    }
+
+    let mut b = TripletBuilder::with_capacity(
+        rows,
+        if symmetry == Symmetry::General { nnz } else { nnz * 2 },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(MatrixError::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| MatrixError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e| MatrixError::Parse(format!("row: {e}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| MatrixError::Parse("short entry line".into()))?
+            .parse()
+            .map_err(|e| MatrixError::Parse(format!("col: {e}")))?;
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .ok_or_else(|| MatrixError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e| MatrixError::Parse(format!("value: {e}")))?,
+        };
+        if r == 0 || c == 0 {
+            return Err(MatrixError::Parse("matrix market indices are 1-based".into()));
+        }
+        let (r0, c0) = (r - 1, c - 1);
+        b.push(r0, c0, v);
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r0 != c0 {
+                    b.push(c0, r0, v);
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r0 != c0 {
+                    b.push(c0, r0, -v);
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MatrixError::Parse(format!("expected {nnz} entries, found {seen}")));
+    }
+    b.build()
+}
+
+/// Read a Matrix Market file from a path.
+pub fn read_matrix_market_file(path: &std::path::Path) -> Result<CscMatrix, MatrixError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write `m` in Matrix Market coordinate/real/general format.
+pub fn write_matrix_market<W: Write>(m: &CscMatrix, mut w: W) -> Result<(), MatrixError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by sparsemat")?;
+    writeln!(w, "{} {} {}", m.n(), m.n(), m.nnz())?;
+    for j in 0..m.n() {
+        for (r, v) in m.col(j) {
+            writeln!(w, "{} {} {:.17e}", r + 1, j + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+% a comment\n\
+3 3 4\n\
+1 1 2.0\n\
+2 1 -1.0\n\
+2 2 3.0\n\
+3 3 4.5\n";
+
+    #[test]
+    fn reads_general_real() {
+        let m = read_matrix_market(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), Some(2.0));
+        assert_eq!(m.get(1, 0), Some(-1.0));
+        assert_eq!(m.get(2, 2), Some(4.5));
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 1\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 5.0\n2 1 7.0\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), Some(7.0));
+        assert_eq!(m.get(1, 0), Some(7.0));
+    }
+
+    #[test]
+    fn expands_skew_symmetric() {
+        let src =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 7.0\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), Some(7.0));
+        assert_eq!(m.get(0, 1), Some(-7.0));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m = read_matrix_market(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let m2 = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("%%NotMM foo\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn integer_field_parses() {
+        let src = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 1 7\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), Some(7.0));
+    }
+}

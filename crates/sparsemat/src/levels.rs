@@ -1,0 +1,236 @@
+//! Level-set analysis of triangular systems (§II-B, Fig. 1b).
+//!
+//! A *level set* partitions the solution components so that every
+//! component in level `ℓ` depends only on components in levels
+//! `< ℓ`; components within a level can be solved concurrently. The
+//! level-set schedule is the basis of the cuSPARSE `csrsv2()` baseline,
+//! and its summary statistics are exactly Table I's `#Levels` and
+//! `Parallelism` columns.
+
+use crate::csc::CscMatrix;
+use crate::{Idx, Triangle};
+
+/// The level-set decomposition of a triangular matrix.
+#[derive(Debug, Clone)]
+pub struct LevelSets {
+    /// `level[i]` = level of component `i`.
+    pub level_of: Vec<u32>,
+    /// `sets[ℓ]` = components in level `ℓ`, ascending.
+    pub sets: Vec<Vec<Idx>>,
+}
+
+impl LevelSets {
+    /// Analyze a triangular matrix. For `Lower`, dependencies run from
+    /// smaller to larger indices, so a single ascending pass suffices;
+    /// for `Upper` a descending pass.
+    ///
+    /// Cost: O(n + nnz), the paper's "analysis phase" for the
+    /// level-based solver.
+    pub fn analyze(m: &CscMatrix, tri: Triangle) -> LevelSets {
+        let n = m.n();
+        let mut level_of = vec![0u32; n];
+        match tri {
+            Triangle::Lower => {
+                for j in 0..n {
+                    let lj = level_of[j];
+                    for (r, _) in m.col(j) {
+                        let r = r as usize;
+                        if r > j {
+                            level_of[r] = level_of[r].max(lj + 1);
+                        }
+                    }
+                }
+            }
+            Triangle::Upper => {
+                for j in (0..n).rev() {
+                    let lj = level_of[j];
+                    for (r, _) in m.col(j) {
+                        let r = r as usize;
+                        if r < j {
+                            level_of[r] = level_of[r].max(lj + 1);
+                        }
+                    }
+                }
+            }
+        }
+        let n_levels = level_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut sets: Vec<Vec<Idx>> = vec![Vec::new(); n_levels];
+        for (i, &l) in level_of.iter().enumerate() {
+            sets[l as usize].push(i as Idx);
+        }
+        LevelSets { level_of, sets }
+    }
+
+    /// Number of levels (0 for an empty matrix).
+    #[inline]
+    pub fn n_levels(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Size of the largest level.
+    pub fn max_level_width(&self) -> usize {
+        self.sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The paper's parallelism metric: `rows / levels` (average
+    /// available concurrency per level).
+    pub fn parallelism(&self) -> f64 {
+        if self.sets.is_empty() {
+            return 0.0;
+        }
+        self.level_of.len() as f64 / self.sets.len() as f64
+    }
+}
+
+/// Summary structural statistics of a triangular system — one row of
+/// Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriStats {
+    /// Matrix dimension (Table I "#Rows").
+    pub rows: usize,
+    /// Stored entries (Table I "#Non-Zeros").
+    pub nnz: usize,
+    /// Level-set count (Table I "#Levels").
+    pub levels: usize,
+    /// `rows / levels` (Table I "Parallelism").
+    pub parallelism: f64,
+    /// `nnz / rows` (the dependency metric of §VI-D).
+    pub dependency: f64,
+}
+
+impl TriStats {
+    /// Compute the Table-I statistics for `m`.
+    pub fn compute(m: &CscMatrix, tri: Triangle) -> TriStats {
+        let ls = LevelSets::analyze(m, tri);
+        let rows = m.n();
+        let levels = ls.n_levels();
+        TriStats {
+            rows,
+            nnz: m.nnz(),
+            levels,
+            parallelism: if levels == 0 { 0.0 } else { rows as f64 / levels as f64 },
+            dependency: if rows == 0 { 0.0 } else { m.nnz() as f64 / rows as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::TripletBuilder;
+
+    /// Fig. 1's 8×8 example; expected level sets from Fig. 1b:
+    /// {x0}, {x1,x3,x5}, {x2,x4}, {x6}, {x7}.
+    fn fig1() -> CscMatrix {
+        let mut b = TripletBuilder::new(8);
+        for i in 0..8 {
+            b.push(i, i, 2.0);
+        }
+        for &(r, c) in &[
+            (1usize, 0usize),
+            (3, 0),
+            (5, 0),
+            (7, 0),
+            (2, 1),
+            (4, 3),
+            (7, 3),
+            (6, 4),
+            (7, 4),
+            (6, 5),
+            (7, 6),
+        ] {
+            b.push(r, c, -1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_levels_match_paper() {
+        let ls = LevelSets::analyze(&fig1(), Triangle::Lower);
+        // paper Fig 1b: 5 levels: {0}, {1,3,5}, {2,4}, {6}, {7}
+        assert_eq!(ls.n_levels(), 5);
+        assert_eq!(ls.sets[0], vec![0]);
+        assert_eq!(ls.sets[1], vec![1, 3, 5]);
+        assert_eq!(ls.sets[2], vec![2, 4]);
+        assert_eq!(ls.sets[3], vec![6]);
+        assert_eq!(ls.sets[4], vec![7]);
+        assert!((ls.parallelism() - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(ls.max_level_width(), 3);
+    }
+
+    #[test]
+    fn diagonal_matrix_has_one_level() {
+        let m = CscMatrix::identity(16);
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        assert_eq!(ls.n_levels(), 1);
+        assert_eq!(ls.sets[0].len(), 16);
+        assert_eq!(ls.parallelism(), 16.0);
+    }
+
+    #[test]
+    fn chain_matrix_has_n_levels() {
+        // bidiagonal: x_i depends on x_{i-1}
+        let n = 10;
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            b.push(i, i, 1.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+        }
+        let ls = LevelSets::analyze(&b.build().unwrap(), Triangle::Lower);
+        assert_eq!(ls.n_levels(), n);
+        assert!(ls.sets.iter().all(|s| s.len() == 1));
+        assert_eq!(ls.parallelism(), 1.0);
+    }
+
+    #[test]
+    fn upper_triangle_levels_mirror_lower() {
+        let l = fig1();
+        let u = l.transpose();
+        let lsl = LevelSets::analyze(&l, Triangle::Lower);
+        let lsu = LevelSets::analyze(&u, Triangle::Upper);
+        assert_eq!(lsl.n_levels(), lsu.n_levels());
+        // component 0 is solved first in forward, last in backward
+        assert_eq!(lsl.level_of[0], 0);
+        assert_eq!(lsu.level_of[0] as usize, lsu.sets.len() - 1);
+    }
+
+    #[test]
+    fn levels_are_consistent_with_dependencies() {
+        let m = fig1();
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        for j in 0..m.n() {
+            for (r, _) in m.col(j) {
+                let r = r as usize;
+                if r > j {
+                    assert!(
+                        ls.level_of[r] > ls.level_of[j],
+                        "dependent {} must be deeper than {}",
+                        r,
+                        j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tristats_summary() {
+        let s = TriStats::compute(&fig1(), Triangle::Lower);
+        assert_eq!(s.rows, 8);
+        assert_eq!(s.nnz, 19);
+        assert_eq!(s.levels, 5);
+        assert!((s.dependency - 19.0 / 8.0).abs() < 1e-12);
+        assert!((s.parallelism - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let m = crate::build::TripletBuilder::new(0).build().unwrap();
+        let s = TriStats::compute(&m, Triangle::Lower);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.levels, 0);
+        assert_eq!(s.parallelism, 0.0);
+    }
+}

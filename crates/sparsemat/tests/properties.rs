@@ -1,0 +1,187 @@
+//! Property-based tests of the sparse-matrix substrate invariants.
+
+use proptest::prelude::*;
+use sparsemat::gen::{self, LevelSpec};
+use sparsemat::levels::LevelSets;
+use sparsemat::{CscMatrix, CsrMatrix, Triangle, TripletBuilder};
+
+/// Strategy: a random valid triplet list for an n×n matrix.
+fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -10.0f64..10.0),
+        0..n * 4,
+    )
+}
+
+proptest! {
+    /// Builder output always validates, whatever the input order and
+    /// duplication pattern.
+    #[test]
+    fn builder_always_validates(ts in triplets(24)) {
+        let mut b = TripletBuilder::new(24);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+        }
+        let m = b.build().unwrap();
+        prop_assert!(m.validate().is_ok());
+        prop_assert!(m.nnz() <= ts.len());
+    }
+
+    /// Builder sums duplicates exactly like a naive map.
+    #[test]
+    fn builder_matches_naive_map(ts in triplets(16)) {
+        let mut b = TripletBuilder::new(16);
+        let mut map = std::collections::BTreeMap::new();
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+            *map.entry((r, c)).or_insert(0.0) += v;
+        }
+        let m = b.build().unwrap();
+        for (&(r, c), &v) in &map {
+            let got = m.get(r, c).unwrap_or(0.0);
+            prop_assert!((got - v).abs() < 1e-12, "({r},{c}): {got} vs {v}");
+        }
+    }
+
+    /// Transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution(ts in triplets(20)) {
+        let mut b = TripletBuilder::new(20);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+        }
+        let m = b.build().unwrap();
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(m, tt);
+    }
+
+    /// CSR round-trips through CSC without loss.
+    #[test]
+    fn csr_roundtrip(ts in triplets(20)) {
+        let mut b = TripletBuilder::new(20);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+        }
+        let m = b.build().unwrap();
+        prop_assert_eq!(CsrMatrix::from_csc(&m).to_csc(), m);
+    }
+
+    /// matvec distributes over transpose: (A x) . y == x . (Aᵀ y).
+    #[test]
+    fn matvec_transpose_adjoint(ts in triplets(12)) {
+        let mut b = TripletBuilder::new(12);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+        }
+        let m = b.build().unwrap();
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..12).map(|i| (i as f64 * 1.3).cos()).collect();
+        let ax = m.matvec(&x);
+        let aty = m.transpose().matvec(&y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    /// The level-structured generator hits its exact level count for
+    /// arbitrary shapes, and the result is a solvable lower factor.
+    #[test]
+    fn generator_hits_exact_levels(
+        n in 10usize..400,
+        levels_frac in 0.01f64..1.0,
+        dep in 1.2f64..6.0,
+        seed in any::<u64>(),
+    ) {
+        let levels = ((n as f64 * levels_frac) as usize).clamp(1, n);
+        let spec = LevelSpec {
+            n,
+            levels,
+            nnz_target: (n as f64 * dep) as usize,
+            locality: 0.7,
+            window_frac: 0.05,
+            seed,
+        };
+        let m = gen::level_structured(&spec);
+        prop_assert!(m.validate_triangular(Triangle::Lower).is_ok());
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        prop_assert_eq!(ls.n_levels(), levels);
+    }
+
+    /// Level assignment is consistent: every dependency sits in a
+    /// strictly lower level.
+    #[test]
+    fn levels_respect_dependencies(n in 10usize..300, seed in any::<u64>()) {
+        let m = gen::level_structured(&LevelSpec::new(n, (n / 7).max(1), n * 3, seed));
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        for j in 0..n {
+            for (r, _) in m.col(j) {
+                let r = r as usize;
+                if r > j {
+                    prop_assert!(ls.level_of[r] > ls.level_of[j]);
+                }
+            }
+        }
+        // sets partition 0..n
+        let total: usize = ls.sets.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    /// in_degrees equals the per-row count of strictly-lower entries.
+    #[test]
+    fn in_degrees_match_structure(n in 5usize..200, seed in any::<u64>()) {
+        let m = gen::banded_lower(n, 8, 3.0, seed);
+        let deg = m.in_degrees(Triangle::Lower);
+        let mut expect = vec![0u32; n];
+        for j in 0..n {
+            for (r, _) in m.col(j) {
+                if (r as usize) > j {
+                    expect[r as usize] += 1;
+                }
+            }
+        }
+        prop_assert_eq!(deg, expect);
+    }
+
+    /// Matrix Market round-trip is lossless for arbitrary matrices.
+    #[test]
+    fn matrix_market_roundtrip(ts in triplets(15)) {
+        let mut b = TripletBuilder::new(15);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+        }
+        let m = b.build().unwrap();
+        let mut buf = Vec::new();
+        sparsemat::io::write_matrix_market(&m, &mut buf).unwrap();
+        let back = sparsemat::io::read_matrix_market(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// triangular_part output is always a solvable factor of the
+    /// requested orientation.
+    #[test]
+    fn triangular_part_is_solvable(ts in triplets(18)) {
+        let mut b = TripletBuilder::new(18);
+        for &(r, c, v) in &ts {
+            b.push(r, c, v);
+        }
+        let m = b.build().unwrap();
+        for tri in [Triangle::Lower, Triangle::Upper] {
+            let t = m.triangular_part(tri, 1.0);
+            prop_assert!(t.validate_triangular(tri).is_ok());
+        }
+    }
+}
+
+/// ILU(0) on random diagonally-dominant grids stays within pattern and
+/// produces solvable factors. (Outside `proptest!` to keep the case
+/// count small — factorization is the most expensive property here.)
+#[test]
+fn ilu0_factors_random_grids() {
+    for (nx, ny) in [(5usize, 7usize), (12, 4), (9, 9)] {
+        let a = gen::grid_laplacian(nx, ny);
+        let f = sparsemat::factor::ilu0(&a, 1e-8).unwrap();
+        f.l.validate_triangular(Triangle::Lower).unwrap();
+        f.u.validate_triangular(Triangle::Upper).unwrap();
+        let _ = CscMatrix::identity(nx * ny); // exercise identity too
+    }
+}

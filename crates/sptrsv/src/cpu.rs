@@ -1,0 +1,192 @@
+//! Multi-core CPU level-set solver — the "multi-CPU" context of §I.
+//!
+//! The paper positions its design against CPU-side parallel SpTRSV
+//! (e.g. the Sunway and NUMA-multicore work it cites \[4\]\[22\]): on CPUs
+//! the level-set schedule with a barrier per level is the standard
+//! parallelization. This module implements it with real OS threads
+//! (`std::thread::scope`) and lock-free `f64` accumulation, so the
+//! repository also contains an *actually parallel* solver measured in
+//! wall-clock rather than simulated time.
+//!
+//! Concurrency design (per the Rust Atomics & Locks guidance): `x`
+//! entries within a level are written by exactly one thread (the level
+//! partition is disjoint), while `left_sum` targets may collide across
+//! threads, so they are accumulated with a compare-exchange loop over
+//! `AtomicU64` bit-patterns — the canonical lock-free f64 add. Workers
+//! are spawned once and meet at a [`std::sync::Barrier`] between
+//! levels.
+//!
+//! Scaling caveat (measured in `benches/substrate.rs`): on scattered
+//! dependency structures the CAS accumulation ping-pongs cache lines
+//! between cores, so multi-thread runs can *lose* to the serial sweep
+//! on small systems — the shared-memory contention wall that motivates
+//! both the paper's GPU focus (§I) and the literature's more elaborate
+//! CPU schemes (NUMA-aware STS-k \[22\], Sunway tiling \[4\]).
+
+use sparsemat::{CscMatrix, LevelSets, MatrixError, Triangle};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free `left_sum[i] += v` via CAS on the f64 bit pattern.
+#[inline]
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(cur) + v;
+        match cell.compare_exchange_weak(
+            cur,
+            new.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Solve a triangular system with `threads` OS threads using the
+/// level-set schedule (barrier per level).
+///
+/// # Errors
+/// Returns the validation error if `m` is not a solvable factor.
+pub fn solve_parallel(
+    m: &CscMatrix,
+    b: &[f64],
+    tri: Triangle,
+    threads: usize,
+) -> Result<Vec<f64>, MatrixError> {
+    m.validate_triangular(tri)?;
+    assert_eq!(b.len(), m.n(), "rhs length mismatch");
+    let threads = threads.max(1);
+    let n = m.n();
+    let ls = LevelSets::analyze(m, tri);
+
+    let left_sum: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+    // x entries are written once each, by the unique thread owning the
+    // component within its level; reads happen only in later levels.
+    let x: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+
+    let col_ptr = m.col_ptr();
+    let row_idx = m.row_idx();
+    let values = m.values();
+
+    let solve_one = |c: u32| {
+        let j = c as usize;
+        let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+        let diag = match tri {
+            Triangle::Lower => values[lo],
+            Triangle::Upper => values[hi - 1],
+        };
+        let ls_j = f64::from_bits(left_sum[j].load(Ordering::Acquire));
+        let xj = (b[j] - ls_j) / diag;
+        x[j].store(xj.to_bits(), Ordering::Release);
+        let (ulo, uhi) = match tri {
+            Triangle::Lower => (lo + 1, hi),
+            Triangle::Upper => (lo, hi - 1),
+        };
+        for k in ulo..uhi {
+            atomic_f64_add(&left_sum[row_idx[k] as usize], values[k] * xj);
+        }
+    };
+
+    // Parallelism only pays when levels are wide enough to amortize the
+    // per-level barrier — the same overhead trade-off Fig. 9 exposes
+    // for GPU kernel launches.
+    let max_width = ls.max_level_width();
+    if threads == 1 || max_width < 2 * threads {
+        for level in &ls.sets {
+            for &c in level {
+                solve_one(c);
+            }
+        }
+    } else {
+        // Persistent worker pool: threads are spawned once and meet at
+        // a barrier between levels (spawning per level costs orders of
+        // magnitude more than the barrier).
+        let barrier = std::sync::Barrier::new(threads);
+        let solve_one = &solve_one;
+        let barrier = &barrier;
+        let sets = &ls.sets;
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                scope.spawn(move || {
+                    for level in sets {
+                        let chunk = level.len().div_ceil(threads);
+                        let lo = (tid * chunk).min(level.len());
+                        let hi = ((tid + 1) * chunk).min(level.len());
+                        for &c in &level[lo..hi] {
+                            solve_one(c);
+                        }
+                        // updates of this level become visible to the
+                        // next through the barrier's synchronization
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    Ok(x.into_iter()
+        .map(|a| f64::from_bits(a.into_inner()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reference, verify};
+    use sparsemat::gen;
+
+    #[test]
+    fn matches_reference_on_lower() {
+        let m = gen::level_structured(&gen::LevelSpec::new(3_000, 40, 12_000, 7));
+        let (_, b) = verify::rhs_for(&m, 1);
+        let expected = reference::solve_lower(&m, &b).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let x = solve_parallel(&m, &b, Triangle::Lower, threads).unwrap();
+            let err = verify::rel_inf_diff(&x, &expected);
+            assert!(err < 1e-9, "threads={threads}: err {err}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_upper() {
+        let u = gen::banded_lower(1_000, 8, 4.0, 3).transpose();
+        let (_, b) = verify::rhs_for(&u, 2);
+        let expected = reference::solve_upper(&u, &b).unwrap();
+        let x = solve_parallel(&u, &b, Triangle::Upper, 4).unwrap();
+        assert!(verify::rel_inf_diff(&x, &expected) < 1e-9);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let m = gen::chain(50);
+        let (_, b) = verify::rhs_for(&m, 3);
+        let x = solve_parallel(&m, &b, Triangle::Lower, 0).unwrap();
+        let expected = reference::solve_lower(&m, &b).unwrap();
+        assert!(verify::rel_inf_diff(&x, &expected) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_factors() {
+        let a = gen::grid_laplacian(4, 4); // not triangular
+        let b = vec![1.0; a.n()];
+        assert!(solve_parallel(&a, &b, Triangle::Lower, 2).is_err());
+    }
+
+    #[test]
+    fn atomic_add_accumulates_under_contention() {
+        let cell = AtomicU64::new(0f64.to_bits());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        atomic_f64_add(&cell, 0.5);
+                    }
+                });
+            }
+        });
+        let total = f64::from_bits(cell.load(Ordering::Relaxed));
+        assert_eq!(total, 8.0 * 1_000.0 * 0.5);
+    }
+}

@@ -1,0 +1,777 @@
+//! The synchronization-free dataflow executor.
+//!
+//! All sync-free variants share one control flow — the two phases of
+//! Liu et al. \[2\] that the paper builds on:
+//!
+//! 1. **lock-wait**: a warp owns one component and spins until the
+//!    component's in-degree is satisfied;
+//! 2. **solve-update**: it solves `x_i` and publishes
+//!    `l_ri · x_i` into the `left_sum` of every dependent `r`,
+//!    decrementing their outstanding in-degrees.
+//!
+//! What differs between Algorithm 2 (Unified Memory), Algorithm 3
+//! (NVSHMEM zero-copy) and the single-GPU solver is *where the
+//! intermediate arrays live and what publishing/detecting costs*:
+//!
+//! | backend    | publish to remote component     | dependency detection        |
+//! |------------|---------------------------------|-----------------------------|
+//! | SingleGpu  | n/a                             | local spin poll             |
+//! | Unified    | system atomic on a UM page      | spin poll on a UM page      |
+//! |            | (faults, migration, bounce)     | (page bounces back, faults) |
+//! | Shmem      | device atomic on the *producer's* | warp-parallel one-sided     |
+//! |            | own symmetric heap copy — zero  | gets + shuffle reduction,   |
+//! |            | wire traffic at publish time    | r.in_degree poll caching    |
+//!
+//! The executor runs real `f64` numerics as virtual time advances; the
+//! returned `x` is bit-stable for a fixed seed and is verified against
+//! the serial reference by the caller.
+
+use crate::plan::ExecutionPlan;
+use crate::Backend;
+use desim::{EventQueue, SimTime};
+use mgpu_sim::{um::UmRange, GpuId, Machine};
+use sparsemat::{CscMatrix, Triangle};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Communication backend.
+    pub backend: Backend,
+    /// Which triangle is being solved.
+    pub triangle: Triangle,
+    /// Gather `left_sum` from every PE (Algorithm 3 lines 24–26) rather
+    /// than only from PEs that actually hold dependencies.
+    pub gather_all_pes: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            backend: Backend::SingleGpu,
+            triangle: Triangle::Lower,
+            gather_all_pes: true,
+        }
+    }
+}
+
+/// Result of an executor run.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// When the analysis phase (in-degree setup) completed.
+    pub analysis_end: SimTime,
+    /// When the last warp retired.
+    pub makespan: SimTime,
+    /// Events processed by the calendar.
+    pub events: u64,
+}
+
+/// Executor failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The dataflow stalled: `unsolved` components never became ready.
+    /// Indicates a plan whose launch order violates substitution order.
+    Deadlock {
+        /// Number of unsolved components at stall time.
+        unsolved: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Deadlock { unsolved } => {
+                write!(f, "dataflow deadlock: {unsolved} components unsolved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Kernel `k` became schedulable.
+    Kernel(u32),
+    /// Component acquired its warp slot.
+    Slot(u32),
+    /// One dependency of the component became durable; payload carries
+    /// the producing GPU.
+    Dep(u32, u8),
+    /// Dependencies visible; run gather + solve + update.
+    Wake(u32),
+    /// Updates durable; warp retires and frees its slot.
+    Retire(u32),
+}
+
+// component flag bits
+const HAS_SLOT: u8 = 1;
+const BLOCKED: u8 = 2;
+const SATISFIED: u8 = 4;
+const DONE: u8 = 8;
+const WATCHING: u8 = 16;
+const POLLING: u8 = 32;
+
+struct ExecState<'m> {
+    m: &'m CscMatrix,
+    plan: &'m ExecutionPlan,
+    cfg: ExecConfig,
+    remaining: Vec<u32>,
+    left_sum: Vec<f64>,
+    x: Vec<f64>,
+    b: Vec<f64>,
+    flags: Vec<u8>,
+    /// While BLOCKED: block start. After SATISFIED: satisfaction time.
+    aux: Vec<SimTime>,
+    last_src: Vec<u8>,
+    remote_mask: Vec<u16>,
+    peers_of: Vec<Vec<GpuId>>,
+    // Unified-memory array mappings (None for other backends)
+    indeg_um: Option<UmRange>,
+    leftsum_um: Option<UmRange>,
+    done_count: usize,
+    makespan: SimTime,
+}
+
+impl<'m> ExecState<'m> {
+    fn indeg_page(&self, c: u32) -> usize {
+        self.indeg_um
+            .as_ref()
+            .expect("unified backend")
+            .page_of(c as u64 * 4)
+    }
+
+    fn leftsum_page(&self, c: u32) -> usize {
+        self.leftsum_um
+            .as_ref()
+            .expect("unified backend")
+            .page_of(c as u64 * 8)
+    }
+
+    /// Off-diagonal entries of component `c`'s column — its update list.
+    fn updates_of(&self, c: u32) -> (&[u32], &[f64]) {
+        let j = c as usize;
+        let (lo, hi) = (self.m.col_ptr()[j], self.m.col_ptr()[j + 1]);
+        match self.cfg.triangle {
+            Triangle::Lower => (&self.m.row_idx()[lo + 1..hi], &self.m.values()[lo + 1..hi]),
+            Triangle::Upper => (&self.m.row_idx()[lo..hi - 1], &self.m.values()[lo..hi - 1]),
+        }
+    }
+
+    fn diag_of(&self, c: u32) -> f64 {
+        let j = c as usize;
+        match self.cfg.triangle {
+            Triangle::Lower => self.m.values()[self.m.col_ptr()[j]],
+            Triangle::Upper => self.m.values()[self.m.col_ptr()[j + 1] - 1],
+        }
+    }
+}
+
+/// Run the synchronization-free solver on `machine`.
+///
+/// `plan` must order launches in substitution order (guaranteed by
+/// [`ExecutionPlan::build`]); otherwise the run can deadlock, which is
+/// detected and reported rather than hanging.
+pub fn run(
+    m: &CscMatrix,
+    b: &[f64],
+    plan: &ExecutionPlan,
+    machine: &mut Machine,
+    cfg: ExecConfig,
+) -> Result<ExecOutcome, ExecError> {
+    let n = m.n();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(plan.owner.len(), n, "plan size mismatch");
+    if n == 0 {
+        return Ok(ExecOutcome {
+            x: Vec::new(),
+            analysis_end: SimTime::ZERO,
+            makespan: SimTime::ZERO,
+            events: 0,
+        });
+    }
+
+    let tri = cfg.triangle;
+    let gpus = plan.gpus;
+    let remaining = m.in_degrees(tri);
+
+    // --- source-GPU masks for each component's dependencies -----------
+    let mut remote_mask = vec![0u16; n];
+    for j in 0..n {
+        let gj = plan.owner[j];
+        for (r, _) in m.col(j) {
+            let r = r as usize;
+            let is_dep = match tri {
+                Triangle::Lower => r > j,
+                Triangle::Upper => r < j,
+            };
+            if is_dep && plan.owner[r] != gj {
+                remote_mask[r] |= 1 << gj;
+            }
+        }
+    }
+    let peers_of: Vec<Vec<GpuId>> = if matches!(cfg.backend, Backend::Shmem { .. }) {
+        (0..n)
+            .map(|i| {
+                if cfg.gather_all_pes {
+                    (0..gpus).filter(|&g| g != plan.owner[i]).collect()
+                } else {
+                    (0..gpus)
+                        .filter(|&g| remote_mask[i] & (1 << g) != 0)
+                        .collect()
+                }
+            })
+            .collect()
+    } else {
+        vec![Vec::new(); n]
+    };
+
+    // --- device memory accounting --------------------------------------
+    let replicated = matches!(cfg.backend, Backend::Shmem { .. });
+    for g in 0..gpus {
+        machine.account_alloc(g, plan.device_bytes(m, g, replicated));
+    }
+
+    // --- unified-memory allocations -------------------------------------
+    let (indeg_um, leftsum_um) = if matches!(cfg.backend, Backend::Unified) {
+        (
+            Some(machine.um_alloc(n as u64 * 4)),
+            Some(machine.um_alloc(n as u64 * 8)),
+        )
+    } else {
+        (None, None)
+    };
+
+    // --- analysis phase: in-degree setup --------------------------------
+    let spec = machine.config().gpu.clone();
+    let mut nnz_per_gpu = vec![0u64; gpus];
+    for j in 0..n {
+        nnz_per_gpu[plan.owner[j]] += m.col_nnz(j) as u64;
+    }
+    let mut t_ready = vec![SimTime::ZERO; gpus];
+    for g in 0..gpus {
+        // one setup kernel: atomics over the local nonzeros, warp-wide
+        let warp_ops = nnz_per_gpu[g].div_ceil(32);
+        let dur = warp_ops * spec.atomic_ns / spec.exec_lanes as u64 + spec.launch_ns;
+        t_ready[g] = SimTime::ZERO.after(dur);
+    }
+    if let (Some(ri), Some(rl)) = (indeg_um, leftsum_um) {
+        // Algorithm 2 memsets both managed arrays (lines 4–5) and
+        // computes the *global* in-degree with system-wide atomics
+        // (lines 6–9). The sweeps are dense and in address order, so
+        // the driver coalesces migrations; each GPU still drags the
+        // arrays through its own memory once.
+        for g in 0..gpus {
+            t_ready[g] = machine.um_bulk_sweep(g, &ri, t_ready[g]);
+            t_ready[g] = machine.um_bulk_sweep(g, &rl, t_ready[g]);
+        }
+    }
+    let analysis_end = t_ready.iter().copied().max().unwrap_or(SimTime::ZERO);
+
+    // --- schedule kernel launches ---------------------------------------
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity(n * 2 + m.nnz());
+    for (k, kd) in plan.kernels.iter().enumerate() {
+        let at = machine.launch_kernel(kd.gpu, t_ready[kd.gpu]);
+        q.schedule_at(at, Ev::Kernel(k as u32));
+    }
+
+    let mut st = ExecState {
+        m,
+        plan,
+        cfg,
+        remaining,
+        left_sum: vec![0.0; n],
+        x: vec![0.0; n],
+        b: b.to_vec(),
+        flags: vec![0u8; n],
+        aux: vec![SimTime::ZERO; n],
+        last_src: vec![0u8; n],
+        remote_mask,
+        peers_of,
+        indeg_um,
+        leftsum_um,
+        done_count: 0,
+        makespan: SimTime::ZERO,
+    };
+    // components with no dependencies are satisfied from the start
+    for i in 0..n {
+        if st.remaining[i] == 0 {
+            st.flags[i] |= SATISFIED;
+        }
+    }
+
+    // --- main event loop --------------------------------------------------
+    let mut events = 0u64;
+    while let Some((now, ev)) = q.pop() {
+        events += 1;
+        match ev {
+            Ev::Kernel(k) => on_kernel(&mut st, machine, &mut q, now, k),
+            Ev::Slot(c) => on_slot(&mut st, machine, &mut q, now, c),
+            Ev::Dep(c, src) => on_dep(&mut st, machine, &mut q, now, c, src),
+            Ev::Wake(c) => on_wake(&mut st, machine, &mut q, now, c),
+            Ev::Retire(c) => on_retire(&mut st, machine, &mut q, now, c),
+        }
+    }
+
+    if st.done_count != n {
+        return Err(ExecError::Deadlock { unsolved: n - st.done_count });
+    }
+    Ok(ExecOutcome {
+        x: st.x,
+        analysis_end,
+        makespan: st.makespan,
+        events,
+    })
+}
+
+fn on_kernel(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, k: u32) {
+    // Clone the component list cheaply via indices to appease borrows.
+    let kd = &st.plan.kernels[k as usize];
+    let gpu = kd.gpu;
+    let comps: Vec<u32> = kd.comps.clone();
+    for c in comps {
+        if machine.try_warp_slot(gpu) {
+            q.schedule_at(now, Ev::Slot(c));
+        } else {
+            machine.enqueue_warp(gpu, c as u64);
+        }
+    }
+}
+
+fn on_slot(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, c: u32) {
+    let i = c as usize;
+    st.flags[i] |= HAS_SLOT;
+    if st.flags[i] & SATISFIED != 0 {
+        schedule_wake(st, machine, q, now, c);
+    } else {
+        st.flags[i] |= BLOCKED;
+        st.aux[i] = now;
+        // a warp spinning on remote state loads the fabric (GUP
+        // detection is owner-local, so it does not poll the wire)
+        if st.remote_mask[i] != 0
+            && !matches!(st.cfg.backend, Backend::SingleGpu | Backend::ShmemGup)
+        {
+            machine.polling_started();
+            st.flags[i] |= POLLING;
+        }
+        if matches!(st.cfg.backend, Backend::Unified) {
+            machine.um_watch(st.plan.owner[i], st.indeg_page(c));
+            st.flags[i] |= WATCHING;
+        }
+    }
+}
+
+fn on_dep(
+    st: &mut ExecState,
+    machine: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    now: SimTime,
+    c: u32,
+    src: u8,
+) {
+    let i = c as usize;
+    debug_assert!(st.remaining[i] > 0, "dep underflow at {c}");
+    st.remaining[i] -= 1;
+    if st.remaining[i] > 0 {
+        return;
+    }
+    st.last_src[i] = src;
+    if st.flags[i] & BLOCKED != 0 {
+        // account the poll traffic spent while blocked
+        match st.cfg.backend {
+            Backend::Shmem { poll_caching } => {
+                let waited = now - st.aux[i];
+                let period = machine.remote_poll_period_ns().max(1);
+                let rounds = waited / period;
+                let peers = st.remote_mask[i].count_ones() as u64;
+                if peers > 0 && rounds > 0 {
+                    let polled = if poll_caching {
+                        // satisfied peers drop out of the loop roughly
+                        // linearly over the wait
+                        rounds * peers.div_ceil(2)
+                    } else {
+                        rounds * peers
+                    };
+                    machine.record_polling(rounds, peers, polled);
+                }
+            }
+            Backend::Unified => {
+                // spin polls of s.in_degree feed the UVM access
+                // counters; sustained waiting drags the page to the
+                // poller (then the loop runs locally)
+                let waited = now - st.aux[i];
+                let period = machine.um_poll_period_ns().max(1);
+                let rounds = (waited / period).min(u32::MAX as u64) as u32;
+                let page = st.indeg_page(c);
+                let gpu = st.plan.owner[i];
+                if let Some(done) = machine.um_poll_pressure(gpu, page, rounds, now) {
+                    st.aux[i] = done.max(now);
+                }
+            }
+            Backend::SingleGpu | Backend::ShmemGup => {}
+        }
+        if st.flags[i] & POLLING != 0 {
+            machine.polling_stopped();
+            st.flags[i] &= !POLLING;
+        }
+        st.flags[i] &= !BLOCKED;
+        st.flags[i] |= SATISFIED;
+        st.aux[i] = st.aux[i].max(now);
+        schedule_wake(st, machine, q, st.aux[i], c);
+    } else {
+        st.flags[i] |= SATISFIED;
+        st.aux[i] = now;
+    }
+}
+
+/// Compute when the waiting warp *observes* satisfaction and schedule
+/// its wake. `base` is when the last dependency became durable (or when
+/// the slot was granted, if later).
+fn schedule_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, base: SimTime, c: u32) {
+    let i = c as usize;
+    let gpu = st.plan.owner[i];
+    let spec = machine.config().gpu.clone();
+    let wake_at = match st.cfg.backend {
+        Backend::SingleGpu | Backend::ShmemGup => {
+            base.after(spec.poll_ns / 2 + machine.jitter(spec.poll_ns / 2 + 1))
+        }
+        Backend::Shmem { .. } => {
+            let src = st.last_src[i] as GpuId;
+            if src == gpu || st.remaining[i] == 0 && st.remote_mask[i] == 0 {
+                base.after(spec.poll_ns / 2 + machine.jitter(spec.poll_ns / 2 + 1))
+            } else {
+                // next poll round issues a get that sees the zero
+                let period = machine.remote_poll_period_ns();
+                let probe = base.after(machine.jitter(period + 1));
+                machine.shmem_get(gpu, src, 4, probe)
+            }
+        }
+        Backend::Unified => {
+            let page = st.indeg_page(c);
+            machine.um_visible_at(gpu, page, base)
+        }
+    };
+    q.schedule_at(wake_at.max(base), Ev::Wake(c));
+}
+
+fn on_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, c: u32) {
+    let i = c as usize;
+    let gpu = st.plan.owner[i];
+    let spec = machine.config().gpu.clone();
+    debug_assert_eq!(st.remaining[i], 0, "woke before satisfaction");
+
+    if st.flags[i] & WATCHING != 0 {
+        machine.um_unwatch(gpu, st.indeg_page(c));
+        st.flags[i] &= !WATCHING;
+    }
+
+    // --- gather phase ---------------------------------------------------
+    let t_gather = match st.cfg.backend {
+        Backend::SingleGpu | Backend::ShmemGup => now,
+        Backend::Shmem { .. } => {
+            if st.peers_of[i].is_empty() {
+                now
+            } else {
+                let peers = std::mem::take(&mut st.peers_of[i]);
+                let t = machine.shmem_gather_reduce(gpu, &peers, 8, now);
+                st.peers_of[i] = peers;
+                t
+            }
+        }
+        Backend::Unified => {
+            // read the system-wide left_sum entry (Alg. 2 line 19)
+            let page = st.leftsum_page(c);
+            machine.um_read(gpu, page, now)
+        }
+    };
+
+    // --- solve phase ------------------------------------------------------
+    let col_nnz = st.m.col_nnz(i) as u64;
+    let mut t = t_gather;
+    let spill = machine.spill_ratio(gpu);
+    if spill > 0.0 {
+        // out-of-core: the spilled fraction of this column streams from
+        // host over PCIe before the warp can proceed
+        let col_bytes = col_nnz * 12;
+        let spilled = (col_bytes as f64 * spill) as u64;
+        if spilled > 0 {
+            t = machine.host_transfer(gpu, spilled, t);
+        }
+    }
+    let solve_dur = spec.solve_ns + col_nnz.div_ceil(32) * spec.per_nnz_ns;
+    let t_solve = machine.exec(gpu, t, solve_dur);
+
+    let xi = (st.b[i] - st.left_sum[i]) / st.diag_of(c);
+    st.x[i] = xi;
+
+    // --- update phase -------------------------------------------------------
+    let (rows, vals) = st.updates_of(c);
+    let k_total = rows.len() as u64;
+    let rows: Vec<u32> = rows.to_vec();
+    let vals: Vec<f64> = vals.to_vec();
+    let t_upd = if k_total > 0 {
+        machine.exec(gpu, t_solve, k_total.div_ceil(32) * spec.atomic_ns)
+    } else {
+        t_solve
+    };
+
+    let mut retire_at = t_upd;
+    let mut gup_cursor = t_upd; // naive GUP round trips serialize per warp
+    for (r, v) in rows.iter().zip(&vals) {
+        let r = *r;
+        let contrib = *v * xi;
+        st.left_sum[r as usize] += contrib;
+        let target_gpu = st.plan.owner[r as usize];
+        let durable_at = if target_gpu == gpu {
+            t_upd
+        } else {
+            match st.cfg.backend {
+                // zero-copy: remote publishes are atomics on the
+                // producer's OWN heap copy — local cost, no wire traffic
+                Backend::Shmem { .. } | Backend::SingleGpu => t_upd,
+                // naive Get-Update-Put: two serialized wire round trips
+                // (left_sum, then in_degree) with a fence after each —
+                // the restriction cascade §IV-A describes
+                Backend::ShmemGup => {
+                    let h = target_gpu;
+                    let t_get = machine.shmem_get(gpu, h, 8, gup_cursor);
+                    let t_put = machine.shmem_put(gpu, h, 8, t_get);
+                    let t_f1 = machine.shmem_fence(t_put);
+                    let t_put2 = machine.shmem_put(gpu, h, 4, t_f1);
+                    let t_f2 = machine.shmem_fence(t_put2);
+                    gup_cursor = t_f2;
+                    t_f2
+                }
+                Backend::Unified => {
+                    // two system-wide atomics (s.left_sum, then
+                    // s.in_degree), issued by parallel threads of the
+                    // warp; the warp only pays issue cost, durability
+                    // rides the fabric / async migration machinery.
+                    // The decrement must not be observed before the
+                    // partial sum it guards, hence the max.
+                    let p1 = st.leftsum_page(r);
+                    let p2 = st.indeg_page(r);
+                    let (f1, d1) = machine.um_write(gpu, p1, t_upd);
+                    // both atomics are in flight concurrently (distinct
+                    // pages); issue order is preserved, wire latencies
+                    // overlap
+                    let (f2, d2) = machine.um_write(gpu, p2, t_upd.max(f1));
+                    retire_at = retire_at.max(f1).max(f2);
+                    d1.max(d2)
+                }
+            }
+        };
+        if target_gpu == gpu || matches!(st.cfg.backend, Backend::ShmemGup) {
+            retire_at = retire_at.max(durable_at);
+        }
+        q.schedule_at(durable_at, Ev::Dep(r, gpu as u8));
+    }
+    if matches!(st.cfg.backend, Backend::ShmemGup) && gup_cursor > t_upd {
+        retire_at = retire_at.max(machine.shmem_quiet(gup_cursor));
+    }
+
+    q.schedule_at(retire_at, Ev::Retire(c));
+}
+
+fn on_retire(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, c: u32) {
+    let i = c as usize;
+    let gpu = st.plan.owner[i];
+    st.flags[i] |= DONE;
+    st.done_count += 1;
+    st.makespan = st.makespan.max(now);
+    if let Some(next) = machine.release_warp(gpu) {
+        q.schedule_at(now, Ev::Slot(next as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Partition;
+    use crate::reference;
+    use crate::verify;
+    use mgpu_sim::MachineConfig;
+    use sparsemat::gen;
+
+    fn run_case(
+        m: &CscMatrix,
+        gpus: usize,
+        backend: Backend,
+        partition: Partition,
+    ) -> (ExecOutcome, Vec<f64>) {
+        let (_, b) = verify::rhs_for(m, 42);
+        let plan = ExecutionPlan::build(m.n(), gpus, partition, Triangle::Lower);
+        let mut machine = Machine::new(MachineConfig::dgx1(gpus.max(1)));
+        let cfg = ExecConfig { backend, triangle: Triangle::Lower, gather_all_pes: true };
+        let out = run(m, &b, &plan, &mut machine, cfg).expect("no deadlock");
+        let reference = reference::solve_lower(m, &b).unwrap();
+        (out, reference)
+    }
+
+    #[test]
+    fn single_gpu_matches_reference() {
+        let m = gen::banded_lower(800, 8, 4.0, 3);
+        let (out, r) = run_case(&m, 1, Backend::SingleGpu, Partition::Blocked);
+        assert!(verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL);
+        assert!(out.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn shmem_multi_gpu_matches_reference() {
+        let m = gen::level_structured(&gen::LevelSpec::new(1200, 30, 5000, 7));
+        for gpus in [2usize, 3, 4] {
+            let (out, r) = run_case(&m, gpus, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
+            assert!(
+                verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL,
+                "gpus={gpus}"
+            );
+        }
+    }
+
+    #[test]
+    fn unified_multi_gpu_matches_reference() {
+        let m = gen::level_structured(&gen::LevelSpec::new(600, 15, 2400, 9));
+        let (out, r) = run_case(&m, 4, Backend::Unified, Partition::Blocked);
+        assert!(verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL);
+    }
+
+    #[test]
+    fn unified_generates_page_faults_shmem_does_not() {
+        let m = gen::level_structured(&gen::LevelSpec::new(800, 20, 3200, 5));
+        let (_, b) = verify::rhs_for(&m, 42);
+        let plan = ExecutionPlan::build(m.n(), 4, Partition::Blocked, Triangle::Lower);
+
+        let mut um_machine = Machine::new(MachineConfig::dgx1(4));
+        run(&m, &b, &plan, &mut um_machine, ExecConfig {
+            backend: Backend::Unified,
+            ..ExecConfig::default()
+        })
+        .unwrap();
+        let um_stats = um_machine.stats();
+        assert!(um_stats.total_um_faults() > 0, "UM must fault");
+        assert!(
+            um_stats.um_remote_ops + um_stats.um_migrations > 100,
+            "UM must push traffic through the fabric"
+        );
+
+        let mut sh_machine = Machine::new(MachineConfig::dgx1(4));
+        run(&m, &b, &plan, &mut sh_machine, ExecConfig {
+            backend: Backend::Shmem { poll_caching: true },
+            ..ExecConfig::default()
+        })
+        .unwrap();
+        let s = sh_machine.stats();
+        assert_eq!(s.total_um_faults(), 0, "zero-copy must not touch UM");
+        assert!(s.shmem.gets > 0, "zero-copy communicates via gets");
+    }
+
+    #[test]
+    fn zero_copy_beats_unified_on_makespan() {
+        // The headline claim (Fig. 7): same matrix, same machine,
+        // zero-copy finishes faster than the UM design. Needs enough
+        // work per GPU to amortize the task kernels (crossover ~n=6k).
+        let m = gen::level_structured(&gen::LevelSpec::new(8000, 25, 32000, 11));
+        let (_, b) = verify::rhs_for(&m, 1);
+        let mut um = Machine::new(MachineConfig::dgx1(4));
+        let plan_b = ExecutionPlan::build(m.n(), 4, Partition::Blocked, Triangle::Lower);
+        let um_out = run(&m, &b, &plan_b, &mut um, ExecConfig {
+            backend: Backend::Unified,
+            ..ExecConfig::default()
+        })
+        .unwrap();
+
+        let mut zc = Machine::new(MachineConfig::dgx1(4));
+        let plan_t = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
+        let zc_out = run(&m, &b, &plan_t, &mut zc, ExecConfig {
+            backend: Backend::Shmem { poll_caching: true },
+            ..ExecConfig::default()
+        })
+        .unwrap();
+        assert!(
+            zc_out.makespan < um_out.makespan,
+            "zerocopy {} vs unified {}",
+            zc_out.makespan,
+            um_out.makespan
+        );
+    }
+
+    #[test]
+    fn upper_triangle_solves() {
+        let l = gen::banded_lower(500, 6, 3.0, 13);
+        let u = l.transpose();
+        let (_, b) = verify::rhs_for(&u, 3);
+        let plan = ExecutionPlan::build(u.n(), 2, Partition::Tasks { per_gpu: 4 }, Triangle::Upper);
+        let mut machine = Machine::new(MachineConfig::dgx1(2));
+        let out = run(&u, &b, &plan, &mut machine, ExecConfig {
+            backend: Backend::Shmem { poll_caching: true },
+            triangle: Triangle::Upper,
+            gather_all_pes: true,
+        })
+        .unwrap();
+        let r = reference::solve_upper(&u, &b).unwrap();
+        assert!(verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL);
+    }
+
+    #[test]
+    fn chain_is_fully_sequential() {
+        // n-level chain: makespan must scale ~linearly with n
+        let m1 = gen::chain(100);
+        let m2 = gen::chain(200);
+        let (o1, _) = run_case(&m1, 1, Backend::SingleGpu, Partition::Blocked);
+        let (o2, _) = run_case(&m2, 1, Backend::SingleGpu, Partition::Blocked);
+        let ratio = o2.makespan.as_ns() as f64 / o1.makespan.as_ns() as f64;
+        assert!((1.6..2.6).contains(&ratio), "chain should scale linearly: {ratio}");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_embarrassingly_parallel() {
+        let m = gen::diagonal(4000, 3);
+        let (out, r) = run_case(&m, 1, Backend::SingleGpu, Partition::Blocked);
+        assert!(verify::rel_inf_diff(&out.x, &r) < 1e-12);
+        // no dependencies: every component solves without Dep events
+        assert!(out.events >= 4000 * 2);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let m = gen::level_structured(&gen::LevelSpec::new(700, 12, 2800, 21));
+        let (a, _) = run_case(&m, 4, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
+        let (b, _) = run_case(&m, 4, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn empty_matrix_is_trivial() {
+        let m = sparsemat::TripletBuilder::new(0).build().unwrap();
+        let plan = ExecutionPlan::build(0, 1, Partition::Blocked, Triangle::Lower);
+        let mut machine = Machine::new(MachineConfig::dgx1(1));
+        let out = run(&m, &[], &plan, &mut machine, ExecConfig::default()).unwrap();
+        assert!(out.x.is_empty());
+    }
+
+    #[test]
+    fn poll_caching_reduces_poll_gets() {
+        let m = gen::level_structured(&gen::LevelSpec::new(1000, 40, 4000, 31));
+        let (_, b) = verify::rhs_for(&m, 42);
+        let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
+        let mut cached = Machine::new(MachineConfig::dgx1(4));
+        run(&m, &b, &plan, &mut cached, ExecConfig {
+            backend: Backend::Shmem { poll_caching: true },
+            ..ExecConfig::default()
+        })
+        .unwrap();
+        let mut raw = Machine::new(MachineConfig::dgx1(4));
+        run(&m, &b, &plan, &mut raw, ExecConfig {
+            backend: Backend::Shmem { poll_caching: false },
+            ..ExecConfig::default()
+        })
+        .unwrap();
+        let c = cached.stats().shmem;
+        let r = raw.stats().shmem;
+        assert!(c.poll_gets < r.poll_gets, "caching must cut poll traffic: {} vs {}", c.poll_gets, r.poll_gets);
+        assert!(c.poll_gets_saved > 0);
+    }
+}

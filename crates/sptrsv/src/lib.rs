@@ -1,0 +1,85 @@
+//! # sptrsv — sparse triangular solvers for multi-GPU systems
+//!
+//! The paper's primary contribution, reproduced in full:
+//!
+//! * [`mod@reference`] — serial forward/backward substitution
+//!   (Algorithm 1), the ground truth every other solver is verified
+//!   against.
+//! * [`levelset`] — the level-set solver in the style of cuSPARSE
+//!   `csrsv2()` (Naumov \[5\]), the paper's single-GPU baseline for the
+//!   Fig. 10 scalability study.
+//! * [`exec`] — the synchronization-free dataflow executor
+//!   (lock-wait / solve-update, Liu et al. \[2\]) with three
+//!   communication backends:
+//!   - **SingleGpu** — everything device-local;
+//!   - **Unified** — Algorithm 2: system-wide atomics on CUDA Unified
+//!     Memory, with all the page-thrashing that §III characterizes;
+//!   - **Shmem** — Algorithm 3: the zero-copy NVSHMEM design with
+//!     producer-local heap updates, read-only inter-GPU gets, warp
+//!     gather + shuffle reduction, and the `r.in_degree` poll-caching
+//!     optimization.
+//! * [`plan`] — data distribution: blocked (the baseline layout whose
+//!   unidirectional waiting §V criticizes) and the malleable
+//!   round-robin task pool (§V).
+//! * [`solver`] — the high-level API tying a matrix, a machine
+//!   configuration and a solver variant into a verified
+//!   [`report::SolveReport`].
+//!
+//! Every solve computes real `f64` numerics while the discrete-event
+//! machine model advances virtual time, so results are simultaneously
+//! *numerically checked* and *performance-profiled*.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudocode
+
+pub mod cpu;
+pub mod exec;
+pub mod levelset;
+pub mod plan;
+pub mod reference;
+pub mod report;
+pub mod solver;
+pub mod verify;
+
+pub use plan::{ExecutionPlan, Partition};
+pub use report::{SolveReport, Timings};
+pub use solver::{solve, SolveError, SolveOptions, SolverKind};
+
+/// Communication backend for the synchronization-free executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One GPU, no inter-GPU communication (Liu et al. \[2\]).
+    SingleGpu,
+    /// Algorithm 2: intermediate arrays in CUDA Unified Memory,
+    /// system-wide atomics, page migration on contention.
+    Unified,
+    /// Algorithm 3: NVSHMEM symmetric heap, producer-local updates,
+    /// read-only remote gets. `poll_caching` enables the r.in_degree
+    /// optimization that skips already-satisfied peers in the
+    /// lock-wait loop.
+    Shmem {
+        /// Skip polling peers whose partial in-degree already hit zero.
+        poll_caching: bool,
+    },
+    /// The naive NVSHMEM design §IV-A rejects: intermediate arrays
+    /// *distributed* (owner-held) on the symmetric heap, every remote
+    /// update a Get-Update-Put round trip with an `nvshmem_fence` per
+    /// operation and a `quiet` before warp retirement. Dependency
+    /// detection is a cheap local poll (the owner holds its own
+    /// entries) — but publishing serializes wire round trips on the
+    /// producing warp, which is exactly why the paper abandons it.
+    ShmemGup,
+}
+
+impl Backend {
+    /// Short label used in reports and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::SingleGpu => "single",
+            Backend::Unified => "unified",
+            Backend::Shmem { poll_caching: true } => "shmem",
+            Backend::Shmem { poll_caching: false } => "shmem-nocache",
+            Backend::ShmemGup => "shmem-gup",
+        }
+    }
+}

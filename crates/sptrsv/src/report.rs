@@ -1,0 +1,102 @@
+//! Solve reports: timings, machine statistics and verification data.
+
+use desim::SimTime;
+use mgpu_sim::MachineStats;
+
+/// Phase timings of one solve, in virtual time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Analysis (preprocessing) phase duration.
+    pub analysis: SimTime,
+    /// Solver phase duration.
+    pub solve: SimTime,
+    /// End-to-end: analysis + solve (what the paper's figures report:
+    /// "we sum up the execution time of the analysis phase and the
+    /// solver phase").
+    pub total: SimTime,
+}
+
+/// The complete result of a verified solve.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Phase timings (virtual time).
+    pub timings: Timings,
+    /// Machine counters captured at completion.
+    pub stats: MachineStats,
+    /// Calendar events processed (0 for the serial reference).
+    pub events: u64,
+    /// GPUs used.
+    pub gpus: usize,
+    /// Kernel launches in the plan (tasks × GPUs, or per level).
+    pub kernels: usize,
+    /// Matrix entries whose producer and consumer live on different
+    /// GPUs under the chosen layout.
+    pub cross_edges: u64,
+    /// Whether the working set fit in device memory on every GPU.
+    pub fits_in_memory: bool,
+    /// Max relative difference against the serial reference
+    /// (`None` when verification was disabled).
+    pub verified_rel_err: Option<f64>,
+    /// Human-readable variant label (e.g. "zerocopy-8t").
+    pub label: String,
+}
+
+impl SolveReport {
+    /// Speedup of this run relative to `baseline` on total time.
+    pub fn speedup_over(&self, baseline: &SolveReport) -> f64 {
+        baseline.timings.total.as_ns() as f64 / self.timings.total.as_ns().max(1) as f64
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<16} total={:>12} analysis={:>12} solve={:>12} faults={:>8} gets={:>9} events={}",
+            self.label,
+            self.timings.total.to_string(),
+            self.timings.analysis.to_string(),
+            self.timings.solve.to_string(),
+            self.stats.total_um_faults(),
+            self.stats.shmem.total_gets(),
+            self.events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(total_ns: u64) -> SolveReport {
+        SolveReport {
+            x: vec![],
+            timings: Timings {
+                analysis: SimTime::ZERO,
+                solve: SimTime::from_ns(total_ns),
+                total: SimTime::from_ns(total_ns),
+            },
+            stats: MachineStats::default(),
+            events: 0,
+            gpus: 1,
+            kernels: 1,
+            cross_edges: 0,
+            fits_in_memory: true,
+            verified_rel_err: None,
+            label: "test".into(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = dummy(100);
+        let slow = dummy(400);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_label() {
+        assert!(dummy(5).summary().contains("test"));
+    }
+}

@@ -1,0 +1,477 @@
+//! High-level solver API.
+//!
+//! [`solve`] ties together a triangular matrix, a right-hand side, a
+//! machine configuration and a solver variant; it validates inputs,
+//! enforces the hardware constraints the paper reports (NVSHMEM
+//! requires all-pairs P2P), runs the simulation, verifies the solution
+//! against the serial reference and returns a [`SolveReport`].
+
+use crate::exec::{self, ExecConfig, ExecError};
+use crate::levelset;
+use crate::plan::{ExecutionPlan, Partition};
+use crate::reference;
+use crate::report::{SolveReport, Timings};
+use crate::verify;
+use crate::Backend;
+use desim::SimTime;
+use mgpu_sim::{Machine, MachineConfig};
+use sparsemat::{CscMatrix, MatrixError, Triangle};
+
+/// Which solver variant to run — the paper's design-space points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Serial host reference (Algorithm 1).
+    Serial,
+    /// Level-set solver, single GPU (cuSPARSE csrsv2 stand-in).
+    LevelSet,
+    /// Synchronization-free single-GPU solver (Liu et al. \[2\]).
+    SyncFree,
+    /// Algorithm 2: multi-GPU with Unified Memory, blocked layout.
+    Unified,
+    /// Algorithm 2 + the task pool ("4GPU-Unified+8task" in Fig. 7).
+    UnifiedTasks {
+        /// Tasks per GPU.
+        per_gpu: u32,
+    },
+    /// Algorithm 3 with the baseline blocked ("continued") layout
+    /// ("4GPU-Shmem" in Fig. 7).
+    ShmemBlocked,
+    /// The naive Get-Update-Put NVSHMEM design §IV-A rejects
+    /// (distributed arrays, fenced wire round trips per update).
+    ShmemNaive,
+    /// The paper's proposed design: Algorithm 3 + round-robin task
+    /// pool ("4GPU-Zerocopy").
+    ZeroCopy {
+        /// Tasks per GPU (the Fig. 9 sensitivity knob; 8 in Fig. 7).
+        per_gpu: u32,
+    },
+    /// Zero-copy with a fixed *total* task count (Fig. 10 fixes 32).
+    ZeroCopyTotal {
+        /// Total tasks across all GPUs.
+        total: u32,
+    },
+}
+
+impl SolverKind {
+    /// Human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SolverKind::Serial => "serial".into(),
+            SolverKind::LevelSet => "csrsv2".into(),
+            SolverKind::SyncFree => "syncfree-1gpu".into(),
+            SolverKind::Unified => "unified".into(),
+            SolverKind::UnifiedTasks { per_gpu } => format!("unified+{per_gpu}t"),
+            SolverKind::ShmemBlocked => "shmem".into(),
+            SolverKind::ShmemNaive => "shmem-gup".into(),
+            SolverKind::ZeroCopy { per_gpu } => format!("zerocopy-{per_gpu}t"),
+            SolverKind::ZeroCopyTotal { total } => format!("zerocopy-total{total}"),
+        }
+    }
+}
+
+/// Options for [`solve`].
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Solver variant.
+    pub kind: SolverKind,
+    /// Which triangle the matrix represents.
+    pub triangle: Triangle,
+    /// Compare against the serial reference and fail on mismatch.
+    pub verify: bool,
+    /// Enable the r.in_degree poll-caching optimization (§IV-B).
+    pub poll_caching: bool,
+    /// Gather left_sum from all PEs (Alg. 3) vs only dependency owners.
+    pub gather_all_pes: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 8 },
+            triangle: Triangle::Lower,
+            verify: true,
+            poll_caching: true,
+            gather_all_pes: true,
+        }
+    }
+}
+
+/// Everything that can go wrong in a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The matrix failed triangular validation.
+    Matrix(MatrixError),
+    /// NVSHMEM variants need all-pairs P2P; this machine doesn't have it
+    /// (e.g. more than 4 GPUs of a DGX-1 — the paper's own constraint).
+    NotP2p {
+        /// GPUs requested.
+        gpus: usize,
+    },
+    /// The dataflow stalled (plan/launch-order bug).
+    Exec(ExecError),
+    /// Verification against the serial reference failed.
+    Verification {
+        /// Measured max relative error.
+        rel_err: f64,
+    },
+    /// Right-hand side length does not match the matrix.
+    DimensionMismatch {
+        /// Matrix dimension.
+        n: usize,
+        /// RHS length.
+        rhs: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SolveError::NotP2p { gpus } => write!(
+                f,
+                "NVSHMEM requires all-pairs P2P; the requested {gpus}-GPU span is not fully connected"
+            ),
+            SolveError::Exec(e) => write!(f, "execution error: {e}"),
+            SolveError::Verification { rel_err } => {
+                write!(f, "verification failed: relative error {rel_err:.3e}")
+            }
+            SolveError::DimensionMismatch { n, rhs } => {
+                write!(f, "matrix is {n}x{n} but rhs has {rhs} entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<MatrixError> for SolveError {
+    fn from(e: MatrixError) -> Self {
+        SolveError::Matrix(e)
+    }
+}
+
+/// Solve `m · x = b` with the requested variant on the given machine.
+pub fn solve(
+    m: &CscMatrix,
+    b: &[f64],
+    machine_cfg: MachineConfig,
+    opts: &SolveOptions,
+) -> Result<SolveReport, SolveError> {
+    m.validate_triangular(opts.triangle)?;
+    if b.len() != m.n() {
+        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len() });
+    }
+
+    let label = opts.kind.label();
+    match opts.kind {
+        SolverKind::Serial => {
+            let x = reference::solve_serial(m, b, opts.triangle)?;
+            return Ok(SolveReport {
+                x,
+                timings: Timings::default(),
+                stats: Default::default(),
+                events: 0,
+                gpus: 0,
+                kernels: 0,
+                cross_edges: 0,
+                fits_in_memory: true,
+                verified_rel_err: Some(0.0),
+                label,
+            });
+        }
+        SolverKind::LevelSet => {
+            let mut machine = Machine::new(single_gpu(&machine_cfg));
+            let out = levelset::run(m, b, &mut machine, opts.triangle);
+            let report = SolveReport {
+                timings: Timings {
+                    analysis: out.analysis_end,
+                    solve: SimTime::from_ns(out.makespan - out.analysis_end),
+                    total: out.makespan,
+                },
+                stats: machine.stats(),
+                events: 0,
+                gpus: 1,
+                kernels: out.levels,
+                cross_edges: 0,
+                fits_in_memory: machine.fits_in_memory(),
+                verified_rel_err: None,
+                label,
+                x: out.x,
+            };
+            return finish(m, b, report, opts);
+        }
+        _ => {}
+    }
+
+    // Synchronization-free family.
+    let (backend, partition, cfg) = match opts.kind {
+        SolverKind::SyncFree => (Backend::SingleGpu, Partition::Blocked, single_gpu(&machine_cfg)),
+        SolverKind::Unified => (Backend::Unified, Partition::Blocked, machine_cfg.clone()),
+        SolverKind::UnifiedTasks { per_gpu } => (
+            Backend::Unified,
+            Partition::Tasks { per_gpu },
+            machine_cfg.clone(),
+        ),
+        SolverKind::ShmemBlocked => (
+            Backend::Shmem { poll_caching: opts.poll_caching },
+            Partition::Blocked,
+            machine_cfg.clone(),
+        ),
+        SolverKind::ShmemNaive => (Backend::ShmemGup, Partition::Blocked, machine_cfg.clone()),
+        SolverKind::ZeroCopy { per_gpu } => (
+            Backend::Shmem { poll_caching: opts.poll_caching },
+            Partition::Tasks { per_gpu },
+            machine_cfg.clone(),
+        ),
+        SolverKind::ZeroCopyTotal { total } => (
+            Backend::Shmem { poll_caching: opts.poll_caching },
+            Partition::TotalTasks { total },
+            machine_cfg.clone(),
+        ),
+        SolverKind::Serial | SolverKind::LevelSet => unreachable!("handled above"),
+    };
+
+    let mut machine = Machine::new(cfg);
+    if matches!(backend, Backend::Shmem { .. } | Backend::ShmemGup)
+        && !machine.topology().fully_p2p()
+    {
+        return Err(SolveError::NotP2p { gpus: machine.n_gpus() });
+    }
+
+    let plan = ExecutionPlan::build(m.n(), machine.n_gpus(), partition, opts.triangle);
+    let cross_edges = plan.cross_gpu_edges(m, opts.triangle);
+    let exec_cfg = ExecConfig {
+        backend,
+        triangle: opts.triangle,
+        gather_all_pes: opts.gather_all_pes,
+    };
+    let out = exec::run(m, b, &plan, &mut machine, exec_cfg).map_err(SolveError::Exec)?;
+
+    let report = SolveReport {
+        timings: Timings {
+            analysis: out.analysis_end,
+            solve: SimTime::from_ns(out.makespan - out.analysis_end),
+            total: out.makespan,
+        },
+        stats: machine.stats(),
+        events: out.events,
+        gpus: machine.n_gpus(),
+        kernels: plan.kernels.len(),
+        cross_edges,
+        fits_in_memory: machine.fits_in_memory(),
+        verified_rel_err: None,
+        label,
+        x: out.x,
+    };
+    finish(m, b, report, opts)
+}
+
+/// Result of a multi-right-hand-side solve (the Liu et al. \[2\]
+/// setting: one analysis, many solves).
+#[derive(Debug, Clone)]
+pub struct MultiRhsReport {
+    /// Per-RHS reports (x vectors, per-solve stats).
+    pub reports: Vec<SolveReport>,
+    /// End-to-end virtual time with the analysis phase charged once:
+    /// the dependency structure (in-degrees, levels) depends only on
+    /// the matrix, so repeated solves reuse it — the amortization
+    /// argument §II-B makes against per-solve preprocessing.
+    pub total: SimTime,
+}
+
+impl MultiRhsReport {
+    /// What the same solves would cost if each re-ran the analysis.
+    pub fn unamortized_total(&self) -> SimTime {
+        SimTime::from_ns(self.reports.iter().map(|r| r.timings.total.as_ns()).sum())
+    }
+}
+
+/// Solve `m · X = B` for several right-hand sides with one analysis
+/// phase. Every solution is individually verified per `opts.verify`.
+pub fn solve_multi_rhs(
+    m: &CscMatrix,
+    bs: &[Vec<f64>],
+    machine_cfg: MachineConfig,
+    opts: &SolveOptions,
+) -> Result<MultiRhsReport, SolveError> {
+    let mut reports = Vec::with_capacity(bs.len());
+    let mut total = 0u64;
+    for (k, b) in bs.iter().enumerate() {
+        let r = solve(m, b, machine_cfg.clone(), opts)?;
+        // analysis is structure-only: charge it on the first solve
+        total += if k == 0 {
+            r.timings.total.as_ns()
+        } else {
+            r.timings.solve.as_ns()
+        };
+        reports.push(r);
+    }
+    Ok(MultiRhsReport { reports, total: SimTime::from_ns(total) })
+}
+
+fn single_gpu(cfg: &MachineConfig) -> MachineConfig {
+    let mut c = cfg.clone();
+    c.gpus = 1;
+    c
+}
+
+fn finish(
+    m: &CscMatrix,
+    b: &[f64],
+    mut report: SolveReport,
+    opts: &SolveOptions,
+) -> Result<SolveReport, SolveError> {
+    if opts.verify {
+        let reference = reference::solve_serial(m, b, opts.triangle)?;
+        let err = verify::rel_inf_diff(&report.x, &reference);
+        if err > verify::DEFAULT_TOL {
+            return Err(SolveError::Verification { rel_err: err });
+        }
+        report.verified_rel_err = Some(err);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::gen;
+
+    fn small() -> (CscMatrix, Vec<f64>) {
+        let m = gen::level_structured(&gen::LevelSpec::new(900, 18, 3600, 4));
+        let (_, b) = verify::rhs_for(&m, 42);
+        (m, b)
+    }
+
+    #[test]
+    fn all_variants_solve_and_verify() {
+        let (m, b) = small();
+        for kind in [
+            SolverKind::Serial,
+            SolverKind::LevelSet,
+            SolverKind::SyncFree,
+            SolverKind::Unified,
+            SolverKind::UnifiedTasks { per_gpu: 8 },
+            SolverKind::ShmemBlocked,
+            SolverKind::ShmemNaive,
+            SolverKind::ZeroCopy { per_gpu: 8 },
+            SolverKind::ZeroCopyTotal { total: 32 },
+        ] {
+            let opts = SolveOptions { kind, ..SolveOptions::default() };
+            let r = solve(&m, &b, MachineConfig::dgx1(4), &opts)
+                .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
+            assert!(r.verified_rel_err.unwrap_or(0.0) <= verify::DEFAULT_TOL, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn shmem_refuses_non_p2p_span() {
+        let (m, b) = small();
+        let opts = SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 8 },
+            ..SolveOptions::default()
+        };
+        let err = solve(&m, &b, MachineConfig::dgx1(8), &opts).unwrap_err();
+        assert!(matches!(err, SolveError::NotP2p { gpus: 8 }));
+        // but unified memory is allowed on 8 GPUs (host staging)
+        let opts = SolveOptions { kind: SolverKind::Unified, ..SolveOptions::default() };
+        solve(&m, &b, MachineConfig::dgx1(8), &opts).unwrap();
+    }
+
+    #[test]
+    fn dgx2_allows_sixteen_gpu_zero_copy() {
+        let (m, b) = small();
+        let opts = SolveOptions {
+            kind: SolverKind::ZeroCopyTotal { total: 32 },
+            ..SolveOptions::default()
+        };
+        let r = solve(&m, &b, MachineConfig::dgx2(16), &opts).unwrap();
+        assert_eq!(r.gpus, 16);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let (m, _) = small();
+        let opts = SolveOptions::default();
+        let err = solve(&m, &[1.0, 2.0], MachineConfig::dgx1(4), &opts).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn non_triangular_rejected() {
+        let a = gen::grid_laplacian(8, 8); // symmetric, not triangular
+        let b = vec![1.0; a.n()];
+        let err = solve(&a, &b, MachineConfig::dgx1(2), &SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::Matrix(_)));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SolverKind::ZeroCopy { per_gpu: 8 }.label(), "zerocopy-8t");
+        assert_eq!(SolverKind::UnifiedTasks { per_gpu: 4 }.label(), "unified+4t");
+        assert_eq!(SolverKind::LevelSet.label(), "csrsv2");
+    }
+
+    #[test]
+    fn multi_rhs_amortizes_analysis() {
+        let (m, _) = small();
+        let bs: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                let (_, b) = verify::rhs_for(&m, 100 + k);
+                b
+            })
+            .collect();
+        let opts = SolveOptions { kind: SolverKind::Unified, ..SolveOptions::default() };
+        let multi = solve_multi_rhs(&m, &bs, MachineConfig::dgx1(4), &opts).unwrap();
+        assert_eq!(multi.reports.len(), 4);
+        assert!(
+            multi.total < multi.unamortized_total(),
+            "shared analysis must save time: {} vs {}",
+            multi.total,
+            multi.unamortized_total()
+        );
+        for (k, r) in multi.reports.iter().enumerate() {
+            let expected = reference::solve_lower(&m, &bs[k]).unwrap();
+            assert!(verify::rel_inf_diff(&r.x, &expected) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn naive_gup_verifies_but_loses_badly() {
+        let (m, b) = small();
+        let naive = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
+            kind: SolverKind::ShmemNaive,
+            ..SolveOptions::default()
+        })
+        .unwrap();
+        assert!(naive.verified_rel_err.unwrap() < 1e-8);
+        let zerocopy = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 8 },
+            ..SolveOptions::default()
+        })
+        .unwrap();
+        assert!(
+            zerocopy.speedup_over(&naive) > 3.0,
+            "§IV-A: fenced get-update-put must lose decisively"
+        );
+        assert!(naive.stats.shmem.fences > 0);
+        assert!(naive.stats.shmem.quiets > 0);
+    }
+
+    #[test]
+    fn report_cross_edges_depend_on_partition() {
+        let (m, b) = small();
+        let blocked = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
+            kind: SolverKind::ShmemBlocked,
+            ..SolveOptions::default()
+        })
+        .unwrap();
+        let tasked = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 16 },
+            ..SolveOptions::default()
+        })
+        .unwrap();
+        assert!(tasked.cross_edges > blocked.cross_edges);
+        assert!(tasked.kernels > blocked.kernels);
+    }
+}

@@ -1,0 +1,88 @@
+//! Verification utilities: residuals, reference comparison, and
+//! reproducible right-hand-side generation.
+
+use desim::Pcg32;
+use sparsemat::CscMatrix;
+
+/// Relative infinity-norm difference `‖x − y‖∞ / max(‖y‖∞, 1)`.
+pub fn rel_inf_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut num: f64 = 0.0;
+    let mut den: f64 = 1.0;
+    for (a, b) in x.iter().zip(y) {
+        num = num.max((a - b).abs());
+        den = den.max(b.abs());
+    }
+    num / den
+}
+
+/// Relative residual `‖A x − b‖∞ / max(‖b‖∞, 1)`.
+pub fn rel_residual(a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.matvec(x);
+    rel_inf_diff(&ax, b)
+}
+
+/// A reproducible "true" solution vector with entries in `[-1, 1]`.
+pub fn reference_x(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0x9E37_79B9);
+    (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect()
+}
+
+/// Build `b = A · x_true` for a known `x_true` — the standard way the
+/// SpTRSV literature constructs right-hand sides so solutions can be
+/// checked exactly.
+pub fn rhs_for(a: &CscMatrix, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let x_true = reference_x(a.n(), seed);
+    let b = a.matvec(&x_true);
+    (x_true, b)
+}
+
+/// Default acceptance threshold for parallel-vs-serial comparison.
+/// Parallel execution reassociates the `left_sum` reduction, so exact
+/// equality is not expected; well-conditioned corpus factors stay
+/// orders of magnitude below this.
+pub const DEFAULT_TOL: f64 = 1e-8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::gen;
+
+    #[test]
+    fn diff_of_identical_is_zero() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(rel_inf_diff(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn diff_detects_single_entry() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![1.0, 2.5, 3.0];
+        assert!((rel_inf_diff(&x, &y) - 0.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_of_true_solution_is_tiny() {
+        let l = gen::banded_lower(200, 6, 3.0, 4);
+        let (x_true, b) = rhs_for(&l, 42);
+        assert!(rel_residual(&l, &x_true, &b) < 1e-12);
+    }
+
+    #[test]
+    fn rhs_is_deterministic() {
+        let l = gen::banded_lower(50, 3, 2.0, 7);
+        let (x1, b1) = rhs_for(&l, 1);
+        let (x2, b2) = rhs_for(&l, 1);
+        assert_eq!(x1, x2);
+        assert_eq!(b1, b2);
+        let (x3, _) = rhs_for(&l, 2);
+        assert_ne!(x1, x3);
+    }
+
+    #[test]
+    fn reference_x_in_range() {
+        for v in reference_x(1000, 5) {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

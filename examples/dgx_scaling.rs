@@ -1,0 +1,67 @@
+//! Strong-scaling study on both machines (the Fig. 10 experiment) for
+//! one matrix of your choice (default: the nlpkkt160 analog).
+//!
+//! Run with: `cargo run --release --example dgx_scaling [matrix-name]`
+
+use mgpu_sptrsv::prelude::*;
+use sparsemat::corpus;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "nlpkkt160".into());
+    let nm = corpus::by_name_scaled(&name, 12_000, 240_000)
+        .unwrap_or_else(|| panic!("unknown corpus matrix {name}; see corpus::all_names()"));
+    println!(
+        "{}: n = {}, nnz = {}, levels = {}, parallelism = {:.0}, dependency = {:.1}",
+        nm.name,
+        nm.achieved.rows,
+        nm.achieved.nnz,
+        nm.achieved.levels,
+        nm.achieved.parallelism,
+        nm.achieved.dependency
+    );
+    let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 99);
+
+    // baseline: single-GPU csrsv2-style level-set solver
+    let base = sptrsv::solve(
+        &nm.matrix,
+        &b,
+        MachineConfig::dgx1(1),
+        &SolveOptions { kind: SolverKind::LevelSet, ..Default::default() },
+    )
+    .expect("baseline");
+    println!("csrsv2 baseline: {} ({} levels)\n", base.timings.total, base.kernels);
+
+    println!("{:<8} {:>14} {:>10} {:>12} {:>12}", "machine", "total", "speedup", "gets", "nvlink KB");
+    for gpus in [1usize, 2, 3, 4] {
+        let r = sptrsv::solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(gpus),
+            &SolveOptions { kind: SolverKind::ZeroCopyTotal { total: 32 }, ..Default::default() },
+        )
+        .expect("dgx1 run");
+        println!(
+            "DGX1x{gpus}   {:>14} {:>10.2} {:>12} {:>12}",
+            r.timings.total.to_string(),
+            r.speedup_over(&base),
+            r.stats.shmem.total_gets(),
+            r.stats.nvlink_bytes / 1024,
+        );
+    }
+    for gpus in [4usize, 8, 16] {
+        let r = sptrsv::solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx2(gpus),
+            &SolveOptions { kind: SolverKind::ZeroCopyTotal { total: 32 }, ..Default::default() },
+        )
+        .expect("dgx2 run");
+        println!(
+            "DGX2x{gpus:<2}  {:>14} {:>10.2} {:>12} {:>12}",
+            r.timings.total.to_string(),
+            r.speedup_over(&base),
+            r.stats.shmem.total_gets(),
+            r.stats.switch_bytes / 1024,
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Algorithm 2 vs Algorithm 3, side by side: run the same system under
+//! the Unified-Memory design and the zero-copy NVSHMEM design and
+//! compare what the machine had to do (the paper's core comparison).
+//!
+//! Run with: `cargo run --release --example unified_vs_zerocopy [matrix-name]`
+
+use mgpu_sptrsv::prelude::*;
+use sparsemat::corpus;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "powersim".into());
+    let nm = corpus::by_name_scaled(&name, 12_000, 240_000)
+        .unwrap_or_else(|| panic!("unknown corpus matrix {name}"));
+    let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 3);
+
+    let unified = sptrsv::solve(
+        &nm.matrix,
+        &b,
+        MachineConfig::dgx1(4),
+        &SolveOptions { kind: SolverKind::Unified, ..Default::default() },
+    )
+    .expect("unified");
+    let zerocopy = sptrsv::solve(
+        &nm.matrix,
+        &b,
+        MachineConfig::dgx1(4),
+        &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() },
+    )
+    .expect("zerocopy");
+
+    println!("{} on a 4-GPU DGX-1 ({} rows, {} nnz):\n", nm.name, nm.achieved.rows, nm.achieved.nnz);
+    println!("{:<28} {:>16} {:>16}", "", "unified (Alg.2)", "zero-copy (Alg.3)");
+    let row = |label: &str, a: String, z: String| println!("{label:<28} {a:>16} {z:>16}");
+    row("total time", unified.timings.total.to_string(), zerocopy.timings.total.to_string());
+    row("analysis time", unified.timings.analysis.to_string(), zerocopy.timings.analysis.to_string());
+    row(
+        "UM page faults",
+        unified.stats.total_um_faults().to_string(),
+        zerocopy.stats.total_um_faults().to_string(),
+    );
+    row(
+        "UM remote ops",
+        unified.stats.um_remote_ops.to_string(),
+        zerocopy.stats.um_remote_ops.to_string(),
+    );
+    row(
+        "page bytes migrated",
+        format!("{} KB", unified.stats.um_migrated_bytes / 1024),
+        format!("{} KB", zerocopy.stats.um_migrated_bytes / 1024),
+    );
+    row(
+        "one-sided gets",
+        unified.stats.shmem.total_gets().to_string(),
+        zerocopy.stats.shmem.total_gets().to_string(),
+    );
+    row(
+        "gets saved by caching",
+        "-".into(),
+        zerocopy.stats.shmem.poll_gets_saved.to_string(),
+    );
+    row("cross-GPU edges", unified.cross_edges.to_string(), zerocopy.cross_edges.to_string());
+    println!(
+        "\nzero-copy speedup over unified: {:.2}x (paper Fig. 7: avg 3.53x, up to 9.86x)",
+        zerocopy.speedup_over(&unified)
+    );
+}

@@ -1,0 +1,77 @@
+//! # mgpu-sptrsv — a fast and scalable sparse triangular solver for multi-GPU HPC architectures
+//!
+//! A complete, self-contained reproduction of *"Fast and Scalable
+//! Sparse Triangular Solver for Multi-GPU Based HPC Architectures"*
+//! (ICPP 2021, arXiv:2012.06959) in safe Rust. Because the paper's
+//! testbed (V100 DGX-1/DGX-2, CUDA, NVSHMEM) is hardware we cannot
+//! ship, the machine itself is reproduced as a deterministic
+//! discrete-event model — every solver executes its real `f64`
+//! numerics while virtual time advances through warp slots, NVLink
+//! transfers, unified-memory page migrations and one-sided gets. See
+//! `DESIGN.md` for the substitution table and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison of every table and figure.
+//!
+//! ## Crates
+//!
+//! * [`desim`] — deterministic discrete-event engine (calendar,
+//!   resources, gates, statistics, PCG32).
+//! * [`sparsemat`] — CSC/CSR storage, level-set analysis, Matrix
+//!   Market I/O, ILU(0), synthetic generators, the Table-I corpus.
+//! * [`mgpu_sim`] — the machine: V100-class GPUs, DGX-1 cube-mesh /
+//!   DGX-2 NVSwitch topologies, CUDA Unified Memory, NVSHMEM-style
+//!   symmetric heap.
+//! * [`sptrsv`] — the solvers: serial reference, level-set
+//!   (csrsv2-style), sync-free single-GPU, Algorithm 2 (Unified
+//!   Memory), Algorithm 3 (zero-copy NVSHMEM) and the §V task pool.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mgpu_sptrsv::prelude::*;
+//!
+//! // A lower-triangular system with a known solution.
+//! let l = sparsemat::gen::level_structured(
+//!     &sparsemat::gen::LevelSpec::new(2_000, 25, 8_000, 42));
+//! let (x_true, b) = sptrsv::verify::rhs_for(&l, 7);
+//!
+//! // Solve with the paper's zero-copy design on a 4-GPU DGX-1.
+//! let report = sptrsv::solve(
+//!     &l,
+//!     &b,
+//!     MachineConfig::dgx1(4),
+//!     &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() },
+//! ).unwrap();
+//!
+//! assert!(sptrsv::verify::rel_inf_diff(&report.x, &x_true) < 1e-8);
+//! println!("solved in {} with {} page faults and {} one-sided gets",
+//!          report.timings.total,
+//!          report.stats.total_um_faults(),
+//!          report.stats.shmem.total_gets());
+//! ```
+
+pub use desim;
+pub use mgpu_sim;
+pub use sparsemat;
+pub use sptrsv;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use desim::SimTime;
+    pub use mgpu_sim::{GpuSpec, Machine, MachineConfig, TopologyKind};
+    pub use sparsemat::{CscMatrix, CsrMatrix, LevelSets, Triangle, TripletBuilder};
+    pub use sptrsv::{solve, Backend, Partition, SolveOptions, SolveReport, SolverKind};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_sufficient_for_a_solve() {
+        let l = sparsemat::gen::banded_lower(256, 8, 3.0, 1);
+        let (_, b) = sptrsv::verify::rhs_for(&l, 2);
+        let r = solve(&l, &b, MachineConfig::dgx1(2), &SolveOptions::default()).unwrap();
+        assert_eq!(r.x.len(), 256);
+        assert!(r.verified_rel_err.unwrap() < 1e-8);
+    }
+}

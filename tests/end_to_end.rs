@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: corpus generation → machine
+//! simulation → verified solutions, across every solver variant,
+//! machine, triangle and partition.
+
+use mgpu_sptrsv::prelude::*;
+use sparsemat::corpus;
+
+const ROW_CAP: usize = 3_000;
+const NNZ_CAP: usize = 60_000;
+
+fn load(name: &str) -> sparsemat::NamedMatrix {
+    corpus::by_name_scaled(name, ROW_CAP, NNZ_CAP).expect("corpus matrix")
+}
+
+fn all_kinds() -> Vec<SolverKind> {
+    vec![
+        SolverKind::Serial,
+        SolverKind::LevelSet,
+        SolverKind::SyncFree,
+        SolverKind::Unified,
+        SolverKind::UnifiedTasks { per_gpu: 8 },
+        SolverKind::ShmemBlocked,
+        SolverKind::ZeroCopy { per_gpu: 8 },
+        SolverKind::ZeroCopyTotal { total: 32 },
+    ]
+}
+
+#[test]
+fn every_variant_verifies_on_representative_corpus() {
+    for name in ["powersim", "nlpkkt160", "chipcool0", "twitter7"] {
+        let nm = load(name);
+        let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 1);
+        for kind in all_kinds() {
+            let r = sptrsv::solve(
+                &nm.matrix,
+                &b,
+                MachineConfig::dgx1(4),
+                &SolveOptions { kind, ..Default::default() },
+            )
+            .unwrap_or_else(|e| panic!("{kind:?} on {name}: {e}"));
+            assert!(
+                r.verified_rel_err.unwrap() < 1e-8,
+                "{kind:?} on {name}: err {}",
+                r.verified_rel_err.unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn full_corpus_zero_copy_runs_verified() {
+    for nm in corpus::corpus_scaled(ROW_CAP, NNZ_CAP) {
+        let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 2);
+        let r = sptrsv::solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", nm.name));
+        assert!(r.verified_rel_err.unwrap() < 1e-8, "{}", nm.name);
+        assert!(r.timings.total > SimTime::ZERO);
+    }
+}
+
+#[test]
+fn dgx2_scales_to_sixteen_gpus() {
+    let nm = load("nlpkkt160");
+    let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 3);
+    let mut prev_total = u64::MAX;
+    for gpus in [1usize, 4, 16] {
+        let r = sptrsv::solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx2(gpus),
+            &SolveOptions { kind: SolverKind::ZeroCopyTotal { total: 32 }, ..Default::default() },
+        )
+        .unwrap();
+        assert!(r.verified_rel_err.unwrap() < 1e-8);
+        assert!(
+            r.timings.total.as_ns() < prev_total,
+            "nlpkkt160 must scale on DGX-2 at {gpus} GPUs"
+        );
+        prev_total = r.timings.total.as_ns();
+    }
+}
+
+#[test]
+fn upper_triangular_systems_solve_on_every_backend() {
+    let l = load("powersim").matrix;
+    let u = l.transpose();
+    let (_, b) = sptrsv::verify::rhs_for(&u, 4);
+    let reference = sptrsv::reference::solve_upper(&u, &b).unwrap();
+    for kind in [
+        SolverKind::LevelSet,
+        SolverKind::Unified,
+        SolverKind::ZeroCopy { per_gpu: 8 },
+    ] {
+        let r = sptrsv::solve(
+            &u,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind, triangle: Triangle::Upper, ..Default::default() },
+        )
+        .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert!(sptrsv::verify::rel_inf_diff(&r.x, &reference) < 1e-8, "{kind:?}");
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let nm = load("dc2");
+    let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 5);
+    let run = || {
+        sptrsv::solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() },
+        )
+        .unwrap()
+    };
+    let a = run();
+    let c = run();
+    assert_eq!(a.timings.total, c.timings.total);
+    assert_eq!(a.events, c.events);
+    assert_eq!(a.x, c.x);
+    assert_eq!(a.stats.shmem.total_gets(), c.stats.shmem.total_gets());
+}
+
+#[test]
+fn nvshmem_variants_refuse_non_p2p_machines() {
+    let nm = load("powersim");
+    let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 6);
+    // 8 DGX-1 GPUs are not all-pairs P2P: the paper's own limit.
+    let err = sptrsv::solve(
+        &nm.matrix,
+        &b,
+        MachineConfig::dgx1(8),
+        &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() },
+    )
+    .unwrap_err();
+    assert!(matches!(err, sptrsv::SolveError::NotP2p { gpus: 8 }));
+    // ... but unified memory still works there (host staging).
+    sptrsv::solve(
+        &nm.matrix,
+        &b,
+        MachineConfig::dgx1(8),
+        &SolveOptions { kind: SolverKind::Unified, ..Default::default() },
+    )
+    .unwrap();
+}
+
+#[test]
+fn matrix_market_roundtrip_preserves_solutions() {
+    let nm = load("Wordnet3");
+    let mut buf = Vec::new();
+    sparsemat::io::write_matrix_market(&nm.matrix, &mut buf).unwrap();
+    let reread = sparsemat::io::read_matrix_market(buf.as_slice()).unwrap();
+    assert_eq!(reread, nm.matrix);
+
+    let (_, b) = sptrsv::verify::rhs_for(&reread, 7);
+    let r = sptrsv::solve(
+        &reread,
+        &b,
+        MachineConfig::dgx1(2),
+        &SolveOptions::default(),
+    )
+    .unwrap();
+    assert!(r.verified_rel_err.unwrap() < 1e-8);
+}
+
+#[test]
+fn ilu0_factors_solve_end_to_end() {
+    let a = sparsemat::gen::grid_laplacian(40, 30);
+    let f = sparsemat::factor::ilu0(&a, 1e-8).unwrap();
+    let (_, r) = sptrsv::verify::rhs_for(&f.l, 8);
+    let fwd = sptrsv::solve(
+        &f.l,
+        &r,
+        MachineConfig::dgx1(4),
+        &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 4 }, ..Default::default() },
+    )
+    .unwrap();
+    let bwd = sptrsv::solve(
+        &f.u,
+        &fwd.x,
+        MachineConfig::dgx1(4),
+        &SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 4 },
+            triangle: Triangle::Upper,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(bwd.verified_rel_err.unwrap() < 1e-8);
+}
