@@ -1,0 +1,121 @@
+//! Build-once/solve-many engine benchmark: cold vs amortized solves.
+//!
+//! Measures, on a 100k-row level-structured factor (scalable via
+//! `SPTRSV_SCALE`):
+//!
+//! * **cold solve** — one-shot `sptrsv::solve()`: analysis + plan +
+//!   adjacency + calibration simulation + numeric solve, every call;
+//! * **warm solve** — `engine.solve()` on a prebuilt [`SolverEngine`]:
+//!   numeric replay only;
+//! * **64-RHS amortized batch** — `engine.solve_batch()` against 64
+//!   one-shot `solve()` calls on the same matrix.
+//!
+//! Results go to `BENCH_engine.json` at the repository root so the perf
+//! trajectory is tracked from PR to PR. The batch speedup is asserted
+//! to stay ≥ 2× — the acceptance floor; the replay design typically
+//! lands far above it.
+//!
+//! Run with `cargo bench -p sptrsv-bench --bench engine`.
+
+use mgpu_sim::MachineConfig;
+use sparsemat::gen::{self, LevelSpec};
+use sptrsv::{solve, verify, SolveOptions, SolverEngine, SolverKind};
+use sptrsv_bench::timer::{time_ns, TimingSummary};
+use std::io::Write;
+
+const BASE_N: usize = 100_000;
+const BATCH_RHS: usize = 64;
+
+fn main() {
+    let scale = sptrsv_bench::scale_factor();
+    let n = (BASE_N as f64 * scale) as usize;
+    let m = gen::level_structured(&LevelSpec::new(n, 200, n * 4, 11));
+    let nnz = m.nnz();
+    let cfg = MachineConfig::dgx1(4);
+    let opts = SolveOptions {
+        kind: SolverKind::ZeroCopy { per_gpu: 8 },
+        verify: false,
+        ..SolveOptions::default()
+    };
+    println!("engine bench: n={n} nnz={nnz} kind={}", opts.kind.label());
+
+    // --- cold vs warm single solves ----------------------------------
+    let (_, b) = verify::rhs_for(&m, 1);
+    let cold = time_ns(5, || solve(&m, &b, cfg.clone(), &opts).unwrap());
+    let engine = SolverEngine::build(&m, cfg.clone(), &opts).unwrap();
+    let warm = time_ns(5, || engine.solve(&b).unwrap());
+    let cold_over_warm = cold.median_ns as f64 / warm.median_ns.max(1) as f64;
+    println!(
+        "cold solve   median {:>12}",
+        TimingSummary::human(cold.median_ns)
+    );
+    println!(
+        "warm solve   median {:>12}   (cold/warm = {cold_over_warm:.1}x)",
+        TimingSummary::human(warm.median_ns)
+    );
+
+    // --- 64-RHS: amortized batch vs one-shot loop --------------------
+    let bs: Vec<Vec<f64>> = (0..BATCH_RHS as u64)
+        .map(|k| verify::rhs_for(&m, 1000 + k).1)
+        .collect();
+    let one_shot = time_ns(3, || {
+        let mut acc = 0u64;
+        for b in &bs {
+            acc ^= solve(&m, b, cfg.clone(), &opts).unwrap().events;
+        }
+        acc
+    });
+    let batch = time_ns(3, || {
+        // a fresh engine per sample: the amortized cost INCLUDES the
+        // one-time analysis + calibration, as a real caller would pay it
+        let engine = SolverEngine::build(&m, cfg.clone(), &opts).unwrap();
+        engine.solve_batch(&bs).unwrap().reports.len()
+    });
+    let speedup = one_shot.median_ns as f64 / batch.median_ns.max(1) as f64;
+    println!(
+        "{BATCH_RHS}x one-shot median {:>12}",
+        TimingSummary::human(one_shot.median_ns)
+    );
+    println!(
+        "{BATCH_RHS}x batch    median {:>12}   (speedup = {speedup:.1}x)",
+        TimingSummary::human(batch.median_ns)
+    );
+
+    // --- emit BENCH_engine.json at the repo root ---------------------
+    let json = format!(
+        r#"{{
+  "bench": "engine_cold_vs_warm",
+  "matrix": {{ "n": {n}, "nnz": {nnz}, "generator": "level_structured(levels=200, seed=11)" }},
+  "solver": "{label}",
+  "machine": "dgx1x4",
+  "cold_solve_ns": {{ "median": {cold_med}, "min": {cold_min} }},
+  "warm_solve_ns": {{ "median": {warm_med}, "min": {warm_min} }},
+  "cold_over_warm": {cold_over_warm:.2},
+  "batch": {{
+    "rhs": {BATCH_RHS},
+    "one_shot_loop_ns": {os_med},
+    "amortized_batch_ns": {batch_med},
+    "speedup": {speedup:.2},
+    "threads": {threads}
+  }}
+}}
+"#,
+        label = opts.kind.label(),
+        cold_med = cold.median_ns,
+        cold_min = cold.min_ns,
+        warm_med = warm.median_ns,
+        warm_min = warm.min_ns,
+        os_med = one_shot.median_ns,
+        batch_med = batch.median_ns,
+        threads = std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let mut f = std::fs::File::create(out).expect("create BENCH_engine.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_engine.json");
+    println!("wrote {out}");
+
+    assert!(
+        speedup >= 2.0,
+        "amortized batch must be at least 2x faster than one-shot loop, got {speedup:.2}x"
+    );
+}

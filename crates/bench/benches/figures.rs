@@ -1,21 +1,21 @@
-//! Criterion wrappers around every table/figure experiment — one bench
-//! group per artifact of §VI. Each bench runs the same simulation the
+//! Timed wrappers around every table/figure experiment — one group per
+//! artifact of §VI. Each bench runs the same simulation the
 //! corresponding `src/bin/figN.rs` harness prints, at a reduced corpus
-//! scale so the whole suite completes in minutes. What Criterion
-//! measures here is the wall-clock of the *implementation* (simulator +
-//! solvers); the paper-shape numbers themselves come from the harness
-//! binaries.
+//! scale so the whole suite completes in minutes. What is measured here
+//! is the wall-clock of the *implementation* (simulator + solvers); the
+//! paper-shape numbers themselves come from the harness binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mgpu_sim::MachineConfig;
-use sparsemat::corpus::{by_name_scaled, fig3_names, fig10_names};
+use sparsemat::corpus::{by_name_scaled, fig10_names, fig3_names};
 use sparsemat::levels::TriStats;
 use sparsemat::Triangle;
 use sptrsv::{solve, SolveOptions, SolverKind};
+use sptrsv_bench::timer::Group;
 use std::hint::black_box;
 
 const ROW_CAP: usize = 3_000;
 const NNZ_CAP: usize = 60_000;
+const SAMPLES: usize = 10;
 
 fn load(name: &str) -> sparsemat::NamedMatrix {
     by_name_scaled(name, ROW_CAP, NNZ_CAP).expect("corpus matrix")
@@ -32,41 +32,30 @@ fn run(nm: &sparsemat::NamedMatrix, cfg: MachineConfig, kind: SolverKind) -> u64
 }
 
 /// Table I: corpus generation + structural analysis.
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_corpus");
-    g.sample_size(10);
-    g.bench_function("generate_and_analyze", |b| {
-        b.iter(|| {
-            let m = load(black_box("powersim"));
-            black_box(TriStats::compute(&m.matrix, Triangle::Lower))
-        })
+fn bench_table1() {
+    let mut g = Group::new("table1_corpus");
+    g.bench("generate_and_analyze", SAMPLES, || {
+        let m = load(black_box("powersim"));
+        black_box(TriStats::compute(&m.matrix, Triangle::Lower))
     });
-    g.finish();
 }
 
 /// Figure 3: UM thrashing at growing GPU counts.
-fn bench_fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_unified_thrashing");
-    g.sample_size(10);
+fn bench_fig3() {
+    let mut g = Group::new("fig3_unified_thrashing");
     for name in fig3_names() {
         let nm = load(name);
         for gpus in [2usize, 4, 8] {
-            g.bench_with_input(
-                BenchmarkId::new(*name, gpus),
-                &gpus,
-                |b, &gpus| {
-                    b.iter(|| run(&nm, MachineConfig::dgx1(gpus), SolverKind::Unified))
-                },
-            );
+            g.bench(&format!("{name}/{gpus}"), SAMPLES, || {
+                run(&nm, MachineConfig::dgx1(gpus), SolverKind::Unified)
+            });
         }
     }
-    g.finish();
 }
 
 /// Figure 7: the four design scenarios on 4 GPUs.
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_scenarios");
-    g.sample_size(10);
+fn bench_fig7() {
+    let mut g = Group::new("fig7_scenarios");
     let nm = load("powersim");
     let kinds = [
         ("unified", SolverKind::Unified),
@@ -75,68 +64,57 @@ fn bench_fig7(c: &mut Criterion) {
         ("zerocopy", SolverKind::ZeroCopy { per_gpu: 8 }),
     ];
     for (label, kind) in kinds {
-        g.bench_function(label, |b| {
-            b.iter(|| run(&nm, MachineConfig::dgx1(4), kind))
-        });
+        g.bench(label, SAMPLES, || run(&nm, MachineConfig::dgx1(4), kind));
     }
-    g.finish();
 }
 
 /// Figure 8: DGX-1 vs DGX-2 machines.
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_dgx1_vs_dgx2");
-    g.sample_size(10);
+fn bench_fig8() {
+    let mut g = Group::new("fig8_dgx1_vs_dgx2");
     let nm = load("dc2");
-    g.bench_function("dgx1_zerocopy", |b| {
-        b.iter(|| run(&nm, MachineConfig::dgx1(4), SolverKind::ZeroCopy { per_gpu: 8 }))
+    g.bench("dgx1_zerocopy", SAMPLES, || {
+        run(&nm, MachineConfig::dgx1(4), SolverKind::ZeroCopy { per_gpu: 8 })
     });
-    g.bench_function("dgx2_zerocopy", |b| {
-        b.iter(|| run(&nm, MachineConfig::dgx2(4), SolverKind::ZeroCopy { per_gpu: 8 }))
+    g.bench("dgx2_zerocopy", SAMPLES, || {
+        run(&nm, MachineConfig::dgx2(4), SolverKind::ZeroCopy { per_gpu: 8 })
     });
-    g.finish();
 }
 
 /// Figure 9: task-granularity sweep.
-fn bench_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_task_sensitivity");
-    g.sample_size(10);
+fn bench_fig9() {
+    let mut g = Group::new("fig9_task_sensitivity");
     let nm = load("webbase-1M");
     for tasks in [4u32, 8, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &t| {
-            b.iter(|| run(&nm, MachineConfig::dgx1(4), SolverKind::ZeroCopy { per_gpu: t }))
+        g.bench(&format!("tasks_{tasks}"), SAMPLES, || {
+            run(&nm, MachineConfig::dgx1(4), SolverKind::ZeroCopy { per_gpu: tasks })
         });
     }
-    g.finish();
 }
 
 /// Figure 10: strong scaling on both machines (incl. csrsv2 baseline).
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_scaling");
-    g.sample_size(10);
+fn bench_fig10() {
+    let mut g = Group::new("fig10_scaling");
     let nm = load(fig10_names()[2]); // nlpkkt160, the best-scaling one
-    g.bench_function("csrsv2_baseline", |b| {
-        b.iter(|| run(&nm, MachineConfig::dgx1(1), SolverKind::LevelSet))
+    g.bench("csrsv2_baseline", SAMPLES, || {
+        run(&nm, MachineConfig::dgx1(1), SolverKind::LevelSet)
     });
     for gpus in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("dgx1", gpus), &gpus, |b, &gpus| {
-            b.iter(|| run(&nm, MachineConfig::dgx1(gpus), SolverKind::ZeroCopyTotal { total: 32 }))
+        g.bench(&format!("dgx1/{gpus}"), SAMPLES, || {
+            run(&nm, MachineConfig::dgx1(gpus), SolverKind::ZeroCopyTotal { total: 32 })
         });
     }
     for gpus in [4usize, 16] {
-        g.bench_with_input(BenchmarkId::new("dgx2", gpus), &gpus, |b, &gpus| {
-            b.iter(|| run(&nm, MachineConfig::dgx2(gpus), SolverKind::ZeroCopyTotal { total: 32 }))
+        g.bench(&format!("dgx2/{gpus}"), SAMPLES, || {
+            run(&nm, MachineConfig::dgx2(gpus), SolverKind::ZeroCopyTotal { total: 32 })
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_fig3,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10
-);
-criterion_main!(figures);
+fn main() {
+    bench_table1();
+    bench_fig3();
+    bench_fig7();
+    bench_fig8();
+    bench_fig9();
+    bench_fig10();
+}

@@ -3,116 +3,120 @@
 //! implementation's own performance (the guides' "mediocre benchmarking
 //! beats none" rule) independent of the paper-shape experiments.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use desim::{EventQueue, Pcg32, Resource, SimTime};
 use sparsemat::gen::{self, LevelSpec};
 use sparsemat::levels::LevelSets;
 use sparsemat::{CsrMatrix, Triangle};
 use sptrsv::reference;
+use sptrsv_bench::timer::Group;
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("desim_event_queue");
+fn bench_event_queue() {
+    let mut g = Group::new("desim_event_queue");
     for n in [1_000usize, 100_000] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+        g.bench(&format!("push_pop/{n}"), 10, || {
             let mut rng = Pcg32::seed_from_u64(7);
-            b.iter(|| {
-                let mut q = EventQueue::with_capacity(n);
-                for i in 0..n {
-                    q.schedule_at(SimTime::from_ns(rng.next_u64() % 1_000_000), i as u32);
-                }
-                let mut last = SimTime::ZERO;
-                while let Some((t, e)) = q.pop() {
-                    debug_assert!(t >= last);
-                    last = t;
-                    black_box(e);
-                }
-                last
-            })
+            let mut q = EventQueue::with_capacity(n);
+            for i in 0..n {
+                q.schedule_at(SimTime::from_ns(rng.next_u64() % 1_000_000), i as u32);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, e)) = q.pop() {
+                debug_assert!(t >= last);
+                last = t;
+                black_box(e);
+            }
+            last
         });
     }
-    g.finish();
-}
-
-fn bench_resource(c: &mut Criterion) {
-    let mut g = c.benchmark_group("desim_resource");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("acquire_100k", |b| {
-        b.iter(|| {
-            let mut r = Resource::new(16);
-            let mut t = SimTime::ZERO;
-            for i in 0..100_000u64 {
-                t = r.acquire(SimTime::from_ns(i * 3), 40);
+    // The executor's dominant pattern: bursts of events scheduled at the
+    // *current* timestamp (same-time kernel fan-out, dependency floods).
+    // This exercises the FIFO bucket fast path against the binary heap.
+    for burst in [32usize, 1_024] {
+        g.bench(&format!("same_time_bursts/{burst}"), 10, || {
+            let mut q = EventQueue::with_capacity(burst * 64);
+            let mut total = 0u64;
+            q.schedule_at(SimTime::from_ns(1), 0u32);
+            for round in 1..=64u64 {
+                // drain the current instant, scheduling a burst at `now`
+                if let Some((now, e)) = q.pop() {
+                    black_box(e);
+                    for i in 0..burst {
+                        q.schedule_at(now, i as u32);
+                    }
+                    while let Some((_, e)) = q.pop() {
+                        total += e as u64;
+                    }
+                    q.schedule_at(SimTime::from_ns(round + 1), 0u32);
+                }
             }
-            t
-        })
-    });
-    g.finish();
+            while q.pop().is_some() {}
+            total
+        });
+    }
 }
 
-fn bench_generator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sparsemat_generators");
-    g.sample_size(10);
-    g.bench_function("level_structured_20k", |b| {
-        b.iter(|| gen::level_structured(&LevelSpec::new(20_000, 100, 100_000, 3)))
+fn bench_resource() {
+    let mut g = Group::new("desim_resource");
+    g.bench("acquire_100k", 10, || {
+        let mut r = Resource::new(16);
+        let mut t = SimTime::ZERO;
+        for i in 0..100_000u64 {
+            t = r.acquire(SimTime::from_ns(i * 3), 40);
+        }
+        t
     });
-    g.bench_function("rmat_16k", |b| b.iter(|| gen::rmat_lower(1 << 14, 80_000, 5)));
-    g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_generator() {
+    let mut g = Group::new("sparsemat_generators");
+    g.bench("level_structured_20k", 10, || {
+        gen::level_structured(&LevelSpec::new(20_000, 100, 100_000, 3))
+    });
+    g.bench("rmat_16k", 10, || gen::rmat_lower(1 << 14, 80_000, 5));
+}
+
+fn bench_analysis() {
     let m = gen::level_structured(&LevelSpec::new(50_000, 200, 250_000, 11));
-    let mut g = c.benchmark_group("sparsemat_analysis");
-    g.throughput(Throughput::Elements(m.nnz() as u64));
-    g.bench_function("level_sets_50k", |b| {
-        b.iter(|| LevelSets::analyze(black_box(&m), Triangle::Lower))
+    let mut g = Group::new("sparsemat_analysis");
+    g.bench("level_sets_50k", 10, || {
+        LevelSets::analyze(black_box(&m), Triangle::Lower)
     });
-    g.bench_function("transpose_50k", |b| b.iter(|| black_box(&m).transpose()));
-    g.bench_function("csr_conversion_50k", |b| b.iter(|| CsrMatrix::from_csc(black_box(&m))));
-    g.finish();
+    g.bench("transpose_50k", 10, || black_box(&m).transpose());
+    g.bench("csr_conversion_50k", 10, || CsrMatrix::from_csc(black_box(&m)));
 }
 
-fn bench_reference_solver(c: &mut Criterion) {
+fn bench_reference_solver() {
     let m = gen::level_structured(&LevelSpec::new(50_000, 200, 250_000, 13));
     let (_, b_rhs) = sptrsv::verify::rhs_for(&m, 1);
-    let mut g = c.benchmark_group("reference_solver");
-    g.throughput(Throughput::Elements(m.nnz() as u64));
-    g.bench_function("forward_substitution_50k", |bch| {
-        bch.iter(|| reference::solve_lower(black_box(&m), black_box(&b_rhs)).unwrap())
+    let mut g = Group::new("reference_solver");
+    g.bench("forward_substitution_50k", 10, || {
+        reference::solve_lower(black_box(&m), black_box(&b_rhs)).unwrap()
     });
     let u = m.transpose();
     let (_, bu) = sptrsv::verify::rhs_for(&u, 2);
-    g.bench_function("backward_substitution_50k", |bch| {
-        bch.iter(|| reference::solve_upper(black_box(&u), black_box(&bu)).unwrap())
+    g.bench("backward_substitution_50k", 10, || {
+        reference::solve_upper(black_box(&u), black_box(&bu)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_cpu_parallel(c: &mut Criterion) {
+fn bench_cpu_parallel() {
     let m = gen::level_structured(&LevelSpec::new(50_000, 40, 250_000, 17));
     let (_, b_rhs) = sptrsv::verify::rhs_for(&m, 3);
-    let mut g = c.benchmark_group("cpu_levelset_solver");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(m.nnz() as u64));
+    let mut g = Group::new("cpu_levelset_solver");
     for threads in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &t| {
-            bch.iter(|| {
-                sptrsv::cpu::solve_parallel(black_box(&m), black_box(&b_rhs),
-                    Triangle::Lower, t).unwrap()
-            })
+        g.bench(&format!("threads_{threads}"), 10, || {
+            sptrsv::cpu::solve_parallel(black_box(&m), black_box(&b_rhs), Triangle::Lower, threads)
+                .unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    substrate,
-    bench_event_queue,
-    bench_resource,
-    bench_generator,
-    bench_analysis,
-    bench_reference_solver,
-    bench_cpu_parallel
-);
-criterion_main!(substrate);
+fn main() {
+    bench_event_queue();
+    bench_resource();
+    bench_generator();
+    bench_analysis();
+    bench_reference_solver();
+    bench_cpu_parallel();
+}

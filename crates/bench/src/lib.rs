@@ -1,7 +1,10 @@
 //! Shared harness for regenerating every table and figure of the
 //! paper's evaluation (§VI). Each `src/bin/figN.rs` binary prints the
-//! corresponding rows/series; `benches/` wraps the same runs in
-//! Criterion for wall-clock tracking of the implementation itself.
+//! corresponding rows/series; `benches/` wraps the same runs in the
+//! [`timer`] harness for wall-clock tracking of the implementation
+//! itself (criterion is unavailable offline).
+
+pub mod timer;
 
 use mgpu_sim::MachineConfig;
 use sparsemat::{corpus, NamedMatrix};

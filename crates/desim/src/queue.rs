@@ -1,14 +1,29 @@
 //! The event calendar.
 //!
-//! [`EventQueue`] is a binary-heap calendar keyed on
-//! `(SimTime, sequence)`. The sequence number makes event ordering a
-//! *total* order: two events scheduled for the same instant are
-//! delivered in the order they were pushed. That FIFO tie-break is what
-//! makes simulations replayable bit-for-bit.
+//! [`EventQueue`] is a calendar keyed on `(SimTime, sequence)`. The
+//! sequence number makes event ordering a *total* order: two events
+//! scheduled for the same instant are delivered in the order they were
+//! pushed. That FIFO tie-break is what makes simulations replayable
+//! bit-for-bit.
+//!
+//! ## Same-timestamp fast path
+//!
+//! The dataflow executor's dominant scheduling pattern is a *burst at
+//! the current instant*: a kernel event fans out warp-slot events at
+//! `now`, a retiring warp floods dependency decrements at one durable
+//! timestamp, and so on. Routing those through the binary heap costs
+//! `O(log n)` sift-downs per event even though they pop in pure FIFO
+//! order. The calendar therefore keeps a [`VecDeque`] *bucket* for
+//! events scheduled exactly at the current clock: `push_back` on
+//! schedule, `pop_front` on pop, both `O(1)`. Total order is preserved
+//! because every pop compares the bucket head's `(at, seq)` key against
+//! the heap's — whichever is globally smallest is delivered. The
+//! `same_time_bursts` benchmark in `crates/bench/benches/substrate.rs`
+//! tracks the win.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
@@ -51,9 +66,14 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// FIFO bucket holding events scheduled at exactly [`Self::bucket_at`];
+    /// `seq` rides along so pops can interleave correctly with the heap.
+    bucket: VecDeque<(u64, E)>,
+    bucket_at: SimTime,
     now: SimTime,
     seq: u64,
     scheduled_total: u64,
+    bucket_hits: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -67,19 +87,29 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            bucket: VecDeque::new(),
+            bucket_at: SimTime::ZERO,
             now: SimTime::ZERO,
             seq: 0,
             scheduled_total: 0,
+            bucket_hits: 0,
         }
     }
 
     /// An empty calendar with pre-allocated capacity for `cap` events.
+    ///
+    /// The heap takes the full capacity; the same-timestamp bucket is
+    /// pre-sized to a bounded slice of it (bursts are wide but not
+    /// calendar-wide).
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
+            bucket: VecDeque::with_capacity(cap.min(1024)),
+            bucket_at: SimTime::ZERO,
             now: SimTime::ZERO,
             seq: 0,
             scheduled_total: 0,
+            bucket_hits: 0,
         }
     }
 
@@ -92,19 +122,26 @@ impl<E> EventQueue<E> {
     /// Number of events waiting in the calendar.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.bucket.len()
     }
 
     /// True when no events remain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.bucket.is_empty()
     }
 
     /// Total number of events ever scheduled (for run statistics).
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Events that took the O(1) same-timestamp fast path (for
+    /// benchmarks and tests).
+    #[inline]
+    pub fn fast_path_hits(&self) -> u64 {
+        self.bucket_hits
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -119,10 +156,19 @@ impl<E> EventQueue<E> {
             self.now
         );
         let at = at.max(self.now);
-        let key = Key { at, seq: self.seq };
+        let seq = self.seq;
         self.seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Reverse(Entry { key, event }));
+        // Fast path: a burst at the current instant (or growing an
+        // already-open bucket at that instant) is pure FIFO — skip the
+        // heap entirely.
+        if at == self.now && (self.bucket.is_empty() || self.bucket_at == at) {
+            self.bucket_at = at;
+            self.bucket.push_back((seq, event));
+            self.bucket_hits += 1;
+            return;
+        }
+        self.heap.push(Reverse(Entry { key: Key { at, seq }, event }));
     }
 
     /// Schedule `event` at `now + delay_ns`.
@@ -134,6 +180,19 @@ impl<E> EventQueue<E> {
     /// Pop the earliest event and advance the clock to its timestamp.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let take_bucket = match (self.bucket.front(), self.heap.peek()) {
+            (Some(&(bseq, _)), Some(Reverse(entry))) => {
+                (self.bucket_at, bseq) < (entry.key.at, entry.key.seq)
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_bucket {
+            let (_, event) = self.bucket.pop_front().expect("checked non-empty");
+            debug_assert!(self.bucket_at >= self.now, "event calendar went backwards");
+            self.now = self.bucket_at;
+            return Some((self.bucket_at, event));
+        }
         let Reverse(Entry { key, event }) = self.heap.pop()?;
         debug_assert!(key.at >= self.now, "event calendar went backwards");
         self.now = key.at;
@@ -143,7 +202,12 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without popping it.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.key.at)
+        let heap_at = self.heap.peek().map(|Reverse(e)| e.key.at);
+        let bucket_at = self.bucket.front().map(|_| self.bucket_at);
+        match (heap_at, bucket_at) {
+            (Some(h), Some(b)) => Some(h.min(b)),
+            (h, b) => h.or(b),
+        }
     }
 }
 
@@ -208,6 +272,47 @@ mod tests {
         q.schedule_in(7, ());
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn same_instant_burst_takes_fast_path_and_stays_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, 0u32);
+        let (t, _) = q.pop().unwrap();
+        // burst at the current instant: all bucketed
+        for i in 1..=50u32 {
+            q.schedule_at(t, i);
+        }
+        assert!(q.fast_path_hits() >= 50);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bucket_interleaves_with_heap_in_seq_order() {
+        let mut q = EventQueue::new();
+        // heap events at t=10 scheduled first (smaller seq)
+        q.schedule_at(SimTime::from_ns(10), 0u32);
+        q.schedule_at(SimTime::from_ns(10), 1u32);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.as_ns(), e), (10, 0));
+        // now schedule at the same instant: bucketed, but seq is larger
+        // than the remaining heap event at t=10 — heap must pop first
+        q.schedule_at(t, 2u32);
+        q.schedule_at(SimTime::from_ns(11), 3u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_sees_bucket_head() {
+        let mut q = EventQueue::new();
+        q.schedule_in(5, 0u32);
+        q.pop().unwrap();
+        q.schedule_at(SimTime::from_ns(5), 1u32); // bucketed
+        q.schedule_at(SimTime::from_ns(9), 2u32); // heap
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(5)));
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

@@ -1,79 +1,140 @@
-//! Property-based tests of the DES engine invariants.
+//! Property-style tests of the DES engine invariants. Cases are drawn
+//! from the crate's own deterministic [`Pcg32`] (the build environment
+//! is offline, so the proptest crate cannot be resolved); every run
+//! explores the same seeded case set, which keeps failures replayable.
 
 use desim::{EventQueue, Gate, Pcg32, Resource, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always pop in non-decreasing time order, whatever the
-    /// schedule order.
-    #[test]
-    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..400)) {
+const CASES: u64 = 32;
+
+/// Events always pop in non-decreasing time order, whatever the
+/// schedule order.
+#[test]
+fn queue_pops_sorted() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xA11CE + case);
+        let n = 1 + rng.next_below(400) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule_at(SimTime::from_ns(t), i);
+        for i in 0..n {
+            q.schedule_at(SimTime::from_ns(rng.next_u64() % 1_000_000), i);
         }
         let mut last = SimTime::ZERO;
         let mut popped = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}");
             last = t;
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len());
+        assert_eq!(popped, n);
     }
+}
 
-    /// Equal-time events preserve scheduling order (FIFO tie-break).
-    #[test]
-    fn queue_ties_are_fifo(n in 1usize..200, t in 0u64..1000) {
+/// Equal-time events preserve scheduling order (FIFO tie-break), also
+/// when the tie sits at the current clock (the bucket fast path).
+#[test]
+fn queue_ties_are_fifo() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xF1F0 + case);
+        let n = 1 + rng.next_below(200) as usize;
+        let t = rng.next_u64() % 1000;
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule_at(SimTime::from_ns(t), i);
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+        assert_eq!(order, (0..n).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// A resource never starts a job before its arrival and never runs
-    /// more jobs concurrently than it has servers.
-    #[test]
-    fn resource_respects_capacity(
-        servers in 1usize..8,
-        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..300),
-    ) {
-        let mut sorted = jobs.clone();
-        sorted.sort_unstable();
+/// Interleaving heap scheduling with same-instant bursts (scheduled at
+/// the already-advanced clock) must still deliver a total FIFO order.
+#[test]
+fn queue_same_instant_bursts_interleave_with_heap() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xB0057 + case);
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut id = 0usize;
+        for _ in 0..20 {
+            let t = rng.next_u64() % 64;
+            q.schedule_at(SimTime::from_ns(t), id);
+            expected.push((t, id));
+            id += 1;
+        }
+        // sort by (time, schedule order) — the promised total order
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let mut got: Vec<(u64, usize)> = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            got.push((t.as_ns(), e));
+            // every third pop, burst-schedule two events at `now`
+            if e % 3 == 0 {
+                for _ in 0..2 {
+                    q.schedule_at(t, id);
+                    // same-time events land after everything already
+                    // scheduled at this instant
+                    let pos = expected
+                        .iter()
+                        .position(|&(et, ei)| (et, ei) > (t.as_ns(), id))
+                        .unwrap_or(expected.len());
+                    expected.insert(pos, (t.as_ns(), id));
+                    id += 1;
+                }
+            }
+        }
+        assert_eq!(got, expected, "case {case}");
+    }
+}
+
+/// A resource never starts a job before its arrival and never runs
+/// more jobs concurrently than it has servers.
+#[test]
+fn resource_respects_capacity() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x5E2F + case);
+        let servers = 1 + rng.next_below(7) as usize;
+        let n = 1 + rng.next_below(300) as usize;
+        let mut jobs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.next_u64() % 10_000, 1 + rng.next_u64() % 499))
+            .collect();
+        jobs.sort_unstable();
         let mut r = Resource::new(servers);
         let mut intervals: Vec<(u64, u64)> = Vec::new();
-        for &(arrive, dur) in &sorted {
+        for &(arrive, dur) in &jobs {
             let (start, end) = r.acquire_timed(SimTime::from_ns(arrive), dur);
-            prop_assert!(start.as_ns() >= arrive);
-            prop_assert_eq!(end.as_ns() - start.as_ns(), dur);
+            assert!(start.as_ns() >= arrive);
+            assert_eq!(end.as_ns() - start.as_ns(), dur);
             intervals.push((start.as_ns(), end.as_ns()));
         }
-        // concurrency check at every start point
         for &(s, _) in &intervals {
-            let overlapping = intervals
-                .iter()
-                .filter(|&&(a, b)| a <= s && s < b)
-                .count();
-            prop_assert!(overlapping <= servers, "{overlapping} > {servers} servers");
+            let overlapping = intervals.iter().filter(|&&(a, b)| a <= s && s < b).count();
+            assert!(overlapping <= servers, "case {case}: {overlapping} > {servers}");
         }
     }
+}
 
-    /// Total busy time equals the sum of requested durations.
-    #[test]
-    fn resource_accounts_busy_time(durs in prop::collection::vec(1u64..1000, 1..100)) {
+/// Total busy time equals the sum of requested durations.
+#[test]
+fn resource_accounts_busy_time() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xB5 + case);
+        let n = 1 + rng.next_below(100) as usize;
+        let durs: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 999).collect();
         let mut r = Resource::new(3);
         for &d in &durs {
             r.acquire(SimTime::ZERO, d);
         }
-        prop_assert_eq!(r.busy_ns(), durs.iter().sum::<u64>());
-        prop_assert_eq!(r.jobs(), durs.len() as u64);
+        assert_eq!(r.busy_ns(), durs.iter().sum::<u64>());
+        assert_eq!(r.jobs(), durs.len() as u64);
     }
+}
 
-    /// Gate admissions never exceed capacity and waiters are FIFO.
-    #[test]
-    fn gate_admits_fifo_within_capacity(cap in 1usize..16, n in 1usize..200) {
+/// Gate admissions never exceed capacity and waiters are FIFO.
+#[test]
+fn gate_admits_fifo_within_capacity() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x6A7E + case);
+        let cap = 1 + rng.next_below(15) as usize;
+        let n = 1 + rng.next_below(200) as usize;
         let mut g = Gate::new(cap);
         let mut admitted = Vec::new();
         let mut queued = std::collections::VecDeque::new();
@@ -84,37 +145,49 @@ proptest! {
                 g.enqueue(i);
                 queued.push_back(i);
             }
-            prop_assert!(g.in_use() <= cap);
+            assert!(g.in_use() <= cap);
         }
-        // drain: each release must hand the slot to the oldest waiter
         for _ in 0..admitted.len() + queued.len() {
             if g.in_use() == 0 {
                 break;
             }
             match g.release() {
-                Some(tok) => prop_assert_eq!(Some(tok), queued.pop_front()),
-                None => prop_assert!(queued.is_empty()),
+                Some(tok) => assert_eq!(Some(tok), queued.pop_front()),
+                None => assert!(queued.is_empty()),
             }
         }
     }
+}
 
-    /// PCG32 is deterministic and bounded draws stay in range.
-    #[test]
-    fn rng_bounded_and_deterministic(seed in any::<u64>(), bound in 1u32..10_000) {
+/// PCG32 is deterministic and bounded draws stay in range.
+#[test]
+fn rng_bounded_and_deterministic() {
+    for case in 0..CASES {
+        let mut seeder = Pcg32::seed_from_u64(0xD1CE + case);
+        let seed = seeder.next_u64();
+        let bound = 1 + seeder.next_below(9_999);
         let mut a = Pcg32::seed_from_u64(seed);
         let mut b = Pcg32::seed_from_u64(seed);
         for _ in 0..100 {
             let x = a.next_below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.next_below(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.next_below(bound));
         }
     }
+}
 
-    /// SimTime arithmetic is monotone and saturating.
-    #[test]
-    fn time_arithmetic(ns in any::<u64>(), delta in any::<u64>()) {
+/// SimTime arithmetic is monotone and saturating.
+#[test]
+fn time_arithmetic() {
+    let mut rng = Pcg32::seed_from_u64(0x71AE);
+    for _ in 0..200 {
+        let ns = rng.next_u64();
+        let delta = rng.next_u64();
         let t = SimTime::from_ns(ns);
-        prop_assert!(t.after(delta) >= t);
-        prop_assert_eq!(t.after(delta) - t, delta.min(u64::MAX - ns));
+        assert!(t.after(delta) >= t);
+        assert_eq!(t.after(delta) - t, delta.min(u64::MAX - ns));
     }
+    // the saturating edge itself
+    let t = SimTime::from_ns(u64::MAX - 3);
+    assert_eq!(t.after(u64::MAX) - t, 3);
 }

@@ -360,7 +360,7 @@ mod tests {
         let m = level_structured(&spec);
         let ls = LevelSets::analyze(&m, Triangle::Lower);
         // level 1 should span a wide index range
-        let l1 = &ls.sets[1];
+        let l1 = ls.level(1);
         let span = (*l1.last().unwrap() - l1[0]) as usize;
         assert!(span > 100, "levels should interleave, span was {span}");
     }

@@ -1,35 +1,50 @@
-//! Property-based tests of the sparse-matrix substrate invariants.
+//! Property-style tests of the sparse-matrix substrate invariants.
+//! Cases are drawn from a deterministic PCG32 (proptest is unavailable
+//! offline); the seeded case set is identical on every run.
 
-use proptest::prelude::*;
+use desim::Pcg32;
 use sparsemat::gen::{self, LevelSpec};
 use sparsemat::levels::LevelSets;
 use sparsemat::{CscMatrix, CsrMatrix, Triangle, TripletBuilder};
 
-/// Strategy: a random valid triplet list for an n×n matrix.
-fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, -10.0f64..10.0),
-        0..n * 4,
-    )
+const CASES: u64 = 24;
+
+/// A random valid triplet list for an n×n matrix.
+fn triplets(rng: &mut Pcg32, n: usize) -> Vec<(usize, usize, f64)> {
+    let count = rng.next_below((n * 4) as u32) as usize;
+    (0..count)
+        .map(|_| {
+            let r = rng.next_below(n as u32) as usize;
+            let c = rng.next_below(n as u32) as usize;
+            let v = (rng.next_u64() % 2_000) as f64 / 100.0 - 10.0;
+            (r, c, v)
+        })
+        .collect()
 }
 
-proptest! {
-    /// Builder output always validates, whatever the input order and
-    /// duplication pattern.
-    #[test]
-    fn builder_always_validates(ts in triplets(24)) {
+/// Builder output always validates, whatever the input order and
+/// duplication pattern.
+#[test]
+fn builder_always_validates() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x811D + case);
+        let ts = triplets(&mut rng, 24);
         let mut b = TripletBuilder::new(24);
         for &(r, c, v) in &ts {
             b.push(r, c, v);
         }
         let m = b.build().unwrap();
-        prop_assert!(m.validate().is_ok());
-        prop_assert!(m.nnz() <= ts.len());
+        assert!(m.validate().is_ok());
+        assert!(m.nnz() <= ts.len());
     }
+}
 
-    /// Builder sums duplicates exactly like a naive map.
-    #[test]
-    fn builder_matches_naive_map(ts in triplets(16)) {
+/// Builder sums duplicates exactly like a naive map.
+#[test]
+fn builder_matches_naive_map() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x3A9 + case);
+        let ts = triplets(&mut rng, 16);
         let mut b = TripletBuilder::new(16);
         let mut map = std::collections::BTreeMap::new();
         for &(r, c, v) in &ts {
@@ -39,36 +54,48 @@ proptest! {
         let m = b.build().unwrap();
         for (&(r, c), &v) in &map {
             let got = m.get(r, c).unwrap_or(0.0);
-            prop_assert!((got - v).abs() < 1e-12, "({r},{c}): {got} vs {v}");
+            assert!((got - v).abs() < 1e-12, "({r},{c}): {got} vs {v}");
         }
     }
+}
 
-    /// Transpose is an involution and preserves nnz.
-    #[test]
-    fn transpose_involution(ts in triplets(20)) {
+/// Transpose is an involution and preserves nnz.
+#[test]
+fn transpose_involution() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x7A0 + case);
+        let ts = triplets(&mut rng, 20);
         let mut b = TripletBuilder::new(20);
         for &(r, c, v) in &ts {
             b.push(r, c, v);
         }
         let m = b.build().unwrap();
         let tt = m.transpose().transpose();
-        prop_assert_eq!(m, tt);
+        assert_eq!(m, tt);
     }
+}
 
-    /// CSR round-trips through CSC without loss.
-    #[test]
-    fn csr_roundtrip(ts in triplets(20)) {
+/// CSR round-trips through CSC without loss.
+#[test]
+fn csr_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xC5A + case);
+        let ts = triplets(&mut rng, 20);
         let mut b = TripletBuilder::new(20);
         for &(r, c, v) in &ts {
             b.push(r, c, v);
         }
         let m = b.build().unwrap();
-        prop_assert_eq!(CsrMatrix::from_csc(&m).to_csc(), m);
+        assert_eq!(CsrMatrix::from_csc(&m).to_csc(), m);
     }
+}
 
-    /// matvec distributes over transpose: (A x) . y == x . (Aᵀ y).
-    #[test]
-    fn matvec_transpose_adjoint(ts in triplets(12)) {
+/// matvec distributes over transpose: (A x) . y == x . (Aᵀ y).
+#[test]
+fn matvec_transpose_adjoint() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xADD + case);
+        let ts = triplets(&mut rng, 12);
         let mut b = TripletBuilder::new(12);
         for &(r, c, v) in &ts {
             b.push(r, c, v);
@@ -80,56 +107,71 @@ proptest! {
         let aty = m.transpose().matvec(&y);
         let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
         let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
     }
+}
 
-    /// The level-structured generator hits its exact level count for
-    /// arbitrary shapes, and the result is a solvable lower factor.
-    #[test]
-    fn generator_hits_exact_levels(
-        n in 10usize..400,
-        levels_frac in 0.01f64..1.0,
-        dep in 1.2f64..6.0,
-        seed in any::<u64>(),
-    ) {
-        let levels = ((n as f64 * levels_frac) as usize).clamp(1, n);
+/// The level-structured generator hits its exact level count for
+/// arbitrary shapes, and the result is a solvable lower factor.
+#[test]
+fn generator_hits_exact_levels() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x6E4 + case);
+        let n = 10 + rng.next_below(390) as usize;
+        let levels = (1 + rng.next_below(n as u32) as usize).clamp(1, n);
+        let dep = 1.2 + (rng.next_below(480) as f64) / 100.0;
         let spec = LevelSpec {
             n,
             levels,
             nnz_target: (n as f64 * dep) as usize,
             locality: 0.7,
             window_frac: 0.05,
-            seed,
+            seed: rng.next_u64(),
         };
         let m = gen::level_structured(&spec);
-        prop_assert!(m.validate_triangular(Triangle::Lower).is_ok());
+        assert!(m.validate_triangular(Triangle::Lower).is_ok());
         let ls = LevelSets::analyze(&m, Triangle::Lower);
-        prop_assert_eq!(ls.n_levels(), levels);
+        assert_eq!(ls.n_levels(), levels);
     }
+}
 
-    /// Level assignment is consistent: every dependency sits in a
-    /// strictly lower level.
-    #[test]
-    fn levels_respect_dependencies(n in 10usize..300, seed in any::<u64>()) {
-        let m = gen::level_structured(&LevelSpec::new(n, (n / 7).max(1), n * 3, seed));
+/// Level assignment is consistent: every dependency sits in a strictly
+/// lower level, and the flat level layout partitions 0..n.
+#[test]
+fn levels_respect_dependencies() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x1E5 + case);
+        let n = 10 + rng.next_below(290) as usize;
+        let m = gen::level_structured(&LevelSpec::new(n, (n / 7).max(1), n * 3, rng.next_u64()));
         let ls = LevelSets::analyze(&m, Triangle::Lower);
         for j in 0..n {
             for (r, _) in m.col(j) {
                 let r = r as usize;
                 if r > j {
-                    prop_assert!(ls.level_of[r] > ls.level_of[j]);
+                    assert!(ls.level_of[r] > ls.level_of[j]);
                 }
             }
         }
-        // sets partition 0..n
-        let total: usize = ls.sets.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, n);
+        // levels partition 0..n
+        let total: usize = ls.iter_levels().map(<[u32]>::len).sum();
+        assert_eq!(total, n);
+        let mut seen = vec![false; n];
+        for level in ls.iter_levels() {
+            for &c in level {
+                assert!(!seen[c as usize], "component {c} in two levels");
+                seen[c as usize] = true;
+            }
+        }
     }
+}
 
-    /// in_degrees equals the per-row count of strictly-lower entries.
-    #[test]
-    fn in_degrees_match_structure(n in 5usize..200, seed in any::<u64>()) {
-        let m = gen::banded_lower(n, 8, 3.0, seed);
+/// in_degrees equals the per-row count of strictly-lower entries.
+#[test]
+fn in_degrees_match_structure() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0xDE6 + case);
+        let n = 5 + rng.next_below(195) as usize;
+        let m = gen::banded_lower(n, 8, 3.0, rng.next_u64());
         let deg = m.in_degrees(Triangle::Lower);
         let mut expect = vec![0u32; n];
         for j in 0..n {
@@ -139,12 +181,16 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(deg, expect);
+        assert_eq!(deg, expect);
     }
+}
 
-    /// Matrix Market round-trip is lossless for arbitrary matrices.
-    #[test]
-    fn matrix_market_roundtrip(ts in triplets(15)) {
+/// Matrix Market round-trip is lossless for arbitrary matrices.
+#[test]
+fn matrix_market_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x330 + case);
+        let ts = triplets(&mut rng, 15);
         let mut b = TripletBuilder::new(15);
         for &(r, c, v) in &ts {
             b.push(r, c, v);
@@ -153,13 +199,17 @@ proptest! {
         let mut buf = Vec::new();
         sparsemat::io::write_matrix_market(&m, &mut buf).unwrap();
         let back = sparsemat::io::read_matrix_market(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m);
     }
+}
 
-    /// triangular_part output is always a solvable factor of the
-    /// requested orientation.
-    #[test]
-    fn triangular_part_is_solvable(ts in triplets(18)) {
+/// triangular_part output is always a solvable factor of the requested
+/// orientation.
+#[test]
+fn triangular_part_is_solvable() {
+    for case in 0..CASES {
+        let mut rng = Pcg32::seed_from_u64(0x791 + case);
+        let ts = triplets(&mut rng, 18);
         let mut b = TripletBuilder::new(18);
         for &(r, c, v) in &ts {
             b.push(r, c, v);
@@ -167,14 +217,13 @@ proptest! {
         let m = b.build().unwrap();
         for tri in [Triangle::Lower, Triangle::Upper] {
             let t = m.triangular_part(tri, 1.0);
-            prop_assert!(t.validate_triangular(tri).is_ok());
+            assert!(t.validate_triangular(tri).is_ok());
         }
     }
 }
 
 /// ILU(0) on random diagonally-dominant grids stays within pattern and
-/// produces solvable factors. (Outside `proptest!` to keep the case
-/// count small — factorization is the most expensive property here.)
+/// produces solvable factors.
 #[test]
 fn ilu0_factors_random_grids() {
     for (nx, ny) in [(5usize, 7usize), (12, 4), (9, 9)] {

@@ -94,7 +94,7 @@ pub fn solve_parallel(
     // for GPU kernel launches.
     let max_width = ls.max_level_width();
     if threads == 1 || max_width < 2 * threads {
-        for level in &ls.sets {
+        for level in ls.iter_levels() {
             for &c in level {
                 solve_one(c);
             }
@@ -106,11 +106,11 @@ pub fn solve_parallel(
         let barrier = std::sync::Barrier::new(threads);
         let solve_one = &solve_one;
         let barrier = &barrier;
-        let sets = &ls.sets;
+        let ls = &ls;
         std::thread::scope(|scope| {
             for tid in 0..threads {
                 scope.spawn(move || {
-                    for level in sets {
+                    for level in ls.iter_levels() {
                         let chunk = level.len().div_ceil(threads);
                         let lo = (tid * chunk).min(level.len());
                         let hi = ((tid + 1) * chunk).min(level.len());

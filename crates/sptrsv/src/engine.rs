@@ -1,0 +1,450 @@
+//! The build-once/solve-many solver engine.
+//!
+//! The paper's cost model (§II-B) separates a one-time *analysis phase*
+//! — level sets, in-degrees, data distribution — from the *solve
+//! phase*, and its headline use case (triangular solves inside
+//! preconditioned iterative solvers) calls the solve phase thousands of
+//! times against the **same** factors. [`SolverEngine`] is that split
+//! made explicit in the API:
+//!
+//! * [`SolverEngine::build`] runs every piece of preprocessing exactly
+//!   once: triangular validation, level-set analysis, the
+//!   [`ExecutionPlan`], the flat dependency adjacency
+//!   ([`crate::exec::ExecAnalysis`]), cross-edge counts, the P2P
+//!   feasibility check — and one *calibration simulation*.
+//! * [`SolverEngine::solve`] reuses all of it — a warm solve performs
+//!   **zero** level-set, plan or adjacency construction (asserted by
+//!   tests against the per-thread construction counters in
+//!   [`sparsemat::levels`], [`crate::plan`] and [`crate::exec`]).
+//! * [`SolverEngine::solve_batch`] runs independent right-hand sides in
+//!   parallel OS threads, so results stay bit-stable while wall-clock
+//!   drops with the core count.
+//!
+//! ## Why warm solves are cheap: the timeline is value-independent
+//!
+//! The discrete-event machine advances on *structure* — column sizes,
+//! ownership, dependency masks, the seeded jitter stream — never on the
+//! numeric values flowing through the solve. Two solves of the same
+//! engine therefore execute the **same event schedule** regardless of
+//! the right-hand side. `build` exploits this: it simulates the full
+//! timeline once (the calibration run), records the warp wake order and
+//! the resulting report (timings, machine statistics, event counts),
+//! and every subsequent [`SolverEngine::solve`] replays only the
+//! `O(n + nnz)` numeric substitution along that order
+//! ([`ExecAnalysis::replay`]). The floating-point operation sequence of
+//! the replay is exactly the simulation's, so warm results are
+//! bit-identical to one-shot [`crate::solve`] — at a small fraction of
+//! the wall-clock. `BENCH_engine.json` (emitted by
+//! `cargo bench -p sptrsv-bench --bench engine`) tracks the ratio.
+
+use crate::exec::{self, ExecAnalysis, ExecConfig};
+use crate::levelset;
+use crate::plan::{ExecutionPlan, Partition};
+use crate::reference;
+use crate::report::{SolveReport, Timings};
+use crate::solver::{MultiRhsReport, SolveError, SolveOptions, SolverKind};
+use crate::verify;
+use crate::Backend;
+use desim::SimTime;
+use mgpu_sim::{Machine, MachineConfig};
+use sparsemat::{CscMatrix, LevelSets};
+
+/// A reusable solver: analysis done once at build, arbitrarily many
+/// solves afterwards.
+///
+/// The engine borrows the factor (`'m`), so the matrix outlives the
+/// engine — the natural shape for a preconditioner loop where `L`/`U`
+/// live for the whole Krylov iteration.
+#[derive(Debug)]
+pub struct SolverEngine<'m> {
+    m: &'m CscMatrix,
+    opts: SolveOptions,
+    variant: Variant,
+}
+
+/// The per-kind prebuilt state. `template` is the calibration run's
+/// report with an empty `x` — warm solves clone it and fill in the
+/// replayed solution, which keeps every value-independent field
+/// (timings, stats, event counts) bit-identical across solves.
+#[derive(Debug)]
+enum Variant {
+    /// Serial host reference — no machine, no analysis.
+    Serial,
+    /// Every simulated solver (level-set and the whole sync-free
+    /// family); boxed to keep the enum small next to `Serial`.
+    Simulated(Box<Prepared>),
+}
+
+/// Prebuilt state of a simulated solver: flat column data plus the
+/// solve order fixed by the calibration run — for level-set that order
+/// is the flat `level_comps` array, for sync-free the recorded wake
+/// order.
+#[derive(Debug)]
+struct Prepared {
+    analysis: ExecAnalysis,
+    order: Vec<u32>,
+    template: SolveReport,
+}
+
+impl<'m> SolverEngine<'m> {
+    /// Run the analysis phase for `m` under `opts` — once.
+    ///
+    /// Validates the factor, builds level sets / execution plan / flat
+    /// dependency adjacency as the variant requires, performs the
+    /// machine feasibility checks (NVSHMEM needs all-pairs P2P), and
+    /// runs the calibration simulation that fixes the virtual timeline
+    /// for all subsequent solves.
+    pub fn build(
+        m: &'m CscMatrix,
+        machine_cfg: MachineConfig,
+        opts: &SolveOptions,
+    ) -> Result<SolverEngine<'m>, SolveError> {
+        m.validate_triangular(opts.triangle)?;
+        let label = opts.kind.label();
+        let zeros = vec![0.0f64; m.n()];
+
+        let variant = match opts.kind {
+            SolverKind::Serial => Variant::Serial,
+            SolverKind::LevelSet => {
+                let cfg = single_gpu(&machine_cfg);
+                let levels = LevelSets::analyze(m, opts.triangle);
+                // flat column data (diagonals + update lists) for the
+                // numeric replay — no distribution analysis needed
+                let analysis = ExecAnalysis::columns_only(m, opts.triangle);
+                let mut machine = Machine::new(cfg);
+                let out =
+                    levelset::run_with_levels(m, &zeros, &mut machine, opts.triangle, &levels);
+                let template = SolveReport {
+                    timings: Timings {
+                        analysis: out.analysis_end,
+                        solve: SimTime::from_ns(out.makespan - out.analysis_end),
+                        total: out.makespan,
+                    },
+                    stats: machine.stats(),
+                    events: 0,
+                    gpus: 1,
+                    kernels: out.levels,
+                    cross_edges: 0,
+                    fits_in_memory: machine.fits_in_memory(),
+                    verified_rel_err: None,
+                    label,
+                    x: Vec::new(),
+                };
+                // level order (ascending level, ascending index within)
+                // is exactly the order the level-set solver computes in
+                let order = levels.level_comps().to_vec();
+                Variant::Simulated(Box::new(Prepared { analysis, order, template }))
+            }
+            _ => {
+                let (backend, partition, cfg) = match opts.kind {
+                    SolverKind::SyncFree => {
+                        (Backend::SingleGpu, Partition::Blocked, single_gpu(&machine_cfg))
+                    }
+                    SolverKind::Unified => {
+                        (Backend::Unified, Partition::Blocked, machine_cfg.clone())
+                    }
+                    SolverKind::UnifiedTasks { per_gpu } => (
+                        Backend::Unified,
+                        Partition::Tasks { per_gpu },
+                        machine_cfg.clone(),
+                    ),
+                    SolverKind::ShmemBlocked => (
+                        Backend::Shmem { poll_caching: opts.poll_caching },
+                        Partition::Blocked,
+                        machine_cfg.clone(),
+                    ),
+                    SolverKind::ShmemNaive => {
+                        (Backend::ShmemGup, Partition::Blocked, machine_cfg.clone())
+                    }
+                    SolverKind::ZeroCopy { per_gpu } => (
+                        Backend::Shmem { poll_caching: opts.poll_caching },
+                        Partition::Tasks { per_gpu },
+                        machine_cfg.clone(),
+                    ),
+                    SolverKind::ZeroCopyTotal { total } => (
+                        Backend::Shmem { poll_caching: opts.poll_caching },
+                        Partition::TotalTasks { total },
+                        machine_cfg.clone(),
+                    ),
+                    SolverKind::Serial | SolverKind::LevelSet => unreachable!("handled above"),
+                };
+
+                // feasibility: NVSHMEM variants need all-pairs P2P
+                // (checked once here, not per solve)
+                let mut machine = Machine::new(cfg);
+                if matches!(backend, Backend::Shmem { .. } | Backend::ShmemGup)
+                    && !machine.topology().fully_p2p()
+                {
+                    return Err(SolveError::NotP2p { gpus: machine.n_gpus() });
+                }
+
+                let plan = ExecutionPlan::build(m.n(), machine.n_gpus(), partition, opts.triangle);
+                let cross_edges = plan.cross_gpu_edges(m, opts.triangle);
+                let exec_cfg = ExecConfig {
+                    backend,
+                    triangle: opts.triangle,
+                    gather_all_pes: opts.gather_all_pes,
+                };
+                let analysis = ExecAnalysis::build(m, &plan, &exec_cfg);
+
+                // calibration: one full simulation fixes the timeline
+                // and records the wake order for numeric replay
+                let out = exec::run_prepared(&zeros, &plan, &analysis, &mut machine, &exec_cfg)
+                    .map_err(SolveError::Exec)?;
+                let template = SolveReport {
+                    timings: Timings {
+                        analysis: out.analysis_end,
+                        solve: SimTime::from_ns(out.makespan - out.analysis_end),
+                        total: out.makespan,
+                    },
+                    stats: machine.stats(),
+                    events: out.events,
+                    gpus: machine.n_gpus(),
+                    kernels: plan.kernels.len(),
+                    cross_edges,
+                    fits_in_memory: machine.fits_in_memory(),
+                    verified_rel_err: None,
+                    label,
+                    x: Vec::new(),
+                };
+                Variant::Simulated(Box::new(Prepared {
+                    analysis,
+                    order: out.solve_order,
+                    template,
+                }))
+            }
+        };
+
+        Ok(SolverEngine { m, opts: opts.clone(), variant })
+    }
+
+    /// The factor this engine was built for.
+    #[inline]
+    pub fn matrix(&self) -> &CscMatrix {
+        self.m
+    }
+
+    /// The options this engine was built with.
+    #[inline]
+    pub fn options(&self) -> &SolveOptions {
+        &self.opts
+    }
+
+    /// Cross-GPU dependency edges under the engine's layout (0 for
+    /// serial / level-set variants).
+    pub fn cross_edges(&self) -> u64 {
+        match &self.variant {
+            Variant::Simulated(p) => p.template.cross_edges,
+            Variant::Serial => 0,
+        }
+    }
+
+    /// Solve `m · x = b` reusing the prebuilt analysis and the
+    /// calibrated schedule.
+    ///
+    /// Warm solves replay only the numeric substitution — no level-set,
+    /// plan or adjacency construction, no event loop — and return
+    /// reports bit-identical to one-shot [`crate::solve`] with the same
+    /// inputs.
+    pub fn solve(&self, b: &[f64]) -> Result<SolveReport, SolveError> {
+        if b.len() != self.m.n() {
+            return Err(SolveError::DimensionMismatch { n: self.m.n(), rhs: b.len() });
+        }
+        let report = match &self.variant {
+            Variant::Serial => {
+                let x = reference::solve_serial(self.m, b, self.opts.triangle)?;
+                return Ok(SolveReport {
+                    x,
+                    timings: Timings::default(),
+                    stats: Default::default(),
+                    events: 0,
+                    gpus: 0,
+                    kernels: 0,
+                    cross_edges: 0,
+                    fits_in_memory: true,
+                    verified_rel_err: Some(0.0),
+                    label: self.opts.kind.label(),
+                });
+            }
+            Variant::Simulated(p) => {
+                let mut report = p.template.clone();
+                report.x = p.analysis.replay(&p.order, b);
+                report
+            }
+        };
+        self.finish(b, report)
+    }
+
+    /// Solve for several right-hand sides sequentially, charging the
+    /// analysis phase once (§II-B amortization) — the engine-backed
+    /// implementation of [`crate::solve_multi_rhs`].
+    pub fn solve_multi_rhs(&self, bs: &[Vec<f64>]) -> Result<MultiRhsReport, SolveError> {
+        let mut reports = Vec::with_capacity(bs.len());
+        for b in bs {
+            reports.push(self.solve(b)?);
+        }
+        Ok(amortized(reports))
+    }
+
+    /// Solve independent right-hand sides in parallel, one OS thread
+    /// per chunk — results are bit-identical to sequential
+    /// [`SolverEngine::solve`] calls and deterministic across runs and
+    /// worker counts.
+    ///
+    /// Uses all available cores; see
+    /// [`SolverEngine::solve_batch_with_threads`] to pin the width.
+    pub fn solve_batch(&self, bs: &[Vec<f64>]) -> Result<MultiRhsReport, SolveError> {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        self.solve_batch_with_threads(bs, threads)
+    }
+
+    /// [`SolverEngine::solve_batch`] with an explicit worker count.
+    pub fn solve_batch_with_threads(
+        &self,
+        bs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<MultiRhsReport, SolveError> {
+        let threads = threads.clamp(1, bs.len().max(1));
+        if threads == 1 || bs.len() <= 1 {
+            return self.solve_multi_rhs(bs);
+        }
+        // contiguous chunks keep per-RHS order (and thus the amortized
+        // totals) independent of the worker count
+        let chunk = bs.len().div_ceil(threads);
+        let results: Vec<Result<Vec<SolveReport>, SolveError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bs
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(|b| self.solve(b)).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("solver thread panicked")).collect()
+        });
+        let mut reports = Vec::with_capacity(bs.len());
+        for r in results {
+            reports.extend(r?);
+        }
+        Ok(amortized(reports))
+    }
+
+    fn finish(&self, b: &[f64], mut report: SolveReport) -> Result<SolveReport, SolveError> {
+        if self.opts.verify {
+            let reference = reference::solve_serial(self.m, b, self.opts.triangle)?;
+            let err = verify::rel_inf_diff(&report.x, &reference);
+            if err > verify::DEFAULT_TOL {
+                return Err(SolveError::Verification { rel_err: err });
+            }
+            report.verified_rel_err = Some(err);
+        }
+        Ok(report)
+    }
+}
+
+/// Assemble the amortized multi-RHS accounting: the analysis phase is
+/// structure-only, so it is charged on the first solve and elided on
+/// the rest.
+fn amortized(reports: Vec<SolveReport>) -> MultiRhsReport {
+    let mut total = 0u64;
+    for (k, r) in reports.iter().enumerate() {
+        total += if k == 0 {
+            r.timings.total.as_ns()
+        } else {
+            r.timings.solve.as_ns()
+        };
+    }
+    MultiRhsReport { reports, total: SimTime::from_ns(total) }
+}
+
+fn single_gpu(cfg: &MachineConfig) -> MachineConfig {
+    let mut c = cfg.clone();
+    c.gpus = 1;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::gen;
+
+    fn small() -> (CscMatrix, Vec<f64>) {
+        let m = gen::level_structured(&gen::LevelSpec::new(900, 18, 3600, 4));
+        let (_, b) = verify::rhs_for(&m, 42);
+        (m, b)
+    }
+
+    #[test]
+    fn warm_solves_build_nothing() {
+        let (m, b) = small();
+        let opts = SolveOptions::default();
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let levels_before = sparsemat::levels::analyze_invocations();
+        let plans_before = crate::plan::build_invocations();
+        let exec_before = exec::analysis_builds();
+        let r1 = engine.solve(&b).unwrap();
+        let r2 = engine.solve(&b).unwrap();
+        assert_eq!(sparsemat::levels::analyze_invocations(), levels_before);
+        assert_eq!(crate::plan::build_invocations(), plans_before);
+        assert_eq!(exec::analysis_builds(), exec_before);
+        assert_eq!(r1.x, r2.x, "warm solves are bit-identical");
+        assert_eq!(r1.timings.total, r2.timings.total);
+    }
+
+    #[test]
+    fn engine_rejects_non_p2p_at_build_time() {
+        let (m, _) = small();
+        let opts = SolveOptions::default();
+        let err = SolverEngine::build(&m, MachineConfig::dgx1(8), &opts).unwrap_err();
+        assert!(matches!(err, SolveError::NotP2p { gpus: 8 }));
+    }
+
+    #[test]
+    fn engine_rejects_bad_dimensions_per_solve() {
+        let (m, _) = small();
+        let engine =
+            SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
+        let err = engine.solve(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_is_deterministic() {
+        let (m, _) = small();
+        let bs: Vec<Vec<f64>> = (0..8)
+            .map(|k| verify::rhs_for(&m, 500 + k).1)
+            .collect();
+        let opts = SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let seq = engine.solve_multi_rhs(&bs).unwrap();
+        let par_a = engine.solve_batch_with_threads(&bs, 4).unwrap();
+        let par_b = engine.solve_batch_with_threads(&bs, 3).unwrap();
+        assert_eq!(seq.total, par_a.total);
+        assert_eq!(par_a.total, par_b.total);
+        for ((s, a), b) in seq.reports.iter().zip(&par_a.reports).zip(&par_b.reports) {
+            assert_eq!(s.x, a.x);
+            assert_eq!(a.x, b.x);
+            assert_eq!(s.timings.total, a.timings.total);
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_analysis() {
+        let (m, _) = small();
+        let bs: Vec<Vec<f64>> = (0..4).map(|k| verify::rhs_for(&m, 100 + k).1).collect();
+        let opts = SolveOptions { kind: SolverKind::Unified, ..Default::default() };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let multi = engine.solve_batch(&bs).unwrap();
+        assert_eq!(multi.reports.len(), 4);
+        assert!(multi.total < multi.unamortized_total());
+    }
+
+    #[test]
+    fn serial_and_levelset_variants_work_warm() {
+        let (m, b) = small();
+        for kind in [SolverKind::Serial, SolverKind::LevelSet] {
+            let opts = SolveOptions { kind, ..Default::default() };
+            let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+            let r1 = engine.solve(&b).unwrap();
+            let r2 = engine.solve(&b).unwrap();
+            assert_eq!(r1.x, r2.x);
+            assert!(r1.verified_rel_err.unwrap() <= verify::DEFAULT_TOL);
+        }
+    }
+}

@@ -22,6 +22,19 @@
 //! |            | own symmetric heap copy — zero  | gets + shuffle reduction,   |
 //! |            | wire traffic at publish time    | r.in_degree poll caching    |
 //!
+//! ## Analysis / solve separation
+//!
+//! Everything that depends only on the *structure* — in-degrees,
+//! remote-source masks, gather peer lists, per-component update lists,
+//! diagonal extraction — lives in [`ExecAnalysis`], built once and
+//! reused across solves (the amortization §II-B argues for). The
+//! per-component data is stored flat, CSR-style (`(ptr, data)` pairs),
+//! so the solve-phase event handlers walk contiguous memory and
+//! allocate nothing. [`run`] is the one-shot convenience that builds
+//! the analysis and immediately solves; the build-once/solve-many
+//! engine ([`crate::engine::SolverEngine`]) holds an `ExecAnalysis`
+//! across calls.
+//!
 //! The executor runs real `f64` numerics as virtual time advances; the
 //! returned `x` is bit-stable for a fixed seed and is verified against
 //! the serial reference by the caller.
@@ -31,6 +44,20 @@ use crate::Backend;
 use desim::{EventQueue, SimTime};
 use mgpu_sim::{um::UmRange, GpuId, Machine};
 use sparsemat::{CscMatrix, Triangle};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread count of [`ExecAnalysis::build`] invocations. The
+    /// engine tests read this to prove warm solves build **zero**
+    /// adjacency; thread-local so parallel tests cannot perturb each
+    /// other's measurements.
+    static ANALYSIS_BUILDS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many times [`ExecAnalysis::build`] has run on this thread.
+pub fn analysis_builds() -> u64 {
+    ANALYSIS_BUILDS.with(Cell::get)
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +81,197 @@ impl Default for ExecConfig {
     }
 }
 
+/// The structure-only preprocessing of one `(matrix, plan, config)`
+/// triple, stored flat for cache-linear solve-phase iteration.
+///
+/// Nothing in here depends on the right-hand side or on machine state,
+/// so one analysis serves arbitrarily many solves — including
+/// concurrent batched solves, which share it immutably.
+#[derive(Debug, Clone)]
+pub struct ExecAnalysis {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Initial in-degree per component (dependency count).
+    in_degree: Vec<u32>,
+    /// Bitmask of GPUs that produce at least one dependency of `i`
+    /// from a different GPU than `i`'s owner.
+    remote_mask: Vec<u16>,
+    /// CSR-style offsets into [`Self::peers`] (n+1 entries).
+    peers_ptr: Vec<u32>,
+    /// Gather peer lists, flat (empty for non-Shmem backends).
+    peers: Vec<GpuId>,
+    /// CSR-style offsets into the update lists (n+1 entries).
+    dep_ptr: Vec<u32>,
+    /// Dependent row per update entry.
+    dep_rows: Vec<u32>,
+    /// Matrix value per update entry.
+    dep_vals: Vec<f64>,
+    /// Diagonal entry per component.
+    diag: Vec<f64>,
+    /// Stored entries per column (timing model input).
+    col_nnz: Vec<u32>,
+    /// Owned nonzeros per GPU (in-degree setup kernel sizing).
+    nnz_per_gpu: Vec<u64>,
+    /// Device bytes per GPU under this plan/backend.
+    device_bytes: Vec<u64>,
+}
+
+impl ExecAnalysis {
+    /// Run the analysis phase for `m` under `plan` and `cfg`:
+    /// in-degrees, remote masks, gather peers, flattened update lists.
+    /// Cost: O(n + nnz); runs once per engine build.
+    pub fn build(m: &CscMatrix, plan: &ExecutionPlan, cfg: &ExecConfig) -> ExecAnalysis {
+        ANALYSIS_BUILDS.with(|c| c.set(c.get() + 1));
+        let n = m.n();
+        let tri = cfg.triangle;
+        let gpus = plan.gpus;
+        assert_eq!(plan.owner.len(), n, "plan size mismatch");
+
+        let in_degree = m.in_degrees(tri);
+
+        // --- source-GPU masks for each component's dependencies -------
+        let mut remote_mask = vec![0u16; n];
+        for j in 0..n {
+            let gj = plan.owner[j];
+            for (r, _) in m.col(j) {
+                let r = r as usize;
+                let is_dep = match tri {
+                    Triangle::Lower => r > j,
+                    Triangle::Upper => r < j,
+                };
+                if is_dep && plan.owner[r] != gj {
+                    remote_mask[r] |= 1 << gj;
+                }
+            }
+        }
+
+        // --- flat gather-peer adjacency (Shmem only) ------------------
+        let mut peers_ptr = vec![0u32; n + 1];
+        let mut peers: Vec<GpuId> = Vec::new();
+        if matches!(cfg.backend, Backend::Shmem { .. }) {
+            for i in 0..n {
+                if cfg.gather_all_pes {
+                    peers.extend((0..gpus).filter(|&g| g != plan.owner[i]));
+                } else {
+                    peers.extend((0..gpus).filter(|&g| remote_mask[i] & (1 << g) != 0));
+                }
+                peers_ptr[i + 1] = peers.len() as u32;
+            }
+        }
+
+        // --- flattened per-component update lists and diagonals -------
+        let mut a = ExecAnalysis::columns_only(m, tri);
+
+        // --- per-GPU sizing -------------------------------------------
+        let mut nnz_per_gpu = vec![0u64; gpus];
+        for j in 0..n {
+            nnz_per_gpu[plan.owner[j]] += a.col_nnz[j] as u64;
+        }
+        let replicated = matches!(cfg.backend, Backend::Shmem { .. });
+        let device_bytes = (0..gpus)
+            .map(|g| plan.device_bytes(m, g, replicated))
+            .collect();
+
+        a.in_degree = in_degree;
+        a.remote_mask = remote_mask;
+        a.peers_ptr = peers_ptr;
+        a.peers = peers;
+        a.nnz_per_gpu = nnz_per_gpu;
+        a.device_bytes = device_bytes;
+        a
+    }
+
+    /// Flat column data only — diagonals and update lists, the part of
+    /// the analysis the numeric [`ExecAnalysis::replay`] needs. Skips
+    /// every distribution-dependent field (in-degrees, masks, peers,
+    /// per-GPU sizing) and does **not** count as an adjacency build in
+    /// [`analysis_builds`]; the level-set engine variant uses this.
+    pub fn columns_only(m: &CscMatrix, tri: Triangle) -> ExecAnalysis {
+        let n = m.n();
+        let col_ptr = m.col_ptr();
+        let row_idx = m.row_idx();
+        let values = m.values();
+        let mut dep_ptr = vec![0u32; n + 1];
+        let mut dep_rows = Vec::with_capacity(m.nnz().saturating_sub(n));
+        let mut dep_vals = Vec::with_capacity(m.nnz().saturating_sub(n));
+        let mut diag = vec![0.0f64; n];
+        let mut col_nnz = vec![0u32; n];
+        for j in 0..n {
+            let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+            col_nnz[j] = (hi - lo) as u32;
+            let (dlo, dhi) = match tri {
+                Triangle::Lower => {
+                    diag[j] = values[lo];
+                    (lo + 1, hi)
+                }
+                Triangle::Upper => {
+                    diag[j] = values[hi - 1];
+                    (lo, hi - 1)
+                }
+            };
+            dep_rows.extend_from_slice(&row_idx[dlo..dhi]);
+            dep_vals.extend_from_slice(&values[dlo..dhi]);
+            dep_ptr[j + 1] = dep_rows.len() as u32;
+        }
+        ExecAnalysis {
+            n,
+            in_degree: Vec::new(),
+            remote_mask: Vec::new(),
+            peers_ptr: Vec::new(),
+            peers: Vec::new(),
+            dep_ptr,
+            dep_rows,
+            dep_vals,
+            diag,
+            col_nnz,
+            nnz_per_gpu: Vec::new(),
+            device_bytes: Vec::new(),
+        }
+    }
+
+    /// Update list (dependent rows and matrix values) of component `c`.
+    #[inline]
+    fn updates_of(&self, c: u32) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.dep_ptr[c as usize] as usize, self.dep_ptr[c as usize + 1] as usize);
+        (&self.dep_rows[lo..hi], &self.dep_vals[lo..hi])
+    }
+
+    /// Gather peers of component `c` (empty unless Shmem).
+    #[inline]
+    fn peers_of(&self, c: u32) -> &[GpuId] {
+        let (lo, hi) = (self.peers_ptr[c as usize] as usize, self.peers_ptr[c as usize + 1] as usize);
+        &self.peers[lo..hi]
+    }
+
+    /// Replay the numeric solve along a recorded wake order.
+    ///
+    /// The discrete-event timeline is *value-independent*: event times
+    /// depend only on the structure, the plan and the machine seed —
+    /// never on `b`. A recorded [`ExecOutcome::solve_order`] therefore
+    /// determines the exact floating-point operation sequence of a full
+    /// simulation, and replaying it is bit-identical to re-simulating —
+    /// at O(n + nnz) cost instead of the full event loop. This is the
+    /// §II-B amortization realized in wall-clock: analysis *and*
+    /// schedule are paid once, every further right-hand side pays only
+    /// the substitution sweep.
+    pub fn replay(&self, order: &[u32], b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(order.len(), self.n, "order must cover every component");
+        let mut x = vec![0.0f64; self.n];
+        let mut left_sum = vec![0.0f64; self.n];
+        for &c in order {
+            let i = c as usize;
+            let xi = (b[i] - left_sum[i]) / self.diag[i];
+            x[i] = xi;
+            let (rows, vals) = self.updates_of(c);
+            for (r, v) in rows.iter().zip(vals) {
+                left_sum[*r as usize] += *v * xi;
+            }
+        }
+        x
+    }
+}
+
 /// Result of an executor run.
 #[derive(Debug, Clone)]
 pub struct ExecOutcome {
@@ -65,6 +283,9 @@ pub struct ExecOutcome {
     pub makespan: SimTime,
     /// Events processed by the calendar.
     pub events: u64,
+    /// Components in the order their warps woke and solved — the
+    /// recorded schedule that [`ExecAnalysis::replay`] re-executes.
+    pub solve_order: Vec<u32>,
 }
 
 /// Executor failure modes.
@@ -113,20 +334,21 @@ const DONE: u8 = 8;
 const WATCHING: u8 = 16;
 const POLLING: u8 = 32;
 
+/// Mutable per-solve state — everything here is reset for each RHS,
+/// while [`ExecAnalysis`] is shared read-only across solves.
 struct ExecState<'m> {
-    m: &'m CscMatrix,
     plan: &'m ExecutionPlan,
-    cfg: ExecConfig,
+    cfg: &'m ExecConfig,
     remaining: Vec<u32>,
     left_sum: Vec<f64>,
     x: Vec<f64>,
-    b: Vec<f64>,
+    b: &'m [f64],
     flags: Vec<u8>,
     /// While BLOCKED: block start. After SATISFIED: satisfaction time.
     aux: Vec<SimTime>,
     last_src: Vec<u8>,
-    remote_mask: Vec<u16>,
-    peers_of: Vec<Vec<GpuId>>,
+    /// Components in wake order (the recorded replay schedule).
+    solve_order: Vec<u32>,
     // Unified-memory array mappings (None for other backends)
     indeg_um: Option<UmRange>,
     leftsum_um: Option<UmRange>,
@@ -134,7 +356,7 @@ struct ExecState<'m> {
     makespan: SimTime,
 }
 
-impl<'m> ExecState<'m> {
+impl ExecState<'_> {
     fn indeg_page(&self, c: u32) -> usize {
         self.indeg_um
             .as_ref()
@@ -148,27 +370,12 @@ impl<'m> ExecState<'m> {
             .expect("unified backend")
             .page_of(c as u64 * 8)
     }
-
-    /// Off-diagonal entries of component `c`'s column — its update list.
-    fn updates_of(&self, c: u32) -> (&[u32], &[f64]) {
-        let j = c as usize;
-        let (lo, hi) = (self.m.col_ptr()[j], self.m.col_ptr()[j + 1]);
-        match self.cfg.triangle {
-            Triangle::Lower => (&self.m.row_idx()[lo + 1..hi], &self.m.values()[lo + 1..hi]),
-            Triangle::Upper => (&self.m.row_idx()[lo..hi - 1], &self.m.values()[lo..hi - 1]),
-        }
-    }
-
-    fn diag_of(&self, c: u32) -> f64 {
-        let j = c as usize;
-        match self.cfg.triangle {
-            Triangle::Lower => self.m.values()[self.m.col_ptr()[j]],
-            Triangle::Upper => self.m.values()[self.m.col_ptr()[j + 1] - 1],
-        }
-    }
 }
 
-/// Run the synchronization-free solver on `machine`.
+/// Build the analysis for `(m, plan, cfg)` and immediately solve — the
+/// one-shot entry point. Callers with many right-hand sides should use
+/// [`crate::engine::SolverEngine`] instead, which runs
+/// [`ExecAnalysis::build`] exactly once.
 ///
 /// `plan` must order launches in substitution order (guaranteed by
 /// [`ExecutionPlan::build`]); otherwise the run can deadlock, which is
@@ -180,57 +387,48 @@ pub fn run(
     machine: &mut Machine,
     cfg: ExecConfig,
 ) -> Result<ExecOutcome, ExecError> {
-    let n = m.n();
+    assert_eq!(b.len(), m.n(), "rhs length mismatch");
+    let analysis = ExecAnalysis::build(m, plan, &cfg);
+    run_prepared(b, plan, &analysis, machine, &cfg)
+}
+
+/// Solve against a prebuilt [`ExecAnalysis`]. Performs zero level-set,
+/// plan or adjacency construction — only per-solve state (solution,
+/// partial sums, flags) is allocated.
+pub fn run_prepared(
+    b: &[f64],
+    plan: &ExecutionPlan,
+    a: &ExecAnalysis,
+    machine: &mut Machine,
+    cfg: &ExecConfig,
+) -> Result<ExecOutcome, ExecError> {
+    let n = a.n;
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(plan.owner.len(), n, "plan size mismatch");
+    assert_eq!(
+        a.in_degree.len(),
+        n,
+        "analysis is columns-only or for a different matrix; run_prepared needs ExecAnalysis::build"
+    );
+    assert_eq!(
+        a.device_bytes.len(),
+        plan.gpus,
+        "analysis was built for a plan with a different GPU count"
+    );
     if n == 0 {
         return Ok(ExecOutcome {
             x: Vec::new(),
             analysis_end: SimTime::ZERO,
             makespan: SimTime::ZERO,
             events: 0,
+            solve_order: Vec::new(),
         });
     }
-
-    let tri = cfg.triangle;
     let gpus = plan.gpus;
-    let remaining = m.in_degrees(tri);
-
-    // --- source-GPU masks for each component's dependencies -----------
-    let mut remote_mask = vec![0u16; n];
-    for j in 0..n {
-        let gj = plan.owner[j];
-        for (r, _) in m.col(j) {
-            let r = r as usize;
-            let is_dep = match tri {
-                Triangle::Lower => r > j,
-                Triangle::Upper => r < j,
-            };
-            if is_dep && plan.owner[r] != gj {
-                remote_mask[r] |= 1 << gj;
-            }
-        }
-    }
-    let peers_of: Vec<Vec<GpuId>> = if matches!(cfg.backend, Backend::Shmem { .. }) {
-        (0..n)
-            .map(|i| {
-                if cfg.gather_all_pes {
-                    (0..gpus).filter(|&g| g != plan.owner[i]).collect()
-                } else {
-                    (0..gpus)
-                        .filter(|&g| remote_mask[i] & (1 << g) != 0)
-                        .collect()
-                }
-            })
-            .collect()
-    } else {
-        vec![Vec::new(); n]
-    };
 
     // --- device memory accounting --------------------------------------
-    let replicated = matches!(cfg.backend, Backend::Shmem { .. });
     for g in 0..gpus {
-        machine.account_alloc(g, plan.device_bytes(m, g, replicated));
+        machine.account_alloc(g, a.device_bytes[g]);
     }
 
     // --- unified-memory allocations -------------------------------------
@@ -244,15 +442,15 @@ pub fn run(
     };
 
     // --- analysis phase: in-degree setup --------------------------------
+    // The in-degree *values* are precomputed on the host (ExecAnalysis);
+    // what is charged here is the device-side setup kernel that
+    // materializes them before every solve (Algorithm 2 lines 4–9 /
+    // Algorithm 3 lines 13–16), so virtual timelines match the paper.
     let spec = machine.config().gpu.clone();
-    let mut nnz_per_gpu = vec![0u64; gpus];
-    for j in 0..n {
-        nnz_per_gpu[plan.owner[j]] += m.col_nnz(j) as u64;
-    }
     let mut t_ready = vec![SimTime::ZERO; gpus];
     for g in 0..gpus {
         // one setup kernel: atomics over the local nonzeros, warp-wide
-        let warp_ops = nnz_per_gpu[g].div_ceil(32);
+        let warp_ops = a.nnz_per_gpu[g].div_ceil(32);
         let dur = warp_ops * spec.atomic_ns / spec.exec_lanes as u64 + spec.launch_ns;
         t_ready[g] = SimTime::ZERO.after(dur);
     }
@@ -270,25 +468,23 @@ pub fn run(
     let analysis_end = t_ready.iter().copied().max().unwrap_or(SimTime::ZERO);
 
     // --- schedule kernel launches ---------------------------------------
-    let mut q: EventQueue<Ev> = EventQueue::with_capacity(n * 2 + m.nnz());
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity(n * 2 + a.dep_rows.len() + n);
     for (k, kd) in plan.kernels.iter().enumerate() {
         let at = machine.launch_kernel(kd.gpu, t_ready[kd.gpu]);
         q.schedule_at(at, Ev::Kernel(k as u32));
     }
 
     let mut st = ExecState {
-        m,
         plan,
         cfg,
-        remaining,
+        remaining: a.in_degree.clone(),
         left_sum: vec![0.0; n],
         x: vec![0.0; n],
-        b: b.to_vec(),
+        b,
         flags: vec![0u8; n],
         aux: vec![SimTime::ZERO; n],
         last_src: vec![0u8; n],
-        remote_mask,
-        peers_of,
+        solve_order: Vec::with_capacity(n),
         indeg_um,
         leftsum_um,
         done_count: 0,
@@ -307,9 +503,9 @@ pub fn run(
         events += 1;
         match ev {
             Ev::Kernel(k) => on_kernel(&mut st, machine, &mut q, now, k),
-            Ev::Slot(c) => on_slot(&mut st, machine, &mut q, now, c),
-            Ev::Dep(c, src) => on_dep(&mut st, machine, &mut q, now, c, src),
-            Ev::Wake(c) => on_wake(&mut st, machine, &mut q, now, c),
+            Ev::Slot(c) => on_slot(&mut st, a, machine, &mut q, now, c),
+            Ev::Dep(c, src) => on_dep(&mut st, a, machine, &mut q, now, c, src),
+            Ev::Wake(c) => on_wake(&mut st, a, machine, &mut q, now, c),
             Ev::Retire(c) => on_retire(&mut st, machine, &mut q, now, c),
         }
     }
@@ -322,15 +518,15 @@ pub fn run(
         analysis_end,
         makespan: st.makespan,
         events,
+        solve_order: st.solve_order,
     })
 }
 
 fn on_kernel(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, k: u32) {
-    // Clone the component list cheaply via indices to appease borrows.
-    let kd = &st.plan.kernels[k as usize];
+    let plan = st.plan;
+    let kd = &plan.kernels[k as usize];
     let gpu = kd.gpu;
-    let comps: Vec<u32> = kd.comps.clone();
-    for c in comps {
+    for &c in &kd.comps {
         if machine.try_warp_slot(gpu) {
             q.schedule_at(now, Ev::Slot(c));
         } else {
@@ -339,17 +535,24 @@ fn on_kernel(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, 
     }
 }
 
-fn on_slot(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, c: u32) {
+fn on_slot(
+    st: &mut ExecState,
+    a: &ExecAnalysis,
+    machine: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    now: SimTime,
+    c: u32,
+) {
     let i = c as usize;
     st.flags[i] |= HAS_SLOT;
     if st.flags[i] & SATISFIED != 0 {
-        schedule_wake(st, machine, q, now, c);
+        schedule_wake(st, a, machine, q, now, c);
     } else {
         st.flags[i] |= BLOCKED;
         st.aux[i] = now;
         // a warp spinning on remote state loads the fabric (GUP
         // detection is owner-local, so it does not poll the wire)
-        if st.remote_mask[i] != 0
+        if a.remote_mask[i] != 0
             && !matches!(st.cfg.backend, Backend::SingleGpu | Backend::ShmemGup)
         {
             machine.polling_started();
@@ -364,6 +567,7 @@ fn on_slot(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, no
 
 fn on_dep(
     st: &mut ExecState,
+    a: &ExecAnalysis,
     machine: &mut Machine,
     q: &mut EventQueue<Ev>,
     now: SimTime,
@@ -384,7 +588,7 @@ fn on_dep(
                 let waited = now - st.aux[i];
                 let period = machine.remote_poll_period_ns().max(1);
                 let rounds = waited / period;
-                let peers = st.remote_mask[i].count_ones() as u64;
+                let peers = a.remote_mask[i].count_ones() as u64;
                 if peers > 0 && rounds > 0 {
                     let polled = if poll_caching {
                         // satisfied peers drop out of the loop roughly
@@ -418,7 +622,8 @@ fn on_dep(
         st.flags[i] &= !BLOCKED;
         st.flags[i] |= SATISFIED;
         st.aux[i] = st.aux[i].max(now);
-        schedule_wake(st, machine, q, st.aux[i], c);
+        let base = st.aux[i];
+        schedule_wake(st, a, machine, q, base, c);
     } else {
         st.flags[i] |= SATISFIED;
         st.aux[i] = now;
@@ -428,7 +633,14 @@ fn on_dep(
 /// Compute when the waiting warp *observes* satisfaction and schedule
 /// its wake. `base` is when the last dependency became durable (or when
 /// the slot was granted, if later).
-fn schedule_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, base: SimTime, c: u32) {
+fn schedule_wake(
+    st: &mut ExecState,
+    a: &ExecAnalysis,
+    machine: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    base: SimTime,
+    c: u32,
+) {
     let i = c as usize;
     let gpu = st.plan.owner[i];
     let spec = machine.config().gpu.clone();
@@ -438,7 +650,7 @@ fn schedule_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<E
         }
         Backend::Shmem { .. } => {
             let src = st.last_src[i] as GpuId;
-            if src == gpu || st.remaining[i] == 0 && st.remote_mask[i] == 0 {
+            if src == gpu || st.remaining[i] == 0 && a.remote_mask[i] == 0 {
                 base.after(spec.poll_ns / 2 + machine.jitter(spec.poll_ns / 2 + 1))
             } else {
                 // next poll round issues a get that sees the zero
@@ -455,7 +667,14 @@ fn schedule_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<E
     q.schedule_at(wake_at.max(base), Ev::Wake(c));
 }
 
-fn on_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, c: u32) {
+fn on_wake(
+    st: &mut ExecState,
+    a: &ExecAnalysis,
+    machine: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    now: SimTime,
+    c: u32,
+) {
     let i = c as usize;
     let gpu = st.plan.owner[i];
     let spec = machine.config().gpu.clone();
@@ -470,13 +689,11 @@ fn on_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, no
     let t_gather = match st.cfg.backend {
         Backend::SingleGpu | Backend::ShmemGup => now,
         Backend::Shmem { .. } => {
-            if st.peers_of[i].is_empty() {
+            let peers = a.peers_of(c);
+            if peers.is_empty() {
                 now
             } else {
-                let peers = std::mem::take(&mut st.peers_of[i]);
-                let t = machine.shmem_gather_reduce(gpu, &peers, 8, now);
-                st.peers_of[i] = peers;
-                t
+                machine.shmem_gather_reduce(gpu, peers, 8, now)
             }
         }
         Backend::Unified => {
@@ -487,7 +704,7 @@ fn on_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, no
     };
 
     // --- solve phase ------------------------------------------------------
-    let col_nnz = st.m.col_nnz(i) as u64;
+    let col_nnz = a.col_nnz[i] as u64;
     let mut t = t_gather;
     let spill = machine.spill_ratio(gpu);
     if spill > 0.0 {
@@ -502,14 +719,13 @@ fn on_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, no
     let solve_dur = spec.solve_ns + col_nnz.div_ceil(32) * spec.per_nnz_ns;
     let t_solve = machine.exec(gpu, t, solve_dur);
 
-    let xi = (st.b[i] - st.left_sum[i]) / st.diag_of(c);
+    let xi = (st.b[i] - st.left_sum[i]) / a.diag[i];
     st.x[i] = xi;
+    st.solve_order.push(c);
 
     // --- update phase -------------------------------------------------------
-    let (rows, vals) = st.updates_of(c);
+    let (rows, vals) = a.updates_of(c);
     let k_total = rows.len() as u64;
-    let rows: Vec<u32> = rows.to_vec();
-    let vals: Vec<f64> = vals.to_vec();
     let t_upd = if k_total > 0 {
         machine.exec(gpu, t_solve, k_total.div_ceil(32) * spec.atomic_ns)
     } else {
@@ -518,7 +734,7 @@ fn on_wake(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, no
 
     let mut retire_at = t_upd;
     let mut gup_cursor = t_upd; // naive GUP round trips serialize per warp
-    for (r, v) in rows.iter().zip(&vals) {
+    for (r, v) in rows.iter().zip(vals) {
         let r = *r;
         let contrib = *v * xi;
         st.left_sum[r as usize] += contrib;
@@ -634,6 +850,69 @@ mod tests {
         let m = gen::level_structured(&gen::LevelSpec::new(600, 15, 2400, 9));
         let (out, r) = run_case(&m, 4, Backend::Unified, Partition::Blocked);
         assert!(verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL);
+    }
+
+    #[test]
+    fn prepared_run_reproduces_one_shot_run() {
+        let m = gen::level_structured(&gen::LevelSpec::new(900, 22, 3600, 13));
+        let (_, b) = verify::rhs_for(&m, 42);
+        let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
+        let cfg = ExecConfig {
+            backend: Backend::Shmem { poll_caching: true },
+            ..ExecConfig::default()
+        };
+        let mut m1 = Machine::new(MachineConfig::dgx1(4));
+        let one_shot = run(&m, &b, &plan, &mut m1, cfg.clone()).unwrap();
+        let analysis = ExecAnalysis::build(&m, &plan, &cfg);
+        let mut m2 = Machine::new(MachineConfig::dgx1(4));
+        let prepared = run_prepared(&b, &plan, &analysis, &mut m2, &cfg).unwrap();
+        assert_eq!(one_shot.x, prepared.x, "bit-identical numerics");
+        assert_eq!(one_shot.makespan, prepared.makespan);
+        assert_eq!(one_shot.events, prepared.events);
+    }
+
+    #[test]
+    fn replay_of_recorded_order_is_bit_identical() {
+        let m = gen::level_structured(&gen::LevelSpec::new(1100, 28, 4400, 17));
+        let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
+        let cfg = ExecConfig {
+            backend: Backend::Shmem { poll_caching: true },
+            ..ExecConfig::default()
+        };
+        let analysis = ExecAnalysis::build(&m, &plan, &cfg);
+        // calibrate with one RHS, replay a different one: the schedule
+        // is value-independent, so the recorded order serves any b
+        let (_, b0) = verify::rhs_for(&m, 1);
+        let mut machine = Machine::new(MachineConfig::dgx1(4));
+        let calibration = run_prepared(&b0, &plan, &analysis, &mut machine, &cfg).unwrap();
+        assert_eq!(calibration.solve_order.len(), m.n());
+
+        let (_, b1) = verify::rhs_for(&m, 2);
+        let mut machine = Machine::new(MachineConfig::dgx1(4));
+        let full = run_prepared(&b1, &plan, &analysis, &mut machine, &cfg).unwrap();
+        let replayed = analysis.replay(&calibration.solve_order, &b1);
+        assert_eq!(full.x, replayed, "replay must be bit-identical to simulation");
+        assert_eq!(full.solve_order, calibration.solve_order, "schedule is value-independent");
+    }
+
+    #[test]
+    fn analysis_flat_layout_matches_matrix() {
+        let m = gen::level_structured(&gen::LevelSpec::new(500, 12, 2000, 5));
+        let plan = ExecutionPlan::build(m.n(), 2, Partition::Blocked, Triangle::Lower);
+        let a = ExecAnalysis::build(&m, &plan, &ExecConfig::default());
+        for j in 0..m.n() {
+            let (rows, vals) = a.updates_of(j as u32);
+            let expect: Vec<(u32, f64)> = m
+                .col(j)
+                .filter(|&(r, _)| (r as usize) > j)
+                .collect();
+            assert_eq!(rows.len(), expect.len());
+            for (k, &(r, v)) in expect.iter().enumerate() {
+                assert_eq!(rows[k], r);
+                assert_eq!(vals[k], v);
+            }
+            assert_eq!(a.diag[j], m.get(j, j).unwrap());
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct LevelSetOutcome {
     pub levels: usize,
 }
 
-/// Run the level-set solver on GPU 0 of `machine`.
+/// Run the level-set solver on GPU 0 of `machine`, analyzing the level
+/// sets first. Callers that solve the same factor repeatedly should
+/// analyze once and use [`run_with_levels`] (what the
+/// build-once/solve-many engine does).
 ///
 /// Numerics are computed exactly (level order is a valid topological
 /// order); virtual time advances through per-level kernel launches,
@@ -44,12 +47,26 @@ pub fn run(
     machine: &mut Machine,
     tri: Triangle,
 ) -> LevelSetOutcome {
+    let ls = LevelSets::analyze(m, tri);
+    run_with_levels(m, b, machine, tri, &ls)
+}
+
+/// Run the level-set solver against a prebuilt decomposition. Performs
+/// zero level-set construction; the virtual analysis-phase charge (the
+/// device-side csrsv2 analysis kernel) is still modeled so timelines
+/// match the one-shot path.
+pub fn run_with_levels(
+    m: &CscMatrix,
+    b: &[f64],
+    machine: &mut Machine,
+    tri: Triangle,
+    ls: &LevelSets,
+) -> LevelSetOutcome {
     let n = m.n();
     assert_eq!(b.len(), n, "rhs length mismatch");
     let gpu = 0;
     let spec = machine.config().gpu.clone();
 
-    let ls = LevelSets::analyze(m, tri);
     let analysis_ns = spec.launch_ns
         + m.nnz() as u64 * ANALYSIS_PER_NNZ_NS / spec.exec_lanes as u64
         + ls.n_levels() as u64 * ANALYSIS_PER_LEVEL_NS;
@@ -65,7 +82,7 @@ pub fn run(
     let values = m.values();
 
     let mut t = analysis_end;
-    for level in &ls.sets {
+    for level in ls.iter_levels() {
         let t_start = machine.launch_kernel(gpu, t);
         let mut level_end = t_start;
         for &c in level {

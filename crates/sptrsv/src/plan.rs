@@ -20,6 +20,20 @@
 
 use mgpu_sim::GpuId;
 use sparsemat::{CscMatrix, Triangle};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread count of [`ExecutionPlan::build`] invocations. The
+    /// build-once/solve-many engine tests read this to prove warm
+    /// solves construct **zero** plans; thread-local so parallel tests
+    /// cannot perturb each other's measurements.
+    static BUILD_INVOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many times [`ExecutionPlan::build`] has run on this thread.
+pub fn build_invocations() -> u64 {
+    BUILD_INVOCATIONS.with(Cell::get)
+}
 
 /// How components are distributed over GPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +84,7 @@ impl ExecutionPlan {
     /// for lower, descending for upper), then cut into tasks of equal
     /// size and dealt to GPUs.
     pub fn build(n: usize, gpus: usize, partition: Partition, tri: Triangle) -> ExecutionPlan {
+        BUILD_INVOCATIONS.with(|c| c.set(c.get() + 1));
         assert!(gpus >= 1, "need at least one GPU");
         let total_tasks = match partition {
             Partition::Blocked => gpus as u32,

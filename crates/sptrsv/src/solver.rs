@@ -5,16 +5,18 @@
 //! enforces the hardware constraints the paper reports (NVSHMEM
 //! requires all-pairs P2P), runs the simulation, verifies the solution
 //! against the serial reference and returns a [`SolveReport`].
+//!
+//! Both [`solve`] and [`solve_multi_rhs`] are thin wrappers over
+//! [`SolverEngine`]: they build the engine (the one-time analysis
+//! phase) and immediately solve. Callers that solve against the same
+//! factor repeatedly should hold the engine instead — see
+//! [`crate::engine`].
 
-use crate::exec::{self, ExecConfig, ExecError};
-use crate::levelset;
-use crate::plan::{ExecutionPlan, Partition};
-use crate::reference;
-use crate::report::{SolveReport, Timings};
-use crate::verify;
-use crate::Backend;
+use crate::engine::SolverEngine;
+use crate::exec::ExecError;
+use crate::report::SolveReport;
 use desim::SimTime;
-use mgpu_sim::{Machine, MachineConfig};
+use mgpu_sim::MachineConfig;
 use sparsemat::{CscMatrix, MatrixError, Triangle};
 
 /// Which solver variant to run — the paper's design-space points.
@@ -151,119 +153,21 @@ impl From<MatrixError> for SolveError {
 }
 
 /// Solve `m · x = b` with the requested variant on the given machine.
+///
+/// One-shot convenience: builds a [`SolverEngine`] (the analysis
+/// phase), solves once, and drops it. Hold the engine yourself when the
+/// same factor is solved repeatedly.
 pub fn solve(
     m: &CscMatrix,
     b: &[f64],
     machine_cfg: MachineConfig,
     opts: &SolveOptions,
 ) -> Result<SolveReport, SolveError> {
-    m.validate_triangular(opts.triangle)?;
+    // reject a bad RHS before paying for the analysis phase
     if b.len() != m.n() {
         return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len() });
     }
-
-    let label = opts.kind.label();
-    match opts.kind {
-        SolverKind::Serial => {
-            let x = reference::solve_serial(m, b, opts.triangle)?;
-            return Ok(SolveReport {
-                x,
-                timings: Timings::default(),
-                stats: Default::default(),
-                events: 0,
-                gpus: 0,
-                kernels: 0,
-                cross_edges: 0,
-                fits_in_memory: true,
-                verified_rel_err: Some(0.0),
-                label,
-            });
-        }
-        SolverKind::LevelSet => {
-            let mut machine = Machine::new(single_gpu(&machine_cfg));
-            let out = levelset::run(m, b, &mut machine, opts.triangle);
-            let report = SolveReport {
-                timings: Timings {
-                    analysis: out.analysis_end,
-                    solve: SimTime::from_ns(out.makespan - out.analysis_end),
-                    total: out.makespan,
-                },
-                stats: machine.stats(),
-                events: 0,
-                gpus: 1,
-                kernels: out.levels,
-                cross_edges: 0,
-                fits_in_memory: machine.fits_in_memory(),
-                verified_rel_err: None,
-                label,
-                x: out.x,
-            };
-            return finish(m, b, report, opts);
-        }
-        _ => {}
-    }
-
-    // Synchronization-free family.
-    let (backend, partition, cfg) = match opts.kind {
-        SolverKind::SyncFree => (Backend::SingleGpu, Partition::Blocked, single_gpu(&machine_cfg)),
-        SolverKind::Unified => (Backend::Unified, Partition::Blocked, machine_cfg.clone()),
-        SolverKind::UnifiedTasks { per_gpu } => (
-            Backend::Unified,
-            Partition::Tasks { per_gpu },
-            machine_cfg.clone(),
-        ),
-        SolverKind::ShmemBlocked => (
-            Backend::Shmem { poll_caching: opts.poll_caching },
-            Partition::Blocked,
-            machine_cfg.clone(),
-        ),
-        SolverKind::ShmemNaive => (Backend::ShmemGup, Partition::Blocked, machine_cfg.clone()),
-        SolverKind::ZeroCopy { per_gpu } => (
-            Backend::Shmem { poll_caching: opts.poll_caching },
-            Partition::Tasks { per_gpu },
-            machine_cfg.clone(),
-        ),
-        SolverKind::ZeroCopyTotal { total } => (
-            Backend::Shmem { poll_caching: opts.poll_caching },
-            Partition::TotalTasks { total },
-            machine_cfg.clone(),
-        ),
-        SolverKind::Serial | SolverKind::LevelSet => unreachable!("handled above"),
-    };
-
-    let mut machine = Machine::new(cfg);
-    if matches!(backend, Backend::Shmem { .. } | Backend::ShmemGup)
-        && !machine.topology().fully_p2p()
-    {
-        return Err(SolveError::NotP2p { gpus: machine.n_gpus() });
-    }
-
-    let plan = ExecutionPlan::build(m.n(), machine.n_gpus(), partition, opts.triangle);
-    let cross_edges = plan.cross_gpu_edges(m, opts.triangle);
-    let exec_cfg = ExecConfig {
-        backend,
-        triangle: opts.triangle,
-        gather_all_pes: opts.gather_all_pes,
-    };
-    let out = exec::run(m, b, &plan, &mut machine, exec_cfg).map_err(SolveError::Exec)?;
-
-    let report = SolveReport {
-        timings: Timings {
-            analysis: out.analysis_end,
-            solve: SimTime::from_ns(out.makespan - out.analysis_end),
-            total: out.makespan,
-        },
-        stats: machine.stats(),
-        events: out.events,
-        gpus: machine.n_gpus(),
-        kernels: plan.kernels.len(),
-        cross_edges,
-        fits_in_memory: machine.fits_in_memory(),
-        verified_rel_err: None,
-        label,
-        x: out.x,
-    };
-    finish(m, b, report, opts)
+    SolverEngine::build(m, machine_cfg, opts)?.solve(b)
 }
 
 /// Result of a multi-right-hand-side solve (the Liu et al. \[2\]
@@ -288,53 +192,25 @@ impl MultiRhsReport {
 
 /// Solve `m · X = B` for several right-hand sides with one analysis
 /// phase. Every solution is individually verified per `opts.verify`.
+///
+/// Engine-backed: the level sets, plan and dependency adjacency are
+/// built exactly once, then reused for every right-hand side.
 pub fn solve_multi_rhs(
     m: &CscMatrix,
     bs: &[Vec<f64>],
     machine_cfg: MachineConfig,
     opts: &SolveOptions,
 ) -> Result<MultiRhsReport, SolveError> {
-    let mut reports = Vec::with_capacity(bs.len());
-    let mut total = 0u64;
-    for (k, b) in bs.iter().enumerate() {
-        let r = solve(m, b, machine_cfg.clone(), opts)?;
-        // analysis is structure-only: charge it on the first solve
-        total += if k == 0 {
-            r.timings.total.as_ns()
-        } else {
-            r.timings.solve.as_ns()
-        };
-        reports.push(r);
+    if let Some(b) = bs.iter().find(|b| b.len() != m.n()) {
+        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len() });
     }
-    Ok(MultiRhsReport { reports, total: SimTime::from_ns(total) })
-}
-
-fn single_gpu(cfg: &MachineConfig) -> MachineConfig {
-    let mut c = cfg.clone();
-    c.gpus = 1;
-    c
-}
-
-fn finish(
-    m: &CscMatrix,
-    b: &[f64],
-    mut report: SolveReport,
-    opts: &SolveOptions,
-) -> Result<SolveReport, SolveError> {
-    if opts.verify {
-        let reference = reference::solve_serial(m, b, opts.triangle)?;
-        let err = verify::rel_inf_diff(&report.x, &reference);
-        if err > verify::DEFAULT_TOL {
-            return Err(SolveError::Verification { rel_err: err });
-        }
-        report.verified_rel_err = Some(err);
-    }
-    Ok(report)
+    SolverEngine::build(m, machine_cfg, opts)?.solve_multi_rhs(bs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{reference, verify};
     use sparsemat::gen;
 
     fn small() -> (CscMatrix, Vec<f64>) {

@@ -1,0 +1,123 @@
+//! Build-once/solve-many engine contract tests:
+//!
+//! 1. `engine.solve(&b)` is **bit-identical** to one-shot
+//!    `solve(&l, &b, …)` for every `SolverKind` variant — same
+//!    solution bits, same virtual timings, same event counts.
+//! 2. Warm solves perform zero analysis construction (level sets,
+//!    plans, adjacency), checked against the per-thread counters.
+//! 3. Two `solve_batch` calls on one engine are deterministic across
+//!    runs and across worker counts.
+//!
+//! Cases are drawn from a deterministic PCG32 (proptest is unavailable
+//! offline).
+
+use desim::Pcg32;
+use mgpu_sim::MachineConfig;
+use sparsemat::gen::{self, LevelSpec};
+use sptrsv::{exec, plan, solve, verify, SolveOptions, SolverEngine, SolverKind};
+
+fn all_kinds() -> Vec<SolverKind> {
+    vec![
+        SolverKind::Serial,
+        SolverKind::LevelSet,
+        SolverKind::SyncFree,
+        SolverKind::Unified,
+        SolverKind::UnifiedTasks { per_gpu: 8 },
+        SolverKind::ShmemBlocked,
+        SolverKind::ShmemNaive,
+        SolverKind::ZeroCopy { per_gpu: 8 },
+        SolverKind::ZeroCopyTotal { total: 32 },
+    ]
+}
+
+/// Property: for random systems and every variant, a warm engine solve
+/// reproduces the one-shot path bit for bit.
+#[test]
+fn engine_solve_bit_identical_to_one_shot_for_all_kinds() {
+    for case in 0..6u64 {
+        let mut rng = Pcg32::seed_from_u64(0xE9612E + case);
+        let n = 200 + rng.next_below(600) as usize;
+        let m = gen::level_structured(&LevelSpec::new(
+            n,
+            (n / 13).max(1),
+            n * 4,
+            rng.next_u64(),
+        ));
+        let (_, b) = verify::rhs_for(&m, rng.next_u64());
+        for kind in all_kinds() {
+            let opts = SolveOptions { kind, ..SolveOptions::default() };
+            let one_shot = solve(&m, &b, MachineConfig::dgx1(4), &opts)
+                .unwrap_or_else(|e| panic!("one-shot {kind:?}: {e}"));
+            let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+            // discard one warm-up solve so the second one is maximally warm
+            let _ = engine.solve(&b).unwrap();
+            let warm = engine.solve(&b).unwrap();
+            assert_eq!(one_shot.x, warm.x, "case {case} {kind:?}: x bits");
+            assert_eq!(one_shot.timings.total, warm.timings.total, "case {case} {kind:?}");
+            assert_eq!(one_shot.timings.analysis, warm.timings.analysis, "case {case} {kind:?}");
+            assert_eq!(one_shot.events, warm.events, "case {case} {kind:?}");
+            assert_eq!(one_shot.cross_edges, warm.cross_edges, "case {case} {kind:?}");
+            assert_eq!(one_shot.kernels, warm.kernels, "case {case} {kind:?}");
+        }
+    }
+}
+
+/// Warm solves construct nothing: no level-set analyses, no plans, no
+/// exec adjacency builds — across every variant.
+#[test]
+fn warm_solves_never_reanalyze() {
+    let m = gen::level_structured(&LevelSpec::new(1500, 30, 6000, 77));
+    let (_, b) = verify::rhs_for(&m, 7);
+    for kind in all_kinds() {
+        let opts = SolveOptions { kind, ..SolveOptions::default() };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let levels = sparsemat::levels::analyze_invocations();
+        let plans = plan::build_invocations();
+        let execs = exec::analysis_builds();
+        for _ in 0..3 {
+            engine.solve(&b).unwrap();
+        }
+        // opts.verify = true runs the serial reference per solve, which
+        // must not analyze either
+        assert_eq!(sparsemat::levels::analyze_invocations(), levels, "{kind:?}: levels rebuilt");
+        assert_eq!(plan::build_invocations(), plans, "{kind:?}: plan rebuilt");
+        assert_eq!(exec::analysis_builds(), execs, "{kind:?}: adjacency rebuilt");
+    }
+}
+
+/// Two `solve_batch` calls on one engine agree with each other and
+/// with a fresh engine, whatever the thread count.
+#[test]
+fn solve_batch_deterministic_across_runs() {
+    let m = gen::level_structured(&LevelSpec::new(1000, 25, 4000, 3));
+    let bs: Vec<Vec<f64>> = (0..12).map(|k| verify::rhs_for(&m, 900 + k).1).collect();
+    let opts = SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() };
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let a = engine.solve_batch(&bs).unwrap();
+    let b2 = engine.solve_batch(&bs).unwrap();
+    let fresh = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts)
+        .unwrap()
+        .solve_batch_with_threads(&bs, 2)
+        .unwrap();
+    assert_eq!(a.total, b2.total);
+    assert_eq!(a.total, fresh.total);
+    assert_eq!(a.reports.len(), bs.len());
+    for ((ra, rb), rf) in a.reports.iter().zip(&b2.reports).zip(&fresh.reports) {
+        assert_eq!(ra.x, rb.x);
+        assert_eq!(ra.x, rf.x);
+        assert_eq!(ra.timings.total, rb.timings.total);
+        assert_eq!(ra.events, rf.events);
+    }
+}
+
+/// The engine-backed multi-RHS accounting still amortizes: shared
+/// analysis beats per-solve analysis.
+#[test]
+fn batch_total_amortizes_versus_unamortized() {
+    let m = gen::level_structured(&LevelSpec::new(800, 16, 3200, 5));
+    let bs: Vec<Vec<f64>> = (0..6).map(|k| verify::rhs_for(&m, 40 + k).1).collect();
+    let opts = SolveOptions { kind: SolverKind::Unified, ..Default::default() };
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let multi = engine.solve_batch(&bs).unwrap();
+    assert!(multi.total < multi.unamortized_total());
+}

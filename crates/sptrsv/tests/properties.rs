@@ -1,10 +1,11 @@
-//! Property-based tests: every parallel solver variant must agree with
+//! Property-style tests: every parallel solver variant must agree with
 //! the serial reference on arbitrary well-conditioned triangular
 //! systems, machines and partitions — the core soundness property of
-//! the whole reproduction.
+//! the whole reproduction. Cases come from a deterministic PCG32
+//! (proptest is unavailable offline).
 
+use desim::Pcg32;
 use mgpu_sim::MachineConfig;
-use proptest::prelude::*;
 use sparsemat::gen::{self, LevelSpec};
 use sparsemat::Triangle;
 use sptrsv::{reference, solve, verify, SolveOptions, SolverKind};
@@ -19,21 +20,18 @@ fn kinds() -> Vec<SolverKind> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// All variants match the serial reference on random level-structured
-    /// systems, random GPU counts and both machines.
-    #[test]
-    fn variants_match_reference(
-        n in 40usize..500,
-        levels_frac in 0.02f64..0.6,
-        dep in 1.5f64..5.0,
-        seed in any::<u64>(),
-        gpus in 1usize..4,
-        dgx2 in any::<bool>(),
-    ) {
-        let levels = ((n as f64 * levels_frac) as usize).clamp(1, n);
+/// All variants match the serial reference on random level-structured
+/// systems, random GPU counts and both machines.
+#[test]
+fn variants_match_reference() {
+    for case in 0..24u64 {
+        let mut rng = Pcg32::seed_from_u64(0xFACE + case);
+        let n = 40 + rng.next_below(460) as usize;
+        let levels = ((n as f64 * rng.range_f64(0.02, 0.6)) as usize).clamp(1, n);
+        let dep = rng.range_f64(1.5, 5.0);
+        let seed = rng.next_u64();
+        let gpus = 1 + rng.next_below(3) as usize;
+        let dgx2 = rng.chance(0.5);
         let m = gen::level_structured(&LevelSpec {
             n,
             levels,
@@ -46,40 +44,57 @@ proptest! {
         let expected = reference::solve_lower(&m, &b).unwrap();
         let cfg = if dgx2 { MachineConfig::dgx2(gpus) } else { MachineConfig::dgx1(gpus) };
         for kind in kinds() {
-            let r = solve(&m, &b, cfg.clone(), &SolveOptions { kind, verify: false, ..Default::default() })
-                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let r = solve(
+                &m,
+                &b,
+                cfg.clone(),
+                &SolveOptions { kind, verify: false, ..Default::default() },
+            )
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             let err = verify::rel_inf_diff(&r.x, &expected);
-            prop_assert!(err < 1e-8, "{kind:?} err {err}");
+            assert!(err < 1e-8, "case {case} {kind:?} err {err}");
         }
     }
+}
 
-    /// Upper-triangular systems solve correctly too (backward
-    /// substitution on every backend).
-    #[test]
-    fn upper_systems_match_reference(
-        n in 40usize..300,
-        seed in any::<u64>(),
-        gpus in 1usize..4,
-    ) {
+/// Upper-triangular systems solve correctly too (backward substitution
+/// on every backend).
+#[test]
+fn upper_systems_match_reference() {
+    for case in 0..24u64 {
+        let mut rng = Pcg32::seed_from_u64(0x0BEB + case);
+        let n = 40 + rng.next_below(260) as usize;
+        let seed = rng.next_u64();
+        let gpus = 1 + rng.next_below(3) as usize;
         let l = gen::banded_lower(n, 6, 3.0, seed);
         let u = l.transpose();
         let (_, b) = verify::rhs_for(&u, seed ^ 2);
         let expected = reference::solve_upper(&u, &b).unwrap();
         for kind in [SolverKind::LevelSet, SolverKind::ZeroCopy { per_gpu: 4 }] {
-            let r = solve(&u, &b, MachineConfig::dgx1(gpus), &SolveOptions {
-                kind,
-                triangle: Triangle::Upper,
-                verify: false,
-                ..Default::default()
-            })
+            let r = solve(
+                &u,
+                &b,
+                MachineConfig::dgx1(gpus),
+                &SolveOptions {
+                    kind,
+                    triangle: Triangle::Upper,
+                    verify: false,
+                    ..Default::default()
+                },
+            )
             .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
-            prop_assert!(verify::rel_inf_diff(&r.x, &expected) < 1e-8);
+            assert!(verify::rel_inf_diff(&r.x, &expected) < 1e-8, "case {case}");
         }
     }
+}
 
-    /// Simulated makespans are positive, finite and deterministic.
-    #[test]
-    fn makespans_deterministic(n in 50usize..300, seed in any::<u64>()) {
+/// Simulated makespans are positive, finite and deterministic.
+#[test]
+fn makespans_deterministic() {
+    for case in 0..24u64 {
+        let mut rng = Pcg32::seed_from_u64(0xDE7 + case);
+        let n = 50 + rng.next_below(250) as usize;
+        let seed = rng.next_u64();
         let m = gen::level_structured(&LevelSpec::new(n, (n / 11).max(1), n * 3, seed));
         let (_, b) = verify::rhs_for(&m, seed);
         let opts = SolveOptions {
@@ -88,50 +103,60 @@ proptest! {
         };
         let a = solve(&m, &b, MachineConfig::dgx1(3), &opts).unwrap();
         let c = solve(&m, &b, MachineConfig::dgx1(3), &opts).unwrap();
-        prop_assert!(a.timings.total > desim::SimTime::ZERO);
-        prop_assert_eq!(a.timings.total, c.timings.total);
-        prop_assert_eq!(a.events, c.events);
+        assert!(a.timings.total > desim::SimTime::ZERO);
+        assert_eq!(a.timings.total, c.timings.total);
+        assert_eq!(a.events, c.events);
     }
+}
 
-    /// The solution is independent of the partitioning (numerics don't
-    /// depend on where components are placed).
-    #[test]
-    fn solution_is_partition_invariant(
-        n in 50usize..300,
-        seed in any::<u64>(),
-        tasks in 1u32..16,
-    ) {
+/// The solution is independent of the partitioning (numerics don't
+/// depend on where components are placed).
+#[test]
+fn solution_is_partition_invariant() {
+    for case in 0..24u64 {
+        let mut rng = Pcg32::seed_from_u64(0x9A27 + case);
+        let n = 50 + rng.next_below(250) as usize;
+        let seed = rng.next_u64();
+        let tasks = 1 + rng.next_below(15);
         let m = gen::level_structured(&LevelSpec::new(n, (n / 9).max(1), n * 3, seed));
         let (_, b) = verify::rhs_for(&m, seed ^ 3);
-        let blocked = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ShmemBlocked,
-            ..Default::default()
-        })
+        let blocked = solve(
+            &m,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ShmemBlocked, ..Default::default() },
+        )
         .unwrap();
-        let tasked = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: tasks },
-            ..Default::default()
-        })
+        let tasked = solve(
+            &m,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: tasks }, ..Default::default() },
+        )
         .unwrap();
-        prop_assert!(verify::rel_inf_diff(&blocked.x, &tasked.x) < 1e-9);
+        assert!(verify::rel_inf_diff(&blocked.x, &tasked.x) < 1e-9, "case {case}");
     }
+}
 
-    /// Chains (fully sequential) and diagonals (fully parallel) are the
-    /// makespan extremes for equal component counts.
-    #[test]
-    fn chain_slower_than_diagonal(n in 100usize..400) {
+/// Chains (fully sequential) and diagonals (fully parallel) are the
+/// makespan extremes for equal component counts.
+#[test]
+fn chain_slower_than_diagonal() {
+    for n in [100usize, 250, 400] {
         let run = |m: &sparsemat::CscMatrix| {
             let (_, b) = verify::rhs_for(m, 5);
-            solve(m, &b, MachineConfig::dgx1(1), &SolveOptions {
-                kind: SolverKind::SyncFree,
-                ..Default::default()
-            })
+            solve(
+                m,
+                &b,
+                MachineConfig::dgx1(1),
+                &SolveOptions { kind: SolverKind::SyncFree, ..Default::default() },
+            )
             .unwrap()
             .timings
             .total
         };
         let chain = run(&gen::chain(n));
         let diag = run(&gen::diagonal(n, 7));
-        prop_assert!(chain > diag, "chain {chain} must beat diagonal {diag}");
+        assert!(chain > diag, "chain {chain} must beat diagonal {diag}");
     }
 }

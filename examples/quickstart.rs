@@ -28,7 +28,7 @@ fn main() {
     // --- dependency analysis (Fig. 1b) ---------------------------------
     let levels = LevelSets::analyze(&l, Triangle::Lower);
     println!("level sets of the Fig. 1 matrix:");
-    for (i, set) in levels.sets.iter().enumerate() {
+    for (i, set) in levels.iter_levels().enumerate() {
         println!("  level {i}: {:?}", set.iter().map(|&c| format!("x{c}")).collect::<Vec<_>>());
     }
     println!(
