@@ -8,18 +8,22 @@
 //! * **warm solve** — `engine.solve()` on a prebuilt [`SolverEngine`]:
 //!   numeric replay only;
 //! * **64-RHS amortized batch** — `engine.solve_batch()` against 64
-//!   one-shot `solve()` calls on the same matrix.
+//!   one-shot `solve()` calls on the same matrix;
+//! * **fused panel vs per-RHS warm loop** — the K-blocked
+//!   `solve_panel_into` (factor streamed once per 8-wide block,
+//!   zero-allocation workspace) and the pooled `solve_batch_into`
+//!   against 64 individual warm `solve()` calls.
 //!
 //! Results go to `BENCH_engine.json` at the repository root so the perf
-//! trajectory is tracked from PR to PR. The batch speedup is asserted
-//! to stay ≥ 2× — the acceptance floor; the replay design typically
-//! lands far above it.
+//! trajectory is tracked from PR to PR. The batch and fused-panel
+//! speedups are asserted to stay ≥ 2× — the acceptance floors; the
+//! designs typically land far above them.
 //!
 //! Run with `cargo bench -p sptrsv-bench --bench engine`.
 
 use mgpu_sim::MachineConfig;
 use sparsemat::gen::{self, LevelSpec};
-use sptrsv::{solve, verify, SolveOptions, SolverEngine, SolverKind};
+use sptrsv::{solve, verify, SolveOptions, SolveWorkspace, SolverEngine, SolverKind};
 use sptrsv_bench::timer::{time_ns, TimingSummary};
 use std::io::Write;
 
@@ -45,19 +49,15 @@ fn main() {
     let engine = SolverEngine::build(&m, cfg.clone(), &opts).unwrap();
     let warm = time_ns(5, || engine.solve(&b).unwrap());
     let cold_over_warm = cold.median_ns as f64 / warm.median_ns.max(1) as f64;
-    println!(
-        "cold solve   median {:>12}",
-        TimingSummary::human(cold.median_ns)
-    );
+    println!("cold solve   median {:>12}", TimingSummary::human(cold.median_ns));
     println!(
         "warm solve   median {:>12}   (cold/warm = {cold_over_warm:.1}x)",
         TimingSummary::human(warm.median_ns)
     );
 
     // --- 64-RHS: amortized batch vs one-shot loop --------------------
-    let bs: Vec<Vec<f64>> = (0..BATCH_RHS as u64)
-        .map(|k| verify::rhs_for(&m, 1000 + k).1)
-        .collect();
+    let bs: Vec<Vec<f64>> =
+        (0..BATCH_RHS as u64).map(|k| verify::rhs_for(&m, 1000 + k).1).collect();
     let one_shot = time_ns(3, || {
         let mut acc = 0u64;
         for b in &bs {
@@ -72,13 +72,60 @@ fn main() {
         engine.solve_batch(&bs).unwrap().reports.len()
     });
     let speedup = one_shot.median_ns as f64 / batch.median_ns.max(1) as f64;
-    println!(
-        "{BATCH_RHS}x one-shot median {:>12}",
-        TimingSummary::human(one_shot.median_ns)
-    );
+    println!("{BATCH_RHS}x one-shot median {:>12}", TimingSummary::human(one_shot.median_ns));
     println!(
         "{BATCH_RHS}x batch    median {:>12}   (speedup = {speedup:.1}x)",
         TimingSummary::human(batch.median_ns)
+    );
+
+    // --- fused panel vs per-RHS warm loop ----------------------------
+    // Warm replay is memory-bandwidth-bound: the per-RHS loop streams
+    // the flattened factor adjacency 64 times, the fused panel once
+    // per 8-wide block. Same engine, same machine, same run.
+    let per_rhs = time_ns(5, || {
+        let mut acc = 0.0f64;
+        for b in &bs {
+            acc += engine.solve(b).unwrap().x[0];
+        }
+        acc
+    });
+    let mut ws = SolveWorkspace::new();
+    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+    engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap(); // warm the workspace
+    let fused = time_ns(5, || {
+        engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap();
+        outs[0][0]
+    });
+    engine.solve_batch_into(&bs, &mut outs).unwrap(); // spawn + warm the pool
+    let pooled = time_ns(5, || {
+        engine.solve_batch_into(&bs, &mut outs).unwrap();
+        outs[0][0]
+    });
+    let fused_speedup = per_rhs.median_ns as f64 / fused.median_ns.max(1) as f64;
+    let pooled_speedup = per_rhs.median_ns as f64 / pooled.median_ns.max(1) as f64;
+    // factor bytes one replay sweep streams: update lists (u32 row +
+    // f64 value per entry), diagonals, and the CSR-style offsets
+    let factor_bytes = (nnz - n) as u64 * 12 + n as u64 * 8 + (n as u64 + 1) * 4;
+    let panel_k = sptrsv::exec::PANEL_K;
+    let fused_sweeps = (BATCH_RHS as u64).div_ceil(panel_k as u64);
+    let rows_per_s = |ns: u64| (BATCH_RHS * n) as f64 / (ns as f64 / 1e9);
+    let gbps = |sweeps: u64, ns: u64| (sweeps * factor_bytes) as f64 / (ns as f64 / 1e9) / 1e9;
+    println!(
+        "{BATCH_RHS}x per-RHS warm loop median {:>12}   ({:.2e} rows/s, {:.2} GB/s factor)",
+        TimingSummary::human(per_rhs.median_ns),
+        rows_per_s(per_rhs.median_ns),
+        gbps(BATCH_RHS as u64, per_rhs.median_ns),
+    );
+    println!(
+        "{BATCH_RHS}x fused panel K={panel_k}  median {:>12}   ({:.2e} rows/s, {:.2} GB/s factor, {fused_speedup:.1}x)",
+        TimingSummary::human(fused.median_ns),
+        rows_per_s(fused.median_ns),
+        gbps(fused_sweeps, fused.median_ns),
+    );
+    println!(
+        "{BATCH_RHS}x pooled batch_into median {:>12}   ({:.2e} rows/s, {pooled_speedup:.1}x)",
+        TimingSummary::human(pooled.median_ns),
+        rows_per_s(pooled.median_ns),
     );
 
     // --- emit BENCH_engine.json at the repo root ---------------------
@@ -97,6 +144,18 @@ fn main() {
     "amortized_batch_ns": {batch_med},
     "speedup": {speedup:.2},
     "threads": {threads}
+  }},
+  "fused_panel": {{
+    "rhs": {BATCH_RHS},
+    "panel_k": {panel_k},
+    "per_rhs_warm_loop_ns": {per_rhs_med},
+    "fused_panel_ns": {fused_med},
+    "pooled_batch_into_ns": {pooled_med},
+    "speedup_vs_per_rhs": {fused_speedup:.2},
+    "pooled_speedup_vs_per_rhs": {pooled_speedup:.2},
+    "fused_rows_per_s": {fused_rows:.0},
+    "per_rhs_factor_gb_per_s": {per_rhs_gbps:.2},
+    "fused_factor_gb_per_s": {fused_gbps:.2}
   }}
 }}
 "#,
@@ -108,6 +167,12 @@ fn main() {
         os_med = one_shot.median_ns,
         batch_med = batch.median_ns,
         threads = std::thread::available_parallelism().map_or(1, |p| p.get()),
+        per_rhs_med = per_rhs.median_ns,
+        fused_med = fused.median_ns,
+        pooled_med = pooled.median_ns,
+        fused_rows = rows_per_s(fused.median_ns),
+        per_rhs_gbps = gbps(BATCH_RHS as u64, per_rhs.median_ns),
+        fused_gbps = gbps(fused_sweeps, fused.median_ns),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let mut f = std::fs::File::create(out).expect("create BENCH_engine.json");
@@ -117,5 +182,9 @@ fn main() {
     assert!(
         speedup >= 2.0,
         "amortized batch must be at least 2x faster than one-shot loop, got {speedup:.2}x"
+    );
+    assert!(
+        fused_speedup >= 2.0,
+        "fused panel must be at least 2x faster than the per-RHS warm loop, got {fused_speedup:.2}x"
     );
 }

@@ -24,11 +24,7 @@ fn load(name: &str) -> sparsemat::NamedMatrix {
 fn run(nm: &sparsemat::NamedMatrix, cfg: MachineConfig, kind: SolverKind) -> u64 {
     let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0xBEEF);
     let opts = SolveOptions { kind, verify: false, ..SolveOptions::default() };
-    solve(&nm.matrix, &b, cfg, &opts)
-        .expect("solve")
-        .timings
-        .total
-        .as_ns()
+    solve(&nm.matrix, &b, cfg, &opts).expect("solve").timings.total.as_ns()
 }
 
 /// Table I: corpus generation + structural analysis.
@@ -95,9 +91,7 @@ fn bench_fig9() {
 fn bench_fig10() {
     let mut g = Group::new("fig10_scaling");
     let nm = load(fig10_names()[2]); // nlpkkt160, the best-scaling one
-    g.bench("csrsv2_baseline", SAMPLES, || {
-        run(&nm, MachineConfig::dgx1(1), SolverKind::LevelSet)
-    });
+    g.bench("csrsv2_baseline", SAMPLES, || run(&nm, MachineConfig::dgx1(1), SolverKind::LevelSet));
     for gpus in [1usize, 2, 4] {
         g.bench(&format!("dgx1/{gpus}"), SAMPLES, || {
             run(&nm, MachineConfig::dgx1(gpus), SolverKind::ZeroCopyTotal { total: 32 })

@@ -79,9 +79,7 @@ fn bench_generator() {
 fn bench_analysis() {
     let m = gen::level_structured(&LevelSpec::new(50_000, 200, 250_000, 11));
     let mut g = Group::new("sparsemat_analysis");
-    g.bench("level_sets_50k", 10, || {
-        LevelSets::analyze(black_box(&m), Triangle::Lower)
-    });
+    g.bench("level_sets_50k", 10, || LevelSets::analyze(black_box(&m), Triangle::Lower));
     g.bench("transpose_50k", 10, || black_box(&m).transpose());
     g.bench("csr_conversion_50k", 10, || CsrMatrix::from_csc(black_box(&m)));
 }

@@ -33,10 +33,8 @@ fn main() {
     let mut traffic_ratio = Vec::new();
     for nm in &subset {
         let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0xE9);
-        let base = SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 8 },
-            ..SolveOptions::default()
-        };
+        let base =
+            SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..SolveOptions::default() };
         let cached = solve(&nm.matrix, &b, MachineConfig::dgx1(4), &base).unwrap();
         let raw = solve(
             &nm.matrix,
@@ -74,15 +72,19 @@ fn main() {
     let mut rows = Vec::new();
     for nm in &subset {
         let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0xE10);
-        let blocked = solve(&nm.matrix, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ShmemBlocked,
-            ..SolveOptions::default()
-        })
+        let blocked = solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ShmemBlocked, ..SolveOptions::default() },
+        )
         .unwrap();
-        let tasks = solve(&nm.matrix, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 8 },
-            ..SolveOptions::default()
-        })
+        let tasks = solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..SolveOptions::default() },
+        )
         .unwrap();
         rows.push(vec![
             nm.name.to_string(),
@@ -101,17 +103,21 @@ fn main() {
     let mut rows = Vec::new();
     for nm in &subset {
         let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0xF16);
-        let volta = solve(&nm.matrix, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::Unified,
-            ..SolveOptions::default()
-        })
+        let volta = solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::Unified, ..SolveOptions::default() },
+        )
         .unwrap();
         let mut cfg = MachineConfig::dgx1(4);
         cfg.um.bounce_delay_ns = 25_000; // migrate-on-poll ping-pong
-        let prevolta = solve(&nm.matrix, &b, cfg, &SolveOptions {
-            kind: SolverKind::Unified,
-            ..SolveOptions::default()
-        })
+        let prevolta = solve(
+            &nm.matrix,
+            &b,
+            cfg,
+            &SolveOptions { kind: SolverKind::Unified, ..SolveOptions::default() },
+        )
         .unwrap();
         rows.push(vec![
             nm.name.to_string(),
@@ -130,15 +136,19 @@ fn main() {
     let mut rows = Vec::new();
     for nm in &subset {
         let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0x60B);
-        let naive = solve(&nm.matrix, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ShmemNaive,
-            ..SolveOptions::default()
-        })
+        let naive = solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ShmemNaive, ..SolveOptions::default() },
+        )
         .unwrap();
-        let zerocopy = solve(&nm.matrix, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 8 },
-            ..SolveOptions::default()
-        })
+        let zerocopy = solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..SolveOptions::default() },
+        )
         .unwrap();
         rows.push(vec![
             nm.name.to_string(),
@@ -158,18 +168,22 @@ fn main() {
     let mut rows = Vec::new();
     for nm in &subset {
         let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0x5C3);
-        let natural = solve(&nm.matrix, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 8 },
-            ..SolveOptions::default()
-        })
+        let natural = solve(
+            &nm.matrix,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..SolveOptions::default() },
+        )
         .unwrap();
         let p = sparsemat::reorder::rcm(&nm.matrix);
         let rm = sparsemat::reorder::permute_lower(&nm.matrix, &p);
         let (_, rb) = sptrsv::verify::rhs_for(&rm, 0x5C3);
-        let reordered = solve(&rm, &rb, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 8 },
-            ..SolveOptions::default()
-        })
+        let reordered = solve(
+            &rm,
+            &rb,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..SolveOptions::default() },
+        )
         .unwrap();
         let lv = |m: &sparsemat::CscMatrix| {
             sparsemat::levels::TriStats::compute(m, Triangle::Lower).levels

@@ -23,11 +23,8 @@ fn main() {
         let csrsv2 = run_variant(nm, MachineConfig::dgx1(1), SolverKind::LevelSet);
         let mut row = vec![nm.name.to_string()];
         for (k, &g) in gpu_counts.iter().enumerate() {
-            let rep = run_variant(
-                nm,
-                MachineConfig::dgx1(g),
-                SolverKind::ZeroCopyTotal { total: 32 },
-            );
+            let rep =
+                run_variant(nm, MachineConfig::dgx1(g), SolverKind::ZeroCopyTotal { total: 32 });
             let s = rep.speedup_over(&csrsv2);
             all[k].push(s);
             row.push(r2(s));

@@ -25,7 +25,12 @@ fn tweak(mut cfg: MachineConfig) -> MachineConfig {
 fn main() {
     let names: Vec<String> = std::env::args().skip(1).collect();
     let names = if names.is_empty() {
-        vec!["powersim".to_string(), "nlpkkt160".to_string(), "chipcool0".to_string(), "dblp-2010".to_string()]
+        vec![
+            "powersim".to_string(),
+            "nlpkkt160".to_string(),
+            "chipcool0".to_string(),
+            "dblp-2010".to_string(),
+        ]
     } else {
         names
     };

@@ -150,11 +150,7 @@ impl<E> EventQueue<E> {
     /// for the debug/release behaviour on violation.
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(
-            at >= self.now,
-            "scheduled into the past: at={at:?} now={:?}",
-            self.now
-        );
+        debug_assert!(at >= self.now, "scheduled into the past: at={at:?} now={:?}", self.now);
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;

@@ -34,13 +34,7 @@ impl Resource {
         for _ in 0..servers {
             free_at.push(Reverse(SimTime::ZERO));
         }
-        Resource {
-            free_at,
-            servers,
-            busy_ns: 0,
-            jobs: 0,
-            queued_ns: 0,
-        }
+        Resource { free_at, servers, busy_ns: 0, jobs: 0, queued_ns: 0 }
     }
 
     /// Number of servers in the bank.

@@ -30,10 +30,7 @@ impl Pcg32 {
     /// Seed a generator; distinct `(seed, stream)` pairs produce
     /// independent sequences.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mut rng = Pcg32 {
-            state: 0,
-            inc: (stream << 1) | 1,
-        };
+        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         rng.next_u32();

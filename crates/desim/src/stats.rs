@@ -53,13 +53,7 @@ impl Default for Online {
 impl Online {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Online {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Online { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Record one observation.
@@ -137,12 +131,7 @@ impl Default for TimeWeighted {
 impl TimeWeighted {
     /// Start at value 0 at t = 0.
     pub fn new() -> Self {
-        TimeWeighted {
-            last_t: SimTime::ZERO,
-            value: 0.0,
-            integral: 0.0,
-            peak: 0.0,
-        }
+        TimeWeighted { last_t: SimTime::ZERO, value: 0.0, integral: 0.0, peak: 0.0 }
     }
 
     /// Set the signal to `value` from time `now` on.
@@ -201,21 +190,13 @@ impl Default for Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Histogram {
-            buckets: [0; 65],
-            count: 0,
-            sum: 0,
-        }
+        Histogram { buckets: [0; 65], count: 0, sum: 0 }
     }
 
     /// Record a value.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 {
-            0
-        } else {
-            64 - v.leading_zeros() as usize
-        };
+        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v;
@@ -255,14 +236,10 @@ impl Histogram {
 
     /// Iterate `(bucket_upper_bound, count)` over non-empty buckets.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(k, &c)| {
-                let ub = if k == 0 { 0 } else { ((1u128 << k) - 1) as u64 };
-                (ub, c)
-            })
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(k, &c)| {
+            let ub = if k == 0 { 0 } else { ((1u128 << k) - 1) as u64 };
+            (ub, c)
+        })
     }
 }
 

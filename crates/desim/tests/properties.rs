@@ -93,9 +93,8 @@ fn resource_respects_capacity() {
         let mut rng = Pcg32::seed_from_u64(0x5E2F + case);
         let servers = 1 + rng.next_below(7) as usize;
         let n = 1 + rng.next_below(300) as usize;
-        let mut jobs: Vec<(u64, u64)> = (0..n)
-            .map(|_| (rng.next_u64() % 10_000, 1 + rng.next_u64() % 499))
-            .collect();
+        let mut jobs: Vec<(u64, u64)> =
+            (0..n).map(|_| (rng.next_u64() % 10_000, 1 + rng.next_u64() % 499)).collect();
         jobs.sort_unstable();
         let mut r = Resource::new(servers);
         let mut intervals: Vec<(u64, u64)> = Vec::new();

@@ -15,7 +15,7 @@ use crate::topology::{
     Route, Topology, NVLINK_BW, NVLINK_LAT_NS, NVSWITCH_LAT_NS, NVSWITCH_PORT_BW, PCIE_BW,
     PCIE_LAT_NS,
 };
-use crate::um::{ReadAccess, UnifiedMemory, UmRange, WriteAccess};
+use crate::um::{ReadAccess, UmRange, UnifiedMemory, WriteAccess};
 use crate::GpuId;
 use desim::{Gate, Pcg32, Resource, SimTime};
 
@@ -99,17 +99,12 @@ impl Machine {
         let g = cfg.gpus;
         let topo = Topology::new(cfg.topology, g);
         let mk = |f: &dyn Fn() -> Resource| (0..g).map(|_| f()).collect::<Vec<_>>();
-        let pair_link_res: Vec<Resource> = topo
-            .pair_links()
-            .iter()
-            .map(|l| Resource::new(l.lanes as usize))
-            .collect();
+        let pair_link_res: Vec<Resource> =
+            topo.pair_links().iter().map(|l| Resource::new(l.lanes as usize)).collect();
         // Fine-grained poll capacity of the active fabric: total NVLink
         // lanes (DGX-1 style) or switch-port equivalents (DGX-2).
         let total_lanes: u64 = match cfg.topology {
-            crate::topology::TopologyKind::Dgx2 => {
-                g as u64 * (NVSWITCH_PORT_BW / NVLINK_BW) as u64
-            }
+            crate::topology::TopologyKind::Dgx2 => g as u64 * (NVSWITCH_PORT_BW / NVLINK_BW) as u64,
             _ => topo.pair_links().iter().map(|l| l.lanes as u64).sum::<u64>().max(1),
         };
         let poll_capacity = total_lanes * cfg.shmem.poll_capacity_per_link;
@@ -229,7 +224,7 @@ impl Machine {
                 self.pcie_bytes += bytes;
                 let dur = Self::transfer_ns(bytes, PCIE_BW);
                 let up = self.pcie[src].acquire(now, dur).after(PCIE_LAT_NS);
-                
+
                 self.pcie[dst].acquire(up, dur).after(PCIE_LAT_NS)
             }
         }
@@ -282,10 +277,7 @@ impl Machine {
         if src == target {
             return now.after(self.cfg.gpu.atomic_ns);
         }
-        assert!(
-            self.topo.p2p(src, target),
-            "NVSHMEM put between non-P2P GPUs {src} and {target}"
-        );
+        assert!(self.topo.p2p(src, target), "NVSHMEM put between non-P2P GPUs {src} and {target}");
         let base = self.cfg.shmem.put_latency_ns
             + if matches!(self.topo.route(src, target), Route::Switched) {
                 self.cfg.shmem.switch_hop_ns
@@ -507,7 +499,12 @@ impl Machine {
     /// pattern): the driver coalesces contiguous faults, so the cost is
     /// one bulk transfer plus batched fault servicing rather than a
     /// per-page penalty.
-    pub fn um_bulk_sweep(&mut self, gpu: GpuId, range: &crate::um::UmRange, now: SimTime) -> SimTime {
+    pub fn um_bulk_sweep(
+        &mut self,
+        gpu: GpuId,
+        range: &crate::um::UmRange,
+        now: SimTime,
+    ) -> SimTime {
         let moved = self.um.bulk_sweep(range, gpu, now);
         self.apply_um_charges();
         if moved == 0 {

@@ -68,13 +68,7 @@ impl GpuSpec {
     /// Unscaled V100 part counts (80 SMs × 64 warps, 160 issue lanes,
     /// 16 GB); use with full-size SuiteSparse inputs.
     pub fn v100_full() -> Self {
-        GpuSpec {
-            sms: 80,
-            warps_per_sm: 64,
-            exec_lanes: 160,
-            mem_bytes: 16 << 30,
-            ..Self::v100()
-        }
+        GpuSpec { sms: 80, warps_per_sm: 64, exec_lanes: 160, mem_bytes: 16 << 30, ..Self::v100() }
     }
 
     /// Total resident-warp slots on the GPU.

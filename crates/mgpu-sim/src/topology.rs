@@ -131,9 +131,7 @@ impl Topology {
                         TopologyKind::Dgx2 => Route::Switched,
                         TopologyKind::PcieOnly => Route::HostStaged,
                         TopologyKind::Dgx1 | TopologyKind::AllToAllNvlink => {
-                            match pair_links
-                                .iter()
-                                .position(|l| (l.a, l.b) == (s.min(d), s.max(d)))
+                            match pair_links.iter().position(|l| (l.a, l.b) == (s.min(d), s.max(d)))
                             {
                                 Some(link) => Route::Direct { link },
                                 None => Route::HostStaged,
@@ -226,13 +224,9 @@ mod tests {
     #[test]
     fn double_links_present_where_documented() {
         let t = Topology::new(TopologyKind::Dgx1, 8);
-        let Route::Direct { link } = t.route(0, 3) else {
-            panic!("0-3 must be direct")
-        };
+        let Route::Direct { link } = t.route(0, 3) else { panic!("0-3 must be direct") };
         assert_eq!(t.pair_links()[link].lanes, 2);
-        let Route::Direct { link } = t.route(0, 1) else {
-            panic!("0-1 must be direct")
-        };
+        let Route::Direct { link } = t.route(0, 1) else { panic!("0-1 must be direct") };
         assert_eq!(t.pair_links()[link].lanes, 1);
     }
 

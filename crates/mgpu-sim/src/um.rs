@@ -563,13 +563,19 @@ mod tests {
         let r = u.alloc(4096);
         u.write(r.first_page, 0, SimTime::ZERO);
         // first threshold crossing migrates
-        assert!(matches!(u.read(r.first_page, 1, SimTime::from_ns(1)), ReadAccess::RemoteRead { .. }));
+        assert!(matches!(
+            u.read(r.first_page, 1, SimTime::from_ns(1)),
+            ReadAccess::RemoteRead { .. }
+        ));
         assert!(matches!(
             u.read(r.first_page, 1, SimTime::from_ns(2)),
             ReadAccess::MigrateFault { src: Some(0) }
         ));
         // second crossing duplicates
-        assert!(matches!(u.read(r.first_page, 2, SimTime::from_ns(3)), ReadAccess::RemoteRead { .. }));
+        assert!(matches!(
+            u.read(r.first_page, 2, SimTime::from_ns(3)),
+            ReadAccess::RemoteRead { .. }
+        ));
         assert!(matches!(
             u.read(r.first_page, 2, SimTime::from_ns(4)),
             ReadAccess::DuplicateFault { .. }

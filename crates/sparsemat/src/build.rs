@@ -58,8 +58,7 @@ impl TripletBuilder {
                 });
             }
         }
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
 
         let mut col_ptr = vec![0usize; self.n + 1];
         let mut row_idx: Vec<Idx> = Vec::with_capacity(self.entries.len());

@@ -118,16 +118,8 @@ fn analog_spec(
 /// Generate one analog from its Table-I row index.
 fn generate(k: usize, row_cap: usize, nnz_cap: usize) -> NamedMatrix {
     let (name, class, rows, nnz, levels, par, locality) = TABLE1[k];
-    let spec = analog_spec(
-        rows,
-        nnz,
-        levels,
-        par,
-        locality,
-        row_cap,
-        nnz_cap,
-        0xC0FFEE ^ (k as u64) << 8,
-    );
+    let spec =
+        analog_spec(rows, nnz, levels, par, locality, row_cap, nnz_cap, 0xC0FFEE ^ (k as u64) << 8);
     let matrix = level_structured(&spec);
     let achieved = TriStats::compute(&matrix, Triangle::Lower);
     NamedMatrix {
@@ -157,10 +149,7 @@ pub fn by_name(name: &str) -> Option<NamedMatrix> {
 
 /// Fetch one analog by name with custom caps.
 pub fn by_name_scaled(name: &str, row_cap: usize, nnz_cap: usize) -> Option<NamedMatrix> {
-    TABLE1
-        .iter()
-        .position(|row| row.0 == name)
-        .map(|k| generate(k, row_cap, nnz_cap))
+    TABLE1.iter().position(|row| row.0 == name).map(|k| generate(k, row_cap, nnz_cap))
 }
 
 /// The four representative matrices of the Fig. 3 UM-thrashing study.

@@ -158,19 +158,14 @@ impl CscMatrix {
     #[inline]
     pub fn col(&self, j: usize) -> impl Iterator<Item = (Idx, f64)> + '_ {
         let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
-        self.row_idx[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&r, &v)| (r, v))
+        self.row_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&r, &v)| (r, v))
     }
 
     /// Value at `(row, col)`, or `None` when not stored. O(log nnz_col).
     pub fn get(&self, row: usize, col: usize) -> Option<f64> {
         let (lo, hi) = (self.col_ptr[col], self.col_ptr[col + 1]);
         let seg = &self.row_idx[lo..hi];
-        seg.binary_search(&(row as Idx))
-            .ok()
-            .map(|k| self.values[lo + k])
+        seg.binary_search(&(row as Idx)).ok().map(|k| self.values[lo + k])
     }
 
     /// True when every stored entry satisfies `row >= col`.

@@ -106,19 +106,13 @@ impl CsrMatrix {
     #[inline]
     pub fn row(&self, i: usize) -> impl Iterator<Item = (Idx, f64)> + '_ {
         let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
-        self.col_idx[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&c, &v)| (c, v))
+        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c, v))
     }
 
     /// Value at `(row, col)` if stored.
     pub fn get(&self, row: usize, col: usize) -> Option<f64> {
         let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
-        self.col_idx[lo..hi]
-            .binary_search(&(col as Idx))
-            .ok()
-            .map(|k| self.values[lo + k])
+        self.col_idx[lo..hi].binary_search(&(col as Idx)).ok().map(|k| self.values[lo + k])
     }
 
     /// `y = A x`.

@@ -215,10 +215,7 @@ mod tests {
         for j in 0..a.n() {
             for (r, _) in f.l.col(j) {
                 let r = r as usize;
-                assert!(
-                    r == j || a.get(r, j).is_some(),
-                    "fill-in at L({r},{j}) violates ILU(0)"
-                );
+                assert!(r == j || a.get(r, j).is_some(), "fill-in at L({r},{j}) violates ILU(0)");
             }
             for (r, _) in f.u.col(j) {
                 let r = r as usize;

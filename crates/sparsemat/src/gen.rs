@@ -41,14 +41,7 @@ pub struct LevelSpec {
 impl LevelSpec {
     /// A spec with the common defaults (`locality` 0.8, window 0.6%).
     pub fn new(n: usize, levels: usize, nnz_target: usize, seed: u64) -> Self {
-        LevelSpec {
-            n,
-            levels,
-            nnz_target,
-            locality: 0.8,
-            window_frac: 0.006,
-            seed,
-        }
+        LevelSpec { n, levels, nnz_target, locality: 0.8, window_frac: 0.006, seed }
     }
 }
 

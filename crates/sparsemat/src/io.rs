@@ -196,8 +196,7 @@ mod tests {
 
     #[test]
     fn expands_skew_symmetric() {
-        let src =
-            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 7.0\n";
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 7.0\n";
         let m = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(m.get(1, 0), Some(7.0));
         assert_eq!(m.get(0, 1), Some(-7.0));

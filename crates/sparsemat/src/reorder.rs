@@ -125,11 +125,8 @@ pub fn rcm(a: &CscMatrix) -> Permutation {
         queue.push_back(seed);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<Idx> = adj[v as usize]
-                .iter()
-                .copied()
-                .filter(|&u| !visited[u as usize])
-                .collect();
+            let mut nbrs: Vec<Idx> =
+                adj[v as usize].iter().copied().filter(|&u| !visited[u as usize]).collect();
             nbrs.sort_unstable_by_key(|&u| degree(u as usize));
             for u in nbrs {
                 visited[u as usize] = true;
@@ -209,9 +206,7 @@ mod tests {
         // spot-check: entry (r, c) lands at (inv r, inv c)
         for j in 0..m.n() {
             for (r, v) in m.col(j) {
-                let got = pm
-                    .get(p.inv[r as usize] as usize, p.inv[j] as usize)
-                    .unwrap();
+                let got = pm.get(p.inv[r as usize] as usize, p.inv[j] as usize).unwrap();
                 assert_eq!(got, v);
             }
         }
@@ -224,10 +219,7 @@ mod tests {
         let before = bandwidth(&m);
         let p = rcm(&m);
         let after = bandwidth(&permute_symmetric(&m, &p));
-        assert!(
-            after <= before,
-            "RCM must not widen the band: {after} vs {before}"
-        );
+        assert!(after <= before, "RCM must not widen the band: {after} vs {before}");
         assert!(after <= 12, "thin grid should get a narrow band, got {after}");
     }
 

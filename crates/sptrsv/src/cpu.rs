@@ -14,7 +14,10 @@
 //! threads, so they are accumulated with a compare-exchange loop over
 //! `AtomicU64` bit-patterns — the canonical lock-free f64 add. Workers
 //! are spawned once and meet at a [`std::sync::Barrier`] between
-//! levels.
+//! levels. When one thread (or a level structure too narrow to feed
+//! several) makes the run effectively serial, a non-atomic fast path
+//! runs on plain `f64` buffers instead — no bit-cast round trips or
+//! CAS loops on uncontended elements.
 //!
 //! Scaling caveat (measured in `benches/substrate.rs`): on scattered
 //! dependency structures the CAS accumulation ping-pongs cache lines
@@ -32,12 +35,7 @@ fn atomic_f64_add(cell: &AtomicU64, v: f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let new = f64::from_bits(cur) + v;
-        match cell.compare_exchange_weak(
-            cur,
-            new.to_bits(),
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::AcqRel, Ordering::Relaxed) {
             Ok(_) => return,
             Err(seen) => cur = seen,
         }
@@ -61,14 +59,46 @@ pub fn solve_parallel(
     let n = m.n();
     let ls = LevelSets::analyze(m, tri);
 
+    let col_ptr = m.col_ptr();
+    let row_idx = m.row_idx();
+    let values = m.values();
+
+    // Parallelism only pays when levels are wide enough to amortize the
+    // per-level barrier — the same overhead trade-off Fig. 9 exposes
+    // for GPU kernel launches.
+    let max_width = ls.max_level_width();
+    if threads == 1 || max_width < 2 * threads {
+        // Serial fast path: a single thread owns every component, so
+        // plain f64 buffers suffice — no AtomicU64 bit-cast round trips
+        // or CAS loops on each element.
+        let mut x = vec![0.0f64; n];
+        let mut left_sum = vec![0.0f64; n];
+        for level in ls.iter_levels() {
+            for &c in level {
+                let j = c as usize;
+                let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+                let diag = match tri {
+                    Triangle::Lower => values[lo],
+                    Triangle::Upper => values[hi - 1],
+                };
+                let xj = (b[j] - left_sum[j]) / diag;
+                x[j] = xj;
+                let (ulo, uhi) = match tri {
+                    Triangle::Lower => (lo + 1, hi),
+                    Triangle::Upper => (lo, hi - 1),
+                };
+                for k in ulo..uhi {
+                    left_sum[row_idx[k] as usize] += values[k] * xj;
+                }
+            }
+        }
+        return Ok(x);
+    }
+
     let left_sum: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
     // x entries are written once each, by the unique thread owning the
     // component within its level; reads happen only in later levels.
     let x: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
-
-    let col_ptr = m.col_ptr();
-    let row_idx = m.row_idx();
-    let values = m.values();
 
     let solve_one = |c: u32| {
         let j = c as usize;
@@ -89,46 +119,32 @@ pub fn solve_parallel(
         }
     };
 
-    // Parallelism only pays when levels are wide enough to amortize the
-    // per-level barrier — the same overhead trade-off Fig. 9 exposes
-    // for GPU kernel launches.
-    let max_width = ls.max_level_width();
-    if threads == 1 || max_width < 2 * threads {
-        for level in ls.iter_levels() {
-            for &c in level {
-                solve_one(c);
-            }
-        }
-    } else {
-        // Persistent worker pool: threads are spawned once and meet at
-        // a barrier between levels (spawning per level costs orders of
-        // magnitude more than the barrier).
-        let barrier = std::sync::Barrier::new(threads);
-        let solve_one = &solve_one;
-        let barrier = &barrier;
-        let ls = &ls;
-        std::thread::scope(|scope| {
-            for tid in 0..threads {
-                scope.spawn(move || {
-                    for level in ls.iter_levels() {
-                        let chunk = level.len().div_ceil(threads);
-                        let lo = (tid * chunk).min(level.len());
-                        let hi = ((tid + 1) * chunk).min(level.len());
-                        for &c in &level[lo..hi] {
-                            solve_one(c);
-                        }
-                        // updates of this level become visible to the
-                        // next through the barrier's synchronization
-                        barrier.wait();
+    // Persistent workers: threads are spawned once and meet at a
+    // barrier between levels (spawning per level costs orders of
+    // magnitude more than the barrier).
+    let barrier = std::sync::Barrier::new(threads);
+    let solve_one = &solve_one;
+    let barrier = &barrier;
+    let ls = &ls;
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            scope.spawn(move || {
+                for level in ls.iter_levels() {
+                    let chunk = level.len().div_ceil(threads);
+                    let lo = (tid * chunk).min(level.len());
+                    let hi = ((tid + 1) * chunk).min(level.len());
+                    for &c in &level[lo..hi] {
+                        solve_one(c);
                     }
-                });
-            }
-        });
-    }
+                    // updates of this level become visible to the
+                    // next through the barrier's synchronization
+                    barrier.wait();
+                }
+            });
+        }
+    });
 
-    Ok(x.into_iter()
-        .map(|a| f64::from_bits(a.into_inner()))
-        .collect())
+    Ok(x.into_iter().map(|a| f64::from_bits(a.into_inner())).collect())
 }
 
 #[cfg(test)]

@@ -36,10 +36,42 @@
 //! bit-identical to one-shot [`crate::solve`] — at a small fraction of
 //! the wall-clock. `BENCH_engine.json` (emitted by
 //! `cargo bench -p sptrsv-bench --bench engine`) tracks the ratio.
+//!
+//! ## The three-tier warm path
+//!
+//! Warm solves come in three shapes, fastest-for-their-workload first:
+//!
+//! 1. **Single solve** — [`SolverEngine::solve`] (convenience,
+//!    allocates the report) or [`SolverEngine::solve_into`]
+//!    (caller-provided [`SolveWorkspace`] and output buffer, **zero**
+//!    heap allocation in steady state). Right choice when right-hand
+//!    sides arrive one at a time with data dependencies between them —
+//!    e.g. the preconditioner application inside a Krylov iteration.
+//! 2. **Fused panel** — [`SolverEngine::solve_panel_into`] runs
+//!    [`ExecAnalysis::replay_panel`]: the flattened factor adjacency is
+//!    streamed once per K-wide block of right-hand sides
+//!    ([`crate::exec::PANEL_K`] lanes, interleaved layout, vectorized
+//!    inner loop) instead of once per RHS. Replay is
+//!    memory-bandwidth-bound, so this wins whenever ≥ 2 independent
+//!    right-hand sides are available at once — block Krylov methods,
+//!    multiple probing vectors, batched inference.
+//! 3. **Pooled batch** — [`SolverEngine::solve_batch`] /
+//!    [`SolverEngine::solve_batch_into`] split the batch into
+//!    contiguous chunks and run fused panels on a **persistent worker
+//!    pool** (lazily spawned, reused across calls — no per-call
+//!    `thread::scope` spawns). Wins once the batch is large enough to
+//!    occupy multiple cores (roughly `2 × PANEL_K` right-hand sides);
+//!    chunking is deterministic, so results never depend on the worker
+//!    count.
+//!
+//! All three tiers produce bit-identical solutions: the per-RHS
+//! floating-point operation sequence never changes, only how many
+//! right-hand sides share one sweep of the factor.
 
-use crate::exec::{self, ExecAnalysis, ExecConfig};
+use crate::exec::{self, ExecAnalysis, ExecConfig, ReplayWorkspace};
 use crate::levelset;
 use crate::plan::{ExecutionPlan, Partition};
+use crate::pool::{ScopedTask, WorkerPool};
 use crate::reference;
 use crate::report::{SolveReport, Timings};
 use crate::solver::{MultiRhsReport, SolveError, SolveOptions, SolverKind};
@@ -48,6 +80,7 @@ use crate::Backend;
 use desim::SimTime;
 use mgpu_sim::{Machine, MachineConfig};
 use sparsemat::{CscMatrix, LevelSets};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A reusable solver: analysis done once at build, arbitrarily many
 /// solves afterwards.
@@ -60,12 +93,19 @@ pub struct SolverEngine<'m> {
     m: &'m CscMatrix,
     opts: SolveOptions,
     variant: Variant,
+    /// Persistent batch workers, spawned lazily on the first batched
+    /// solve and reused for the engine's lifetime.
+    pool: OnceLock<WorkerPool>,
+    /// Recycled per-worker workspaces so steady-state batched solves
+    /// allocate nothing.
+    workspaces: Mutex<Vec<SolveWorkspace>>,
 }
 
 /// The per-kind prebuilt state. `template` is the calibration run's
-/// report with an empty `x` — warm solves clone it and fill in the
-/// replayed solution, which keeps every value-independent field
-/// (timings, stats, event counts) bit-identical across solves.
+/// report with an empty `x`, held behind `Arc` — warm solves that need
+/// a report clone it (every value-independent field — timings, stats,
+/// event counts — stays bit-identical across solves), while the
+/// zero-allocation `*_into` paths just share the handle.
 #[derive(Debug)]
 enum Variant {
     /// Serial host reference — no machine, no analysis.
@@ -77,13 +117,35 @@ enum Variant {
 
 /// Prebuilt state of a simulated solver: flat column data plus the
 /// solve order fixed by the calibration run — for level-set that order
-/// is the flat `level_comps` array, for sync-free the recorded wake
-/// order.
+/// is the flat `level_comps` array (shared with the analysis via
+/// `Arc`, not copied), for sync-free the recorded wake order.
 #[derive(Debug)]
 struct Prepared {
     analysis: ExecAnalysis,
-    order: Vec<u32>,
-    template: SolveReport,
+    order: Arc<[u32]>,
+    template: Arc<SolveReport>,
+}
+
+/// Reusable scratch for the allocation-free warm-solve paths
+/// ([`SolverEngine::solve_into`], [`SolverEngine::solve_panel_into`]).
+/// Buffers grow on first use and are retained, so a workspace reused
+/// across solves of the same engine allocates nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    /// Interleaved panel buffers for the fused multi-RHS replay.
+    panel: ReplayWorkspace,
+    /// `left_sum` scratch for scalar replay, serial substitution and
+    /// the verification reference.
+    scratch: Vec<f64>,
+    /// Reference solution buffer for verification.
+    ref_x: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> SolveWorkspace {
+        SolveWorkspace::default()
+    }
 }
 
 impl<'m> SolverEngine<'m> {
@@ -100,7 +162,7 @@ impl<'m> SolverEngine<'m> {
         opts: &SolveOptions,
     ) -> Result<SolverEngine<'m>, SolveError> {
         m.validate_triangular(opts.triangle)?;
-        let label = opts.kind.label();
+        let label: Arc<str> = opts.kind.label().into();
         let zeros = vec![0.0f64; m.n()];
 
         let variant = match opts.kind {
@@ -131,9 +193,15 @@ impl<'m> SolverEngine<'m> {
                     x: Vec::new(),
                 };
                 // level order (ascending level, ascending index within)
-                // is exactly the order the level-set solver computes in
-                let order = levels.level_comps().to_vec();
-                Variant::Simulated(Box::new(Prepared { analysis, order, template }))
+                // is exactly the order the level-set solver computes
+                // in; share the analysis' own flat array instead of
+                // copying all n entries
+                let order = levels.level_comps_shared();
+                Variant::Simulated(Box::new(Prepared {
+                    analysis,
+                    order,
+                    template: Arc::new(template),
+                }))
             }
             _ => {
                 let (backend, partition, cfg) = match opts.kind {
@@ -143,11 +211,9 @@ impl<'m> SolverEngine<'m> {
                     SolverKind::Unified => {
                         (Backend::Unified, Partition::Blocked, machine_cfg.clone())
                     }
-                    SolverKind::UnifiedTasks { per_gpu } => (
-                        Backend::Unified,
-                        Partition::Tasks { per_gpu },
-                        machine_cfg.clone(),
-                    ),
+                    SolverKind::UnifiedTasks { per_gpu } => {
+                        (Backend::Unified, Partition::Tasks { per_gpu }, machine_cfg.clone())
+                    }
                     SolverKind::ShmemBlocked => (
                         Backend::Shmem { poll_caching: opts.poll_caching },
                         Partition::Blocked,
@@ -209,13 +275,19 @@ impl<'m> SolverEngine<'m> {
                 };
                 Variant::Simulated(Box::new(Prepared {
                     analysis,
-                    order: out.solve_order,
-                    template,
+                    order: out.solve_order.into(),
+                    template: Arc::new(template),
                 }))
             }
         };
 
-        Ok(SolverEngine { m, opts: opts.clone(), variant })
+        Ok(SolverEngine {
+            m,
+            opts: opts.clone(),
+            variant,
+            pool: OnceLock::new(),
+            workspaces: Mutex::new(Vec::new()),
+        })
     }
 
     /// The factor this engine was built for.
@@ -263,11 +335,11 @@ impl<'m> SolverEngine<'m> {
                     cross_edges: 0,
                     fits_in_memory: true,
                     verified_rel_err: Some(0.0),
-                    label: self.opts.kind.label(),
+                    label: self.opts.kind.label().into(),
                 });
             }
             Variant::Simulated(p) => {
-                let mut report = p.template.clone();
+                let mut report = (*p.template).clone();
                 report.x = p.analysis.replay(&p.order, b);
                 report
             }
@@ -275,10 +347,93 @@ impl<'m> SolverEngine<'m> {
         self.finish(b, report)
     }
 
+    /// Allocation-free warm solve: replay the numeric substitution into
+    /// the caller's output buffer, using (and growing, once) the
+    /// caller's workspace.
+    ///
+    /// Steady state — after the workspace buffers have grown to the
+    /// engine's dimension — this performs **zero** heap allocation,
+    /// including under `opts.verify` (the serial reference runs in
+    /// workspace scratch). Results are bit-identical to
+    /// [`SolverEngine::solve`].
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolveError> {
+        let n = self.m.n();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch { n, rhs: b.len() });
+        }
+        if out.len() != n {
+            return Err(SolveError::OutputLength { n, out: out.len() });
+        }
+        ws.scratch.resize(n, 0.0);
+        match &self.variant {
+            // the factor was validated once at build time; warm solves
+            // must not re-pay the O(nnz) validation sweep
+            Variant::Serial => reference::serial_into_prevalidated(
+                self.m,
+                b,
+                self.opts.triangle,
+                &mut ws.scratch,
+                out,
+            ),
+            Variant::Simulated(p) => p.analysis.replay_into(&p.order, b, &mut ws.scratch, out),
+        }
+        self.verify_into(b, out, ws)
+    }
+
+    /// Fused multi-RHS warm solve (tier 2): the factor adjacency is
+    /// streamed once per [`crate::exec::PANEL_K`]-wide block of
+    /// right-hand sides instead of once per RHS — single-threaded, in
+    /// the caller's workspace, zero heap allocation in steady state
+    /// (each `outs` vector is resized to `n` on first use and reused
+    /// afterwards).
+    ///
+    /// Every solution is bit-identical to [`SolverEngine::solve`] on
+    /// the same right-hand side.
+    pub fn solve_panel_into(
+        &self,
+        bs: &[Vec<f64>],
+        outs: &mut [Vec<f64>],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolveError> {
+        self.validate_batch_dims(bs)?;
+        assert_eq!(bs.len(), outs.len(), "one output vector per right-hand side");
+        let n = self.m.n();
+        for out in outs.iter_mut() {
+            out.resize(n, 0.0);
+        }
+        match &self.variant {
+            Variant::Serial => {
+                ws.scratch.resize(n, 0.0);
+                for (b, out) in bs.iter().zip(outs.iter_mut()) {
+                    reference::serial_into_prevalidated(
+                        self.m,
+                        b,
+                        self.opts.triangle,
+                        &mut ws.scratch,
+                        out,
+                    );
+                }
+            }
+            Variant::Simulated(p) => p.analysis.replay_panel(&p.order, bs, &mut ws.panel, outs),
+        }
+        if self.opts.verify {
+            for (b, out) in bs.iter().zip(outs.iter()) {
+                self.verify_into(b, out, ws)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Solve for several right-hand sides sequentially, charging the
     /// analysis phase once (§II-B amortization) — the engine-backed
     /// implementation of [`crate::solve_multi_rhs`].
     pub fn solve_multi_rhs(&self, bs: &[Vec<f64>]) -> Result<MultiRhsReport, SolveError> {
+        self.validate_batch_dims(bs)?;
         let mut reports = Vec::with_capacity(bs.len());
         for b in bs {
             reports.push(self.solve(b)?);
@@ -286,24 +441,30 @@ impl<'m> SolverEngine<'m> {
         Ok(amortized(reports))
     }
 
-    /// Solve independent right-hand sides in parallel, one OS thread
-    /// per chunk — results are bit-identical to sequential
+    /// Solve independent right-hand sides in parallel on the engine's
+    /// persistent worker pool — results are bit-identical to sequential
     /// [`SolverEngine::solve`] calls and deterministic across runs and
     /// worker counts.
     ///
     /// Uses all available cores; see
     /// [`SolverEngine::solve_batch_with_threads`] to pin the width.
     pub fn solve_batch(&self, bs: &[Vec<f64>]) -> Result<MultiRhsReport, SolveError> {
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-        self.solve_batch_with_threads(bs, threads)
+        self.solve_batch_with_threads(bs, hardware_threads())
     }
 
     /// [`SolverEngine::solve_batch`] with an explicit worker count.
+    ///
+    /// Workers come from a pool spawned lazily on the first batched
+    /// call and reused afterwards — steady-state batches pay no thread
+    /// spawns. Every right-hand side is dimension-checked **before**
+    /// any worker runs, so a bad vector fails fast instead of after
+    /// earlier chunks have already solved.
     pub fn solve_batch_with_threads(
         &self,
         bs: &[Vec<f64>],
         threads: usize,
     ) -> Result<MultiRhsReport, SolveError> {
+        self.validate_batch_dims(bs)?;
         let threads = threads.clamp(1, bs.len().max(1));
         if threads == 1 || bs.len() <= 1 {
             return self.solve_multi_rhs(bs);
@@ -311,18 +472,140 @@ impl<'m> SolverEngine<'m> {
         // contiguous chunks keep per-RHS order (and thus the amortized
         // totals) independent of the worker count
         let chunk = bs.len().div_ceil(threads);
-        let results: Vec<Result<Vec<SolveReport>, SolveError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = bs
-                .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().map(|b| self.solve(b)).collect()))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("solver thread panicked")).collect()
-        });
+        let n_chunks = bs.len().div_ceil(chunk);
+        let mut results: Vec<Option<Result<Vec<SolveReport>, SolveError>>> =
+            (0..n_chunks).map(|_| None).collect();
+        let pool = self.pool();
+        // chunking is keyed to the *requested* count (so results and
+        // totals are reproducible for a given `threads`), but the pool
+        // never grows beyond the hardware parallelism — excess chunks
+        // just queue, and an absurd request cannot leak idle OS
+        // threads for the engine's lifetime
+        pool.ensure_threads(threads.min(hardware_threads()));
+        let tasks: Vec<ScopedTask<'_>> = bs
+            .chunks(chunk)
+            .zip(results.iter_mut())
+            .map(|(part, slot)| {
+                let task: ScopedTask<'_> = Box::new(move || {
+                    *slot = Some(part.iter().map(|b| self.solve(b)).collect());
+                });
+                task
+            })
+            .collect();
+        pool.scope_run(tasks);
         let mut reports = Vec::with_capacity(bs.len());
         for r in results {
-            reports.extend(r?);
+            reports.extend(r.expect("chunk task completed")?);
         }
         Ok(amortized(reports))
+    }
+
+    /// Zero-allocation batched warm solve (tier 3): contiguous chunks
+    /// of the batch run fused panels ([`SolverEngine::solve_panel_into`])
+    /// on the persistent worker pool, writing into the caller's output
+    /// vectors. Workspaces are recycled from an engine-internal pool,
+    /// so steady-state calls allocate nothing.
+    ///
+    /// `outs` must hold exactly one vector per right-hand side; each is
+    /// resized to `n` on first use (the only allocation, once). Results
+    /// are bit-identical to [`SolverEngine::solve`] per RHS and
+    /// deterministic across worker counts.
+    pub fn solve_batch_into(
+        &self,
+        bs: &[Vec<f64>],
+        outs: &mut [Vec<f64>],
+    ) -> Result<(), SolveError> {
+        self.validate_batch_dims(bs)?;
+        assert_eq!(bs.len(), outs.len(), "one output vector per right-hand side");
+        let threads = hardware_threads().clamp(1, bs.len().max(1));
+        // a panel only pays off with ≥ 2 lanes per worker; below that,
+        // solve on the caller's thread without touching the pool
+        if threads == 1 || bs.len() < 2 * exec::PANEL_K {
+            let mut ws = self.take_workspace();
+            let r = self.solve_panel_into(bs, outs, &mut ws);
+            self.put_workspace(ws);
+            return r;
+        }
+        let chunk = bs.len().div_ceil(threads);
+        let n_chunks = bs.len().div_ceil(chunk);
+        let mut results: Vec<Option<Result<(), SolveError>>> =
+            (0..n_chunks).map(|_| None).collect();
+        let pool = self.pool();
+        pool.ensure_threads(threads);
+        let tasks: Vec<ScopedTask<'_>> = bs
+            .chunks(chunk)
+            .zip(outs.chunks_mut(chunk))
+            .zip(results.iter_mut())
+            .map(|((cb, co), slot)| {
+                let task: ScopedTask<'_> = Box::new(move || {
+                    let mut ws = self.take_workspace();
+                    *slot = Some(self.solve_panel_into(cb, co, &mut ws));
+                    self.put_workspace(ws);
+                });
+                task
+            })
+            .collect();
+        pool.scope_run(tasks);
+        for r in results {
+            r.expect("chunk task completed")?;
+        }
+        Ok(())
+    }
+
+    /// The calibration run's report (timings, machine statistics, event
+    /// counts — every value-independent field of a warm solve), shared
+    /// behind `Arc`. `None` for the serial variant, which has no
+    /// simulated timeline.
+    pub fn calibration(&self) -> Option<&Arc<SolveReport>> {
+        match &self.variant {
+            Variant::Simulated(p) => Some(&p.template),
+            Variant::Serial => None,
+        }
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(WorkerPool::new)
+    }
+
+    fn take_workspace(&self) -> SolveWorkspace {
+        self.workspaces.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn put_workspace(&self, ws: SolveWorkspace) {
+        self.workspaces.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    fn validate_batch_dims(&self, bs: &[Vec<f64>]) -> Result<(), SolveError> {
+        let n = self.m.n();
+        if let Some(bad) = bs.iter().find(|b| b.len() != n) {
+            return Err(SolveError::DimensionMismatch { n, rhs: bad.len() });
+        }
+        Ok(())
+    }
+
+    /// Allocation-free verification: solve the serial reference into
+    /// workspace scratch and compare. No-op unless `opts.verify`.
+    fn verify_into(&self, b: &[f64], x: &[f64], ws: &mut SolveWorkspace) -> Result<(), SolveError> {
+        if !self.opts.verify {
+            return Ok(());
+        }
+        let n = self.m.n();
+        ws.scratch.resize(n, 0.0);
+        ws.ref_x.resize(n, 0.0);
+        // the factor was validated at build time — skip the per-solve
+        // O(nnz) validation sweep the public reference API performs
+        reference::serial_into_prevalidated(
+            self.m,
+            b,
+            self.opts.triangle,
+            &mut ws.scratch,
+            &mut ws.ref_x,
+        );
+        let err = verify::rel_inf_diff(x, &ws.ref_x);
+        if err > verify::DEFAULT_TOL {
+            return Err(SolveError::Verification { rel_err: err });
+        }
+        Ok(())
     }
 
     fn finish(&self, b: &[f64], mut report: SolveReport) -> Result<SolveReport, SolveError> {
@@ -338,17 +621,17 @@ impl<'m> SolverEngine<'m> {
     }
 }
 
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 /// Assemble the amortized multi-RHS accounting: the analysis phase is
 /// structure-only, so it is charged on the first solve and elided on
 /// the rest.
 fn amortized(reports: Vec<SolveReport>) -> MultiRhsReport {
     let mut total = 0u64;
     for (k, r) in reports.iter().enumerate() {
-        total += if k == 0 {
-            r.timings.total.as_ns()
-        } else {
-            r.timings.solve.as_ns()
-        };
+        total += if k == 0 { r.timings.total.as_ns() } else { r.timings.solve.as_ns() };
     }
     MultiRhsReport { reports, total: SimTime::from_ns(total) }
 }
@@ -402,14 +685,19 @@ mod tests {
             SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
         let err = engine.solve(&[1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+        // a wrong-length *output* buffer is a distinct error, so the
+        // caller is pointed at the right argument
+        let (_, b) = verify::rhs_for(&m, 1);
+        let mut ws = SolveWorkspace::new();
+        let mut short = vec![0.0; 3];
+        let err = engine.solve_into(&b, &mut short, &mut ws).unwrap_err();
+        assert!(matches!(err, SolveError::OutputLength { out: 3, .. }));
     }
 
     #[test]
     fn batch_matches_sequential_and_is_deterministic() {
         let (m, _) = small();
-        let bs: Vec<Vec<f64>> = (0..8)
-            .map(|k| verify::rhs_for(&m, 500 + k).1)
-            .collect();
+        let bs: Vec<Vec<f64>> = (0..8).map(|k| verify::rhs_for(&m, 500 + k).1).collect();
         let opts = SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() };
         let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
         let seq = engine.solve_multi_rhs(&bs).unwrap();

@@ -73,11 +73,7 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig {
-            backend: Backend::SingleGpu,
-            triangle: Triangle::Lower,
-            gather_all_pes: true,
-        }
+        ExecConfig { backend: Backend::SingleGpu, triangle: Triangle::Lower, gather_all_pes: true }
     }
 }
 
@@ -168,9 +164,7 @@ impl ExecAnalysis {
             nnz_per_gpu[plan.owner[j]] += a.col_nnz[j] as u64;
         }
         let replicated = matches!(cfg.backend, Backend::Shmem { .. });
-        let device_bytes = (0..gpus)
-            .map(|g| plan.device_bytes(m, g, replicated))
-            .collect();
+        let device_bytes = (0..gpus).map(|g| plan.device_bytes(m, g, replicated)).collect();
 
         a.in_degree = in_degree;
         a.remote_mask = remote_mask;
@@ -239,7 +233,8 @@ impl ExecAnalysis {
     /// Gather peers of component `c` (empty unless Shmem).
     #[inline]
     fn peers_of(&self, c: u32) -> &[GpuId] {
-        let (lo, hi) = (self.peers_ptr[c as usize] as usize, self.peers_ptr[c as usize + 1] as usize);
+        let (lo, hi) =
+            (self.peers_ptr[c as usize] as usize, self.peers_ptr[c as usize + 1] as usize);
         &self.peers[lo..hi]
     }
 
@@ -255,10 +250,22 @@ impl ExecAnalysis {
     /// schedule are paid once, every further right-hand side pays only
     /// the substitution sweep.
     pub fn replay(&self, order: &[u32], b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "rhs length mismatch");
-        assert_eq!(order.len(), self.n, "order must cover every component");
         let mut x = vec![0.0f64; self.n];
         let mut left_sum = vec![0.0f64; self.n];
+        self.replay_into(order, b, &mut left_sum, &mut x);
+        x
+    }
+
+    /// Allocation-free [`ExecAnalysis::replay`]: the caller provides
+    /// the `left_sum` scratch and the output vector (both length `n`).
+    /// The floating-point operation sequence is identical to `replay`,
+    /// so results are bit-identical; only the storage strategy differs.
+    pub fn replay_into(&self, order: &[u32], b: &[f64], left_sum: &mut [f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(order.len(), self.n, "order must cover every component");
+        assert_eq!(left_sum.len(), self.n, "left_sum scratch length mismatch");
+        assert_eq!(x.len(), self.n, "output length mismatch");
+        left_sum.fill(0.0);
         for &c in order {
             let i = c as usize;
             let xi = (b[i] - left_sum[i]) / self.diag[i];
@@ -268,7 +275,159 @@ impl ExecAnalysis {
                 left_sum[*r as usize] += *v * xi;
             }
         }
-        x
+    }
+
+    /// Fused multi-RHS replay: stream the flattened adjacency
+    /// (`dep_ptr`/`dep_rows`/`dep_vals`) **once per K-wide block** of
+    /// right-hand sides instead of once per RHS.
+    ///
+    /// Right-hand sides are processed in fixed-width blocks of
+    /// [`PANEL_K`] (ragged tails fall back to 4/2/1-wide blocks), with
+    /// the per-component state held in an interleaved panel layout
+    /// (`K` consecutive lanes per row) so the inner loop over the block
+    /// is contiguous and auto-vectorizes. Since SpTRSV replay is
+    /// memory-bandwidth-bound, amortizing the factor traffic over K
+    /// solves is worth ~K× on the dominant stream.
+    ///
+    /// Each right-hand side's floating-point operation sequence is
+    /// exactly the scalar [`ExecAnalysis::replay`]'s (the K lanes never
+    /// mix), so every solution is **bit-identical** to a per-RHS
+    /// replay. Steady-state calls allocate nothing once `ws` has grown
+    /// to the panel size.
+    pub fn replay_panel(
+        &self,
+        order: &[u32],
+        bs: &[Vec<f64>],
+        ws: &mut ReplayWorkspace,
+        outs: &mut [Vec<f64>],
+    ) {
+        assert_eq!(bs.len(), outs.len(), "one output per right-hand side");
+        for b in bs {
+            assert_eq!(b.len(), self.n, "rhs length mismatch");
+        }
+        for out in outs.iter_mut() {
+            out.resize(self.n, 0.0);
+        }
+        let mut lo = 0;
+        while lo < bs.len() {
+            let rem = bs.len() - lo;
+            // greedy fixed-width blocks: monomorphized kernels for
+            // 8/4/2/1 lanes keep the inner loop a compile-time constant
+            let k = if rem >= 8 {
+                8
+            } else if rem >= 4 {
+                4
+            } else if rem >= 2 {
+                2
+            } else {
+                1
+            };
+            let bs_blk = &bs[lo..lo + k];
+            let outs_blk = &mut outs[lo..lo + k];
+            match k {
+                8 => self.replay_block::<8>(order, bs_blk, ws, outs_blk),
+                4 => self.replay_block::<4>(order, bs_blk, ws, outs_blk),
+                2 => self.replay_block::<2>(order, bs_blk, ws, outs_blk),
+                _ => self.replay_block::<1>(order, bs_blk, ws, outs_blk),
+            }
+            lo += k;
+        }
+    }
+
+    /// One K-wide block of the fused replay. `K` is a const generic so
+    /// the lane loops have compile-time trip counts (LLVM unrolls and
+    /// vectorizes them into packed f64 operations).
+    fn replay_block<const K: usize>(
+        &self,
+        order: &[u32],
+        bs: &[Vec<f64>],
+        ws: &mut ReplayWorkspace,
+        outs: &mut [Vec<f64>],
+    ) {
+        let n = self.n;
+        debug_assert_eq!(bs.len(), K);
+        assert_eq!(order.len(), n, "order must cover every component");
+        ws.ensure(n, K);
+        let bb = &mut ws.panel_b[..n * K];
+        let xb = &mut ws.panel_x[..n * K];
+        let lsb = &mut ws.panel_ls[..n * K];
+        // pack the RHS columns into the interleaved panel (row i holds
+        // the K lanes contiguously); `i` outer so the panel writes are
+        // sequential and the K source lanes stream in parallel
+        for i in 0..n {
+            for (k, b) in bs.iter().enumerate() {
+                bb[i * K + k] = b[i];
+            }
+        }
+        lsb.fill(0.0);
+
+        for &c in order {
+            let i = c as usize;
+            let d = self.diag[i];
+            let base = i * K;
+            let mut xv = [0.0f64; K];
+            for k in 0..K {
+                xv[k] = (bb[base + k] - lsb[base + k]) / d;
+            }
+            xb[base..base + K].copy_from_slice(&xv);
+            let (rows, vals) = self.updates_of(c);
+            for (r, v) in rows.iter().zip(vals) {
+                // copy the matrix value to a local: a reference-typed
+                // `v` makes LLVM re-load it after every lane store
+                // (it cannot rule out aliasing with `lsb` once
+                // inlined), which blocks packing the lane loop
+                let v = *v;
+                let row = &mut lsb[*r as usize * K..*r as usize * K + K];
+                for k in 0..K {
+                    row[k] += v * xv[k];
+                }
+            }
+        }
+
+        // unpack the interleaved solutions back into per-RHS columns
+        // (`i` outer: sequential panel reads, K parallel write streams)
+        for i in 0..n {
+            let row = &xb[i * K..i * K + K];
+            for (k, out) in outs.iter_mut().enumerate() {
+                out[i] = row[k];
+            }
+        }
+    }
+}
+
+/// Maximum lane width of [`ExecAnalysis::replay_panel`] blocks: the
+/// widest monomorphized kernel (8 × f64 = one cache line of lanes per
+/// row; ragged tails use 4/2/1-wide blocks).
+pub const PANEL_K: usize = 8;
+
+/// Reusable scratch for the fused panel replay. Buffers grow to
+/// `n × K` on first use and are retained, so steady-state
+/// [`ExecAnalysis::replay_panel`] calls perform **zero** heap
+/// allocation.
+#[derive(Debug, Default, Clone)]
+pub struct ReplayWorkspace {
+    /// Interleaved right-hand-side panel (`n × K`, K lanes per row).
+    panel_b: Vec<f64>,
+    /// Interleaved solution panel.
+    panel_x: Vec<f64>,
+    /// Interleaved partial-sum panel.
+    panel_ls: Vec<f64>,
+}
+
+impl ReplayWorkspace {
+    /// A workspace with no buffers; they grow on first use.
+    pub fn new() -> ReplayWorkspace {
+        ReplayWorkspace::default()
+    }
+
+    /// Grow (never shrink) the panel buffers to `n × k` elements.
+    fn ensure(&mut self, n: usize, k: usize) {
+        let len = n * k;
+        if self.panel_b.len() < len {
+            self.panel_b.resize(len, 0.0);
+            self.panel_x.resize(len, 0.0);
+            self.panel_ls.resize(len, 0.0);
+        }
     }
 }
 
@@ -358,17 +517,11 @@ struct ExecState<'m> {
 
 impl ExecState<'_> {
     fn indeg_page(&self, c: u32) -> usize {
-        self.indeg_um
-            .as_ref()
-            .expect("unified backend")
-            .page_of(c as u64 * 4)
+        self.indeg_um.as_ref().expect("unified backend").page_of(c as u64 * 4)
     }
 
     fn leftsum_page(&self, c: u32) -> usize {
-        self.leftsum_um
-            .as_ref()
-            .expect("unified backend")
-            .page_of(c as u64 * 8)
+        self.leftsum_um.as_ref().expect("unified backend").page_of(c as u64 * 8)
     }
 }
 
@@ -433,10 +586,7 @@ pub fn run_prepared(
 
     // --- unified-memory allocations -------------------------------------
     let (indeg_um, leftsum_um) = if matches!(cfg.backend, Backend::Unified) {
-        (
-            Some(machine.um_alloc(n as u64 * 4)),
-            Some(machine.um_alloc(n as u64 * 8)),
-        )
+        (Some(machine.um_alloc(n as u64 * 4)), Some(machine.um_alloc(n as u64 * 8)))
     } else {
         (None, None)
     };
@@ -522,7 +672,13 @@ pub fn run_prepared(
     })
 }
 
-fn on_kernel(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, k: u32) {
+fn on_kernel(
+    st: &mut ExecState,
+    machine: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    now: SimTime,
+    k: u32,
+) {
     let plan = st.plan;
     let kd = &plan.kernels[k as usize];
     let gpu = kd.gpu;
@@ -790,7 +946,13 @@ fn on_wake(
     q.schedule_at(retire_at, Ev::Retire(c));
 }
 
-fn on_retire(st: &mut ExecState, machine: &mut Machine, q: &mut EventQueue<Ev>, now: SimTime, c: u32) {
+fn on_retire(
+    st: &mut ExecState,
+    machine: &mut Machine,
+    q: &mut EventQueue<Ev>,
+    now: SimTime,
+    c: u32,
+) {
     let i = c as usize;
     let gpu = st.plan.owner[i];
     st.flags[i] |= DONE;
@@ -837,11 +999,13 @@ mod tests {
     fn shmem_multi_gpu_matches_reference() {
         let m = gen::level_structured(&gen::LevelSpec::new(1200, 30, 5000, 7));
         for gpus in [2usize, 3, 4] {
-            let (out, r) = run_case(&m, gpus, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
-            assert!(
-                verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL,
-                "gpus={gpus}"
+            let (out, r) = run_case(
+                &m,
+                gpus,
+                Backend::Shmem { poll_caching: true },
+                Partition::Tasks { per_gpu: 8 },
             );
+            assert!(verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL, "gpus={gpus}");
         }
     }
 
@@ -857,10 +1021,8 @@ mod tests {
         let m = gen::level_structured(&gen::LevelSpec::new(900, 22, 3600, 13));
         let (_, b) = verify::rhs_for(&m, 42);
         let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
-        let cfg = ExecConfig {
-            backend: Backend::Shmem { poll_caching: true },
-            ..ExecConfig::default()
-        };
+        let cfg =
+            ExecConfig { backend: Backend::Shmem { poll_caching: true }, ..ExecConfig::default() };
         let mut m1 = Machine::new(MachineConfig::dgx1(4));
         let one_shot = run(&m, &b, &plan, &mut m1, cfg.clone()).unwrap();
         let analysis = ExecAnalysis::build(&m, &plan, &cfg);
@@ -875,10 +1037,8 @@ mod tests {
     fn replay_of_recorded_order_is_bit_identical() {
         let m = gen::level_structured(&gen::LevelSpec::new(1100, 28, 4400, 17));
         let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
-        let cfg = ExecConfig {
-            backend: Backend::Shmem { poll_caching: true },
-            ..ExecConfig::default()
-        };
+        let cfg =
+            ExecConfig { backend: Backend::Shmem { poll_caching: true }, ..ExecConfig::default() };
         let analysis = ExecAnalysis::build(&m, &plan, &cfg);
         // calibrate with one RHS, replay a different one: the schedule
         // is value-independent, so the recorded order serves any b
@@ -902,10 +1062,7 @@ mod tests {
         let a = ExecAnalysis::build(&m, &plan, &ExecConfig::default());
         for j in 0..m.n() {
             let (rows, vals) = a.updates_of(j as u32);
-            let expect: Vec<(u32, f64)> = m
-                .col(j)
-                .filter(|&(r, _)| (r as usize) > j)
-                .collect();
+            let expect: Vec<(u32, f64)> = m.col(j).filter(|&(r, _)| (r as usize) > j).collect();
             assert_eq!(rows.len(), expect.len());
             for (k, &(r, v)) in expect.iter().enumerate() {
                 assert_eq!(rows[k], r);
@@ -922,10 +1079,13 @@ mod tests {
         let plan = ExecutionPlan::build(m.n(), 4, Partition::Blocked, Triangle::Lower);
 
         let mut um_machine = Machine::new(MachineConfig::dgx1(4));
-        run(&m, &b, &plan, &mut um_machine, ExecConfig {
-            backend: Backend::Unified,
-            ..ExecConfig::default()
-        })
+        run(
+            &m,
+            &b,
+            &plan,
+            &mut um_machine,
+            ExecConfig { backend: Backend::Unified, ..ExecConfig::default() },
+        )
         .unwrap();
         let um_stats = um_machine.stats();
         assert!(um_stats.total_um_faults() > 0, "UM must fault");
@@ -935,10 +1095,13 @@ mod tests {
         );
 
         let mut sh_machine = Machine::new(MachineConfig::dgx1(4));
-        run(&m, &b, &plan, &mut sh_machine, ExecConfig {
-            backend: Backend::Shmem { poll_caching: true },
-            ..ExecConfig::default()
-        })
+        run(
+            &m,
+            &b,
+            &plan,
+            &mut sh_machine,
+            ExecConfig { backend: Backend::Shmem { poll_caching: true }, ..ExecConfig::default() },
+        )
         .unwrap();
         let s = sh_machine.stats();
         assert_eq!(s.total_um_faults(), 0, "zero-copy must not touch UM");
@@ -954,18 +1117,25 @@ mod tests {
         let (_, b) = verify::rhs_for(&m, 1);
         let mut um = Machine::new(MachineConfig::dgx1(4));
         let plan_b = ExecutionPlan::build(m.n(), 4, Partition::Blocked, Triangle::Lower);
-        let um_out = run(&m, &b, &plan_b, &mut um, ExecConfig {
-            backend: Backend::Unified,
-            ..ExecConfig::default()
-        })
+        let um_out = run(
+            &m,
+            &b,
+            &plan_b,
+            &mut um,
+            ExecConfig { backend: Backend::Unified, ..ExecConfig::default() },
+        )
         .unwrap();
 
         let mut zc = Machine::new(MachineConfig::dgx1(4));
-        let plan_t = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
-        let zc_out = run(&m, &b, &plan_t, &mut zc, ExecConfig {
-            backend: Backend::Shmem { poll_caching: true },
-            ..ExecConfig::default()
-        })
+        let plan_t =
+            ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
+        let zc_out = run(
+            &m,
+            &b,
+            &plan_t,
+            &mut zc,
+            ExecConfig { backend: Backend::Shmem { poll_caching: true }, ..ExecConfig::default() },
+        )
         .unwrap();
         assert!(
             zc_out.makespan < um_out.makespan,
@@ -982,11 +1152,17 @@ mod tests {
         let (_, b) = verify::rhs_for(&u, 3);
         let plan = ExecutionPlan::build(u.n(), 2, Partition::Tasks { per_gpu: 4 }, Triangle::Upper);
         let mut machine = Machine::new(MachineConfig::dgx1(2));
-        let out = run(&u, &b, &plan, &mut machine, ExecConfig {
-            backend: Backend::Shmem { poll_caching: true },
-            triangle: Triangle::Upper,
-            gather_all_pes: true,
-        })
+        let out = run(
+            &u,
+            &b,
+            &plan,
+            &mut machine,
+            ExecConfig {
+                backend: Backend::Shmem { poll_caching: true },
+                triangle: Triangle::Upper,
+                gather_all_pes: true,
+            },
+        )
         .unwrap();
         let r = reference::solve_upper(&u, &b).unwrap();
         assert!(verify::rel_inf_diff(&out.x, &r) < verify::DEFAULT_TOL);
@@ -1015,8 +1191,10 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let m = gen::level_structured(&gen::LevelSpec::new(700, 12, 2800, 21));
-        let (a, _) = run_case(&m, 4, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
-        let (b, _) = run_case(&m, 4, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
+        let (a, _) =
+            run_case(&m, 4, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
+        let (b, _) =
+            run_case(&m, 4, Backend::Shmem { poll_caching: true }, Partition::Tasks { per_gpu: 8 });
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.events, b.events);
         assert_eq!(a.x, b.x);
@@ -1032,25 +1210,73 @@ mod tests {
     }
 
     #[test]
+    fn replay_panel_bit_identical_to_scalar_replay() {
+        let m = gen::level_structured(&gen::LevelSpec::new(700, 20, 2800, 9));
+        let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
+        let cfg =
+            ExecConfig { backend: Backend::Shmem { poll_caching: true }, ..ExecConfig::default() };
+        let analysis = ExecAnalysis::build(&m, &plan, &cfg);
+        let (_, b0) = verify::rhs_for(&m, 1);
+        let mut machine = Machine::new(MachineConfig::dgx1(4));
+        let order = run_prepared(&b0, &plan, &analysis, &mut machine, &cfg).unwrap().solve_order;
+        let mut ws = ReplayWorkspace::new();
+        // batch sizes exercising every block width and ragged tails
+        for batch in [1usize, 2, 3, 5, 8, 13] {
+            let bs: Vec<Vec<f64>> =
+                (0..batch as u64).map(|k| verify::rhs_for(&m, 100 + k).1).collect();
+            let mut outs: Vec<Vec<f64>> = vec![Vec::new(); batch];
+            analysis.replay_panel(&order, &bs, &mut ws, &mut outs);
+            for (k, b) in bs.iter().enumerate() {
+                let scalar = analysis.replay(&order, b);
+                assert_eq!(outs[k], scalar, "batch={batch} rhs={k}: panel must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_into_matches_replay() {
+        let m = gen::banded_lower(400, 6, 3.0, 5);
+        let analysis = ExecAnalysis::columns_only(&m, Triangle::Lower);
+        let order: Vec<u32> = (0..m.n() as u32).collect();
+        let (_, b) = verify::rhs_for(&m, 77);
+        let heap = analysis.replay(&order, &b);
+        let mut ls = vec![1.0; m.n()]; // dirty scratch must not leak in
+        let mut x = vec![2.0; m.n()];
+        analysis.replay_into(&order, &b, &mut ls, &mut x);
+        assert_eq!(heap, x);
+    }
+
+    #[test]
     fn poll_caching_reduces_poll_gets() {
         let m = gen::level_structured(&gen::LevelSpec::new(1000, 40, 4000, 31));
         let (_, b) = verify::rhs_for(&m, 42);
         let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
         let mut cached = Machine::new(MachineConfig::dgx1(4));
-        run(&m, &b, &plan, &mut cached, ExecConfig {
-            backend: Backend::Shmem { poll_caching: true },
-            ..ExecConfig::default()
-        })
+        run(
+            &m,
+            &b,
+            &plan,
+            &mut cached,
+            ExecConfig { backend: Backend::Shmem { poll_caching: true }, ..ExecConfig::default() },
+        )
         .unwrap();
         let mut raw = Machine::new(MachineConfig::dgx1(4));
-        run(&m, &b, &plan, &mut raw, ExecConfig {
-            backend: Backend::Shmem { poll_caching: false },
-            ..ExecConfig::default()
-        })
+        run(
+            &m,
+            &b,
+            &plan,
+            &mut raw,
+            ExecConfig { backend: Backend::Shmem { poll_caching: false }, ..ExecConfig::default() },
+        )
         .unwrap();
         let c = cached.stats().shmem;
         let r = raw.stats().shmem;
-        assert!(c.poll_gets < r.poll_gets, "caching must cut poll traffic: {} vs {}", c.poll_gets, r.poll_gets);
+        assert!(
+            c.poll_gets < r.poll_gets,
+            "caching must cut poll traffic: {} vs {}",
+            c.poll_gets,
+            r.poll_gets
+        );
         assert!(c.poll_gets_saved > 0);
     }
 }

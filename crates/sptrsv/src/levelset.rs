@@ -36,17 +36,14 @@ pub struct LevelSetOutcome {
 /// Run the level-set solver on GPU 0 of `machine`, analyzing the level
 /// sets first. Callers that solve the same factor repeatedly should
 /// analyze once and use [`run_with_levels`] (what the
-/// build-once/solve-many engine does).
+/// build-once/solve-many engine does; it also keeps the decomposition's
+/// flat `level_comps` order as its warm-replay schedule, shared via
+/// [`sparsemat::LevelSets::level_comps_shared`] rather than copied).
 ///
 /// Numerics are computed exactly (level order is a valid topological
 /// order); virtual time advances through per-level kernel launches,
 /// execution-lane contention and inter-level barriers.
-pub fn run(
-    m: &CscMatrix,
-    b: &[f64],
-    machine: &mut Machine,
-    tri: Triangle,
-) -> LevelSetOutcome {
+pub fn run(m: &CscMatrix, b: &[f64], machine: &mut Machine, tri: Triangle) -> LevelSetOutcome {
     let ls = LevelSets::analyze(m, tri);
     run_with_levels(m, b, machine, tri, &ls)
 }
@@ -121,12 +118,7 @@ pub fn run_with_levels(
         t = level_end.after(spec.level_sync_ns);
     }
 
-    LevelSetOutcome {
-        x,
-        analysis_end,
-        makespan: t,
-        levels: ls.n_levels(),
-    }
+    LevelSetOutcome { x, analysis_end, makespan: t, levels: ls.n_levels() }
 }
 
 #[cfg(test)]
@@ -171,10 +163,7 @@ mod tests {
         let shallow = run(&wide, &bw, &mut m2, Triangle::Lower);
         let solve_deep = deep.makespan - deep.analysis_end;
         let solve_shallow = shallow.makespan - shallow.analysis_end;
-        assert!(
-            solve_deep > 20 * solve_shallow,
-            "deep {solve_deep} vs shallow {solve_shallow}"
-        );
+        assert!(solve_deep > 20 * solve_shallow, "deep {solve_deep} vs shallow {solve_shallow}");
     }
 
     #[test]

@@ -32,6 +32,16 @@
 //!   §II-B amortization argument surfaced as API, and the shape the
 //!   paper's preconditioned-iterative-solver workload needs.
 //!
+//!   Warm solves come in **three tiers** (see the [`engine`] docs):
+//!   single solves ([`SolverEngine::solve`], or the zero-allocation
+//!   [`SolverEngine::solve_into`] with a reusable [`SolveWorkspace`]),
+//!   the **fused multi-RHS panel** ([`SolverEngine::solve_panel_into`],
+//!   which streams the factor once per [`exec::PANEL_K`]-wide block of
+//!   right-hand sides instead of once per RHS — the big win on this
+//!   memory-bandwidth-bound kernel), and the **pooled batch**
+//!   ([`SolverEngine::solve_batch_into`]) that runs fused panels on a
+//!   persistent worker pool. All tiers are bit-identical per RHS.
+//!
 //! Every solve computes real `f64` numerics while the discrete-event
 //! machine model advances virtual time, so results are simultaneously
 //! *numerically checked* and *performance-profiled*.
@@ -63,12 +73,13 @@ pub mod engine;
 pub mod exec;
 pub mod levelset;
 pub mod plan;
+mod pool;
 pub mod reference;
 pub mod report;
 pub mod solver;
 pub mod verify;
 
-pub use engine::SolverEngine;
+pub use engine::{SolveWorkspace, SolverEngine};
 pub use plan::{ExecutionPlan, Partition};
 pub use report::{SolveReport, Timings};
 pub use solver::{solve, solve_multi_rhs, MultiRhsReport, SolveError, SolveOptions, SolverKind};

@@ -1,0 +1,286 @@
+//! A persistent worker pool for batched warm solves.
+//!
+//! PR 1's `solve_batch` spawned fresh OS threads (`std::thread::scope`)
+//! on every call — fine for one batch, but the paper's serving scenario
+//! calls the solve phase thousands of times, and a thread spawn costs
+//! orders of magnitude more than a warm replay of a small factor. The
+//! [`WorkerPool`] here is spawned lazily on the first batched solve and
+//! reused for the lifetime of the engine: each call enqueues its chunk
+//! tasks and blocks until a completion latch opens.
+//!
+//! ## Why the lifetime erasure is sound
+//!
+//! Tasks borrow the engine's prepared state and the caller's
+//! right-hand-side/output buffers, so their closures are not `'static`
+//! — yet the workers are long-lived threads. [`WorkerPool::scope_run`]
+//! erases the lifetime exactly the way `crossbeam::scope`/`rayon`
+//! do, and re-establishes safety with a strict discipline:
+//!
+//! 1. `scope_run` does **not return** (not even by panic) until every
+//!    submitted task has finished running — a latch counts tasks down,
+//!    and the count is decremented *after* the task body completes,
+//!    including by panic (the worker catches unwinds).
+//! 2. Task panics are captured and re-raised **on the caller's
+//!    thread** after the latch opens, so worker threads never die and
+//!    the borrow discipline cannot be bypassed by unwinding.
+//!
+//! Together these guarantee every borrow a task carries outlives the
+//! task's execution, which is the entire obligation the `'static`
+//! erasure discharges. This module is the only `unsafe` code in the
+//! shipped library crates; keep it that way.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A task as submitted by a caller: may borrow caller state (`'scope`).
+pub type ScopedTask<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+/// A task as held by the queue, lifetime-erased under the latch
+/// discipline documented at module level.
+type ErasedTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// One batch's completion latch: counts outstanding tasks and stows the
+/// first panic payload for re-raising on the submitting thread.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(tasks: usize) -> Latch {
+        Latch {
+            state: Mutex::new(LatchState { remaining: tasks, panic: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark one task complete, recording its panic payload if any.
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("latch poisoned");
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every task has completed; returns the first panic.
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.state.lock().expect("latch poisoned");
+        while st.remaining > 0 {
+            st = self.cv.wait(st).expect("latch poisoned");
+        }
+        st.panic.take()
+    }
+}
+
+struct Job {
+    task: ErasedTask,
+    latch: Arc<Latch>,
+}
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+}
+
+/// A lazily grown pool of persistent worker threads executing scoped
+/// tasks (see the module docs for the soundness argument).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.threads()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; workers are spawned on demand by
+    /// [`WorkerPool::ensure_threads`].
+    pub fn new() -> WorkerPool {
+        WorkerPool {
+            shared: Arc::new(Shared { queue: Mutex::new(Queue::default()), cv: Condvar::new() }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current worker count.
+    pub fn threads(&self) -> usize {
+        self.handles.lock().expect("pool poisoned").len()
+    }
+
+    /// Grow the pool to at least `n` workers (never shrinks).
+    pub fn ensure_threads(&self, n: usize) {
+        let mut handles = self.handles.lock().expect("pool poisoned");
+        while handles.len() < n {
+            let shared = Arc::clone(&self.shared);
+            let name = format!("sptrsv-worker-{}", handles.len());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn solver worker"),
+            );
+        }
+    }
+
+    /// Run every task to completion on the pool, blocking the caller
+    /// until all have finished. Task panics are re-raised here, on the
+    /// calling thread, after the batch completes.
+    pub fn scope_run<'scope>(&self, tasks: Vec<ScopedTask<'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        self.ensure_threads(1); // a task must never wait on an empty pool
+        let latch = Arc::new(Latch::new(tasks.len()));
+        {
+            let mut q = self.shared.queue.lock().expect("pool poisoned");
+            for task in tasks {
+                // SAFETY (lifetime erasure): `latch.wait()` below does
+                // not return until `worker_loop` has finished running
+                // this task and called `latch.complete` — which happens
+                // strictly after the task body returns or unwinds. The
+                // caller therefore outlives every borrow the task
+                // carries; see the module docs.
+                let task: ErasedTask =
+                    unsafe { std::mem::transmute::<ScopedTask<'scope>, ErasedTask>(task) };
+                q.jobs.push_back(Job { task, latch: Arc::clone(&latch) });
+            }
+            self.shared.cv.notify_all();
+        }
+        if let Some(payload) = latch.wait() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool poisoned");
+            q.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("pool poisoned");
+            }
+        };
+        // catch unwinds so a panicking task cannot kill the worker or
+        // skip the latch; the payload resurfaces on the caller's thread
+        let result = catch_unwind(AssertUnwindSafe(job.task));
+        job.latch.complete(result.err());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_borrowing_tasks_to_completion() {
+        let pool = WorkerPool::new();
+        pool.ensure_threads(4);
+        let mut out = vec![0usize; 64];
+        let tasks: Vec<ScopedTask<'_>> = out
+            .chunks_mut(16)
+            .enumerate()
+            .map(|(k, chunk)| {
+                let t: ScopedTask<'_> = Box::new(move || {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = k * 100 + i;
+                    }
+                });
+                t
+            })
+            .collect();
+        pool.scope_run(tasks);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i / 16) * 100 + i % 16);
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        let pool = WorkerPool::new();
+        pool.ensure_threads(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let tasks: Vec<ScopedTask<'_>> = (0..8)
+                .map(|_| {
+                    let t: ScopedTask<'_> = Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                    t
+                })
+                .collect();
+            pool.scope_run(tasks);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+        assert_eq!(pool.threads(), 2, "no per-call spawning");
+    }
+
+    #[test]
+    fn task_panic_reraises_on_caller_and_keeps_workers_alive() {
+        let pool = WorkerPool::new();
+        pool.ensure_threads(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_run(vec![Box::new(|| panic!("task exploded")) as ScopedTask<'_>]);
+        }));
+        assert!(err.is_err(), "panic must propagate to the caller");
+        // the pool still works afterwards
+        let ran = AtomicUsize::new(0);
+        pool.scope_run(vec![Box::new(|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        }) as ScopedTask<'_>]);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let pool = WorkerPool::new();
+        pool.scope_run(Vec::new());
+        assert_eq!(pool.threads(), 0);
+    }
+}

@@ -14,11 +14,40 @@ use sparsemat::{CscMatrix, MatrixError, Triangle};
 /// # Errors
 /// Returns the validation error if `l` is not a solvable lower factor.
 pub fn solve_lower(l: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    let mut x = vec![0.0; l.n()];
+    let mut left_sum = vec![0.0; l.n()];
+    solve_lower_into(l, b, &mut left_sum, &mut x)?;
+    Ok(x)
+}
+
+/// Allocation-free [`solve_lower`]: the caller provides the `left_sum`
+/// scratch and the output vector (both length `n`). Bit-identical to
+/// the allocating version.
+pub fn solve_lower_into(
+    l: &CscMatrix,
+    b: &[f64],
+    left_sum: &mut [f64],
+    x: &mut [f64],
+) -> Result<(), MatrixError> {
     l.validate_triangular(Triangle::Lower)?;
-    assert_eq!(b.len(), l.n(), "rhs length mismatch");
+    lower_into_prevalidated(l, b, left_sum, x);
+    Ok(())
+}
+
+/// [`solve_lower_into`] minus the O(nnz) validation sweep — for callers
+/// that validated the factor once up front (the solver engine does at
+/// build time) and must not re-pay it per warm solve.
+pub(crate) fn lower_into_prevalidated(
+    l: &CscMatrix,
+    b: &[f64],
+    left_sum: &mut [f64],
+    x: &mut [f64],
+) {
     let n = l.n();
-    let mut x = vec![0.0; n];
-    let mut left_sum = vec![0.0; n];
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(left_sum.len(), n, "left_sum scratch length mismatch");
+    assert_eq!(x.len(), n, "output length mismatch");
+    left_sum.fill(0.0);
     let col_ptr = l.col_ptr();
     let row_idx = l.row_idx();
     let values = l.values();
@@ -33,7 +62,6 @@ pub fn solve_lower(l: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
             left_sum[row_idx[k] as usize] += values[k] * xj;
         }
     }
-    Ok(x)
 }
 
 /// Backward substitution for `Ux = b` on a CSC upper-triangular matrix.
@@ -41,11 +69,37 @@ pub fn solve_lower(l: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
 /// # Errors
 /// Returns the validation error if `u` is not a solvable upper factor.
 pub fn solve_upper(u: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    let mut x = vec![0.0; u.n()];
+    let mut left_sum = vec![0.0; u.n()];
+    solve_upper_into(u, b, &mut left_sum, &mut x)?;
+    Ok(x)
+}
+
+/// Allocation-free [`solve_upper`]; see [`solve_lower_into`].
+pub fn solve_upper_into(
+    u: &CscMatrix,
+    b: &[f64],
+    left_sum: &mut [f64],
+    x: &mut [f64],
+) -> Result<(), MatrixError> {
     u.validate_triangular(Triangle::Upper)?;
-    assert_eq!(b.len(), u.n(), "rhs length mismatch");
+    upper_into_prevalidated(u, b, left_sum, x);
+    Ok(())
+}
+
+/// [`solve_upper_into`] minus the validation sweep; see
+/// [`lower_into_prevalidated`].
+pub(crate) fn upper_into_prevalidated(
+    u: &CscMatrix,
+    b: &[f64],
+    left_sum: &mut [f64],
+    x: &mut [f64],
+) {
     let n = u.n();
-    let mut x = vec![0.0; n];
-    let mut left_sum = vec![0.0; n];
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(left_sum.len(), n, "left_sum scratch length mismatch");
+    assert_eq!(x.len(), n, "output length mismatch");
+    left_sum.fill(0.0);
     let col_ptr = u.col_ptr();
     let row_idx = u.row_idx();
     let values = u.values();
@@ -60,7 +114,6 @@ pub fn solve_upper(u: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
             left_sum[row_idx[k] as usize] += values[k] * xj;
         }
     }
-    Ok(x)
 }
 
 /// Dispatch on triangle.
@@ -68,6 +121,36 @@ pub fn solve_serial(m: &CscMatrix, b: &[f64], tri: Triangle) -> Result<Vec<f64>,
     match tri {
         Triangle::Lower => solve_lower(m, b),
         Triangle::Upper => solve_upper(m, b),
+    }
+}
+
+/// Allocation-free [`solve_serial`]: dispatch on triangle with
+/// caller-provided scratch and output.
+pub fn solve_serial_into(
+    m: &CscMatrix,
+    b: &[f64],
+    tri: Triangle,
+    left_sum: &mut [f64],
+    x: &mut [f64],
+) -> Result<(), MatrixError> {
+    match tri {
+        Triangle::Lower => solve_lower_into(m, b, left_sum, x),
+        Triangle::Upper => solve_upper_into(m, b, left_sum, x),
+    }
+}
+
+/// [`solve_serial_into`] minus the validation sweep; see
+/// [`lower_into_prevalidated`].
+pub(crate) fn serial_into_prevalidated(
+    m: &CscMatrix,
+    b: &[f64],
+    tri: Triangle,
+    left_sum: &mut [f64],
+    x: &mut [f64],
+) {
+    match tri {
+        Triangle::Lower => lower_into_prevalidated(m, b, left_sum, x),
+        Triangle::Upper => upper_into_prevalidated(m, b, left_sum, x),
     }
 }
 

@@ -2,6 +2,7 @@
 
 use desim::SimTime;
 use mgpu_sim::MachineStats;
+use std::sync::Arc;
 
 /// Phase timings of one solve, in virtual time.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,8 +40,10 @@ pub struct SolveReport {
     /// Max relative difference against the serial reference
     /// (`None` when verification was disabled).
     pub verified_rel_err: Option<f64>,
-    /// Human-readable variant label (e.g. "zerocopy-8t").
-    pub label: String,
+    /// Human-readable variant label (e.g. "zerocopy-8t"). Shared so
+    /// cloning a warm-solve template bumps a refcount instead of
+    /// copying the string.
+    pub label: Arc<str>,
 }
 
 impl SolveReport {

@@ -10,7 +10,8 @@
 //! [`SolverEngine`]: they build the engine (the one-time analysis
 //! phase) and immediately solve. Callers that solve against the same
 //! factor repeatedly should hold the engine instead — see
-//! [`crate::engine`].
+//! [`crate::engine`] for the three warm tiers (zero-allocation single
+//! solves, the fused multi-RHS panel, and pooled batches).
 
 use crate::engine::SolverEngine;
 use crate::exec::ExecError;
@@ -123,6 +124,14 @@ pub enum SolveError {
         /// RHS length.
         rhs: usize,
     },
+    /// Caller-provided output buffer length does not match the matrix
+    /// (the `*_into` warm-solve APIs).
+    OutputLength {
+        /// Matrix dimension.
+        n: usize,
+        /// Output buffer length.
+        out: usize,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -139,6 +148,9 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::DimensionMismatch { n, rhs } => {
                 write!(f, "matrix is {n}x{n} but rhs has {rhs} entries")
+            }
+            SolveError::OutputLength { n, out } => {
+                write!(f, "matrix is {n}x{n} but the output buffer has {out} entries")
             }
         }
     }
@@ -243,10 +255,8 @@ mod tests {
     #[test]
     fn shmem_refuses_non_p2p_span() {
         let (m, b) = small();
-        let opts = SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 8 },
-            ..SolveOptions::default()
-        };
+        let opts =
+            SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..SolveOptions::default() };
         let err = solve(&m, &b, MachineConfig::dgx1(8), &opts).unwrap_err();
         assert!(matches!(err, SolveError::NotP2p { gpus: 8 }));
         // but unified memory is allowed on 8 GPUs (host staging)
@@ -315,16 +325,20 @@ mod tests {
     #[test]
     fn naive_gup_verifies_but_loses_badly() {
         let (m, b) = small();
-        let naive = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ShmemNaive,
-            ..SolveOptions::default()
-        })
+        let naive = solve(
+            &m,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ShmemNaive, ..SolveOptions::default() },
+        )
         .unwrap();
         assert!(naive.verified_rel_err.unwrap() < 1e-8);
-        let zerocopy = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 8 },
-            ..SolveOptions::default()
-        })
+        let zerocopy = solve(
+            &m,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..SolveOptions::default() },
+        )
         .unwrap();
         assert!(
             zerocopy.speedup_over(&naive) > 3.0,
@@ -337,15 +351,19 @@ mod tests {
     #[test]
     fn report_cross_edges_depend_on_partition() {
         let (m, b) = small();
-        let blocked = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ShmemBlocked,
-            ..SolveOptions::default()
-        })
+        let blocked = solve(
+            &m,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ShmemBlocked, ..SolveOptions::default() },
+        )
         .unwrap();
-        let tasked = solve(&m, &b, MachineConfig::dgx1(4), &SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 16 },
-            ..SolveOptions::default()
-        })
+        let tasked = solve(
+            &m,
+            &b,
+            MachineConfig::dgx1(4),
+            &SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 16 }, ..SolveOptions::default() },
+        )
         .unwrap();
         assert!(tasked.cross_edges > blocked.cross_edges);
         assert!(tasked.kernels > blocked.kernels);

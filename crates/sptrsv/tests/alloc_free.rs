@@ -1,0 +1,107 @@
+//! Proof that warm `solve_into` / `solve_panel_into` allocate nothing.
+//!
+//! A counting global allocator wraps [`std::alloc::System`]; after a
+//! warm-up call has grown the workspace and output buffers, further
+//! warm solves must report **zero** allocator hits — the property the
+//! zero-allocation tier of the engine advertises. This lives in its
+//! own integration-test binary so the global allocator swap cannot
+//! perturb (or be perturbed by) other tests.
+
+use mgpu_sim::MachineConfig;
+use sparsemat::gen::{self, LevelSpec};
+use sptrsv::{verify, SolveOptions, SolveWorkspace, SolverEngine, SolverKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every allocation entry point, delegating to the system
+/// allocator. Deallocations are uncounted: the property under test is
+/// "no new heap memory is requested during a warm solve".
+struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counter is a relaxed atomic
+// with no side effects on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+// Single #[test] in this binary: the allocation counter is
+// process-global, so a concurrently running sibling test would bleed
+// its allocations into the measurement windows and flake the zero
+// asserts. Keep everything (including the numeric sanity check) in one
+// test function.
+#[test]
+fn warm_solve_into_and_panel_allocate_nothing() {
+    // sanity first: the allocator swap must not perturb numerics
+    {
+        let m = gen::banded_lower(800, 8, 4.0, 3);
+        let (_, b) = verify::rhs_for(&m, 42);
+        let opts = SolveOptions::default();
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let r = engine.solve(&b).unwrap();
+        assert!(r.verified_rel_err.unwrap() <= verify::DEFAULT_TOL);
+    }
+
+    let m = gen::level_structured(&LevelSpec::new(2000, 40, 8000, 23));
+    let n = m.n();
+    let bs: Vec<Vec<f64>> = (0..5u64).map(|k| verify::rhs_for(&m, 10 + k).1).collect();
+
+    for (kind, verify_opt) in [
+        (SolverKind::ZeroCopy { per_gpu: 8 }, false),
+        (SolverKind::ZeroCopy { per_gpu: 8 }, true),
+        (SolverKind::LevelSet, false),
+        (SolverKind::Serial, false),
+    ] {
+        let opts = SolveOptions { kind, verify: verify_opt, ..SolveOptions::default() };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut out = vec![0.0f64; n];
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+
+        // warm-up: grows workspace + output buffers once
+        engine.solve_into(&bs[0], &mut out, &mut ws).unwrap();
+        engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap();
+
+        let single = allocations_during(|| {
+            for b in &bs {
+                engine.solve_into(b, &mut out, &mut ws).unwrap();
+            }
+        });
+        assert_eq!(single, 0, "{kind:?} verify={verify_opt}: warm solve_into must not allocate");
+
+        let panel = allocations_during(|| {
+            engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap();
+        });
+        assert_eq!(
+            panel, 0,
+            "{kind:?} verify={verify_opt}: warm solve_panel_into must not allocate"
+        );
+    }
+}

@@ -14,7 +14,8 @@
 use desim::Pcg32;
 use mgpu_sim::MachineConfig;
 use sparsemat::gen::{self, LevelSpec};
-use sptrsv::{exec, plan, solve, verify, SolveOptions, SolverEngine, SolverKind};
+use sparsemat::Triangle;
+use sptrsv::{exec, plan, solve, verify, SolveOptions, SolveWorkspace, SolverEngine, SolverKind};
 
 fn all_kinds() -> Vec<SolverKind> {
     vec![
@@ -37,12 +38,7 @@ fn engine_solve_bit_identical_to_one_shot_for_all_kinds() {
     for case in 0..6u64 {
         let mut rng = Pcg32::seed_from_u64(0xE9612E + case);
         let n = 200 + rng.next_below(600) as usize;
-        let m = gen::level_structured(&LevelSpec::new(
-            n,
-            (n / 13).max(1),
-            n * 4,
-            rng.next_u64(),
-        ));
+        let m = gen::level_structured(&LevelSpec::new(n, (n / 13).max(1), n * 4, rng.next_u64()));
         let (_, b) = verify::rhs_for(&m, rng.next_u64());
         for kind in all_kinds() {
             let opts = SolveOptions { kind, ..SolveOptions::default() };
@@ -120,4 +116,85 @@ fn batch_total_amortizes_versus_unamortized() {
     let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
     let multi = engine.solve_batch(&bs).unwrap();
     assert!(multi.total < multi.unamortized_total());
+}
+
+/// Property (the fused-panel contract): for random systems, every
+/// solver kind, both triangles and batch sizes that do and do not
+/// divide the panel width (including K = 1), `solve_into`,
+/// `solve_panel_into` and `solve_batch_into` are all **bit-identical**
+/// to per-RHS `SolverEngine::solve`.
+#[test]
+fn panel_and_into_paths_bit_identical_to_solve_for_all_kinds() {
+    for case in 0..3u64 {
+        let mut rng = Pcg32::seed_from_u64(0xFA7ED + case);
+        let n = 200 + rng.next_below(500) as usize;
+        let lower =
+            gen::level_structured(&LevelSpec::new(n, (n / 11).max(1), n * 4, rng.next_u64()));
+        let upper = lower.transpose();
+        for (m, tri) in [(&lower, Triangle::Lower), (&upper, Triangle::Upper)] {
+            for kind in all_kinds() {
+                let opts = SolveOptions { kind, triangle: tri, ..SolveOptions::default() };
+                let engine = SolverEngine::build(m, MachineConfig::dgx1(4), &opts).unwrap();
+                // 1, 5 and 13 exercise the K=1 block, a 4+1 ragged tail
+                // and an 8+4+1 decomposition of the panel width
+                for batch in [1usize, 5, 13] {
+                    let bs: Vec<Vec<f64>> =
+                        (0..batch as u64).map(|k| verify::rhs_for(m, 3000 + k).1).collect();
+                    let expect: Vec<Vec<f64>> =
+                        bs.iter().map(|b| engine.solve(b).unwrap().x).collect();
+
+                    let mut ws = SolveWorkspace::new();
+                    let mut out = vec![0.0f64; n];
+                    engine.solve_into(&bs[0], &mut out, &mut ws).unwrap();
+                    assert_eq!(out, expect[0], "{kind:?}/{tri:?}: solve_into bits");
+
+                    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); batch];
+                    engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap();
+                    assert_eq!(outs, expect, "{kind:?}/{tri:?} batch={batch}: panel bits");
+
+                    let mut batch_outs: Vec<Vec<f64>> = vec![Vec::new(); batch];
+                    engine.solve_batch_into(&bs, &mut batch_outs).unwrap();
+                    assert_eq!(batch_outs, expect, "{kind:?}/{tri:?} batch={batch}: batch bits");
+                }
+            }
+        }
+    }
+}
+
+/// A bad right-hand side anywhere in the batch fails fast — before any
+/// chunk has been handed to a worker — with the offending length.
+#[test]
+fn batch_rejects_bad_dimensions_up_front() {
+    let m = gen::level_structured(&LevelSpec::new(600, 12, 2400, 9));
+    let mut bs: Vec<Vec<f64>> = (0..8).map(|k| verify::rhs_for(&m, k).1).collect();
+    bs[6] = vec![1.0, 2.0, 3.0]; // wrong length, late in the batch
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
+    for threads in [1usize, 4] {
+        let err = engine.solve_batch_with_threads(&bs, threads).unwrap_err();
+        assert!(
+            matches!(err, sptrsv::SolveError::DimensionMismatch { n: 600, rhs: 3 }),
+            "threads={threads}: {err:?}"
+        );
+    }
+    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+    let err = engine.solve_batch_into(&bs, &mut outs).unwrap_err();
+    assert!(matches!(err, sptrsv::SolveError::DimensionMismatch { n: 600, rhs: 3 }));
+}
+
+/// Batched solves reuse one persistent pool: repeated calls leave the
+/// worker count unchanged, and results stay deterministic.
+#[test]
+fn repeated_batches_share_the_worker_pool() {
+    let m = gen::level_structured(&LevelSpec::new(900, 20, 3600, 17));
+    let bs: Vec<Vec<f64>> = (0..24).map(|k| verify::rhs_for(&m, 70 + k).1).collect();
+    let opts = SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() };
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let first = engine.solve_batch_with_threads(&bs, 4).unwrap();
+    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+    for _ in 0..3 {
+        engine.solve_batch_into(&bs, &mut outs).unwrap();
+        for (o, r) in outs.iter().zip(&first.reports) {
+            assert_eq!(o, &r.x, "pool reuse must not perturb results");
+        }
+    }
 }

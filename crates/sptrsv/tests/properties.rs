@@ -97,10 +97,7 @@ fn makespans_deterministic() {
         let seed = rng.next_u64();
         let m = gen::level_structured(&LevelSpec::new(n, (n / 11).max(1), n * 3, seed));
         let (_, b) = verify::rhs_for(&m, seed);
-        let opts = SolveOptions {
-            kind: SolverKind::ZeroCopy { per_gpu: 4 },
-            ..Default::default()
-        };
+        let opts = SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 4 }, ..Default::default() };
         let a = solve(&m, &b, MachineConfig::dgx1(3), &opts).unwrap();
         let c = solve(&m, &b, MachineConfig::dgx1(3), &opts).unwrap();
         assert!(a.timings.total > desim::SimTime::ZERO);

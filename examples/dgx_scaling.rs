@@ -31,7 +31,10 @@ fn main() {
     .expect("baseline");
     println!("csrsv2 baseline: {} ({} levels)\n", base.timings.total, base.kernels);
 
-    println!("{:<8} {:>14} {:>10} {:>12} {:>12}", "machine", "total", "speedup", "gets", "nvlink KB");
+    println!(
+        "{:<8} {:>14} {:>10} {:>12} {:>12}",
+        "machine", "total", "speedup", "gets", "nvlink KB"
+    );
     for gpus in [1usize, 2, 3, 4] {
         let r = sptrsv::solve(
             &nm.matrix,

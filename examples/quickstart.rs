@@ -14,10 +14,15 @@ fn main() {
         b.push(i, i, 2.0);
     }
     for &(r, c) in &[
-        (1, 0), (3, 0), (5, 0), (7, 0), // left.sum_{1,3,5,7} depend on x0
+        (1, 0),
+        (3, 0),
+        (5, 0),
+        (7, 0), // left.sum_{1,3,5,7} depend on x0
         (2, 1),
-        (4, 3), (7, 3),
-        (6, 4), (7, 4),
+        (4, 3),
+        (7, 3),
+        (6, 4),
+        (7, 4),
         (6, 5),
         (7, 6),
     ] {
@@ -31,10 +36,7 @@ fn main() {
     for (i, set) in levels.iter_levels().enumerate() {
         println!("  level {i}: {:?}", set.iter().map(|&c| format!("x{c}")).collect::<Vec<_>>());
     }
-    println!(
-        "parallelism = {:.2} components/level (Table I metric)\n",
-        levels.parallelism()
-    );
+    println!("parallelism = {:.2} components/level (Table I metric)\n", levels.parallelism());
 
     // --- solve with a known answer --------------------------------------
     let x_true: Vec<f64> = (1..=8).map(|i| i as f64 / 4.0).collect();

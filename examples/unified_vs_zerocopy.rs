@@ -28,11 +28,18 @@ fn main() {
     )
     .expect("zerocopy");
 
-    println!("{} on a 4-GPU DGX-1 ({} rows, {} nnz):\n", nm.name, nm.achieved.rows, nm.achieved.nnz);
+    println!(
+        "{} on a 4-GPU DGX-1 ({} rows, {} nnz):\n",
+        nm.name, nm.achieved.rows, nm.achieved.nnz
+    );
     println!("{:<28} {:>16} {:>16}", "", "unified (Alg.2)", "zero-copy (Alg.3)");
     let row = |label: &str, a: String, z: String| println!("{label:<28} {a:>16} {z:>16}");
     row("total time", unified.timings.total.to_string(), zerocopy.timings.total.to_string());
-    row("analysis time", unified.timings.analysis.to_string(), zerocopy.timings.analysis.to_string());
+    row(
+        "analysis time",
+        unified.timings.analysis.to_string(),
+        zerocopy.timings.analysis.to_string(),
+    );
     row(
         "UM page faults",
         unified.stats.total_um_faults().to_string(),
@@ -53,11 +60,7 @@ fn main() {
         unified.stats.shmem.total_gets().to_string(),
         zerocopy.stats.shmem.total_gets().to_string(),
     );
-    row(
-        "gets saved by caching",
-        "-".into(),
-        zerocopy.stats.shmem.poll_gets_saved.to_string(),
-    );
+    row("gets saved by caching", "-".into(), zerocopy.stats.shmem.poll_gets_saved.to_string());
     row("cross-GPU edges", unified.cross_edges.to_string(), zerocopy.cross_edges.to_string());
     println!(
         "\nzero-copy speedup over unified: {:.2}x (paper Fig. 7: avg 3.53x, up to 9.86x)",

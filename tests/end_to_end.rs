@@ -91,11 +91,7 @@ fn upper_triangular_systems_solve_on_every_backend() {
     let u = l.transpose();
     let (_, b) = sptrsv::verify::rhs_for(&u, 4);
     let reference = sptrsv::reference::solve_upper(&u, &b).unwrap();
-    for kind in [
-        SolverKind::LevelSet,
-        SolverKind::Unified,
-        SolverKind::ZeroCopy { per_gpu: 8 },
-    ] {
+    for kind in [SolverKind::LevelSet, SolverKind::Unified, SolverKind::ZeroCopy { per_gpu: 8 }] {
         let r = sptrsv::solve(
             &u,
             &b,
@@ -160,13 +156,7 @@ fn matrix_market_roundtrip_preserves_solutions() {
     assert_eq!(reread, nm.matrix);
 
     let (_, b) = sptrsv::verify::rhs_for(&reread, 7);
-    let r = sptrsv::solve(
-        &reread,
-        &b,
-        MachineConfig::dgx1(2),
-        &SolveOptions::default(),
-    )
-    .unwrap();
+    let r = sptrsv::solve(&reread, &b, MachineConfig::dgx1(2), &SolveOptions::default()).unwrap();
     assert!(r.verified_rel_err.unwrap() < 1e-8);
 }
 

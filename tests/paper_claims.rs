@@ -50,10 +50,7 @@ fn fig7_tasks_hurt_unified_but_help_zero_copy() {
     let nm = sparsemat::corpus::by_name_scaled("nlpkkt160", 10_000, 200_000).unwrap();
     let shmem = run(&nm, MachineConfig::dgx1(4), SolverKind::ShmemBlocked);
     let zerocopy = run(&nm, MachineConfig::dgx1(4), SolverKind::ZeroCopy { per_gpu: 8 });
-    assert!(
-        zerocopy.timings.total < shmem.timings.total,
-        "tasks must improve the NVSHMEM design"
-    );
+    assert!(zerocopy.timings.total < shmem.timings.total, "tasks must improve the NVSHMEM design");
 }
 
 /// §III / Fig. 3a: UM page-fault counts grow with the number of GPUs.
@@ -87,12 +84,8 @@ fn fig3_unified_collapses_at_eight_gpus() {
 #[test]
 fn csrsv2_pays_per_level_synchronization() {
     let chain = sparsemat::gen::chain(3_000);
-    let wide = sparsemat::gen::level_structured(&sparsemat::gen::LevelSpec::new(
-        3_000,
-        3,
-        chain.nnz(),
-        9,
-    ));
+    let wide =
+        sparsemat::gen::level_structured(&sparsemat::gen::LevelSpec::new(3_000, 3, chain.nnz(), 9));
     let nmc = |m: sparsemat::CscMatrix| sparsemat::NamedMatrix {
         name: "synthetic",
         class: "synthetic",
@@ -143,10 +136,7 @@ fn fig8_dgx1_and_dgx2_are_comparable_at_four_gpus() {
 fn poll_caching_saves_interconnect_traffic() {
     let nm = load("dblp-2010");
     let (_, b) = sptrsv::verify::rhs_for(&nm.matrix, 0xCAFE);
-    let base = SolveOptions {
-        kind: SolverKind::ZeroCopy { per_gpu: 8 },
-        ..Default::default()
-    };
+    let base = SolveOptions { kind: SolverKind::ZeroCopy { per_gpu: 8 }, ..Default::default() };
     let cached = sptrsv::solve(&nm.matrix, &b, MachineConfig::dgx1(4), &base).unwrap();
     let raw = sptrsv::solve(
         &nm.matrix,
