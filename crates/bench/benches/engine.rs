@@ -12,7 +12,13 @@
 //! * **fused panel vs per-RHS warm loop** — the K-blocked
 //!   `solve_panel_into` (factor streamed once per 8-wide block,
 //!   zero-allocation workspace) and the pooled `solve_batch_into`
-//!   against 64 individual warm `solve()` calls.
+//!   against 64 individual warm `solve()` calls;
+//! * **sharded level-parallel replay** — `solve_sharded_into` on a
+//!   *wide* synthetic factor (few levels, thousands of components
+//!   each) against the serial warm replay, single RHS. The speedup
+//!   floor (≥ 1.5× at 4 workers) is asserted only when the hardware
+//!   actually has ≥ 4 threads; on narrower machines the numbers are
+//!   recorded with the effective worker count for the record.
 //!
 //! Results go to `BENCH_engine.json` at the repository root so the perf
 //! trajectory is tracked from PR to PR. The batch and fused-panel
@@ -128,6 +134,46 @@ fn main() {
         rows_per_s(pooled.median_ns),
     );
 
+    // --- sharded level-parallel replay vs serial warm replay ----------
+    // A wide factor (avg level width n/24) is the sharded tier's home
+    // turf: each level offers thousands of independent components, so
+    // the two per-level barriers amortize. Workers are capped at the
+    // hardware parallelism — requesting more threads than cores would
+    // measure scheduler thrash, not the algorithm.
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let wide_levels = 24usize;
+    let wm = gen::level_structured(&LevelSpec::new(n, wide_levels, n * 4, 7));
+    let wide_nnz = wm.nnz();
+    let wide_stats = sparsemat::LevelSets::analyze(&wm, sparsemat::Triangle::Lower);
+    let wide_n_levels = wide_stats.n_levels();
+    let wide_max_width = wide_stats.max_level_width();
+    let wengine = SolverEngine::build(&wm, cfg.clone(), &opts).unwrap();
+    let (_, wb) = verify::rhs_for(&wm, 5);
+    let requested_workers = 4usize;
+    let workers = requested_workers.min(hw);
+    let mut wws = SolveWorkspace::new();
+    let mut wout = vec![0.0f64; wm.n()];
+    // warm-up both tiers: grow buffers, spawn the pool
+    wengine.solve_sharded_into(&wb, &mut wout, &mut wws, 1).unwrap();
+    wengine.solve_sharded_into(&wb, &mut wout, &mut wws, workers).unwrap();
+    let serial_warm = time_ns(7, || {
+        // workers == 1 degrades to the serial replay along the same
+        // canonical order — the exact baseline the sharded tier races
+        wengine.solve_sharded_into(&wb, &mut wout, &mut wws, 1).unwrap();
+        wout[0]
+    });
+    let sharded_warm = time_ns(7, || {
+        wengine.solve_sharded_into(&wb, &mut wout, &mut wws, workers).unwrap();
+        wout[0]
+    });
+    let sharded_speedup = serial_warm.median_ns as f64 / sharded_warm.median_ns.max(1) as f64;
+    println!("wide factor n={n} nnz={wide_nnz} levels={wide_n_levels} max_width={wide_max_width}");
+    println!("serial  warm replay median {:>12}", TimingSummary::human(serial_warm.median_ns));
+    println!(
+        "sharded warm replay median {:>12}   ({workers} workers, {sharded_speedup:.2}x, hw={hw})",
+        TimingSummary::human(sharded_warm.median_ns)
+    );
+
     // --- emit BENCH_engine.json at the repo root ---------------------
     let json = format!(
         r#"{{
@@ -156,6 +202,17 @@ fn main() {
     "fused_rows_per_s": {fused_rows:.0},
     "per_rhs_factor_gb_per_s": {per_rhs_gbps:.2},
     "fused_factor_gb_per_s": {fused_gbps:.2}
+  }},
+  "sharded_replay": {{
+    "matrix": {{ "n": {n}, "nnz": {wide_nnz}, "generator": "level_structured(levels={wide_levels}, seed=7)" }},
+    "n_levels": {wide_n_levels},
+    "max_level_width": {wide_max_width},
+    "workers_requested": {requested_workers},
+    "workers": {workers},
+    "hardware_threads": {hw},
+    "serial_warm_ns": {serial_med},
+    "sharded_warm_ns": {sharded_med},
+    "speedup_vs_serial": {sharded_speedup:.2}
   }}
 }}
 "#,
@@ -173,6 +230,8 @@ fn main() {
         fused_rows = rows_per_s(fused.median_ns),
         per_rhs_gbps = gbps(BATCH_RHS as u64, per_rhs.median_ns),
         fused_gbps = gbps(fused_sweeps, fused.median_ns),
+        serial_med = serial_warm.median_ns,
+        sharded_med = sharded_warm.median_ns,
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let mut f = std::fs::File::create(out).expect("create BENCH_engine.json");
@@ -186,5 +245,12 @@ fn main() {
     assert!(
         fused_speedup >= 2.0,
         "fused panel must be at least 2x faster than the per-RHS warm loop, got {fused_speedup:.2}x"
+    );
+    // the parallel floor only binds where parallel hardware exists; a
+    // 1–3 thread machine records its honest numbers instead
+    assert!(
+        hw < 4 || sharded_speedup >= 1.5,
+        "sharded replay must be at least 1.5x faster than serial warm replay \
+         at {workers} workers on {hw} hardware threads, got {sharded_speedup:.2}x"
     );
 }

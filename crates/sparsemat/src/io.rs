@@ -124,7 +124,17 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CscMatrix, MatrixError> 
                 }
             }
             Symmetry::SkewSymmetric => {
-                if r0 != c0 {
+                if r0 == c0 {
+                    // A = -Aᵀ forces a zero diagonal; a nonzero
+                    // explicit diagonal entry contradicts the declared
+                    // symmetry, so accepting it would silently build a
+                    // matrix that is not skew-symmetric
+                    if v != 0.0 {
+                        return Err(MatrixError::Parse(format!(
+                            "skew-symmetric matrix has nonzero diagonal entry {v} at ({r}, {c})"
+                        )));
+                    }
+                } else {
                     b.push(c0, r0, -v);
                 }
             }
@@ -197,6 +207,20 @@ mod tests {
     #[test]
     fn expands_skew_symmetric() {
         let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 7.0\n";
+        let m = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(m.get(1, 0), Some(7.0));
+        assert_eq!(m.get(0, 1), Some(-7.0));
+    }
+
+    #[test]
+    fn rejects_nonzero_skew_symmetric_diagonal() {
+        // regression: a nonzero explicit diagonal entry used to be
+        // accepted silently, producing a matrix with A != -Aᵀ
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 2\n1 1 3.0\n2 1 7.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(matches!(err, MatrixError::Parse(ref msg) if msg.contains("skew-symmetric")));
+        // an explicit *zero* diagonal entry is consistent and stays legal
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 2\n1 1 0.0\n2 1 7.0\n";
         let m = read_matrix_market(src.as_bytes()).unwrap();
         assert_eq!(m.get(1, 0), Some(7.0));
         assert_eq!(m.get(0, 1), Some(-7.0));

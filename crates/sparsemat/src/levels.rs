@@ -159,6 +159,85 @@ impl LevelSets {
         }
         self.level_of.len() as f64 / self.n_levels() as f64
     }
+
+    /// Cut every level into `shards` owner segments — the
+    /// owner-computes decomposition a level-parallel solver executes
+    /// (each shard's rows are solved, and their partial sums
+    /// accumulated, by exactly one worker).
+    ///
+    /// The returned order is level-major. Within a level, components
+    /// are grouped by `owner[c]` when an ownership map is given (stable
+    /// — ascending index within one owner), mirroring the paper's
+    /// owner-local update placement, and left in ascending index order
+    /// otherwise (the map is then shared with [`LevelSets::level_comps`]
+    /// — a refcount bump, not a copy). Each level is then sliced into
+    /// `shards` near-equal contiguous segments, so per-level work
+    /// balances across however many workers later execute the shards.
+    ///
+    /// Cost: O(n log n) worst case (the per-level grouping sort); runs
+    /// once per solver-engine build.
+    pub fn owner_segments(&self, owner: Option<&[usize]>, shards: usize) -> LevelSegments {
+        let shards = shards.max(1);
+        let n = self.level_of.len();
+        let n_levels = self.n_levels();
+        let order: Arc<[Idx]> = match owner {
+            None => self.level_comps_shared(),
+            Some(own) => {
+                assert_eq!(own.len(), n, "ownership map must cover every component");
+                let mut v = self.level_comps.to_vec();
+                for l in 0..n_levels {
+                    let (lo, hi) = (self.level_ptr[l] as usize, self.level_ptr[l + 1] as usize);
+                    v[lo..hi].sort_by_key(|&c| own[c as usize]);
+                }
+                v.into()
+            }
+        };
+        let mut seg_ptr = vec![0u32; n_levels * shards + 1];
+        let mut shard_of = vec![0u32; n];
+        for l in 0..n_levels {
+            let lo = self.level_ptr[l] as usize;
+            let width = self.level_ptr[l + 1] as usize - lo;
+            for s in 0..shards {
+                // near-equal contiguous slices; segment ends are
+                // cumulative, so consecutive segments (and levels)
+                // tile the order array exactly
+                let hi = lo + width * (s + 1) / shards;
+                seg_ptr[l * shards + s + 1] = hi as u32;
+                for &c in &order[lo + width * s / shards..hi] {
+                    shard_of[c as usize] = s as u32;
+                }
+            }
+        }
+        LevelSegments { shards, order, seg_ptr, shard_of }
+    }
+}
+
+/// The owner-computes decomposition produced by
+/// [`LevelSets::owner_segments`]: a level-major component order plus a
+/// `(level, shard)`-indexed segmentation of it.
+#[derive(Debug, Clone)]
+pub struct LevelSegments {
+    /// Number of shards each level was cut into.
+    pub shards: usize,
+    /// All components, level-major (the canonical serial order of the
+    /// segmentation): segment `(l, s)` occupies
+    /// `order[seg_ptr[l * shards + s] as usize .. seg_ptr[l * shards + s + 1] as usize]`.
+    pub order: Arc<[Idx]>,
+    /// CSR-style segment offsets into [`LevelSegments::order`]
+    /// (`n_levels * shards + 1` entries).
+    pub seg_ptr: Vec<u32>,
+    /// Owning shard per component: `shard_of[c]` is the shard whose
+    /// segment (in `c`'s level) contains `c`.
+    pub shard_of: Vec<u32>,
+}
+
+impl LevelSegments {
+    /// Components of segment `(level, shard)`.
+    #[inline]
+    pub fn segment(&self, level: usize, shard: usize) -> &[Idx] {
+        let k = level * self.shards + shard;
+        &self.order[self.seg_ptr[k] as usize..self.seg_ptr[k + 1] as usize]
+    }
 }
 
 /// Summary structural statistics of a triangular system — one row of
@@ -353,6 +432,63 @@ mod tests {
         assert_eq!(s.rows, 0);
         assert_eq!(s.levels, 0);
         assert_eq!(s.parallelism, 0.0);
+    }
+
+    #[test]
+    fn owner_segments_tile_every_level() {
+        let m = crate::gen::banded_lower(97, 5, 3.0, 7);
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        for shards in [1usize, 3, 8] {
+            let segs = ls.owner_segments(None, shards);
+            // without an ownership map the order is shared, not copied
+            assert_eq!(segs.order.as_ref(), ls.level_comps());
+            assert_eq!(segs.seg_ptr.len(), ls.n_levels() * shards + 1);
+            for l in 0..ls.n_levels() {
+                let mut rebuilt: Vec<Idx> = Vec::new();
+                for s in 0..shards {
+                    for &c in segs.segment(l, s) {
+                        assert_eq!(segs.shard_of[c as usize], s as u32);
+                        assert_eq!(ls.level_of[c as usize] as usize, l);
+                        rebuilt.push(c);
+                    }
+                }
+                assert_eq!(rebuilt.as_slice(), ls.level(l), "level {l} must tile exactly");
+                // near-equal balance: segment sizes differ by at most 1
+                let sizes: Vec<usize> = (0..shards).map(|s| segs.segment(l, s).len()).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "level {l} shard sizes {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_segments_group_by_owner_within_level() {
+        let ls = LevelSets::analyze(&fig1(), Triangle::Lower);
+        // level 1 is {1, 3, 5}; give 5 to owner 0 and 1, 3 to owner 1:
+        // grouping must reorder the level to [5, 1, 3] (stable within
+        // one owner)
+        let mut owner = vec![0usize; 8];
+        owner[1] = 1;
+        owner[3] = 1;
+        let segs = ls.owner_segments(Some(&owner), 2);
+        let level1: Vec<Idx> = (0..2).flat_map(|s| segs.segment(1, s).to_vec()).collect();
+        assert_eq!(level1, vec![5, 1, 3]);
+        // every component still appears exactly once overall
+        let mut seen = [false; 8];
+        for &c in segs.order.iter() {
+            assert!(!seen[c as usize]);
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_matrix_owner_segments() {
+        let m = crate::build::TripletBuilder::new(0).build().unwrap();
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        let segs = ls.owner_segments(None, 4);
+        assert_eq!(segs.order.len(), 0);
+        assert_eq!(segs.seg_ptr, vec![0]);
     }
 
     #[test]

@@ -27,19 +27,20 @@
 //! numeric values flowing through the solve. Two solves of the same
 //! engine therefore execute the **same event schedule** regardless of
 //! the right-hand side. `build` exploits this: it simulates the full
-//! timeline once (the calibration run), records the warp wake order and
-//! the resulting report (timings, machine statistics, event counts),
-//! and every subsequent [`SolverEngine::solve`] replays only the
-//! `O(n + nnz)` numeric substitution along that order
-//! ([`ExecAnalysis::replay`]). The floating-point operation sequence of
-//! the replay is exactly the simulation's, so warm results are
-//! bit-identical to one-shot [`crate::solve`] — at a small fraction of
-//! the wall-clock. `BENCH_engine.json` (emitted by
-//! `cargo bench -p sptrsv-bench --bench engine`) tracks the ratio.
+//! timeline once (the calibration run) and records the resulting
+//! report (timings, machine statistics, event counts); every
+//! subsequent [`SolverEngine::solve`] replays only the `O(n + nnz)`
+//! numeric substitution along the engine's **canonical order** — the
+//! level-major, owner-grouped schedule of
+//! [`crate::exec::ShardedReplay`], a topological order every warm tier
+//! shares. Warm results are bit-identical to one-shot [`crate::solve`]
+//! — at a small fraction of the wall-clock. `BENCH_engine.json`
+//! (emitted by `cargo bench -p sptrsv-bench --bench engine`) tracks
+//! the ratio.
 //!
-//! ## The three-tier warm path
+//! ## The four-tier warm path
 //!
-//! Warm solves come in three shapes, fastest-for-their-workload first:
+//! Warm solves come in four shapes, keyed to the workload:
 //!
 //! 1. **Single solve** — [`SolverEngine::solve`] (convenience,
 //!    allocates the report) or [`SolverEngine::solve_into`]
@@ -47,7 +48,17 @@
 //!    heap allocation in steady state). Right choice when right-hand
 //!    sides arrive one at a time with data dependencies between them —
 //!    e.g. the preconditioner application inside a Krylov iteration.
-//! 2. **Fused panel** — [`SolverEngine::solve_panel_into`] runs
+//! 2. **Sharded solve** — [`SolverEngine::solve_sharded_into`] runs
+//!    [`crate::exec::ShardedReplay`]: one right-hand side executed
+//!    level-parallel across the persistent worker pool, each level a
+//!    two-phase parallel region (solve owned components / apply
+//!    owner-local updates) synchronized by a reusable barrier. This is
+//!    the paper's parallel execution model — independent components
+//!    concurrent, producer/owner-local updates — running real numerics
+//!    on the host. Wins on *wide* factors (many components per level);
+//!    deep narrow factors stay serial, and `solve`/`solve_into` pick
+//!    the tier automatically from calibrated structure thresholds.
+//! 3. **Fused panel** — [`SolverEngine::solve_panel_into`] runs
 //!    [`ExecAnalysis::replay_panel`]: the flattened factor adjacency is
 //!    streamed once per K-wide block of right-hand sides
 //!    ([`crate::exec::PANEL_K`] lanes, interleaved layout, vectorized
@@ -55,7 +66,7 @@
 //!    memory-bandwidth-bound, so this wins whenever ≥ 2 independent
 //!    right-hand sides are available at once — block Krylov methods,
 //!    multiple probing vectors, batched inference.
-//! 3. **Pooled batch** — [`SolverEngine::solve_batch`] /
+//! 4. **Pooled batch** — [`SolverEngine::solve_batch`] /
 //!    [`SolverEngine::solve_batch_into`] split the batch into
 //!    contiguous chunks and run fused panels on a **persistent worker
 //!    pool** (lazily spawned, reused across calls — no per-call
@@ -64,14 +75,24 @@
 //!    chunking is deterministic, so results never depend on the worker
 //!    count.
 //!
-//! All three tiers produce bit-identical solutions: the per-RHS
-//! floating-point operation sequence never changes, only how many
-//! right-hand sides share one sweep of the factor.
+//! All four tiers produce bit-identical solutions: every tier walks
+//! the same canonical floating-point operation sequence per RHS — the
+//! sharded tier by owner-computes construction (each row is solved,
+//! and its partial sum accumulated in canonical source order, by
+//! exactly one worker), the panel tiers because lanes never mix.
+//!
+//! ## Error contract
+//!
+//! Problems a *caller* can cause — wrong right-hand-side length, wrong
+//! output-buffer length, wrong output count for a batch — surface as
+//! typed [`SolveError`]s from every public entry point. Panics are
+//! reserved for internal invariants (a broken engine, not a bad
+//! argument).
 
-use crate::exec::{self, ExecAnalysis, ExecConfig, ReplayWorkspace};
+use crate::exec::{self, ExecAnalysis, ExecConfig, ReplayWorkspace, ShardedReplay};
 use crate::levelset;
 use crate::plan::{ExecutionPlan, Partition};
-use crate::pool::{ScopedTask, WorkerPool};
+use crate::pool::{self, ScopedTask, WorkerPool};
 use crate::reference;
 use crate::report::{SolveReport, Timings};
 use crate::solver::{MultiRhsReport, SolveError, SolveOptions, SolverKind};
@@ -115,14 +136,22 @@ enum Variant {
     Simulated(Box<Prepared>),
 }
 
-/// Prebuilt state of a simulated solver: flat column data plus the
-/// solve order fixed by the calibration run — for level-set that order
-/// is the flat `level_comps` array (shared with the analysis via
-/// `Arc`, not copied), for sync-free the recorded wake order.
+/// Prebuilt state of a simulated solver: flat column data, the
+/// canonical warm-solve order, the level-parallel sharded schedule and
+/// the calibration template. `order` is the sharded schedule's own
+/// level-major, owner-grouped order (shared via `Arc`, not copied) —
+/// the single operation sequence every warm tier replays, which is
+/// what keeps serial, sharded, panel and batched solves bit-identical
+/// to one another.
 #[derive(Debug)]
 struct Prepared {
     analysis: ExecAnalysis,
     order: Arc<[u32]>,
+    sharded: ShardedReplay,
+    /// Worker count the `solve`/`solve_into` auto-heuristic uses for
+    /// the sharded tier; `1` means the factor is too narrow/deep for
+    /// level parallelism and serial replay stays the default.
+    auto_workers: usize,
     template: Arc<SolveReport>,
 }
 
@@ -194,12 +223,16 @@ impl<'m> SolverEngine<'m> {
                 };
                 // level order (ascending level, ascending index within)
                 // is exactly the order the level-set solver computes
-                // in; share the analysis' own flat array instead of
-                // copying all n entries
-                let order = levels.level_comps_shared();
+                // in; the sharded schedule shares the analysis' own
+                // flat array instead of copying all n entries
+                let sharded = ShardedReplay::build(&analysis, &levels, None);
+                let order = sharded.order_shared();
+                let auto_workers = auto_shard_workers(&levels);
                 Variant::Simulated(Box::new(Prepared {
                     analysis,
                     order,
+                    sharded,
+                    auto_workers,
                     template: Arc::new(template),
                 }))
             }
@@ -273,9 +306,19 @@ impl<'m> SolverEngine<'m> {
                     label,
                     x: Vec::new(),
                 };
+                // the canonical warm order is the level-major,
+                // owner-grouped sharded schedule (not the recorded
+                // wake order): one operation sequence serves every
+                // warm tier, serial and parallel alike
+                let levels = LevelSets::analyze(m, opts.triangle);
+                let sharded = ShardedReplay::build(&analysis, &levels, Some(&plan.owner));
+                let order = sharded.order_shared();
+                let auto_workers = auto_shard_workers(&levels);
                 Variant::Simulated(Box::new(Prepared {
                     analysis,
-                    order: out.solve_order.into(),
+                    order,
+                    sharded,
+                    auto_workers,
                     template: Arc::new(template),
                 }))
             }
@@ -340,7 +383,22 @@ impl<'m> SolverEngine<'m> {
             }
             Variant::Simulated(p) => {
                 let mut report = (*p.template).clone();
-                report.x = p.analysis.replay(&p.order, b);
+                let workers = self.effective_shard_workers(p.auto_workers);
+                if workers > 1 {
+                    let mut x = vec![0.0f64; self.m.n()];
+                    let mut left_sum = vec![0.0f64; self.m.n()];
+                    p.sharded.replay_into(
+                        &p.analysis,
+                        b,
+                        &mut left_sum,
+                        &mut x,
+                        self.pool(),
+                        workers,
+                    );
+                    report.x = x;
+                } else {
+                    report.x = p.analysis.replay(&p.order, b);
+                }
                 report
             }
         };
@@ -380,7 +438,73 @@ impl<'m> SolverEngine<'m> {
                 &mut ws.scratch,
                 out,
             ),
-            Variant::Simulated(p) => p.analysis.replay_into(&p.order, b, &mut ws.scratch, out),
+            Variant::Simulated(p) => {
+                let workers = self.effective_shard_workers(p.auto_workers);
+                if workers > 1 {
+                    p.sharded.replay_into(
+                        &p.analysis,
+                        b,
+                        &mut ws.scratch,
+                        out,
+                        self.pool(),
+                        workers,
+                    );
+                } else {
+                    p.analysis.replay_into(&p.order, b, &mut ws.scratch, out);
+                }
+            }
+        }
+        self.verify_into(b, out, ws)
+    }
+
+    /// Level-parallel warm solve (tier 2): one right-hand side executed
+    /// across `workers` threads of the persistent pool by
+    /// [`crate::exec::ShardedReplay`] — each level a two-phase parallel
+    /// region (solve owned components, barrier, apply owner-local
+    /// updates) under the owner-computes discipline.
+    ///
+    /// Results are **bit-identical** to [`SolverEngine::solve_into`]
+    /// for every worker count: each row's solve and its partial-sum
+    /// accumulation (in canonical source order) belong to exactly one
+    /// worker. Steady state this allocates nothing — the level barrier
+    /// is stack-allocated and the region descriptor lives in the pool.
+    ///
+    /// `workers` is clamped to `[1, crate::exec::SHARD_COUNT]`; one
+    /// worker, a call from inside a pool task (where a nested parallel
+    /// region cannot be mounted), or a pool whose region slot is held
+    /// by a concurrent sharded solve all degrade to the serial replay
+    /// — never a block, never different bits. The serial engine
+    /// variant ignores `workers`. Prefer
+    /// [`SolverEngine::solve_into`] unless you want to pin the width:
+    /// its heuristic already picks this tier when the factor is wide
+    /// enough to pay for the per-level barriers.
+    pub fn solve_sharded_into(
+        &self,
+        b: &[f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+        workers: usize,
+    ) -> Result<(), SolveError> {
+        let n = self.m.n();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch { n, rhs: b.len() });
+        }
+        if out.len() != n {
+            return Err(SolveError::OutputLength { n, out: out.len() });
+        }
+        ws.scratch.resize(n, 0.0);
+        match &self.variant {
+            Variant::Serial => reference::serial_into_prevalidated(
+                self.m,
+                b,
+                self.opts.triangle,
+                &mut ws.scratch,
+                out,
+            ),
+            Variant::Simulated(p) => {
+                let workers = self.effective_shard_workers(workers);
+                p.sharded.replay_into(&p.analysis, b, &mut ws.scratch, out, self.pool(), workers);
+            }
         }
         self.verify_into(b, out, ws)
     }
@@ -394,6 +518,11 @@ impl<'m> SolverEngine<'m> {
     ///
     /// Every solution is bit-identical to [`SolverEngine::solve`] on
     /// the same right-hand side.
+    ///
+    /// # Errors
+    /// A wrong-length right-hand side, or an `outs` that does not hold
+    /// exactly one vector per right-hand side, is a typed error — not
+    /// a panic.
     pub fn solve_panel_into(
         &self,
         bs: &[Vec<f64>],
@@ -401,7 +530,9 @@ impl<'m> SolverEngine<'m> {
         ws: &mut SolveWorkspace,
     ) -> Result<(), SolveError> {
         self.validate_batch_dims(bs)?;
-        assert_eq!(bs.len(), outs.len(), "one output vector per right-hand side");
+        if outs.len() != bs.len() {
+            return Err(SolveError::OutputLength { n: bs.len(), out: outs.len() });
+        }
         let n = self.m.n();
         for out in outs.iter_mut() {
             out.resize(n, 0.0);
@@ -506,9 +637,10 @@ impl<'m> SolverEngine<'m> {
     /// vectors. Workspaces are recycled from an engine-internal pool,
     /// so steady-state calls allocate nothing.
     ///
-    /// `outs` must hold exactly one vector per right-hand side; each is
-    /// resized to `n` on first use (the only allocation, once). Results
-    /// are bit-identical to [`SolverEngine::solve`] per RHS and
+    /// `outs` must hold exactly one vector per right-hand side
+    /// (anything else is a typed error, not a panic); each is resized
+    /// to `n` on first use (the only allocation, once). Results are
+    /// bit-identical to [`SolverEngine::solve`] per RHS and
     /// deterministic across worker counts.
     pub fn solve_batch_into(
         &self,
@@ -516,7 +648,9 @@ impl<'m> SolverEngine<'m> {
         outs: &mut [Vec<f64>],
     ) -> Result<(), SolveError> {
         self.validate_batch_dims(bs)?;
-        assert_eq!(bs.len(), outs.len(), "one output vector per right-hand side");
+        if outs.len() != bs.len() {
+            return Err(SolveError::OutputLength { n: bs.len(), out: outs.len() });
+        }
         let threads = hardware_threads().clamp(1, bs.len().max(1));
         // a panel only pays off with ≥ 2 lanes per worker; below that,
         // solve on the caller's thread without touching the pool
@@ -565,6 +699,18 @@ impl<'m> SolverEngine<'m> {
 
     fn pool(&self) -> &WorkerPool {
         self.pool.get_or_init(WorkerPool::new)
+    }
+
+    /// The worker count a sharded solve may actually mount right now:
+    /// the requested width, except from inside a pool task (a nested
+    /// parallel region cannot guarantee each index its own thread), or
+    /// for a non-positive request — both degrade to the serial replay.
+    fn effective_shard_workers(&self, requested: usize) -> usize {
+        if pool::on_worker_thread() {
+            1
+        } else {
+            requested.max(1)
+        }
     }
 
     fn take_workspace(&self) -> SolveWorkspace {
@@ -623,6 +769,41 @@ impl<'m> SolverEngine<'m> {
 
 fn hardware_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Floor on `max_level_width / workers` for the auto-sharding
+/// heuristic: every region worker must amortize two level barriers
+/// (~1–2 µs each) with at least this many owned rows in the widest
+/// level, or the barriers eat the parallel win. Calibrated on the
+/// engine bench's wide synthetic factor (`BENCH_engine.json`,
+/// `sharded_replay` section).
+pub const SHARD_MIN_ROWS_PER_WORKER: usize = 512;
+
+/// Floor on the factor's average level width (`n / n_levels`) for the
+/// auto-sharding heuristic: a deep, narrow factor pays `2 × levels`
+/// barriers regardless of how wide its widest level is, so end-to-end
+/// it must average enough per-level work to cover them.
+pub const SHARD_MIN_AVG_LEVEL_WIDTH: usize = 256;
+
+/// The worker count `solve`/`solve_into` auto-select for the sharded
+/// tier — `1` (stay serial) unless the factor's level structure clears
+/// both calibrated thresholds on this machine.
+fn auto_shard_workers(levels: &LevelSets) -> usize {
+    let hw = hardware_threads().min(exec::SHARD_COUNT);
+    let n_levels = levels.n_levels();
+    if hw < 2 || n_levels == 0 {
+        return 1;
+    }
+    let n = levels.level_of.len();
+    if n / n_levels < SHARD_MIN_AVG_LEVEL_WIDTH {
+        return 1;
+    }
+    let workers = (levels.max_level_width() / SHARD_MIN_ROWS_PER_WORKER).min(hw);
+    if workers < 2 {
+        1
+    } else {
+        workers
+    }
 }
 
 /// Assemble the amortized multi-RHS accounting: the analysis phase is

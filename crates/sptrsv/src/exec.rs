@@ -40,11 +40,13 @@
 //! the serial reference by the caller.
 
 use crate::plan::ExecutionPlan;
+use crate::pool::{DisjointSlice, RegionBarrier, WorkerPool};
 use crate::Backend;
 use desim::{EventQueue, SimTime};
 use mgpu_sim::{um::UmRange, GpuId, Machine};
-use sparsemat::{CscMatrix, Triangle};
+use sparsemat::{CscMatrix, LevelSets, Triangle};
 use std::cell::Cell;
+use std::sync::Arc;
 
 thread_local! {
     /// Per-thread count of [`ExecAnalysis::build`] invocations. The
@@ -427,6 +429,221 @@ impl ReplayWorkspace {
             self.panel_b.resize(len, 0.0);
             self.panel_x.resize(len, 0.0);
             self.panel_ls.resize(len, 0.0);
+        }
+    }
+}
+
+/// The level-parallel, owner-segmented replay schedule — the paper's
+/// parallel execution model (independent components solved
+/// concurrently, updates applied owner-locally) materialized for the
+/// host warm path.
+///
+/// Built once at engine-build time from the [`LevelSets`] and the
+/// [`ExecutionPlan`]'s ownership map:
+///
+/// * the **canonical order** is level-major (components grouped by
+///   level, owner-grouped within each level — see
+///   [`LevelSets::owner_segments`]); it doubles as the engine's serial
+///   replay schedule, so every warm tier walks the same
+///   floating-point operation sequence;
+/// * every level is cut into [`SHARD_COUNT`] near-equal **shards**;
+///   shard `s` of a level is solved by worker `s % workers`, and —
+///   owner-computes — all updates *targeting* a shard's rows are
+///   applied by that same worker, in canonical source order. Each
+///   row's partial sum therefore accumulates in exactly the order the
+///   serial [`ExecAnalysis::replay_into`] uses, making the sharded
+///   result **bit-identical** to the serial replay for every worker
+///   count.
+///
+/// At solve time each level runs as two phases on a
+/// [`WorkerPool::run_region`] parallel region — solve owned
+/// components, barrier, apply updates into owned rows, barrier — with
+/// one reusable stack-allocated [`RegionBarrier`], so steady-state
+/// sharded solves allocate nothing.
+#[derive(Debug, Clone)]
+pub struct ShardedReplay {
+    shards: usize,
+    n_levels: usize,
+    /// The canonical level-major component order (concatenation of all
+    /// solve segments).
+    order: Arc<[u32]>,
+    /// Solve-segment offsets into [`Self::order`]
+    /// (`n_levels * shards + 1` entries, CSR-style).
+    seg_ptr: Vec<u32>,
+    /// Update-list offsets per `(level, shard)` bucket
+    /// (`n_levels * shards + 1` entries, CSR-style).
+    upd_ptr: Vec<u32>,
+    /// Source component per update entry (its `x` feeds the update).
+    upd_src: Vec<u32>,
+    /// Target row per update entry (owned by the bucket's shard).
+    upd_row: Vec<u32>,
+    /// Matrix value per update entry.
+    upd_val: Vec<f64>,
+}
+
+/// How many owner shards each level is cut into. Worker counts above
+/// this are clamped; counts below it stripe shards round-robin
+/// (`shard % workers`), which keeps results bit-identical across
+/// worker counts — a row's updates always live in exactly one shard's
+/// bucket, in canonical order, applied by exactly one worker.
+pub const SHARD_COUNT: usize = 16;
+
+impl ShardedReplay {
+    /// Derive the level-parallel schedule for a prebuilt analysis.
+    ///
+    /// `owner` is the execution plan's component→GPU map (grouping
+    /// each level's components owner-locally before sharding), or
+    /// `None` for plan-less variants (the canonical order is then the
+    /// level sets' own flat array, shared not copied). Cost:
+    /// O(n log n + nnz); runs once per engine build.
+    pub fn build(a: &ExecAnalysis, levels: &LevelSets, owner: Option<&[usize]>) -> ShardedReplay {
+        let segs = levels.owner_segments(owner, SHARD_COUNT);
+        let shards = segs.shards;
+        let n_levels = levels.n_levels();
+        let n_upd = a.dep_rows.len();
+
+        // counting pass: one bucket per (source level, target shard)
+        let mut upd_ptr = vec![0u32; n_levels * shards + 1];
+        for c in 0..a.n {
+            let l = levels.level_of[c] as usize;
+            let (rows, _) = a.updates_of(c as u32);
+            for &r in rows {
+                upd_ptr[l * shards + segs.shard_of[r as usize] as usize + 1] += 1;
+            }
+        }
+        for k in 0..n_levels * shards {
+            upd_ptr[k + 1] += upd_ptr[k];
+        }
+
+        // fill pass in canonical order, so every bucket — and therefore
+        // every target row — accumulates its updates in exactly the
+        // source order of the serial replay
+        let mut cursor: Vec<u32> = upd_ptr.clone();
+        let mut upd_src = vec![0u32; n_upd];
+        let mut upd_row = vec![0u32; n_upd];
+        let mut upd_val = vec![0.0f64; n_upd];
+        for &c in segs.order.iter() {
+            let l = levels.level_of[c as usize] as usize;
+            let (rows, vals) = a.updates_of(c);
+            for (r, v) in rows.iter().zip(vals) {
+                let bucket = l * shards + segs.shard_of[*r as usize] as usize;
+                let at = cursor[bucket] as usize;
+                upd_src[at] = c;
+                upd_row[at] = *r;
+                upd_val[at] = *v;
+                cursor[bucket] += 1;
+            }
+        }
+
+        ShardedReplay {
+            shards,
+            n_levels,
+            order: segs.order,
+            seg_ptr: segs.seg_ptr,
+            upd_ptr,
+            upd_src,
+            upd_row,
+            upd_val,
+        }
+    }
+
+    /// The canonical serial order of this schedule, behind a shared
+    /// handle. The engine stores this as its warm replay order, which
+    /// is what makes the sharded tier bit-identical to every serial
+    /// tier.
+    #[inline]
+    pub fn order_shared(&self) -> Arc<[u32]> {
+        Arc::clone(&self.order)
+    }
+
+    /// Execute one warm solve level-parallel across `workers` region
+    /// workers, writing the solution into `x` with `left_sum` as the
+    /// partial-sum scratch (both length `n`).
+    ///
+    /// Bit-identical to `a.replay_into(&self.order_shared(), b, ...)`
+    /// for **every** worker count: ownership fixes each row's solve
+    /// and accumulation onto one worker, and the bucket layout fixes
+    /// the accumulation order to the canonical source order. Steady
+    /// state this allocates nothing (the barrier lives on the stack,
+    /// the region descriptor in the pool).
+    ///
+    /// `workers` is clamped to `[1, SHARD_COUNT]`; with one worker (or
+    /// an empty system) the serial replay runs directly. If the pool's
+    /// region slot is already taken — a concurrent sharded solve — the
+    /// call degrades to the serial replay on the calling thread rather
+    /// than blocking, so concurrent solves on one engine never
+    /// serialize behind each other.
+    pub fn replay_into(
+        &self,
+        a: &ExecAnalysis,
+        b: &[f64],
+        left_sum: &mut [f64],
+        x: &mut [f64],
+        pool: &WorkerPool,
+        workers: usize,
+    ) {
+        let workers = workers.clamp(1, self.shards);
+        if workers == 1 || self.n_levels <= 1 || a.n == 0 {
+            a.replay_into(&self.order, b, left_sum, x);
+            return;
+        }
+        assert_eq!(b.len(), a.n, "rhs length mismatch");
+        assert_eq!(left_sum.len(), a.n, "left_sum scratch length mismatch");
+        assert_eq!(x.len(), a.n, "output length mismatch");
+        left_sum.fill(0.0);
+        let xs = DisjointSlice::new(x);
+        let ls = DisjointSlice::new(left_sum);
+        let barrier = RegionBarrier::new(workers);
+        let shards = self.shards;
+        let n_levels = self.n_levels;
+        let diag = &a.diag[..];
+        // Two phases per level, barrier-separated:
+        //   A: solve the components of this level's owned shards
+        //      (reads b/diag and owned left_sum entries — all updates
+        //      into them landed in earlier levels' phase B);
+        //   B: apply this level's updates into owned deeper rows
+        //      (reads x solved in phase A, possibly by peers — hence
+        //      the barrier — and writes only shard-owned left_sum).
+        // The trailing barrier orders phase B before the next level's
+        // phase A; the last level needs none (region completion
+        // synchronizes).
+        //
+        // try_run_region: if another region already occupies the pool
+        // (a concurrent sharded solve on the same engine), run the
+        // serial replay instead of queueing — the results are
+        // bit-identical either way, and solving now on this thread
+        // beats waiting for threads another solve is using.
+        let ran_parallel = pool.try_run_region(workers, &|w| {
+            for l in 0..n_levels {
+                let base = l * shards;
+                let mut s = w;
+                while s < shards {
+                    let (lo, hi) =
+                        (self.seg_ptr[base + s] as usize, self.seg_ptr[base + s + 1] as usize);
+                    for &c in &self.order[lo..hi] {
+                        let i = c as usize;
+                        xs.set(i, (b[i] - ls.get(i)) / diag[i]);
+                    }
+                    s += workers;
+                }
+                barrier.wait();
+                let mut s = w;
+                while s < shards {
+                    let (lo, hi) =
+                        (self.upd_ptr[base + s] as usize, self.upd_ptr[base + s + 1] as usize);
+                    for k in lo..hi {
+                        let r = self.upd_row[k] as usize;
+                        ls.set(r, ls.get(r) + self.upd_val[k] * xs.get(self.upd_src[k] as usize));
+                    }
+                    s += workers;
+                }
+                if l + 1 < n_levels {
+                    barrier.wait();
+                }
+            }
+        });
+        if !ran_parallel {
+            a.replay_into(&self.order, b, left_sum, x);
         }
     }
 }
@@ -1244,6 +1461,81 @@ mod tests {
         let mut x = vec![2.0; m.n()];
         analysis.replay_into(&order, &b, &mut ls, &mut x);
         assert_eq!(heap, x);
+    }
+
+    #[test]
+    fn sharded_replay_bit_identical_to_serial_replay() {
+        let m = gen::level_structured(&gen::LevelSpec::new(1500, 25, 6000, 41));
+        let plan = ExecutionPlan::build(m.n(), 4, Partition::Tasks { per_gpu: 8 }, Triangle::Lower);
+        let cfg =
+            ExecConfig { backend: Backend::Shmem { poll_caching: true }, ..ExecConfig::default() };
+        let analysis = ExecAnalysis::build(&m, &plan, &cfg);
+        let levels = LevelSets::analyze(&m, Triangle::Lower);
+        let pool = WorkerPool::new();
+        for owner in [None, Some(&plan.owner[..])] {
+            let sharded = ShardedReplay::build(&analysis, &levels, owner);
+            let order = sharded.order_shared();
+            let (_, b) = verify::rhs_for(&m, 99);
+            let serial = analysis.replay(&order, &b);
+            for workers in [1usize, 2, 3, 5, SHARD_COUNT, SHARD_COUNT + 7] {
+                let mut ls = vec![1.0; m.n()]; // dirty scratch must not leak in
+                let mut x = vec![2.0; m.n()];
+                sharded.replay_into(&analysis, &b, &mut ls, &mut x, &pool, workers);
+                assert_eq!(x, serial, "workers={workers} owner={}", owner.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_order_is_level_major_and_owner_grouped() {
+        let m = gen::level_structured(&gen::LevelSpec::new(600, 12, 2400, 7));
+        let plan = ExecutionPlan::build(m.n(), 4, Partition::Blocked, Triangle::Lower);
+        let analysis = ExecAnalysis::columns_only(&m, Triangle::Lower);
+        let levels = LevelSets::analyze(&m, Triangle::Lower);
+        let sharded = ShardedReplay::build(&analysis, &levels, Some(&plan.owner));
+        let order = sharded.order_shared();
+        assert_eq!(order.len(), m.n());
+        // level-major: levels never decrease along the order
+        let mut last = 0u32;
+        for &c in order.iter() {
+            let l = levels.level_of[c as usize];
+            assert!(l >= last, "order must be level-major");
+            last = l;
+        }
+        // owner-grouped within a level: owners never decrease inside one level
+        for l in 0..levels.n_levels() {
+            let lp = levels.level_ptr();
+            let slice = &order[lp[l] as usize..lp[l + 1] as usize];
+            for pair in slice.windows(2) {
+                assert!(
+                    plan.owner[pair[0] as usize] <= plan.owner[pair[1] as usize],
+                    "level {l} must group by owner"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_replay_handles_degenerate_shapes() {
+        let pool = WorkerPool::new();
+        // empty system
+        let empty = sparsemat::TripletBuilder::new(0).build().unwrap();
+        let a = ExecAnalysis::columns_only(&empty, Triangle::Lower);
+        let levels = LevelSets::analyze(&empty, Triangle::Lower);
+        let sharded = ShardedReplay::build(&a, &levels, None);
+        let (mut ls, mut x) = (Vec::new(), Vec::new());
+        sharded.replay_into(&a, &[], &mut ls, &mut x, &pool, 4);
+        // fully sequential chain: every level has width 1
+        let chain = gen::chain(50);
+        let a = ExecAnalysis::columns_only(&chain, Triangle::Lower);
+        let levels = LevelSets::analyze(&chain, Triangle::Lower);
+        let sharded = ShardedReplay::build(&a, &levels, None);
+        let (_, b) = verify::rhs_for(&chain, 5);
+        let serial = a.replay(&sharded.order_shared(), &b);
+        let mut ls = vec![0.0; 50];
+        let mut x = vec![0.0; 50];
+        sharded.replay_into(&a, &b, &mut ls, &mut x, &pool, 4);
+        assert_eq!(x, serial);
     }
 
     #[test]

@@ -32,15 +32,23 @@
 //!   §II-B amortization argument surfaced as API, and the shape the
 //!   paper's preconditioned-iterative-solver workload needs.
 //!
-//!   Warm solves come in **three tiers** (see the [`engine`] docs):
+//!   Warm solves come in **four tiers** (see the [`engine`] docs):
 //!   single solves ([`SolverEngine::solve`], or the zero-allocation
 //!   [`SolverEngine::solve_into`] with a reusable [`SolveWorkspace`]),
-//!   the **fused multi-RHS panel** ([`SolverEngine::solve_panel_into`],
-//!   which streams the factor once per [`exec::PANEL_K`]-wide block of
-//!   right-hand sides instead of once per RHS — the big win on this
-//!   memory-bandwidth-bound kernel), and the **pooled batch**
+//!   the **sharded level-parallel solve**
+//!   ([`SolverEngine::solve_sharded_into`], which executes one
+//!   right-hand side across the persistent worker pool level by level
+//!   under an owner-computes discipline — the paper's parallel
+//!   execution model running real numerics; `solve`/`solve_into`
+//!   auto-select it on wide factors), the **fused multi-RHS panel**
+//!   ([`SolverEngine::solve_panel_into`], which streams the factor
+//!   once per [`exec::PANEL_K`]-wide block of right-hand sides instead
+//!   of once per RHS — the big win on this memory-bandwidth-bound
+//!   kernel), and the **pooled batch**
 //!   ([`SolverEngine::solve_batch_into`]) that runs fused panels on a
-//!   persistent worker pool. All tiers are bit-identical per RHS.
+//!   persistent worker pool. All tiers replay one canonical
+//!   level-major operation sequence ([`exec::ShardedReplay`]), so
+//!   every tier is bit-identical per RHS — whatever the worker count.
 //!
 //! Every solve computes real `f64` numerics while the discrete-event
 //! machine model advances virtual time, so results are simultaneously

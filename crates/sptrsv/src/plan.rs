@@ -63,6 +63,12 @@ pub struct KernelDesc {
 }
 
 /// A complete component→GPU/kernel mapping.
+///
+/// Besides driving the simulated executor, the ownership map seeds the
+/// host-side warm path: [`crate::exec::ShardedReplay`] groups each
+/// level's components by their owning GPU before cutting it into
+/// worker shards, so the level-parallel replay's owner-computes layout
+/// mirrors the data distribution the plan gives the machine.
 #[derive(Debug, Clone)]
 pub struct ExecutionPlan {
     /// Owning GPU per component.
@@ -86,16 +92,15 @@ impl ExecutionPlan {
     pub fn build(n: usize, gpus: usize, partition: Partition, tri: Triangle) -> ExecutionPlan {
         BUILD_INVOCATIONS.with(|c| c.set(c.get() + 1));
         assert!(gpus >= 1, "need at least one GPU");
+        // task counts are user-visible knobs (`SolverKind::ZeroCopy`
+        // et al. flow straight into here), so degenerate zeros clamp
+        // to the minimum viable layout instead of panicking; `gpus`
+        // by contrast comes from the validated machine, an internal
+        // invariant
         let total_tasks = match partition {
             Partition::Blocked => gpus as u32,
-            Partition::Tasks { per_gpu } => {
-                assert!(per_gpu >= 1, "tasks per GPU must be positive");
-                per_gpu * gpus as u32
-            }
-            Partition::TotalTasks { total } => {
-                assert!(total >= 1, "total tasks must be positive");
-                total.max(gpus as u32)
-            }
+            Partition::Tasks { per_gpu } => per_gpu.max(1) * gpus as u32,
+            Partition::TotalTasks { total } => total.max(gpus as u32).max(1),
         };
         let total_tasks = (total_tasks as usize).min(n.max(1));
         let task_size = n.div_ceil(total_tasks);
@@ -246,6 +251,19 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zero_task_counts_clamp_instead_of_panicking() {
+        // `per_gpu` / `total` arrive from public SolveOptions — a
+        // degenerate zero must degrade, not panic
+        let p = ExecutionPlan::build(40, 4, Partition::Tasks { per_gpu: 0 }, Triangle::Lower);
+        assert_eq!(p.kernels.len(), 4);
+        let total: usize = p.kernels.iter().map(|k| k.comps.len()).sum();
+        assert_eq!(total, 40);
+        let p = ExecutionPlan::build(40, 4, Partition::TotalTasks { total: 0 }, Triangle::Lower);
+        let total: usize = p.kernels.iter().map(|k| k.comps.len()).sum();
+        assert_eq!(total, 40);
     }
 
     #[test]

@@ -124,12 +124,14 @@ pub enum SolveError {
         /// RHS length.
         rhs: usize,
     },
-    /// Caller-provided output buffer length does not match the matrix
-    /// (the `*_into` warm-solve APIs).
+    /// Caller-provided output storage does not match what the solve
+    /// needs (the `*_into` warm-solve APIs): a single-solve output
+    /// buffer whose length is not the matrix dimension, or a batch
+    /// `outs` that does not hold one vector per right-hand side.
     OutputLength {
-        /// Matrix dimension.
+        /// Entries (single solve) or output vectors (batch) needed.
         n: usize,
-        /// Output buffer length.
+        /// Entries / vectors the caller provided.
         out: usize,
     },
 }
@@ -150,7 +152,7 @@ impl std::fmt::Display for SolveError {
                 write!(f, "matrix is {n}x{n} but rhs has {rhs} entries")
             }
             SolveError::OutputLength { n, out } => {
-                write!(f, "matrix is {n}x{n} but the output buffer has {out} entries")
+                write!(f, "the solve needs {n} output entries (or vectors) but the caller provided {out}")
             }
         }
     }

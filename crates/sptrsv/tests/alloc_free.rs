@@ -1,11 +1,16 @@
-//! Proof that warm `solve_into` / `solve_panel_into` allocate nothing.
+//! Proof that warm `solve_into` / `solve_panel_into` /
+//! `solve_sharded_into` allocate nothing.
 //!
 //! A counting global allocator wraps [`std::alloc::System`]; after a
-//! warm-up call has grown the workspace and output buffers, further
-//! warm solves must report **zero** allocator hits — the property the
-//! zero-allocation tier of the engine advertises. This lives in its
-//! own integration-test binary so the global allocator swap cannot
-//! perturb (or be perturbed by) other tests.
+//! warm-up call has grown the workspace and output buffers (and, for
+//! the sharded tier, spawned the pool workers and sized the region
+//! queue), further warm solves must report **zero** allocator hits —
+//! the property the zero-allocation tiers of the engine advertise.
+//! The counter is process-global, so the sharded window also proves
+//! the *worker threads* stay heap-silent: any allocation they made
+//! while the measured solve runs would land in the same counter. This
+//! lives in its own integration-test binary so the global allocator
+//! swap cannot perturb (or be perturbed by) other tests.
 
 use mgpu_sim::MachineConfig;
 use sparsemat::gen::{self, LevelSpec};
@@ -102,6 +107,22 @@ fn warm_solve_into_and_panel_allocate_nothing() {
         assert_eq!(
             panel, 0,
             "{kind:?} verify={verify_opt}: warm solve_panel_into must not allocate"
+        );
+
+        // sharded level-parallel tier: the warm-up solve spawns the
+        // pool workers and sizes the region state; steady-state
+        // sharded solves must then be heap-silent end to end —
+        // region dispatch, level barriers and the two-phase kernel
+        // included
+        engine.solve_sharded_into(&bs[0], &mut out, &mut ws, 2).unwrap();
+        let sharded = allocations_during(|| {
+            for b in &bs {
+                engine.solve_sharded_into(b, &mut out, &mut ws, 2).unwrap();
+            }
+        });
+        assert_eq!(
+            sharded, 0,
+            "{kind:?} verify={verify_opt}: warm solve_sharded_into must not allocate"
         );
     }
 }

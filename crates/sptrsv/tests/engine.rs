@@ -181,6 +181,39 @@ fn batch_rejects_bad_dimensions_up_front() {
     assert!(matches!(err, sptrsv::SolveError::DimensionMismatch { n: 600, rhs: 3 }));
 }
 
+/// Regression: a batch whose `outs` does not hold one vector per
+/// right-hand side used to `assert_eq!`-panic across the public API;
+/// it must be a typed error on every batch entry point.
+#[test]
+fn mismatched_output_count_is_an_error_not_a_panic() {
+    let m = gen::level_structured(&LevelSpec::new(500, 10, 2000, 13));
+    let bs: Vec<Vec<f64>> = (0..6).map(|k| verify::rhs_for(&m, k).1).collect();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
+    let mut ws = SolveWorkspace::new();
+
+    let mut too_few: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let err = engine.solve_batch_into(&bs, &mut too_few).unwrap_err();
+    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 4 }), "{err:?}");
+    let err = engine.solve_panel_into(&bs, &mut too_few, &mut ws).unwrap_err();
+    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 4 }), "{err:?}");
+
+    let mut too_many: Vec<Vec<f64>> = vec![Vec::new(); 9];
+    let err = engine.solve_batch_into(&bs, &mut too_many).unwrap_err();
+    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 9 }), "{err:?}");
+
+    // the error message names both counts so the caller knows which
+    // argument to fix
+    let msg = err.to_string();
+    assert!(msg.contains('6') && msg.contains('9'), "{msg}");
+
+    // and the engine still works afterwards
+    let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+    engine.solve_batch_into(&bs, &mut outs).unwrap();
+    for (o, b) in outs.iter().zip(&bs) {
+        assert_eq!(o, &engine.solve(b).unwrap().x);
+    }
+}
+
 /// Batched solves reuse one persistent pool: repeated calls leave the
 /// worker count unchanged, and results stay deterministic.
 #[test]
