@@ -152,6 +152,51 @@ pub fn by_name_scaled(name: &str, row_cap: usize, nnz_cap: usize) -> Option<Name
     TABLE1.iter().position(|row| row.0 == name).map(|k| generate(k, row_cap, nnz_cap))
 }
 
+/// One SPD corpus entry for the preconditioned-Krylov experiments.
+#[derive(Debug, Clone)]
+pub struct SpdMatrix {
+    /// Short descriptive name.
+    pub name: &'static str,
+    /// Structural class (mirrors the Table-I classes).
+    pub class: &'static str,
+    /// The generated symmetric positive-definite system.
+    pub matrix: CscMatrix,
+}
+
+/// The SPD corpus: symmetric positive-definite systems spanning the
+/// structural classes of Table I, sized for the preconditioned-Krylov
+/// experiments (PCG/BiCGSTAB with an ILU(0)
+/// `PreconditionerEngine` — the paper's §I workload, where SpTRSV is
+/// applied inside every iteration).
+///
+/// Every matrix is strictly diagonally dominant and symmetric (SPD by
+/// Gershgorin), deterministic for a fixed build, and its lower
+/// triangle inherits the level structure of the triangular generator
+/// it was symmetrized from — so the preconditioner solves exercise the
+/// same dependency shapes as the SpTRSV experiments.
+pub fn spd_corpus() -> Vec<SpdMatrix> {
+    use crate::gen;
+    vec![
+        SpdMatrix { name: "grid2d-48", class: "mesh", matrix: gen::grid_laplacian(48, 48) },
+        SpdMatrix { name: "grid2d-wide", class: "mesh", matrix: gen::grid_laplacian(96, 24) },
+        SpdMatrix {
+            name: "band-spd",
+            class: "power-grid",
+            matrix: gen::spd_banded(2_000, 16, 5.0, 21),
+        },
+        SpdMatrix {
+            name: "levels-spd",
+            class: "factor-like",
+            matrix: gen::spd_structured(&gen::LevelSpec::new(1_800, 30, 7_200, 33)),
+        },
+        SpdMatrix {
+            name: "scalefree-spd",
+            class: "social",
+            matrix: gen::spd_from_lower(&gen::rmat_lower(1 << 11, 10_000, 5), 13),
+        },
+    ]
+}
+
 /// The four representative matrices of the Fig. 3 UM-thrashing study.
 pub fn fig3_names() -> &'static [&'static str] {
     &["belgium_osm", "chipcool0", "nlpkkt160", "pkustk14"]
@@ -226,6 +271,18 @@ mod tests {
         let hi = find("nlpkkt160").achieved.parallelism;
         let lo = find("chipcool0").achieved.parallelism;
         assert!(hi > 15.0 * lo, "parallelism ordering lost: {hi} vs {lo}");
+    }
+
+    #[test]
+    fn spd_corpus_entries_are_spd_shaped() {
+        let c = spd_corpus();
+        assert!(c.len() >= 5);
+        for e in &c {
+            assert_eq!(e.matrix, e.matrix.transpose(), "{} not symmetric", e.name);
+            for i in 0..e.matrix.n() {
+                assert!(e.matrix.get(i, i).unwrap() > 0.0, "{} diag {i}", e.name);
+            }
+        }
     }
 
     #[test]

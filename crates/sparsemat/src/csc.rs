@@ -227,8 +227,18 @@ impl CscMatrix {
 
     /// `y = A x` (dense vector in/out).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free `y = A x`: scatter each column's entries into the
+    /// caller's output buffer. This is the SpMV kernel the Krylov
+    /// recurrences call every iteration, so it must not touch the heap.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert_eq!(y.len(), self.n, "output length mismatch");
+        y.fill(0.0);
         for j in 0..self.n {
             let xj = x[j];
             if xj == 0.0 {
@@ -239,7 +249,6 @@ impl CscMatrix {
                 y[self.row_idx[k] as usize] += self.values[k] * xj;
             }
         }
-        y
     }
 
     /// Transpose (also CSC↔CSR conversion workhorse). O(n + nnz).

@@ -117,8 +117,17 @@ impl CsrMatrix {
 
     /// `y = A x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free `y = A x`: each row is a gather-dot over its
+    /// stored entries. Row-major SpMV writes `y` sequentially, which is
+    /// the cache-friendly orientation for the Krylov recurrences.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert_eq!(y.len(), self.n, "output length mismatch");
         for i in 0..self.n {
             let mut acc = 0.0;
             for (c, v) in self.row(i) {
@@ -126,7 +135,6 @@ impl CsrMatrix {
             }
             y[i] = acc;
         }
-        y
     }
 }
 

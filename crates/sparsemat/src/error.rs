@@ -36,6 +36,14 @@ pub enum MatrixError {
         /// Column of the violating entry.
         col: usize,
     },
+    /// A caller-supplied scalar argument (e.g. the ILU(0) pivot fill)
+    /// is outside its valid domain.
+    InvalidArgument {
+        /// Which argument was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// Matrix Market parsing failure.
     Parse(String),
     /// Underlying I/O failure (message only, to keep the error `Clone`).
@@ -56,6 +64,9 @@ impl fmt::Display for MatrixError {
             MatrixError::ZeroDiagonal(i) => write!(f, "zero diagonal entry at {i} (singular)"),
             MatrixError::NotTriangular { expected, row, col } => {
                 write!(f, "entry ({row}, {col}) violates {expected} triangular structure")
+            }
+            MatrixError::InvalidArgument { what, value } => {
+                write!(f, "invalid {what}: {value} (must be finite and nonzero)")
             }
             MatrixError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
             MatrixError::Io(msg) => write!(f, "i/o error: {msg}"),

@@ -35,8 +35,18 @@ pub struct LuFactors {
 /// Standard IKJ formulation on CSR. Zero or absent diagonal pivots are
 /// replaced by `pivot_fill` (a small diagonal shift keeps the factor
 /// solvable; the paper's experiments only need structural fidelity).
+///
+/// # Errors
+/// A zero or non-finite `pivot_fill` is rejected as
+/// [`MatrixError::InvalidArgument`] — zero would reintroduce the
+/// singular pivots the fill exists to repair, and a NaN/∞ fill would
+/// poison every downstream elimination; both are caller mistakes, not
+/// internal invariants, so they surface as typed errors rather than
+/// panics.
 pub fn ilu0(a: &CscMatrix, pivot_fill: f64) -> Result<LuFactors, MatrixError> {
-    assert!(pivot_fill != 0.0, "pivot_fill must be nonzero");
+    if pivot_fill == 0.0 || !pivot_fill.is_finite() {
+        return Err(MatrixError::InvalidArgument { what: "pivot_fill", value: pivot_fill });
+    }
     let n = a.n();
     // Ensure a full diagonal so pivots exist in the pattern.
     let csr = CsrMatrix::from_csc(&with_full_diagonal(a, pivot_fill));
@@ -260,6 +270,20 @@ mod tests {
                 assert!((lu - av).abs() < 1e-10, "LU({i},{j})={lu} vs A={av}");
             }
         }
+    }
+
+    #[test]
+    fn ilu0_rejects_bad_pivot_fill() {
+        let a = gen::grid_laplacian(4, 4);
+        for bad in [0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ilu0(&a, bad).unwrap_err();
+            assert!(
+                matches!(err, MatrixError::InvalidArgument { what: "pivot_fill", .. }),
+                "pivot_fill={bad}: {err:?}"
+            );
+        }
+        // valid fills (including negative) still factor
+        ilu0(&a, -1e-8).unwrap();
     }
 
     #[test]

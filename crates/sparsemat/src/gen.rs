@@ -275,6 +275,54 @@ pub fn rmat_lower(n: usize, edge_target: usize, seed: u64) -> CscMatrix {
     b.build().expect("rmat generator is valid")
 }
 
+/// Symmetrize the strictly-lower pattern of `l` into a symmetric
+/// positive-definite matrix.
+///
+/// Every strictly-lower entry `l_ij` is mirrored to `(j, i)` and the
+/// diagonal is set to the row's absolute off-diagonal sum plus a
+/// seeded margin in `[0.5, 1.5]` — the result is symmetric and
+/// *strictly* diagonally dominant with a positive diagonal, hence SPD
+/// by Gershgorin. This is how the Krylov experiments obtain SPD
+/// systems whose dependency structure matches any of the triangular
+/// generators (banded, level-structured, scale-free): generate the
+/// lower factor shape first, then symmetrize.
+pub fn spd_from_lower(l: &CscMatrix, seed: u64) -> CscMatrix {
+    let n = l.n();
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut abs_sum = vec![0.0f64; n];
+    let mut b = TripletBuilder::with_capacity(n, 2 * l.nnz() + n);
+    for j in 0..n {
+        for (r, v) in l.col(j) {
+            let r = r as usize;
+            if r == j {
+                continue; // the diagonal is rebuilt below
+            }
+            b.push(r, j, v);
+            b.push(j, r, v);
+            abs_sum[r] += v.abs();
+            abs_sum[j] += v.abs();
+        }
+    }
+    for (i, s) in abs_sum.iter().enumerate() {
+        b.push(i, i, s + rng.range_f64(0.5, 1.5));
+    }
+    b.build().expect("symmetrization preserves validity")
+}
+
+/// Random banded SPD matrix: the symmetrized [`banded_lower`] pattern
+/// (narrow-band stiffness-matrix analog).
+pub fn spd_banded(n: usize, bandwidth: usize, avg_row_nnz: f64, seed: u64) -> CscMatrix {
+    spd_from_lower(&banded_lower(n, bandwidth, avg_row_nnz, seed), seed ^ 0x5bd)
+}
+
+/// SPD matrix with a controlled level structure in its lower triangle:
+/// the symmetrized [`level_structured`] pattern. This is what lets the
+/// Krylov corpus span the paper's parallelism/dependency space while
+/// staying positive definite.
+pub fn spd_structured(spec: &LevelSpec) -> CscMatrix {
+    spd_from_lower(&level_structured(spec), spec.seed ^ 0x5bd)
+}
+
 /// Bidiagonal chain: the fully sequential worst case (`n` levels,
 /// parallelism 1).
 pub fn chain(n: usize) -> CscMatrix {
@@ -391,6 +439,33 @@ mod tests {
         let avg = m.nnz() as f64 / m.n() as f64;
         let max = (0..m.n()).map(|j| m.col_nnz(j)).max().unwrap() as f64;
         assert!(max > avg * 5.0, "expected a hub, max={max} avg={avg}");
+    }
+
+    #[test]
+    fn spd_generators_are_symmetric_and_dominant() {
+        for m in [
+            spd_banded(300, 12, 4.0, 9),
+            spd_structured(&LevelSpec::new(400, 15, 1600, 31)),
+            spd_from_lower(&rmat_lower(256, 1200, 3), 8),
+        ] {
+            let n = m.n();
+            // symmetric
+            assert_eq!(m, m.transpose());
+            // strictly diagonally dominant with positive diagonal ⇒ SPD
+            for i in 0..n {
+                let diag = m.get(i, i).unwrap();
+                let off: f64 =
+                    m.col(i).filter(|&(r, _)| r as usize != i).map(|(_, v)| v.abs()).sum();
+                assert!(diag > off, "row {i}: diag {diag} vs off-sum {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn spd_generator_is_deterministic() {
+        let a = spd_banded(128, 6, 3.0, 4);
+        let b = spd_banded(128, 6, 3.0, 4);
+        assert_eq!(a, b);
     }
 
     #[test]

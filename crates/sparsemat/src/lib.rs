@@ -32,7 +32,7 @@ pub mod levels;
 pub mod reorder;
 
 pub use build::TripletBuilder;
-pub use corpus::{corpus, NamedMatrix, PaperStats};
+pub use corpus::{corpus, spd_corpus, NamedMatrix, PaperStats, SpdMatrix};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::MatrixError;

@@ -101,7 +101,7 @@ use crate::Backend;
 use desim::SimTime;
 use mgpu_sim::{Machine, MachineConfig};
 use sparsemat::{CscMatrix, LevelSets};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A reusable solver: analysis done once at build, arbitrarily many
 /// solves afterwards.
@@ -114,12 +114,74 @@ pub struct SolverEngine<'m> {
     m: &'m CscMatrix,
     opts: SolveOptions,
     variant: Variant,
-    /// Persistent batch workers, spawned lazily on the first batched
-    /// solve and reused for the engine's lifetime.
+    /// Worker pool + recycled workspaces — engine-private by default,
+    /// or shared with sibling engines via
+    /// [`SolverEngine::build_shared`] (the L/U pair of a
+    /// [`crate::krylov::PreconditionerEngine`] runs hundreds of
+    /// interleaved forward/backward solves per Krylov solve on **one**
+    /// pool and one workspace free-list).
+    resources: Arc<EngineResources>,
+}
+
+/// The runtime resources behind an engine's warm tiers: the persistent
+/// worker pool (spawned lazily on the first parallel solve) and the
+/// free-list of recycled [`SolveWorkspace`]s that keeps steady-state
+/// batched solves allocation-free.
+///
+/// Every engine owns an `Arc` of one of these. [`SolverEngine::build`]
+/// creates a private instance; [`SolverEngine::build_shared`] accepts
+/// an existing one, so several engines over the same workload — e.g.
+/// the forward-L and backward-U engines of an ILU(0) preconditioner —
+/// share threads and scratch instead of doubling both.
+#[derive(Debug, Default)]
+pub struct EngineResources {
     pool: OnceLock<WorkerPool>,
-    /// Recycled per-worker workspaces so steady-state batched solves
-    /// allocate nothing.
-    workspaces: Mutex<Vec<SolveWorkspace>>,
+    workspaces: RecyclePool<SolveWorkspace>,
+}
+
+impl EngineResources {
+    /// Fresh resources: no threads spawned, no workspaces cached —
+    /// both materialize lazily on first use.
+    pub fn new() -> EngineResources {
+        EngineResources::default()
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(WorkerPool::new)
+    }
+
+    pub(crate) fn take_workspace(&self) -> SolveWorkspace {
+        self.workspaces.take()
+    }
+
+    pub(crate) fn put_workspace(&self, ws: SolveWorkspace) {
+        self.workspaces.put(ws);
+    }
+}
+
+/// A poison-recovering free-list of recycled scratch objects — the
+/// pattern behind both the engines' [`SolveWorkspace`] pool and the
+/// preconditioner's apply-workspace pool. The list only holds scratch
+/// whose buffers are re-`resize`d by every consumer, so the data is
+/// valid wherever a panicking holder stopped — a panicked pool task
+/// must not permanently brick later warm solves.
+#[derive(Debug, Default)]
+pub(crate) struct RecyclePool<T>(Mutex<Vec<T>>);
+
+impl<T: Default> RecyclePool<T> {
+    /// Pop a recycled item, or a fresh default on first use.
+    pub(crate) fn take(&self) -> T {
+        self.lock().pop().unwrap_or_default()
+    }
+
+    /// Return an item to the free-list.
+    pub(crate) fn put(&self, item: T) {
+        self.lock().push(item);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// The per-kind prebuilt state. `template` is the calibration run's
@@ -189,6 +251,21 @@ impl<'m> SolverEngine<'m> {
         m: &'m CscMatrix,
         machine_cfg: MachineConfig,
         opts: &SolveOptions,
+    ) -> Result<SolverEngine<'m>, SolveError> {
+        SolverEngine::build_shared(m, machine_cfg, opts, Arc::new(EngineResources::new()))
+    }
+
+    /// [`SolverEngine::build`] with caller-provided [`EngineResources`]
+    /// — the composition hook for multi-engine workloads: every engine
+    /// handed the same `Arc` shares one worker pool and one workspace
+    /// free-list. The `krylov` preconditioner builds its L and U
+    /// engines this way so interleaved forward/backward solves recycle
+    /// each other's scratch and never spawn a second thread pool.
+    pub fn build_shared(
+        m: &'m CscMatrix,
+        machine_cfg: MachineConfig,
+        opts: &SolveOptions,
+        resources: Arc<EngineResources>,
     ) -> Result<SolverEngine<'m>, SolveError> {
         m.validate_triangular(opts.triangle)?;
         let label: Arc<str> = opts.kind.label().into();
@@ -324,13 +401,7 @@ impl<'m> SolverEngine<'m> {
             }
         };
 
-        Ok(SolverEngine {
-            m,
-            opts: opts.clone(),
-            variant,
-            pool: OnceLock::new(),
-            workspaces: Mutex::new(Vec::new()),
-        })
+        Ok(SolverEngine { m, opts: opts.clone(), variant, resources })
     }
 
     /// The factor this engine was built for.
@@ -363,7 +434,7 @@ impl<'m> SolverEngine<'m> {
     /// inputs.
     pub fn solve(&self, b: &[f64]) -> Result<SolveReport, SolveError> {
         if b.len() != self.m.n() {
-            return Err(SolveError::DimensionMismatch { n: self.m.n(), rhs: b.len() });
+            return Err(SolveError::DimensionMismatch { n: self.m.n(), rhs: b.len(), index: None });
         }
         let report = match &self.variant {
             Variant::Serial => {
@@ -422,7 +493,7 @@ impl<'m> SolverEngine<'m> {
     ) -> Result<(), SolveError> {
         let n = self.m.n();
         if b.len() != n {
-            return Err(SolveError::DimensionMismatch { n, rhs: b.len() });
+            return Err(SolveError::DimensionMismatch { n, rhs: b.len(), index: None });
         }
         if out.len() != n {
             return Err(SolveError::OutputLength { n, out: out.len() });
@@ -487,7 +558,7 @@ impl<'m> SolverEngine<'m> {
     ) -> Result<(), SolveError> {
         let n = self.m.n();
         if b.len() != n {
-            return Err(SolveError::DimensionMismatch { n, rhs: b.len() });
+            return Err(SolveError::DimensionMismatch { n, rhs: b.len(), index: None });
         }
         if out.len() != n {
             return Err(SolveError::OutputLength { n, out: out.len() });
@@ -697,8 +768,25 @@ impl<'m> SolverEngine<'m> {
         }
     }
 
+    /// The resources (pool + workspace free-list) behind this engine's
+    /// warm tiers, shareable with further engines via
+    /// [`SolverEngine::build_shared`].
+    pub fn resources(&self) -> &Arc<EngineResources> {
+        &self.resources
+    }
+
+    /// The engine's flat dependency adjacency, for crate-internal
+    /// composition (`None` for the serial variant, which solves
+    /// directly off the CSC arrays).
+    pub(crate) fn analysis(&self) -> Option<&ExecAnalysis> {
+        match &self.variant {
+            Variant::Simulated(p) => Some(&p.analysis),
+            Variant::Serial => None,
+        }
+    }
+
     fn pool(&self) -> &WorkerPool {
-        self.pool.get_or_init(WorkerPool::new)
+        self.resources.pool()
     }
 
     /// The worker count a sharded solve may actually mount right now:
@@ -714,17 +802,21 @@ impl<'m> SolverEngine<'m> {
     }
 
     fn take_workspace(&self) -> SolveWorkspace {
-        self.workspaces.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+        self.resources.take_workspace()
     }
 
     fn put_workspace(&self, ws: SolveWorkspace) {
-        self.workspaces.lock().expect("workspace pool poisoned").push(ws);
+        self.resources.put_workspace(ws);
     }
 
+    /// Check every right-hand side of a batch *before* any solve runs,
+    /// naming the offending index — a short vector in the middle of a
+    /// batch must fail fast and point at itself, not surface as a
+    /// mid-batch error after earlier chunks already solved.
     fn validate_batch_dims(&self, bs: &[Vec<f64>]) -> Result<(), SolveError> {
         let n = self.m.n();
-        if let Some(bad) = bs.iter().find(|b| b.len() != n) {
-            return Err(SolveError::DimensionMismatch { n, rhs: bad.len() });
+        if let Some((k, bad)) = bs.iter().enumerate().find(|(_, b)| b.len() != n) {
+            return Err(SolveError::DimensionMismatch { n, rhs: bad.len(), index: Some(k) });
         }
         Ok(())
     }
@@ -902,6 +994,59 @@ mod tests {
         let multi = engine.solve_batch(&bs).unwrap();
         assert_eq!(multi.reports.len(), 4);
         assert!(multi.total < multi.unamortized_total());
+    }
+
+    #[test]
+    fn engine_survives_poisoned_workspace_pool() {
+        let (m, b) = small();
+        let engine =
+            SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
+        let bs: Vec<Vec<f64>> = (0..4).map(|k| verify::rhs_for(&m, 700 + k).1).collect();
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+        engine.solve_batch_into(&bs, &mut outs).unwrap();
+        let before = outs.clone();
+
+        // Poison the shared workspace free-list the way a panicked pool
+        // task would: a thread dies while holding the lock.
+        let resources = Arc::clone(engine.resources());
+        let poisoner = std::thread::spawn(move || {
+            let _guard = resources.workspaces.0.lock().unwrap();
+            panic!("simulated panicked solve while holding the workspace pool");
+        });
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(engine.resources().workspaces.0.lock().is_err(), "mutex must be poisoned");
+
+        // Every warm tier that recycles workspaces must keep working —
+        // one panicked solve must not brick the engine for good.
+        engine.solve_batch_into(&bs, &mut outs).unwrap();
+        assert_eq!(outs, before, "post-poison solves stay bit-identical");
+        let r = engine.solve(&b).unwrap();
+        assert!(verify::rel_inf_diff(&r.x, &before[0]) >= 0.0); // solvable, no panic
+    }
+
+    #[test]
+    fn batch_errors_name_the_offending_index() {
+        let (m, _) = small();
+        let engine =
+            SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
+        let n = m.n();
+        let mut bs: Vec<Vec<f64>> = (0..5).map(|k| verify::rhs_for(&m, 300 + k).1).collect();
+        bs[3] = vec![1.0; 7]; // one short RHS in the middle of the batch
+        let expect_index = |err: SolveError| {
+            assert!(
+                matches!(err, SolveError::DimensionMismatch { n: en, rhs: 7, index: Some(3) } if en == n),
+                "expected index-naming mismatch"
+            );
+        };
+        expect_index(engine.solve_multi_rhs(&bs).unwrap_err());
+        expect_index(engine.solve_batch(&bs).unwrap_err());
+        expect_index(engine.solve_batch_with_threads(&bs, 2).unwrap_err());
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+        expect_index(engine.solve_batch_into(&bs, &mut outs).unwrap_err());
+        let mut ws = SolveWorkspace::new();
+        expect_index(engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap_err());
+        let msg = engine.solve_multi_rhs(&bs).unwrap_err().to_string();
+        assert!(msg.contains("#3"), "display must name the index: {msg}");
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! * [`solver`] — the high-level API tying a matrix, a machine
 //!   configuration and a solver variant into a verified
 //!   [`report::SolveReport`].
+//! * [`krylov`] — the preconditioned Krylov subsystem: a
+//!   [`PreconditionerEngine`] pairing a forward-`L` and backward-`U`
+//!   engine over one shared worker pool (zero-allocation warm
+//!   [`PreconditionerEngine::apply_into`], fused-panel
+//!   [`PreconditionerEngine::apply_batch_into`]), plus [`pcg`] /
+//!   [`bicgstab`] drivers and an allocation-free [`SpMv`] kernel —
+//!   the paper's §I workload (SpTRSV inside every iteration of a
+//!   preconditioned iterative solver) running end to end.
 //! * [`engine`] — the build-once/solve-many [`SolverEngine`]: one
 //!   analysis phase (level sets, plan, flat dependency adjacency,
 //!   calibration simulation), then arbitrarily many warm solves that
@@ -79,6 +87,7 @@
 pub mod cpu;
 pub mod engine;
 pub mod exec;
+pub mod krylov;
 pub mod levelset;
 pub mod plan;
 mod pool;
@@ -87,7 +96,10 @@ pub mod report;
 pub mod solver;
 pub mod verify;
 
-pub use engine::{SolveWorkspace, SolverEngine};
+pub use engine::{EngineResources, SolveWorkspace, SolverEngine};
+pub use krylov::{
+    bicgstab, pcg, ApplyWorkspace, KrylovOptions, KrylovReport, PreconditionerEngine, SpMv,
+};
 pub use plan::{ExecutionPlan, Partition};
 pub use report::{SolveReport, Timings};
 pub use solver::{solve, solve_multi_rhs, MultiRhsReport, SolveError, SolveOptions, SolverKind};

@@ -123,6 +123,33 @@ pub enum SolveError {
         n: usize,
         /// RHS length.
         rhs: usize,
+        /// Position of the offending vector within a batch (`None` for
+        /// single-RHS entry points). Batch entry points validate every
+        /// right-hand side *before* any work starts, so a bad vector
+        /// names its index up front instead of failing mid-batch.
+        index: Option<usize>,
+    },
+    /// A companion object of a composed solve — the upper factor of a
+    /// preconditioner pair, the operator of a Krylov solve — has a
+    /// different dimension than the system. Distinct from
+    /// [`SolveError::DimensionMismatch`], which is about right-hand
+    /// side / output lengths.
+    ShapeMismatch {
+        /// What disagreed (`"upper factor"`, `"operator"`).
+        what: &'static str,
+        /// The system dimension.
+        n: usize,
+        /// The companion's dimension.
+        got: usize,
+    },
+    /// A Krylov recurrence denominator collapsed (zero or non-finite) —
+    /// the method cannot continue from this state. For PCG this usually
+    /// means the operator or preconditioner is not positive definite.
+    Breakdown {
+        /// Which Krylov method broke down (`"pcg"` / `"bicgstab"`).
+        method: &'static str,
+        /// Iteration at which the breakdown occurred.
+        iteration: usize,
     },
     /// Caller-provided output storage does not match what the solve
     /// needs (the `*_into` warm-solve APIs): a single-solve output
@@ -148,8 +175,17 @@ impl std::fmt::Display for SolveError {
             SolveError::Verification { rel_err } => {
                 write!(f, "verification failed: relative error {rel_err:.3e}")
             }
-            SolveError::DimensionMismatch { n, rhs } => {
-                write!(f, "matrix is {n}x{n} but rhs has {rhs} entries")
+            SolveError::DimensionMismatch { n, rhs, index } => match index {
+                Some(k) => {
+                    write!(f, "matrix is {n}x{n} but rhs #{k} of the batch has {rhs} entries")
+                }
+                None => write!(f, "matrix is {n}x{n} but rhs has {rhs} entries"),
+            },
+            SolveError::ShapeMismatch { what, n, got } => {
+                write!(f, "the {what} is {got}x{got} but the system dimension is {n}")
+            }
+            SolveError::Breakdown { method, iteration } => {
+                write!(f, "{method} breakdown at iteration {iteration}: recurrence denominator is zero or non-finite")
             }
             SolveError::OutputLength { n, out } => {
                 write!(f, "the solve needs {n} output entries (or vectors) but the caller provided {out}")
@@ -179,7 +215,7 @@ pub fn solve(
 ) -> Result<SolveReport, SolveError> {
     // reject a bad RHS before paying for the analysis phase
     if b.len() != m.n() {
-        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len() });
+        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len(), index: None });
     }
     SolverEngine::build(m, machine_cfg, opts)?.solve(b)
 }
@@ -215,8 +251,8 @@ pub fn solve_multi_rhs(
     machine_cfg: MachineConfig,
     opts: &SolveOptions,
 ) -> Result<MultiRhsReport, SolveError> {
-    if let Some(b) = bs.iter().find(|b| b.len() != m.n()) {
-        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len() });
+    if let Some((k, b)) = bs.iter().enumerate().find(|(_, b)| b.len() != m.n()) {
+        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len(), index: Some(k) });
     }
     SolverEngine::build(m, machine_cfg, opts)?.solve_multi_rhs(bs)
 }

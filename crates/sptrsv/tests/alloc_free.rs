@@ -1,5 +1,6 @@
 //! Proof that warm `solve_into` / `solve_panel_into` /
-//! `solve_sharded_into` allocate nothing.
+//! `solve_sharded_into` — and the preconditioner tier's `apply_into` /
+//! `apply_batch_into` — allocate nothing.
 //!
 //! A counting global allocator wraps [`std::alloc::System`]; after a
 //! warm-up call has grown the workspace and output buffers (and, for
@@ -13,7 +14,9 @@
 //! swap cannot perturb (or be perturbed by) other tests.
 
 use mgpu_sim::MachineConfig;
+use sparsemat::factor::ilu0;
 use sparsemat::gen::{self, LevelSpec};
+use sptrsv::krylov::PreconditionerEngine;
 use sptrsv::{verify, SolveOptions, SolveWorkspace, SolverEngine, SolverKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -124,5 +127,36 @@ fn warm_solve_into_and_panel_allocate_nothing() {
             sharded, 0,
             "{kind:?} verify={verify_opt}: warm solve_sharded_into must not allocate"
         );
+    }
+
+    // --- the preconditioner tier: warm apply_into / apply_batch_into
+    // must be heap-silent too — it is the inner loop of every Krylov
+    // iteration, the paper's §I workload
+    let a = gen::spd_banded(1500, 12, 4.0, 7);
+    let f = ilu0(&a, 1e-8).unwrap();
+    for kind in [SolverKind::ZeroCopy { per_gpu: 8 }, SolverKind::Serial] {
+        let opts = SolveOptions { kind, verify: false, ..SolveOptions::default() };
+        let pre = PreconditionerEngine::from_ilu0(&f, MachineConfig::dgx1(4), &opts).unwrap();
+        let rs: Vec<Vec<f64>> = (0..5u64).map(|k| verify::rhs_for(&a, 50 + k).1).collect();
+        let mut ws = pre.take_apply_workspace();
+        let mut z = vec![0.0f64; a.n()];
+        let mut zs: Vec<Vec<f64>> = vec![Vec::new(); rs.len()];
+
+        // warm-up: grows the apply workspace + batch buffers once
+        pre.apply_into(&rs[0], &mut z, &mut ws).unwrap();
+        pre.apply_batch_into(&rs, &mut zs, &mut ws).unwrap();
+
+        let apply = allocations_during(|| {
+            for r in &rs {
+                pre.apply_into(r, &mut z, &mut ws).unwrap();
+            }
+        });
+        assert_eq!(apply, 0, "{kind:?}: warm apply_into must not allocate");
+
+        let batch = allocations_during(|| {
+            pre.apply_batch_into(&rs, &mut zs, &mut ws).unwrap();
+        });
+        assert_eq!(batch, 0, "{kind:?}: warm apply_batch_into must not allocate");
+        pre.put_apply_workspace(ws);
     }
 }

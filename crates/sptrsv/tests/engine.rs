@@ -172,13 +172,13 @@ fn batch_rejects_bad_dimensions_up_front() {
     for threads in [1usize, 4] {
         let err = engine.solve_batch_with_threads(&bs, threads).unwrap_err();
         assert!(
-            matches!(err, sptrsv::SolveError::DimensionMismatch { n: 600, rhs: 3 }),
+            matches!(err, sptrsv::SolveError::DimensionMismatch { n: 600, rhs: 3, .. }),
             "threads={threads}: {err:?}"
         );
     }
     let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
     let err = engine.solve_batch_into(&bs, &mut outs).unwrap_err();
-    assert!(matches!(err, sptrsv::SolveError::DimensionMismatch { n: 600, rhs: 3 }));
+    assert!(matches!(err, sptrsv::SolveError::DimensionMismatch { n: 600, rhs: 3, .. }));
 }
 
 /// Regression: a batch whose `outs` does not hold one vector per

@@ -134,7 +134,7 @@ fn sharded_rejects_bad_inputs_with_typed_errors() {
     let mut ws = SolveWorkspace::new();
     let mut out = vec![0.0f64; m.n()];
     let err = engine.solve_sharded_into(&[1.0, 2.0], &mut out, &mut ws, 4).unwrap_err();
-    assert!(matches!(err, sptrsv::SolveError::DimensionMismatch { n: 300, rhs: 2 }));
+    assert!(matches!(err, sptrsv::SolveError::DimensionMismatch { n: 300, rhs: 2, .. }));
     let mut short = vec![0.0f64; 7];
     let err = engine.solve_sharded_into(&b, &mut short, &mut ws, 4).unwrap_err();
     assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 300, out: 7 }));
