@@ -32,9 +32,13 @@ use sparsemat::factor::{ilu0, LuFactors};
 use sparsemat::gen::{self, LevelSpec};
 use sparsemat::{CscMatrix, Triangle};
 use sptrsv::krylov::{pcg, KrylovOptions, PreconditionerEngine};
+use sptrsv::serve::{serve_solver, ServiceConfig};
 use sptrsv::{solve, verify, SolveOptions, SolveWorkspace, SolverEngine, SolverKind};
 use sptrsv_bench::timer::{time_ns, TimingSummary};
+use std::cell::Cell;
 use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
 
 const BASE_N: usize = 100_000;
 const BATCH_RHS: usize = 64;
@@ -177,6 +181,80 @@ fn main() {
         TimingSummary::human(sharded_warm.median_ns)
     );
 
+    // --- serving front-end: coalesced panels vs lock-per-request -----
+    // 64 concurrent right-hand sides from 8 client threads. The
+    // baseline is what a service without a batching layer does: every
+    // client grabs a global engine lock and runs one warm solve per
+    // request (the factor streams once per RHS). The coalesced path
+    // runs the same traffic through a SolverService, whose dispatcher
+    // fuses queued requests into PANEL_K-lane panels — the factor
+    // streams once per panel, and the mean fill is recorded. The win
+    // floor is asserted only on ≥ 4-thread hardware; a 1-CPU container
+    // records its honest numbers (thread oversubscription noise can
+    // eat the fusion win there).
+    const SERVE_CLIENTS: usize = 8;
+    const SERVE_PER_CLIENT: usize = 8;
+    let serve_bs: Vec<Vec<f64>> = (0..(SERVE_CLIENTS * SERVE_PER_CLIENT) as u64)
+        .map(|k| verify::rhs_for(&m, 5000 + k).1)
+        .collect();
+    let locked = Mutex::new((SolveWorkspace::new(), vec![0.0f64; n]));
+    let lock_loop = time_ns(3, || {
+        std::thread::scope(|s| {
+            for c in 0..SERVE_CLIENTS {
+                let (locked, engine, serve_bs) = (&locked, &engine, &serve_bs);
+                s.spawn(move || {
+                    for r in 0..SERVE_PER_CLIENT {
+                        let b = &serve_bs[c * SERVE_PER_CLIENT + r];
+                        let mut guard = locked.lock().unwrap();
+                        let (ws, out) = &mut *guard;
+                        engine.solve_into(b, out, ws).unwrap();
+                    }
+                });
+            }
+        });
+    });
+    let serve_cfg =
+        ServiceConfig { max_linger: Duration::from_micros(500), ..ServiceConfig::default() };
+    let mean_fill = Cell::new(0.0f64);
+    let serve_panels = Cell::new(0u64);
+    let coalesced = time_ns(3, || {
+        let ((), report) = serve_solver(&engine, &serve_cfg, |svc| {
+            std::thread::scope(|s| {
+                for c in 0..SERVE_CLIENTS {
+                    let serve_bs = &serve_bs;
+                    s.spawn(move || {
+                        // a burst per client: submit everything, then
+                        // wait — the coalescing opportunity real
+                        // concurrent traffic presents
+                        let tickets: Vec<_> = (0..SERVE_PER_CLIENT)
+                            .map(|r| svc.submit(&serve_bs[c * SERVE_PER_CLIENT + r]).unwrap())
+                            .collect();
+                        for t in tickets {
+                            t.wait().unwrap();
+                        }
+                    });
+                }
+            });
+        })
+        .unwrap();
+        mean_fill.set(report.mean_fill());
+        serve_panels.set(report.panels);
+    });
+    let serve_speedup = lock_loop.median_ns as f64 / coalesced.median_ns.max(1) as f64;
+    println!(
+        "{}x lock-per-request loop median {:>12}",
+        SERVE_CLIENTS * SERVE_PER_CLIENT,
+        TimingSummary::human(lock_loop.median_ns)
+    );
+    println!(
+        "{}x coalesced service   median {:>12}   (mean fill {:.2} lanes over {} panels, {serve_speedup:.2}x, hw={hw_threads})",
+        SERVE_CLIENTS * SERVE_PER_CLIENT,
+        TimingSummary::human(coalesced.median_ns),
+        mean_fill.get(),
+        serve_panels.get(),
+        hw_threads = std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+
     // --- PCG + ILU(0): cold per-application analysis vs warm replay --
     // The paper's §I workload: every Krylov iteration applies
     // M⁻¹ = (LU)⁻¹ against the SAME factors. Warm builds the
@@ -239,6 +317,18 @@ fn main() {
     "per_rhs_factor_gb_per_s": {per_rhs_gbps:.2},
     "fused_factor_gb_per_s": {fused_gbps:.2}
   }},
+  "serving": {{
+    "clients": {serve_clients},
+    "per_client": {serve_per_client},
+    "rhs": {serve_rhs},
+    "max_lanes": {panel_k},
+    "lock_per_request_ns": {lock_med},
+    "coalesced_service_ns": {serve_med},
+    "speedup": {serve_speedup:.2},
+    "mean_panel_fill": {serve_fill:.2},
+    "panels": {serve_panels_v},
+    "hardware_threads": {threads}
+  }},
   "pcg_ilu0": {{
     "matrix": {{ "n": {pcg_n}, "nnz": {pcg_nnz}, "generator": "grid_laplacian(64x64)" }},
     "preconditioner": "ilu0 PreconditionerEngine (L fwd + U bwd, shared pool)",
@@ -277,6 +367,13 @@ fn main() {
         fused_gbps = gbps(fused_sweeps, fused.median_ns),
         serial_med = serial_warm.median_ns,
         sharded_med = sharded_warm.median_ns,
+        serve_clients = SERVE_CLIENTS,
+        serve_per_client = SERVE_PER_CLIENT,
+        serve_rhs = SERVE_CLIENTS * SERVE_PER_CLIENT,
+        lock_med = lock_loop.median_ns,
+        serve_med = coalesced.median_ns,
+        serve_fill = mean_fill.get(),
+        serve_panels_v = serve_panels.get(),
         pcg_n = spd.n(),
         pcg_nnz = spd.nnz(),
         cold_pcg_med = cold_pcg.median_ns,
@@ -306,6 +403,16 @@ fn main() {
         pcg_speedup >= 2.0,
         "warm PCG (engine pair) must be at least 2x faster than per-application \
          analysis, got {pcg_speedup:.2}x"
+    );
+    // coalescing must beat the lock-per-request loop wherever parallel
+    // hardware exists; a 1–3 thread machine records its honest numbers
+    // (oversubscribed client threads add scheduling noise the fusion
+    // win has to overcome first)
+    assert!(
+        hw < 4 || serve_speedup >= 1.3,
+        "the coalesced service must beat the lock-per-request serial loop at \
+         {} concurrent RHS on {hw} hardware threads, got {serve_speedup:.2}x",
+        SERVE_CLIENTS * SERVE_PER_CLIENT
     );
 }
 

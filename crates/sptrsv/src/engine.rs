@@ -434,7 +434,12 @@ impl<'m> SolverEngine<'m> {
     /// inputs.
     pub fn solve(&self, b: &[f64]) -> Result<SolveReport, SolveError> {
         if b.len() != self.m.n() {
-            return Err(SolveError::DimensionMismatch { n: self.m.n(), rhs: b.len(), index: None });
+            return Err(SolveError::DimensionMismatch {
+                n: self.m.n(),
+                rhs: b.len(),
+                index: None,
+                buffer: "rhs",
+            });
         }
         let report = match &self.variant {
             Variant::Serial => {
@@ -493,10 +498,15 @@ impl<'m> SolverEngine<'m> {
     ) -> Result<(), SolveError> {
         let n = self.m.n();
         if b.len() != n {
-            return Err(SolveError::DimensionMismatch { n, rhs: b.len(), index: None });
+            return Err(SolveError::DimensionMismatch {
+                n,
+                rhs: b.len(),
+                index: None,
+                buffer: "rhs",
+            });
         }
         if out.len() != n {
-            return Err(SolveError::OutputLength { n, out: out.len() });
+            return Err(SolveError::OutputLength { n, out: out.len(), buffer: "out" });
         }
         ws.scratch.resize(n, 0.0);
         match &self.variant {
@@ -558,10 +568,15 @@ impl<'m> SolverEngine<'m> {
     ) -> Result<(), SolveError> {
         let n = self.m.n();
         if b.len() != n {
-            return Err(SolveError::DimensionMismatch { n, rhs: b.len(), index: None });
+            return Err(SolveError::DimensionMismatch {
+                n,
+                rhs: b.len(),
+                index: None,
+                buffer: "rhs",
+            });
         }
         if out.len() != n {
-            return Err(SolveError::OutputLength { n, out: out.len() });
+            return Err(SolveError::OutputLength { n, out: out.len(), buffer: "out" });
         }
         ws.scratch.resize(n, 0.0);
         match &self.variant {
@@ -602,9 +617,29 @@ impl<'m> SolverEngine<'m> {
     ) -> Result<(), SolveError> {
         self.validate_batch_dims(bs)?;
         if outs.len() != bs.len() {
-            return Err(SolveError::OutputLength { n: bs.len(), out: outs.len() });
+            return Err(SolveError::OutputLength { n: bs.len(), out: outs.len(), buffer: "outs" });
         }
+        self.panel_into_prevalidated(bs, outs, ws)
+    }
+
+    /// The fused-panel body with the per-lane validation already done —
+    /// the entry point for callers that validated every right-hand side
+    /// at admission time (the [`crate::serve`] dispatcher checks each
+    /// request's length once in `submit`, so a coalesced panel must not
+    /// re-pay a validation sweep per dispatched lane).
+    ///
+    /// Dimension discipline is the caller's obligation here
+    /// (`debug_assert`ed); results and verification behavior are
+    /// exactly [`SolverEngine::solve_panel_into`]'s.
+    pub(crate) fn panel_into_prevalidated(
+        &self,
+        bs: &[Vec<f64>],
+        outs: &mut [Vec<f64>],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolveError> {
         let n = self.m.n();
+        debug_assert!(bs.iter().all(|b| b.len() == n), "prevalidated rhs length");
+        debug_assert_eq!(bs.len(), outs.len(), "prevalidated output count");
         for out in outs.iter_mut() {
             out.resize(n, 0.0);
         }
@@ -720,7 +755,7 @@ impl<'m> SolverEngine<'m> {
     ) -> Result<(), SolveError> {
         self.validate_batch_dims(bs)?;
         if outs.len() != bs.len() {
-            return Err(SolveError::OutputLength { n: bs.len(), out: outs.len() });
+            return Err(SolveError::OutputLength { n: bs.len(), out: outs.len(), buffer: "outs" });
         }
         let threads = hardware_threads().clamp(1, bs.len().max(1));
         // a panel only pays off with ≥ 2 lanes per worker; below that,
@@ -816,7 +851,12 @@ impl<'m> SolverEngine<'m> {
     fn validate_batch_dims(&self, bs: &[Vec<f64>]) -> Result<(), SolveError> {
         let n = self.m.n();
         if let Some((k, bad)) = bs.iter().enumerate().find(|(_, b)| b.len() != n) {
-            return Err(SolveError::DimensionMismatch { n, rhs: bad.len(), index: Some(k) });
+            return Err(SolveError::DimensionMismatch {
+                n,
+                rhs: bad.len(),
+                index: Some(k),
+                buffer: "rhs",
+            });
         }
         Ok(())
     }
@@ -1034,7 +1074,7 @@ mod tests {
         bs[3] = vec![1.0; 7]; // one short RHS in the middle of the batch
         let expect_index = |err: SolveError| {
             assert!(
-                matches!(err, SolveError::DimensionMismatch { n: en, rhs: 7, index: Some(3) } if en == n),
+                matches!(err, SolveError::DimensionMismatch { n: en, rhs: 7, index: Some(3), .. } if en == n),
                 "expected index-naming mismatch"
             );
         };
@@ -1047,6 +1087,24 @@ mod tests {
         expect_index(engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap_err());
         let msg = engine.solve_multi_rhs(&bs).unwrap_err().to_string();
         assert!(msg.contains("#3"), "display must name the index: {msg}");
+    }
+
+    /// Worker counts of zero are clamped to one everywhere a count is
+    /// accepted — a degenerate request degrades to the serial tier
+    /// with bit-identical results, never a panic.
+    #[test]
+    fn zero_worker_counts_are_clamped() {
+        let (m, b) = small();
+        let engine =
+            SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
+        let expect = engine.solve(&b).unwrap().x;
+        let mut ws = SolveWorkspace::new();
+        let mut out = vec![0.0; m.n()];
+        engine.solve_sharded_into(&b, &mut out, &mut ws, 0).unwrap();
+        assert_eq!(out, expect);
+        let bs: Vec<Vec<f64>> = (0..3).map(|k| verify::rhs_for(&m, 800 + k).1).collect();
+        let multi = engine.solve_batch_with_threads(&bs, 0).unwrap();
+        assert_eq!(multi.reports.len(), 3);
     }
 
     #[test]

@@ -240,10 +240,15 @@ impl<'m> PreconditionerEngine<'m> {
     ) -> Result<(), SolveError> {
         let n = self.n();
         if r.len() != n {
-            return Err(SolveError::DimensionMismatch { n, rhs: r.len(), index: None });
+            return Err(SolveError::DimensionMismatch {
+                n,
+                rhs: r.len(),
+                index: None,
+                buffer: "r",
+            });
         }
         if z.len() != n {
-            return Err(SolveError::OutputLength { n, out: z.len() });
+            return Err(SolveError::OutputLength { n, out: z.len(), buffer: "z" });
         }
         ws.mid.resize(n, 0.0);
         ws.scratch.resize(n, 0.0);
@@ -291,11 +296,34 @@ impl<'m> PreconditionerEngine<'m> {
     ) -> Result<(), SolveError> {
         let n = self.n();
         if let Some((k, r)) = rs.iter().enumerate().find(|(_, r)| r.len() != n) {
-            return Err(SolveError::DimensionMismatch { n, rhs: r.len(), index: Some(k) });
+            return Err(SolveError::DimensionMismatch {
+                n,
+                rhs: r.len(),
+                index: Some(k),
+                buffer: "r",
+            });
         }
         if zs.len() != rs.len() {
-            return Err(SolveError::OutputLength { n: rs.len(), out: zs.len() });
+            return Err(SolveError::OutputLength { n: rs.len(), out: zs.len(), buffer: "zs" });
         }
+        self.apply_batch_prevalidated(rs, zs, ws)
+    }
+
+    /// The batched-apply body with per-residual validation already done
+    /// — the entry point for the [`crate::serve`] dispatcher, which
+    /// length-checks every request once at admission and must not
+    /// re-pay a validation sweep per coalesced lane. Dimension
+    /// discipline is the caller's obligation (`debug_assert`ed);
+    /// results are exactly [`PreconditionerEngine::apply_batch_into`]'s.
+    pub(crate) fn apply_batch_prevalidated(
+        &self,
+        rs: &[Vec<f64>],
+        zs: &mut [Vec<f64>],
+        ws: &mut ApplyWorkspace,
+    ) -> Result<(), SolveError> {
+        let n = self.n();
+        debug_assert!(rs.iter().all(|r| r.len() == n), "prevalidated residual length");
+        debug_assert_eq!(rs.len(), zs.len(), "prevalidated output count");
         if rs.is_empty() {
             return Ok(());
         }
@@ -339,6 +367,18 @@ impl<'m> PreconditionerEngine<'m> {
         Ok(())
     }
 
+    /// Self-contained application `z = M⁻¹ r` with engine-pooled
+    /// scratch — the [`Precondition`] entry point the Krylov drivers
+    /// call. Identical numerics to
+    /// [`PreconditionerEngine::apply_into`]; steady-state calls stop
+    /// allocating once the recycled workspace pool has warmed up.
+    pub fn apply_assign(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveError> {
+        let mut ws = self.take_apply_workspace();
+        let out = self.apply_into(r, z, &mut ws);
+        self.put_apply_workspace(ws);
+        out
+    }
+
     /// Pop a recycled apply workspace (or a fresh one on first use).
     /// Pair with [`PreconditionerEngine::put_apply_workspace`] to keep
     /// steady-state callers allocation-free without threading a
@@ -350,6 +390,31 @@ impl<'m> PreconditionerEngine<'m> {
     /// Return a workspace to the recycle pool.
     pub fn put_apply_workspace(&self, ws: ApplyWorkspace) {
         self.apply_pool.put(ws);
+    }
+}
+
+/// A preconditioner application `z = M⁻¹ r` as the Krylov drivers see
+/// it — the seam that lets one PCG/BiCGSTAB loop run over either a
+/// locally held [`PreconditionerEngine`] or a shared
+/// [`crate::serve::ServedPreconditioner`] (whose applications are
+/// coalesced with foreground traffic into fused panels by a
+/// [`crate::serve::SolverService`]). Both implementations replay the
+/// same natural-substitution-order operation sequence, so the Krylov
+/// trajectory is bit-identical whichever one a caller hands in.
+pub trait Precondition {
+    /// System dimension (square).
+    fn dim(&self) -> usize;
+    /// Apply `z = M⁻¹ r` into the caller's buffer (`z.len() == dim()`).
+    fn precondition_into(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveError>;
+}
+
+impl Precondition for PreconditionerEngine<'_> {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+
+    fn precondition_into(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveError> {
+        self.apply_assign(r, z)
     }
 }
 
@@ -404,14 +469,14 @@ fn norm(a: &[f64]) -> f64 {
 fn check_dims(
     a: &(impl SpMv + ?Sized),
     b: &[f64],
-    m: &PreconditionerEngine<'_>,
+    m: &(impl Precondition + ?Sized),
 ) -> Result<usize, SolveError> {
-    let n = m.n();
+    let n = m.dim();
     if a.dim() != n {
         return Err(SolveError::ShapeMismatch { what: "operator", n, got: a.dim() });
     }
     if b.len() != n {
-        return Err(SolveError::DimensionMismatch { n, rhs: b.len(), index: None });
+        return Err(SolveError::DimensionMismatch { n, rhs: b.len(), index: None, buffer: "b" });
     }
     Ok(n)
 }
@@ -430,27 +495,23 @@ fn check_dims(
 /// an operator or preconditioner that is not positive definite) is
 /// [`SolveError::Breakdown`]. Running out of iterations is **not** an
 /// error: the report says `converged == false`.
-pub fn pcg<A: SpMv + ?Sized>(
+pub fn pcg<A: SpMv + ?Sized, M: Precondition + ?Sized>(
     a: &A,
     b: &[f64],
-    m: &PreconditionerEngine<'_>,
+    m: &M,
     opts: &KrylovOptions,
 ) -> Result<KrylovReport, SolveError> {
     check_dims(a, b, m)?;
-    let mut ws = m.take_apply_workspace();
-    let out = pcg_inner(a, b, m, opts, &mut ws);
-    m.put_apply_workspace(ws);
-    out
+    pcg_inner(a, b, m, opts)
 }
 
-fn pcg_inner<A: SpMv + ?Sized>(
+fn pcg_inner<A: SpMv + ?Sized, M: Precondition + ?Sized>(
     a: &A,
     b: &[f64],
-    m: &PreconditionerEngine<'_>,
+    m: &M,
     opts: &KrylovOptions,
-    ws: &mut ApplyWorkspace,
 ) -> Result<KrylovReport, SolveError> {
-    let n = m.n();
+    let n = m.dim();
     let mut x = vec![0.0f64; n];
     let b_norm = norm(b);
     let mut history = Vec::with_capacity(opts.max_iterations + 1);
@@ -468,7 +529,7 @@ fn pcg_inner<A: SpMv + ?Sized>(
     let mut r = b.to_vec();
     let mut z = vec![0.0f64; n];
     let mut ap = vec![0.0f64; n];
-    m.apply_into(&r, &mut z, ws)?;
+    m.precondition_into(&r, &mut z)?;
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut converged = false;
@@ -494,7 +555,7 @@ fn pcg_inner<A: SpMv + ?Sized>(
         if k + 1 == opts.max_iterations {
             break; // budget exhausted: the next direction would be discarded
         }
-        m.apply_into(&r, &mut z, ws)?;
+        m.precondition_into(&r, &mut z)?;
         let rz_next = dot(&r, &z);
         // rz guards the division below; rz_next would stall the next
         // search direction — both are breakdowns *now*, not next round
@@ -523,27 +584,23 @@ fn pcg_inner<A: SpMv + ?Sized>(
 /// [`SolveError::Breakdown`] on a collapsed denominator (`ρ`, `r̂ᵀv`,
 /// `tᵀt` or `ω` zero/non-finite), and an exhausted iteration budget is
 /// reported, not raised.
-pub fn bicgstab<A: SpMv + ?Sized>(
+pub fn bicgstab<A: SpMv + ?Sized, M: Precondition + ?Sized>(
     a: &A,
     b: &[f64],
-    m: &PreconditionerEngine<'_>,
+    m: &M,
     opts: &KrylovOptions,
 ) -> Result<KrylovReport, SolveError> {
     check_dims(a, b, m)?;
-    let mut ws = m.take_apply_workspace();
-    let out = bicgstab_inner(a, b, m, opts, &mut ws);
-    m.put_apply_workspace(ws);
-    out
+    bicgstab_inner(a, b, m, opts)
 }
 
-fn bicgstab_inner<A: SpMv + ?Sized>(
+fn bicgstab_inner<A: SpMv + ?Sized, M: Precondition + ?Sized>(
     a: &A,
     b: &[f64],
-    m: &PreconditionerEngine<'_>,
+    m: &M,
     opts: &KrylovOptions,
-    ws: &mut ApplyWorkspace,
 ) -> Result<KrylovReport, SolveError> {
-    let n = m.n();
+    let n = m.dim();
     let mut x = vec![0.0f64; n];
     let b_norm = norm(b);
     let mut history = Vec::with_capacity(opts.max_iterations + 1);
@@ -579,7 +636,7 @@ fn bicgstab_inner<A: SpMv + ?Sized>(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        m.apply_into(&p, &mut p_hat, ws)?;
+        m.precondition_into(&p, &mut p_hat)?;
         a.spmv_into(&p_hat, &mut v);
         let rv = dot(&r_hat, &v);
         if rv == 0.0 || !rv.is_finite() {
@@ -600,7 +657,7 @@ fn bicgstab_inner<A: SpMv + ?Sized>(
             converged = true;
             break;
         }
-        m.apply_into(&s, &mut s_hat, ws)?;
+        m.precondition_into(&s, &mut s_hat)?;
         a.spmv_into(&s_hat, &mut t);
         let tt = dot(&t, &t);
         if tt == 0.0 || !tt.is_finite() {
@@ -675,7 +732,7 @@ mod tests {
         let mut ws = pre.take_apply_workspace();
         let err = pre.apply_batch_into(&rs, &mut zs, &mut ws).unwrap_err();
         assert!(
-            matches!(err, SolveError::DimensionMismatch { n: 36, rhs: 7, index: Some(1) }),
+            matches!(err, SolveError::DimensionMismatch { n: 36, rhs: 7, index: Some(1), .. }),
             "{err:?}"
         );
     }

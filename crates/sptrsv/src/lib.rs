@@ -57,6 +57,17 @@
 //!   persistent worker pool. All tiers replay one canonical
 //!   level-major operation sequence ([`exec::ShardedReplay`]), so
 //!   every tier is bit-identical per RHS — whatever the worker count.
+//! * [`serve`] — the async batched serving front-end: a
+//!   [`SolverService`] accepts right-hand sides from any number of
+//!   client threads (`submit(b) -> Ticket`), coalesces them into
+//!   fused [`exec::PANEL_K`]-lane panels under a deadline-aware flush
+//!   policy, applies admission control and backpressure (bounded
+//!   queue in requests *and* bytes, typed
+//!   [`ServeError::QueueFull`] / [`ServeError::ShuttingDown`] instead
+//!   of blocking), and reports per-service statistics. Results are
+//!   bit-identical to serial [`SolverEngine::solve`] for every
+//!   coalescing interleaving, and steady-state dispatch allocates
+//!   nothing — the "heavy traffic" path of the north star.
 //!
 //! Every solve computes real `f64` numerics while the discrete-event
 //! machine model advances virtual time, so results are simultaneously
@@ -93,15 +104,21 @@ pub mod plan;
 mod pool;
 pub mod reference;
 pub mod report;
+pub mod serve;
 pub mod solver;
 pub mod verify;
 
 pub use engine::{EngineResources, SolveWorkspace, SolverEngine};
 pub use krylov::{
-    bicgstab, pcg, ApplyWorkspace, KrylovOptions, KrylovReport, PreconditionerEngine, SpMv,
+    bicgstab, pcg, ApplyWorkspace, KrylovOptions, KrylovReport, Precondition, PreconditionerEngine,
+    SpMv,
 };
 pub use plan::{ExecutionPlan, Partition};
 pub use report::{SolveReport, Timings};
+pub use serve::{
+    serve_preconditioner, serve_solver, ServeError, ServedPreconditioner, ServiceConfig,
+    ServiceEngine, ServiceReport, SolverService, Ticket,
+};
 pub use solver::{solve, solve_multi_rhs, MultiRhsReport, SolveError, SolveOptions, SolverKind};
 
 /// Communication backend for the synchronization-free executor.

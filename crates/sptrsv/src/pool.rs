@@ -204,19 +204,24 @@ impl WorkerPool {
         self.handles.lock().expect("pool poisoned").len()
     }
 
-    /// Grow the pool to at least `n` workers (never shrinks).
-    pub fn ensure_threads(&self, n: usize) {
+    /// Grow the pool to at least `n` workers (never shrinks). Returns
+    /// the worker count actually reached: thread-spawn failure (fd or
+    /// memory exhaustion) stops the growth instead of panicking, and
+    /// the caller decides whether the shortfall matters —
+    /// [`WorkerPool::scope_run`]'s helping submitter tolerates any
+    /// count, [`WorkerPool::try_run_region`] declines so its caller's
+    /// serial fallback runs.
+    pub fn ensure_threads(&self, n: usize) -> usize {
         let mut handles = self.handles.lock().expect("pool poisoned");
         while handles.len() < n {
             let shared = Arc::clone(&self.shared);
             let name = format!("sptrsv-worker-{}", handles.len());
-            handles.push(
-                std::thread::Builder::new()
-                    .name(name)
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn solver worker"),
-            );
+            match std::thread::Builder::new().name(name).spawn(move || worker_loop(&shared)) {
+                Ok(h) => handles.push(h),
+                Err(_) => break,
+            }
         }
+        handles.len()
     }
 
     /// Run every task to completion on the pool, blocking the caller
@@ -292,7 +297,9 @@ impl WorkerPool {
     ///   worker would strand its peers mid-barrier); panics outside
     ///   barrier use are caught and re-raised on the caller.
     pub fn run_region<'scope>(&self, workers: usize, f: &(dyn Fn(usize) + Sync + 'scope)) {
-        assert!(workers >= 1, "a region needs at least one worker");
+        // a zero request means "no parallelism", not "no work": clamp
+        // to one worker instead of panicking on the degenerate count
+        let workers = workers.max(1);
         if workers == 1 {
             f(0);
             return;
@@ -324,10 +331,18 @@ impl WorkerPool {
         workers: usize,
         f: &(dyn Fn(usize) + Sync + 'scope),
     ) -> bool {
-        assert!(workers >= 1, "a region needs at least one worker");
+        let workers = workers.max(1);
         if workers == 1 {
             f(0);
             return true;
+        }
+        if self.threads() + 1 < workers {
+            // the pool could not spawn enough workers (see
+            // `ensure_threads`) — decline so the caller's equal-result
+            // serial fallback runs instead of stranding a region
+            if self.ensure_threads(workers - 1) < workers - 1 {
+                return false;
+            }
         }
         let f_static = self.prepare_region(workers, f);
         {
@@ -353,7 +368,12 @@ impl WorkerPool {
             !on_worker_thread(),
             "region started from a pool worker; degrade to workers == 1 instead"
         );
-        self.ensure_threads(workers - 1);
+        let reached = self.ensure_threads(workers - 1);
+        assert!(
+            reached >= workers - 1,
+            "pool could not spawn {workers} region workers (got {reached}); \
+             use try_run_region when a serial fallback exists"
+        );
         // SAFETY (lifetime erasure): `finish_region` does not return
         // until `outstanding == 0`, i.e. every claimed worker index
         // has finished executing `f` — so the borrow `f` carries
@@ -502,9 +522,11 @@ pub struct RegionBarrier {
 }
 
 impl RegionBarrier {
-    /// A barrier for `total` region workers.
+    /// A barrier for `total` region workers. A zero count is clamped
+    /// to one participant (a solo barrier is a no-op), matching the
+    /// worker-count clamping of the region entry points.
     pub fn new(total: usize) -> RegionBarrier {
-        assert!(total >= 1, "a barrier needs at least one participant");
+        let total = total.max(1);
         RegionBarrier {
             total,
             arrived: AtomicUsize::new(0),
@@ -819,6 +841,25 @@ mod tests {
         });
         assert!(accepted, "the slot must free up after the region completes");
         assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+
+    /// Zero worker counts are a degenerate request, not a bug: every
+    /// entry point that accepts a count clamps to one instead of
+    /// panicking.
+    #[test]
+    fn zero_worker_requests_are_clamped_not_panicked() {
+        let pool = WorkerPool::new();
+        let ran = AtomicUsize::new(0);
+        pool.run_region(0, &|w| {
+            assert_eq!(w, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(pool.try_run_region(0, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.threads(), 0, "clamped regions run inline");
+        RegionBarrier::new(0).wait(); // a solo barrier is a no-op
     }
 
     #[test]

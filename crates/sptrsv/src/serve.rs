@@ -1,0 +1,1076 @@
+//! Async batched serving front-end: deadline-aware right-hand-side
+//! coalescing over the warm engines.
+//!
+//! The paper's premise is that analysis is paid once and the solve
+//! phase replays thousands of times; the engine tiers (PR 1–4) made
+//! the replay cheap, and the fused panel kernels made it ~K× cheaper
+//! per RHS when K right-hand sides run together. What was missing is
+//! the layer that *finds* those K right-hand sides: real serving
+//! traffic arrives one request at a time, from many client threads,
+//! each wanting its own answer back. [`SolverService`] is that layer —
+//! a thread-based, std-only dispatcher that coalesces concurrent
+//! independent requests into fused [`crate::exec::PANEL_K`]-lane
+//! panels, the same amortize-the-schedule idea that makes multi-RHS
+//! replay several times faster than a per-RHS loop.
+//!
+//! ## Queueing model
+//!
+//! Clients call [`SolverService::submit`] (or
+//! [`SolverService::submit_with_deadline`]) from any number of
+//! threads. Each accepted request is copied into a recycled slot,
+//! appended to a FIFO queue, and acknowledged with a [`Ticket`] — a
+//! future-like handle with [`Ticket::wait`], [`Ticket::try_wait`] and
+//! [`Ticket::wait_timeout`]. A single dispatcher thread (owned by the
+//! service, started by [`SolverService::run`]) pops requests in FIFO
+//! order, groups up to [`ServiceConfig::max_lanes`] of them, and runs
+//! the group through the engine's fused panel kernel
+//! ([`SolverEngine::panel_into_prevalidated`] — lengths were validated
+//! once at admission, so dispatch never re-pays a per-lane validation
+//! sweep). Results are written back into the slots and the tickets
+//! are woken.
+//!
+//! Because the panel kernels never mix lanes, **every result is
+//! bit-identical to a serial [`SolverEngine::solve`] of the same
+//! right-hand side, regardless of how requests were coalesced** — the
+//! service inherits the repository's strongest invariant for free,
+//! and the stress tests assert it across every interleaving they can
+//! provoke.
+//!
+//! ## Deadline semantics
+//!
+//! The dispatcher flushes a partial panel when the first of these
+//! fires:
+//!
+//! * **Full** — [`ServiceConfig::max_lanes`] requests are queued;
+//! * **Linger** — the oldest queued request has waited
+//!   [`ServiceConfig::max_linger`];
+//! * **Deadline** — some request in the next panel has a deadline `d`
+//!   and `d - est` is due, where `est` is an exponential moving
+//!   average of recent panel solve times (deadline *slack*: the flush
+//!   happens early enough that the solve can still finish by `d`);
+//! * **Hint** — a client called [`SolverService::flush`];
+//! * **Shutdown** — the service is draining.
+//!
+//! Latency-sensitive singletons therefore flush almost immediately
+//! (submit with a tight deadline), while throughput floods fill whole
+//! panels; both get correct answers, and [`ServiceReport`] records
+//! which trigger fired how often.
+//!
+//! ## Backpressure contract
+//!
+//! The queue is bounded in **requests** and **bytes**
+//! ([`ServiceConfig::max_queue_requests`] /
+//! [`ServiceConfig::max_queue_bytes`]). `submit` never blocks: a full
+//! queue returns [`ServeError::QueueFull`] (with the observed depth)
+//! and a stopping service returns [`ServeError::ShuttingDown`], both
+//! typed — the caller decides whether to retry, shed, or escalate.
+//! Queue-depth and byte high-water marks land in the final
+//! [`ServiceReport`].
+//!
+//! ## Shutdown
+//!
+//! [`SolverService::run`] drives the whole lifecycle: it starts the
+//! dispatcher, hands the caller a `&SolverService` to share with any
+//! client threads (the service is `Sync`; spawn clients with
+//! `std::thread::scope` and they may all submit concurrently), and on
+//! return from the closure initiates shutdown: further submits are
+//! rejected, queued work is **drained** (solved and completed) by
+//! default or rejected with [`ServeError::ShuttingDown`] when
+//! [`ServiceConfig::drain_on_shutdown`] is false, and the dispatcher
+//! is joined before `run` returns the closure's result plus the final
+//! [`ServiceReport`]. The scoped shape is what lets the service stay
+//! entirely safe Rust: tickets and the dispatcher borrow the service,
+//! and the borrow provably outlives both.
+//!
+//! ## Zero allocation in steady state
+//!
+//! Slots (request/result buffers + completion state) are recycled
+//! through a free list, panel group buffers are preallocated at
+//! dispatcher start, and the dispatch path runs the engines'
+//! allocation-free panel kernels — so once the service has warmed up,
+//! a submit→dispatch→wait cycle performs **zero** heap allocation
+//! (proved by the counting-allocator test in
+//! `crates/sptrsv/tests/alloc_free.rs`). Groups wider than
+//! `2 × PANEL_K` lanes (a non-default [`ServiceConfig::max_lanes`])
+//! dispatch through the pooled batch tier instead, which allocates
+//! its chunk tasks per dispatch — documented trade, not default.
+//!
+//! ## Pool-worker clients
+//!
+//! Clients may submit (and wait) from inside the engine's own
+//! [`crate::pool`] worker tasks — e.g. a batched job that wants a few
+//! extra solves served on the side. The dispatcher is its own OS
+//! thread and never requires the submitting thread's cooperation, and
+//! when a wide group does use the worker pool it goes through
+//! `scope_run`, whose helping submitter executes its own jobs instead
+//! of waiting on occupied workers — so a full pool of blocked clients
+//! cannot deadlock the service (regression-tested).
+
+use crate::engine::{SolveWorkspace, SolverEngine};
+use crate::exec::PANEL_K;
+use crate::krylov::{ApplyWorkspace, Precondition, PreconditionerEngine};
+use crate::solver::SolveError;
+use std::collections::VecDeque;
+use std::mem;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Everything that can go wrong between a client and the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control refused the request: the queue is at its
+    /// request or byte bound. `submit` never blocks — the caller
+    /// chooses between retrying, shedding load, and escalating.
+    QueueFull {
+        /// Requests queued at the moment of rejection.
+        depth: usize,
+        /// Payload bytes queued at the moment of rejection.
+        bytes: usize,
+    },
+    /// The service is shutting down: either the submit arrived after
+    /// shutdown began, or the request was still queued at shutdown and
+    /// [`ServiceConfig::drain_on_shutdown`] is off.
+    ShuttingDown,
+    /// The service configuration cannot work (e.g. a zero queue bound,
+    /// which would reject every request).
+    InvalidConfig {
+        /// Which knob is broken.
+        what: &'static str,
+    },
+    /// The dispatcher could not be spawned (thread creation failed) —
+    /// reported as a typed error instead of a panic.
+    Spawn,
+    /// The underlying engine rejected or failed the coalesced solve;
+    /// every request of the affected panel receives the same error.
+    Solve(SolveError),
+    /// The dispatcher caught a panic from the solve kernel. The panel's
+    /// requests are failed with this error and the service keeps
+    /// serving — one poisoned group must not brick the front-end.
+    DispatcherPanicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, bytes } => write!(
+                f,
+                "serving queue is full ({depth} requests / {bytes} bytes queued); retry or shed"
+            ),
+            ServeError::ShuttingDown => write!(f, "the serving front-end is shutting down"),
+            ServeError::InvalidConfig { what } => {
+                write!(f, "invalid service configuration: {what}")
+            }
+            ServeError::Spawn => write!(f, "could not spawn the service dispatcher thread"),
+            ServeError::Solve(e) => write!(f, "serving dispatch failed: {e}"),
+            ServeError::DispatcherPanicked => {
+                write!(f, "the dispatcher caught a panic while solving this panel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SolveError> for ServeError {
+    fn from(e: SolveError) -> Self {
+        ServeError::Solve(e)
+    }
+}
+
+impl From<ServeError> for SolveError {
+    /// Collapse a serving failure into the solver error vocabulary —
+    /// what a [`ServedPreconditioner`] reports to its Krylov driver.
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Solve(e) => e,
+            ServeError::QueueFull { .. } => SolveError::Rejected { reason: "queue full" },
+            ServeError::ShuttingDown => SolveError::Rejected { reason: "shutting down" },
+            ServeError::InvalidConfig { .. } => {
+                SolveError::Rejected { reason: "invalid service configuration" }
+            }
+            ServeError::Spawn => SolveError::Rejected { reason: "dispatcher spawn failed" },
+            ServeError::DispatcherPanicked => {
+                SolveError::Rejected { reason: "dispatcher panicked" }
+            }
+        }
+    }
+}
+
+/// Tuning knobs for a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Most requests coalesced into one dispatched panel. Defaults to
+    /// [`PANEL_K`] — the fused kernels' native width, and the widest
+    /// group that stays on the allocation-free dispatch path. `0` is
+    /// clamped to 1.
+    pub max_lanes: usize,
+    /// Admission bound on queued (not yet dispatched) requests.
+    pub max_queue_requests: usize,
+    /// Admission bound on queued payload bytes (`n × 8` per request).
+    pub max_queue_bytes: usize,
+    /// Longest a queued request may wait for its panel to fill before
+    /// the dispatcher flushes a partial one. Clamped to one hour.
+    pub max_linger: Duration,
+    /// On shutdown, solve what is still queued (`true`, default) or
+    /// complete it with [`ServeError::ShuttingDown`] (`false`).
+    pub drain_on_shutdown: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_lanes: PANEL_K,
+            max_queue_requests: 1024,
+            max_queue_bytes: 256 << 20,
+            max_linger: Duration::from_micros(200),
+            drain_on_shutdown: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Clamp the self-healable knobs (a zero lane count means one
+    /// lane; a multi-hour linger is capped) and reject the
+    /// unserviceable ones with a typed error — a zero queue bound
+    /// would silently reject every request, which is a configuration
+    /// bug, not a load condition.
+    fn validated(&self) -> Result<ServiceConfig, ServeError> {
+        if self.max_queue_requests == 0 {
+            return Err(ServeError::InvalidConfig { what: "max_queue_requests must be ≥ 1" });
+        }
+        if self.max_queue_bytes == 0 {
+            return Err(ServeError::InvalidConfig { what: "max_queue_bytes must be ≥ 1" });
+        }
+        let mut cfg = self.clone();
+        cfg.max_lanes = cfg.max_lanes.max(1);
+        cfg.max_linger = cfg.max_linger.min(Duration::from_secs(3600));
+        Ok(cfg)
+    }
+}
+
+/// The warm engine a service dispatches to: a single triangular
+/// [`SolverEngine`] or an L/U [`PreconditionerEngine`] pair. Both
+/// expose the fused-panel batch path the dispatcher coalesces into.
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceEngine<'e, 'm> {
+    /// One triangular factor: panels run
+    /// [`SolverEngine::solve_panel_into`]'s kernel along the engine's
+    /// canonical warm order — results bit-identical to
+    /// [`SolverEngine::solve`].
+    Solver(&'e SolverEngine<'m>),
+    /// An L/U pair: panels run
+    /// [`PreconditionerEngine::apply_batch_into`]'s kernel along the
+    /// natural substitution order — results bit-identical to
+    /// [`PreconditionerEngine::apply_into`], so a Krylov trajectory
+    /// fed through the service is reproducible to the bit.
+    Preconditioner(&'e PreconditionerEngine<'m>),
+}
+
+impl ServiceEngine<'_, '_> {
+    /// System dimension requests must match.
+    pub fn n(&self) -> usize {
+        match self {
+            ServiceEngine::Solver(e) => e.matrix().n(),
+            ServiceEngine::Preconditioner(p) => p.n(),
+        }
+    }
+}
+
+/// Where a request currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Recycled / freshly initialized; not visible to the dispatcher.
+    Idle,
+    /// Accepted and waiting in the FIFO.
+    Queued,
+    /// Moved into a panel; the dispatcher owns the buffers.
+    InFlight,
+    /// Completed (result or error present); the ticket may collect.
+    Done,
+}
+
+/// Completion state + recycled buffers of one request. Shared between
+/// exactly one [`Ticket`] and the dispatcher via `Arc`.
+#[derive(Debug)]
+struct Slot {
+    st: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    phase: Phase,
+    /// Request payload; moved into the panel group for the solve and
+    /// moved back afterwards so the capacity is never lost.
+    rhs: Vec<f64>,
+    /// Result buffer, same recycling discipline.
+    out: Vec<f64>,
+    /// The panel's error, if it failed; cloned into every member.
+    err: Option<ServeError>,
+    /// The ticket was dropped before collecting — whoever finishes
+    /// with the slot last returns it to the free list.
+    abandoned: bool,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            st: Mutex::new(SlotState {
+                phase: Phase::Idle,
+                rhs: Vec::new(),
+                out: Vec::new(),
+                err: None,
+                abandoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A queued request: the slot plus the scheduling metadata the
+/// dispatcher reads on every wake (kept out of the slot mutex so flush
+/// planning never nests slot locks under the queue lock).
+#[derive(Debug)]
+struct Pending {
+    slot: Arc<Slot>,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
+    bytes: usize,
+}
+
+/// What made the dispatcher flush a panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    Full,
+    Linger,
+    Deadline,
+    Hint,
+    Shutdown,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<Pending>,
+    /// Payload bytes currently queued (admission accounting).
+    bytes: usize,
+    shutdown: bool,
+    flush_hint: bool,
+    /// Recycled slots; every steady-state submit pops one here.
+    free: Vec<Arc<Slot>>,
+    stats: ServiceReport,
+}
+
+/// The client-facing shared state: FIFO + free list behind one mutex,
+/// and the condvar that wakes the dispatcher. Split from
+/// [`SolverService`] so a [`Ticket`] needs only this one borrow.
+#[derive(Debug, Default)]
+struct Shared {
+    q: Mutex<QueueState>,
+    dispatch_cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Counters the service maintains while running and returns from
+/// [`SolverService::run`] (snapshot any time via
+/// [`SolverService::stats`]). All `*_ns` fields are wall-clock
+/// nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceReport {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed with a solution (includes drained ones).
+    pub served: u64,
+    /// Requests completed with an engine error or dispatcher panic.
+    pub failed: u64,
+    /// Submits rejected by admission control (queue full).
+    pub rejected_full: u64,
+    /// Submits rejected because shutdown had begun.
+    pub rejected_shutdown: u64,
+    /// Requests still queued at shutdown and completed with
+    /// [`ServeError::ShuttingDown`] (only when draining is off).
+    pub shutdown_rejected: u64,
+    /// Requests still queued at shutdown and solved during the drain
+    /// (a subset of `served`).
+    pub drained: u64,
+    /// Panels dispatched.
+    pub panels: u64,
+    /// Total lanes across all panels (`mean_fill` = this / `panels`).
+    pub fill_sum: u64,
+    /// Widest panel dispatched.
+    pub max_fill: usize,
+    /// Flushes triggered by a full panel.
+    pub full_flushes: u64,
+    /// Flushes triggered by the oldest request's linger expiring.
+    pub linger_flushes: u64,
+    /// Flushes triggered by a request's deadline slack expiring.
+    pub deadline_flushes: u64,
+    /// Flushes triggered by [`SolverService::flush`].
+    pub hint_flushes: u64,
+    /// Requests whose deadline had already passed when their panel
+    /// completed.
+    pub deadline_misses: u64,
+    /// Most requests ever queued at once.
+    pub queue_depth_high_water: usize,
+    /// Most payload bytes ever queued at once.
+    pub queue_bytes_high_water: usize,
+    /// Sum over completed requests of (dispatch start − submit).
+    pub wait_ns_total: u64,
+    /// Worst single-request wait.
+    pub max_wait_ns: u64,
+    /// Sum over panels of the panel solve wall-clock.
+    pub solve_ns_total: u64,
+}
+
+impl ServiceReport {
+    /// Mean lanes per dispatched panel — the coalescing win; 1.0 means
+    /// the service degenerated to a per-request loop.
+    pub fn mean_fill(&self) -> f64 {
+        if self.panels == 0 {
+            0.0
+        } else {
+            self.fill_sum as f64 / self.panels as f64
+        }
+    }
+
+    /// Mean time a completed request spent queued before dispatch.
+    pub fn mean_wait_ns(&self) -> f64 {
+        let done = self.served + self.failed + self.shutdown_rejected;
+        if done == 0 {
+            0.0
+        } else {
+            self.wait_ns_total as f64 / done as f64
+        }
+    }
+
+    /// Mean wall-clock of one panel solve.
+    pub fn mean_panel_solve_ns(&self) -> f64 {
+        if self.panels == 0 {
+            0.0
+        } else {
+            self.solve_ns_total as f64 / self.panels as f64
+        }
+    }
+}
+
+/// Reusable dispatcher scratch: one workspace per engine flavor, grown
+/// once, reused for every panel.
+#[derive(Debug, Default)]
+struct DispatchWorkspace {
+    solve: SolveWorkspace,
+    apply: ApplyWorkspace,
+}
+
+/// The serving front-end: a bounded FIFO of right-hand sides, a
+/// dispatcher that coalesces them into fused panels over a warm
+/// engine, and [`Ticket`]s that hand results back to the submitting
+/// threads. See the [module docs](self) for the queueing model,
+/// deadline semantics and backpressure contract.
+///
+/// Constructed only through [`SolverService::run`] (or the
+/// [`serve_solver`] / [`serve_preconditioner`] conveniences), which
+/// scopes the dispatcher thread to the engine's lifetime — the reason
+/// this subsystem contains no `unsafe`.
+#[derive(Debug)]
+pub struct SolverService<'e, 'm> {
+    engine: ServiceEngine<'e, 'm>,
+    cfg: ServiceConfig,
+    shared: Shared,
+}
+
+impl<'e, 'm> SolverService<'e, 'm> {
+    /// Run a service over `engine` for the duration of `body`.
+    ///
+    /// Starts the dispatcher, calls `body` with the service handle
+    /// (share it across client threads with `std::thread::scope` —
+    /// the service is `Sync`), then shuts down: queued work is
+    /// drained or rejected per [`ServiceConfig::drain_on_shutdown`],
+    /// the dispatcher is joined, and the closure's result is returned
+    /// together with the final [`ServiceReport`]. A panic in `body`
+    /// still shuts the dispatcher down cleanly before resuming the
+    /// panic.
+    pub fn run<R>(
+        engine: ServiceEngine<'e, 'm>,
+        config: &ServiceConfig,
+        body: impl FnOnce(&SolverService<'e, 'm>) -> R,
+    ) -> Result<(R, ServiceReport), ServeError> {
+        let cfg = config.validated()?;
+        let svc = SolverService { engine, cfg, shared: Shared::default() };
+        std::thread::scope(|s| {
+            let dispatcher = std::thread::Builder::new()
+                .name("sptrsv-dispatch".into())
+                .spawn_scoped(s, || svc.dispatch())
+                .map_err(|_| ServeError::Spawn)?;
+            let out = catch_unwind(AssertUnwindSafe(|| body(&svc)));
+            svc.shutdown();
+            let joined = dispatcher.join();
+            let r = match out {
+                Ok(r) => r,
+                Err(p) => resume_unwind(p),
+            };
+            if let Err(p) = joined {
+                resume_unwind(p);
+            }
+            // snapshot after the join, not from the dispatcher's exit:
+            // a client may race one last (rejected) submit against the
+            // dispatcher observing the drained queue, and the final
+            // report must count it
+            Ok((r, svc.stats()))
+        })
+    }
+
+    /// The dimension every submitted right-hand side must have.
+    pub fn n(&self) -> usize {
+        self.engine.n()
+    }
+
+    /// The engine this service dispatches to.
+    pub fn engine(&self) -> ServiceEngine<'e, 'm> {
+        self.engine
+    }
+
+    /// Submit a right-hand side with no deadline: it rides whatever
+    /// panel it lands in, waiting at most
+    /// [`ServiceConfig::max_linger`] for the panel to fill.
+    ///
+    /// Never blocks. Admission control answers immediately with
+    /// [`ServeError::QueueFull`] / [`ServeError::ShuttingDown`]; a
+    /// wrong-length `b` is a typed [`ServeError::Solve`] naming the
+    /// buffer.
+    pub fn submit(&self, b: &[f64]) -> Result<Ticket<'_>, ServeError> {
+        self.submit_inner(b, None)
+    }
+
+    /// [`SolverService::submit`] with a completion deadline: the
+    /// dispatcher flushes this request's panel early enough (by its
+    /// running estimate of a panel solve) to finish by `deadline`
+    /// instead of lingering for more lanes. The deadline is
+    /// best-effort — [`ServiceReport::deadline_misses`] counts the
+    /// ones that completed late.
+    pub fn submit_with_deadline(
+        &self,
+        b: &[f64],
+        deadline: Instant,
+    ) -> Result<Ticket<'_>, ServeError> {
+        self.submit_inner(b, Some(deadline))
+    }
+
+    fn submit_inner(&self, b: &[f64], deadline: Option<Instant>) -> Result<Ticket<'_>, ServeError> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(ServeError::Solve(SolveError::DimensionMismatch {
+                n,
+                rhs: b.len(),
+                index: None,
+                buffer: "b",
+            }));
+        }
+        let bytes = n * mem::size_of::<f64>();
+        let mut q = self.shared.lock();
+        if q.shutdown {
+            q.stats.rejected_shutdown += 1;
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.pending.len() >= self.cfg.max_queue_requests
+            || q.bytes.saturating_add(bytes) > self.cfg.max_queue_bytes
+        {
+            q.stats.rejected_full += 1;
+            return Err(ServeError::QueueFull { depth: q.pending.len(), bytes: q.bytes });
+        }
+        let slot = q.free.pop().unwrap_or_else(|| Arc::new(Slot::new()));
+        {
+            let mut st = slot.lock();
+            st.phase = Phase::Queued;
+            st.rhs.clear();
+            st.rhs.extend_from_slice(b);
+            st.err = None;
+            st.abandoned = false;
+        }
+        let ticket = Ticket { slot: Some(Arc::clone(&slot)), shared: &self.shared };
+        q.pending.push_back(Pending { slot, submitted_at: Instant::now(), deadline, bytes });
+        q.bytes += bytes;
+        q.stats.submitted += 1;
+        q.stats.queue_depth_high_water = q.stats.queue_depth_high_water.max(q.pending.len());
+        q.stats.queue_bytes_high_water = q.stats.queue_bytes_high_water.max(q.bytes);
+        self.shared.dispatch_cv.notify_one();
+        Ok(ticket)
+    }
+
+    /// Ask the dispatcher to flush the current partial panel now
+    /// instead of lingering for more lanes — a latency hint, not a
+    /// barrier (the flushed requests still complete asynchronously).
+    pub fn flush(&self) {
+        let mut q = self.shared.lock();
+        q.flush_hint = true;
+        self.shared.dispatch_cv.notify_one();
+    }
+
+    /// Begin shutdown: subsequent submits are rejected with
+    /// [`ServeError::ShuttingDown`]; already-queued work is drained or
+    /// rejected per the config. Idempotent; called automatically when
+    /// the [`SolverService::run`] closure returns.
+    pub fn shutdown(&self) {
+        let mut q = self.shared.lock();
+        q.shutdown = true;
+        self.shared.dispatch_cv.notify_one();
+    }
+
+    /// Requests currently queued (excludes in-flight panels).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().pending.len()
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn stats(&self) -> ServiceReport {
+        self.shared.lock().stats.clone()
+    }
+
+    // ---- dispatcher -------------------------------------------------
+
+    /// The dispatcher thread body: wait for work, decide when to
+    /// flush, run the panel, complete the tickets — until shutdown
+    /// with an empty queue.
+    fn dispatch(&self) {
+        let lanes = self.cfg.max_lanes;
+        let mut group: Vec<Pending> = Vec::with_capacity(lanes);
+        let mut bs: Vec<Vec<f64>> = Vec::with_capacity(lanes);
+        let mut outs: Vec<Vec<f64>> = Vec::with_capacity(lanes);
+        let mut ws = DispatchWorkspace::default();
+        // EWMA of recent panel solve wall-clock, the `est` in the
+        // deadline-slack rule; starts at zero so the first deadline
+        // submission flushes no later than its deadline.
+        let mut est_solve = Duration::ZERO;
+        while let Some(cause) = self.next_group(&mut group, est_solve) {
+            self.run_group(&mut group, &mut bs, &mut outs, &mut ws, &mut est_solve, cause);
+        }
+    }
+
+    /// Block until a panel should be dispatched, then move up to
+    /// `max_lanes` requests from the FIFO into `group`. Returns `None`
+    /// exactly once: shutdown with an empty queue.
+    fn next_group(&self, group: &mut Vec<Pending>, est_solve: Duration) -> Option<FlushCause> {
+        let lanes = self.cfg.max_lanes;
+        let mut q = self.shared.lock();
+        let cause = loop {
+            let depth = q.pending.len();
+            // shutdown wins over every other trigger: once it is
+            // observed, EVERY remaining group carries Shutdown — so a
+            // full panel still queued is drained (and counted in
+            // `drained`) or rejected per the config, exactly like a
+            // partial one
+            if q.shutdown {
+                if depth == 0 {
+                    return None;
+                }
+                break FlushCause::Shutdown;
+            }
+            if depth >= lanes {
+                break FlushCause::Full;
+            }
+            if depth == 0 {
+                q.flush_hint = false;
+                q = self.shared.dispatch_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            if q.flush_hint {
+                q.flush_hint = false;
+                break FlushCause::Hint;
+            }
+            let now = Instant::now();
+            let (at, cause) = flush_plan(&q, lanes, self.cfg.max_linger, est_solve, now);
+            if at <= now {
+                break cause;
+            }
+            q = self
+                .shared
+                .dispatch_cv
+                .wait_timeout(q, at - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        };
+        // a pop consumes any pending flush hint whatever the cause:
+        // the hint asked for "what is queued now", and leaving it set
+        // would spuriously flush the NEXT, unrelated partial panel
+        q.flush_hint = false;
+        for _ in 0..lanes.min(q.pending.len()) {
+            let p = q.pending.pop_front().expect("depth checked");
+            q.bytes -= p.bytes;
+            group.push(p);
+        }
+        Some(cause)
+    }
+
+    /// Solve one flushed group and complete its tickets. Engine errors
+    /// and kernel panics fail the panel's requests with a typed error;
+    /// the dispatcher itself survives either.
+    fn run_group(
+        &self,
+        group: &mut Vec<Pending>,
+        bs: &mut Vec<Vec<f64>>,
+        outs: &mut Vec<Vec<f64>>,
+        ws: &mut DispatchWorkspace,
+        est_solve: &mut Duration,
+        cause: FlushCause,
+    ) {
+        let dispatch_start = Instant::now();
+        let mut wait_ns = 0u64;
+        let mut max_wait = 0u64;
+        for p in group.iter() {
+            let mut st = p.slot.lock();
+            st.phase = Phase::InFlight;
+            bs.push(mem::take(&mut st.rhs));
+            outs.push(mem::take(&mut st.out));
+            drop(st);
+            let w = dispatch_start.saturating_duration_since(p.submitted_at).as_nanos() as u64;
+            wait_ns += w;
+            max_wait = max_wait.max(w);
+        }
+
+        let reject = cause == FlushCause::Shutdown && !self.cfg.drain_on_shutdown;
+        let mut solve_ns = 0u64;
+        let outcome: Option<ServeError> = if reject {
+            Some(ServeError::ShuttingDown)
+        } else {
+            let t0 = Instant::now();
+            let solved = catch_unwind(AssertUnwindSafe(|| self.solve_group(bs, outs, ws)));
+            let took = t0.elapsed();
+            solve_ns = took.as_nanos() as u64;
+            // EWMA with 1/4 weight on the newest sample: stable under
+            // jitter, adapts within a few panels
+            *est_solve = (*est_solve * 3 + took) / 4;
+            match solved {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(ServeError::Solve(e)),
+                Err(_) => {
+                    // the workspace may be mid-mutation; replace it
+                    // rather than trust it (allocates, but only on the
+                    // panic path)
+                    *ws = DispatchWorkspace::default();
+                    Some(ServeError::DispatcherPanicked)
+                }
+            }
+        };
+
+        let completed_at = Instant::now();
+        let fill = group.len();
+        let mut misses = 0u64;
+        for (p, (rhs, out)) in group.drain(..).zip(bs.drain(..).zip(outs.drain(..))) {
+            if p.deadline.is_some_and(|d| completed_at > d) {
+                misses += 1;
+            }
+            let abandoned = {
+                let mut st = p.slot.lock();
+                st.rhs = rhs;
+                st.out = out;
+                st.err = outcome.clone();
+                st.phase = Phase::Done;
+                p.slot.cv.notify_all();
+                st.abandoned
+            };
+            if abandoned {
+                // the ticket is gone; the dispatcher recycles
+                self.shared.lock().free.push(p.slot);
+            }
+        }
+
+        let mut q = self.shared.lock();
+        let s = &mut q.stats;
+        s.panels += 1;
+        s.fill_sum += fill as u64;
+        s.max_fill = s.max_fill.max(fill);
+        s.deadline_misses += misses;
+        s.wait_ns_total += wait_ns;
+        s.max_wait_ns = s.max_wait_ns.max(max_wait);
+        s.solve_ns_total += solve_ns;
+        match cause {
+            FlushCause::Full => s.full_flushes += 1,
+            FlushCause::Linger => s.linger_flushes += 1,
+            FlushCause::Deadline => s.deadline_flushes += 1,
+            FlushCause::Hint => s.hint_flushes += 1,
+            FlushCause::Shutdown => {}
+        }
+        if reject {
+            s.shutdown_rejected += fill as u64;
+        } else if outcome.is_none() {
+            s.served += fill as u64;
+            if cause == FlushCause::Shutdown {
+                s.drained += fill as u64;
+            }
+        } else {
+            s.failed += fill as u64;
+        }
+    }
+
+    /// Run one coalesced panel through the engine. Groups at or under
+    /// `2 × PANEL_K` lanes stay on the single-thread fused kernels
+    /// (allocation-free); wider solver groups go through the pooled
+    /// batch tier, trading per-dispatch task allocation for cores.
+    fn solve_group(
+        &self,
+        bs: &[Vec<f64>],
+        outs: &mut [Vec<f64>],
+        ws: &mut DispatchWorkspace,
+    ) -> Result<(), SolveError> {
+        match self.engine {
+            ServiceEngine::Solver(e) => {
+                if bs.len() > 2 * PANEL_K {
+                    e.solve_batch_into(bs, outs)
+                } else {
+                    e.panel_into_prevalidated(bs, outs, &mut ws.solve)
+                }
+            }
+            ServiceEngine::Preconditioner(p) => p.apply_batch_prevalidated(bs, outs, &mut ws.apply),
+        }
+    }
+}
+
+/// When (and why) the next flush should happen, given a non-empty,
+/// non-full queue: the oldest request's linger expiry, tightened by
+/// the deadline slack (`deadline − est_solve`) of every request that
+/// would ride the next panel.
+fn flush_plan(
+    q: &QueueState,
+    lanes: usize,
+    max_linger: Duration,
+    est_solve: Duration,
+    now: Instant,
+) -> (Instant, FlushCause) {
+    let oldest = q.pending.front().expect("flush_plan needs a non-empty queue");
+    let mut at = oldest
+        .submitted_at
+        .checked_add(max_linger)
+        .unwrap_or_else(|| now + Duration::from_secs(3600));
+    let mut cause = FlushCause::Linger;
+    for p in q.pending.iter().take(lanes) {
+        if let Some(d) = p.deadline {
+            let cutoff = d.checked_sub(est_solve).unwrap_or(now);
+            if cutoff < at {
+                at = cutoff;
+                cause = FlushCause::Deadline;
+            }
+        }
+    }
+    (at, cause)
+}
+
+/// The future-like handle [`SolverService::submit`] returns: exactly
+/// one of [`Ticket::wait`] / [`Ticket::try_wait`] /
+/// [`Ticket::wait_timeout`] collects the result (the consuming
+/// signatures make double-collection unrepresentable). Dropping a
+/// ticket abandons the request — the solve may still run, but its
+/// result is recycled instead of delivered.
+#[derive(Debug)]
+pub struct Ticket<'s> {
+    /// `Some` until the result is collected or the ticket dropped.
+    slot: Option<Arc<Slot>>,
+    shared: &'s Shared,
+}
+
+impl<'s> Ticket<'s> {
+    /// Block until the request completes; returns the solution vector
+    /// or the panel's error. Allocation note: the returned vector is
+    /// the slot's buffer, so the slot regrows on its next reuse —
+    /// steady-state-allocation-free callers want
+    /// [`Ticket::wait_into`].
+    pub fn wait(mut self) -> Result<Vec<f64>, ServeError> {
+        let slot = self.slot.take().expect("ticket not yet collected");
+        let mut st = slot.lock();
+        while st.phase != Phase::Done {
+            st = slot.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let res = match st.err.take() {
+            Some(e) => Err(e),
+            None => Ok(mem::take(&mut st.out)),
+        };
+        st.phase = Phase::Idle;
+        drop(st);
+        self.recycle(slot);
+        res
+    }
+
+    /// Block until completion and copy the solution into `out`,
+    /// keeping every buffer recycled — the zero-allocation collection
+    /// path (proved by the counting-allocator test).
+    pub fn wait_into(mut self, out: &mut [f64]) -> Result<(), ServeError> {
+        let slot = self.slot.take().expect("ticket not yet collected");
+        let mut st = slot.lock();
+        while st.phase != Phase::Done {
+            st = slot.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let res = match st.err.take() {
+            Some(e) => Err(e),
+            None if out.len() == st.out.len() => {
+                out.copy_from_slice(&st.out);
+                Ok(())
+            }
+            None => Err(ServeError::Solve(SolveError::OutputLength {
+                n: st.out.len(),
+                out: out.len(),
+                buffer: "out",
+            })),
+        };
+        st.phase = Phase::Idle;
+        drop(st);
+        self.recycle(slot);
+        res
+    }
+
+    /// Non-blocking poll: `Ok(result)` if the request has completed,
+    /// `Err(self)` (the ticket, returned for another try) if it is
+    /// still queued or in flight.
+    pub fn try_wait(self) -> Result<Result<Vec<f64>, ServeError>, Ticket<'s>> {
+        self.wait_timeout(Duration::ZERO)
+    }
+
+    /// Deadline-aware wait: block at most `timeout`. `Ok(result)` on
+    /// completion; `Err(self)` if the timeout expired first — the
+    /// ticket comes back so the caller can keep waiting, poll again
+    /// later, or drop it to abandon the request.
+    pub fn wait_timeout(
+        mut self,
+        timeout: Duration,
+    ) -> Result<Result<Vec<f64>, ServeError>, Ticket<'s>> {
+        let slot = self.slot.take().expect("ticket not yet collected");
+        let deadline = Instant::now().checked_add(timeout);
+        let mut st = slot.lock();
+        while st.phase != Phase::Done {
+            let left = deadline
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::MAX);
+            if left.is_zero() {
+                drop(st);
+                self.slot = Some(slot);
+                return Err(self);
+            }
+            st = slot.cv.wait_timeout(st, left).unwrap_or_else(PoisonError::into_inner).0;
+        }
+        let res = match st.err.take() {
+            Some(e) => Err(e),
+            None => Ok(mem::take(&mut st.out)),
+        };
+        st.phase = Phase::Idle;
+        drop(st);
+        self.recycle(slot);
+        Ok(res)
+    }
+
+    /// Return a finished slot to the service free list.
+    fn recycle(&self, slot: Arc<Slot>) {
+        self.shared.lock().free.push(slot);
+    }
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        let Some(slot) = self.slot.take() else { return };
+        let recycle_now = {
+            let mut st = slot.lock();
+            match st.phase {
+                // the dispatcher still owns (or will own) the slot:
+                // flag it and let the dispatcher recycle at completion
+                Phase::Queued | Phase::InFlight => {
+                    st.abandoned = true;
+                    false
+                }
+                // completed but uncollected, or already collected —
+                // nothing else references the slot
+                Phase::Done | Phase::Idle => {
+                    st.phase = Phase::Idle;
+                    st.err = None;
+                    true
+                }
+            }
+        };
+        if recycle_now {
+            self.shared.lock().free.push(slot);
+        }
+    }
+}
+
+/// Run a [`SolverService`] over a triangular [`SolverEngine`] —
+/// results bit-identical to [`SolverEngine::solve`] per request.
+pub fn serve_solver<'e, 'm, R>(
+    engine: &'e SolverEngine<'m>,
+    config: &ServiceConfig,
+    body: impl FnOnce(&SolverService<'e, 'm>) -> R,
+) -> Result<(R, ServiceReport), ServeError> {
+    SolverService::run(ServiceEngine::Solver(engine), config, body)
+}
+
+/// Run a [`SolverService`] over a [`PreconditionerEngine`] pair —
+/// results bit-identical to [`PreconditionerEngine::apply_into`] per
+/// request, so Krylov trajectories fed through the service are
+/// reproducible to the bit.
+pub fn serve_preconditioner<'e, 'm, R>(
+    pre: &'e PreconditionerEngine<'m>,
+    config: &ServiceConfig,
+    body: impl FnOnce(&SolverService<'e, 'm>) -> R,
+) -> Result<(R, ServiceReport), ServeError> {
+    SolverService::run(ServiceEngine::Preconditioner(pre), config, body)
+}
+
+/// A [`Precondition`] implementation that routes every application
+/// through a shared preconditioner-backed [`SolverService`] — the
+/// handle that lets a PCG/BiCGSTAB loop share one service (and one
+/// warm engine pair) with foreground traffic, its applications
+/// coalesced into the same fused panels.
+///
+/// Each application submits with a deadline of `now + slack`
+/// ([`ServedPreconditioner::with_slack`]; zero by default), so a
+/// sequential Krylov loop is flushed promptly together with whatever
+/// foreground requests are already queued, instead of lingering a full
+/// [`ServiceConfig::max_linger`] per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServedPreconditioner<'a, 'e, 'm> {
+    svc: &'a SolverService<'e, 'm>,
+    slack: Duration,
+}
+
+impl<'a, 'e, 'm> ServedPreconditioner<'a, 'e, 'm> {
+    /// Wrap a preconditioner-backed service with zero deadline slack
+    /// (lowest latency per application). A solver-backed service is a
+    /// typed error: applying `M⁻¹` through a single-triangle engine
+    /// would silently solve only half the preconditioner.
+    pub fn new(
+        svc: &'a SolverService<'e, 'm>,
+    ) -> Result<ServedPreconditioner<'a, 'e, 'm>, ServeError> {
+        ServedPreconditioner::with_slack(svc, Duration::ZERO)
+    }
+
+    /// [`ServedPreconditioner::new`] with a deadline slack: each
+    /// application may linger up to `slack` so concurrent traffic can
+    /// coalesce into its panel — throughput for latency, bit-identical
+    /// results either way.
+    pub fn with_slack(
+        svc: &'a SolverService<'e, 'm>,
+        slack: Duration,
+    ) -> Result<ServedPreconditioner<'a, 'e, 'm>, ServeError> {
+        match svc.engine {
+            ServiceEngine::Preconditioner(_) => Ok(ServedPreconditioner { svc, slack }),
+            ServiceEngine::Solver(_) => Err(ServeError::InvalidConfig {
+                what: "ServedPreconditioner needs a preconditioner-backed service",
+            }),
+        }
+    }
+}
+
+impl Precondition for ServedPreconditioner<'_, '_, '_> {
+    fn dim(&self) -> usize {
+        self.svc.n()
+    }
+
+    fn precondition_into(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveError> {
+        let deadline = Instant::now() + self.slack;
+        let ticket = self.svc.submit_with_deadline(r, deadline).map_err(SolveError::from)?;
+        ticket.wait_into(z).map_err(SolveError::from)
+    }
+}

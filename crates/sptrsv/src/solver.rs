@@ -128,6 +128,13 @@ pub enum SolveError {
         /// right-hand side *before* any work starts, so a bad vector
         /// names its index up front instead of failing mid-batch.
         index: Option<usize>,
+        /// Which argument was wrong, in the caller's vocabulary
+        /// (`"rhs"` for the solver entry points, `"r"` for the
+        /// preconditioner residual, `"b"` for the Krylov right-hand
+        /// side) — every buffer is validated up front so the Display
+        /// can point at the argument instead of a downstream slice
+        /// panic pointing at a kernel line.
+        buffer: &'static str,
     },
     /// A companion object of a composed solve — the upper factor of a
     /// preconditioner pair, the operator of a Krylov solve — has a
@@ -141,6 +148,17 @@ pub enum SolveError {
         n: usize,
         /// The companion's dimension.
         got: usize,
+    },
+    /// A serving front-end ([`crate::serve`]) refused or abandoned the
+    /// request — admission control (queue full), shutdown, or a
+    /// dispatcher that died mid-solve. Carried through [`SolveError`]
+    /// so a Krylov driver running over a
+    /// [`crate::serve::ServedPreconditioner`] surfaces the rejection
+    /// as a typed error instead of a panic.
+    Rejected {
+        /// Why the service refused (`"queue full"`, `"shutting down"`,
+        /// `"dispatcher panicked"`).
+        reason: &'static str,
     },
     /// A Krylov recurrence denominator collapsed (zero or non-finite) —
     /// the method cannot continue from this state. For PCG this usually
@@ -160,6 +178,9 @@ pub enum SolveError {
         n: usize,
         /// Entries / vectors the caller provided.
         out: usize,
+        /// Which output argument was wrong (`"out"` / `"outs"` for the
+        /// engine tiers, `"z"` / `"zs"` for the preconditioner).
+        buffer: &'static str,
     },
 }
 
@@ -175,20 +196,23 @@ impl std::fmt::Display for SolveError {
             SolveError::Verification { rel_err } => {
                 write!(f, "verification failed: relative error {rel_err:.3e}")
             }
-            SolveError::DimensionMismatch { n, rhs, index } => match index {
+            SolveError::DimensionMismatch { n, rhs, index, buffer } => match index {
                 Some(k) => {
-                    write!(f, "matrix is {n}x{n} but rhs #{k} of the batch has {rhs} entries")
+                    write!(f, "matrix is {n}x{n} but {buffer} #{k} of the batch has {rhs} entries")
                 }
-                None => write!(f, "matrix is {n}x{n} but rhs has {rhs} entries"),
+                None => write!(f, "matrix is {n}x{n} but {buffer} has {rhs} entries"),
             },
             SolveError::ShapeMismatch { what, n, got } => {
                 write!(f, "the {what} is {got}x{got} but the system dimension is {n}")
             }
+            SolveError::Rejected { reason } => {
+                write!(f, "the serving front-end rejected the solve: {reason}")
+            }
             SolveError::Breakdown { method, iteration } => {
                 write!(f, "{method} breakdown at iteration {iteration}: recurrence denominator is zero or non-finite")
             }
-            SolveError::OutputLength { n, out } => {
-                write!(f, "the solve needs {n} output entries (or vectors) but the caller provided {out}")
+            SolveError::OutputLength { n, out, buffer } => {
+                write!(f, "the solve needs {n} entries (or vectors) in output buffer `{buffer}` but the caller provided {out}")
             }
         }
     }
@@ -215,7 +239,12 @@ pub fn solve(
 ) -> Result<SolveReport, SolveError> {
     // reject a bad RHS before paying for the analysis phase
     if b.len() != m.n() {
-        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len(), index: None });
+        return Err(SolveError::DimensionMismatch {
+            n: m.n(),
+            rhs: b.len(),
+            index: None,
+            buffer: "rhs",
+        });
     }
     SolverEngine::build(m, machine_cfg, opts)?.solve(b)
 }
@@ -252,7 +281,12 @@ pub fn solve_multi_rhs(
     opts: &SolveOptions,
 ) -> Result<MultiRhsReport, SolveError> {
     if let Some((k, b)) = bs.iter().enumerate().find(|(_, b)| b.len() != m.n()) {
-        return Err(SolveError::DimensionMismatch { n: m.n(), rhs: b.len(), index: Some(k) });
+        return Err(SolveError::DimensionMismatch {
+            n: m.n(),
+            rhs: b.len(),
+            index: Some(k),
+            buffer: "rhs",
+        });
     }
     SolverEngine::build(m, machine_cfg, opts)?.solve_multi_rhs(bs)
 }

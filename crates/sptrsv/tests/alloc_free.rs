@@ -17,9 +17,11 @@ use mgpu_sim::MachineConfig;
 use sparsemat::factor::ilu0;
 use sparsemat::gen::{self, LevelSpec};
 use sptrsv::krylov::PreconditionerEngine;
+use sptrsv::serve::{serve_solver, ServiceConfig};
 use sptrsv::{verify, SolveOptions, SolveWorkspace, SolverEngine, SolverKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
@@ -127,6 +129,57 @@ fn warm_solve_into_and_panel_allocate_nothing() {
             sharded, 0,
             "{kind:?} verify={verify_opt}: warm solve_sharded_into must not allocate"
         );
+    }
+
+    // --- the serving front-end: once the slots, group buffers and
+    // queue have warmed up, a full submit → coalesce → dispatch →
+    // wait_into cycle must be heap-silent — on BOTH sides of the
+    // queue (the dispatcher thread's allocations land in the same
+    // process-global counter). The panel fills deterministically: the
+    // linger window is effectively infinite and lanes == burst size,
+    // so every panel flushes exactly on Full with all 8 lanes.
+    {
+        let opts = SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 8 },
+            verify: false,
+            ..SolveOptions::default()
+        };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let burst: Vec<Vec<f64>> = (0..8u64).map(|k| verify::rhs_for(&m, 80 + k).1).collect();
+        let expected: Vec<Vec<f64>> = burst.iter().map(|b| engine.solve(b).unwrap().x).collect();
+        let cfg = ServiceConfig {
+            max_lanes: 8,
+            max_queue_requests: 64,
+            max_linger: Duration::from_secs(300),
+            ..Default::default()
+        };
+        serve_solver(&engine, &cfg, |svc| {
+            let mut outs: Vec<Vec<f64>> = (0..8).map(|_| vec![0.0; n]).collect();
+            let mut tickets = Vec::with_capacity(8);
+            // warm-up rounds: create the slots, grow the queue, the
+            // dispatcher group buffers and its panel workspace
+            for _ in 0..3 {
+                for b in &burst {
+                    tickets.push(svc.submit(b).unwrap());
+                }
+                for (t, out) in tickets.drain(..).zip(outs.iter_mut()) {
+                    t.wait_into(out).unwrap();
+                }
+            }
+            let served = allocations_during(|| {
+                for _ in 0..4 {
+                    for b in &burst {
+                        tickets.push(svc.submit(b).unwrap());
+                    }
+                    for (t, out) in tickets.drain(..).zip(outs.iter_mut()) {
+                        t.wait_into(out).unwrap();
+                    }
+                }
+            });
+            assert_eq!(served, 0, "steady-state serving dispatch must not allocate");
+            assert_eq!(outs, expected, "served results stay bit-identical to solve()");
+        })
+        .unwrap();
     }
 
     // --- the preconditioner tier: warm apply_into / apply_batch_into

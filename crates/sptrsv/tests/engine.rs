@@ -193,13 +193,13 @@ fn mismatched_output_count_is_an_error_not_a_panic() {
 
     let mut too_few: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let err = engine.solve_batch_into(&bs, &mut too_few).unwrap_err();
-    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 4 }), "{err:?}");
+    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 4, .. }), "{err:?}");
     let err = engine.solve_panel_into(&bs, &mut too_few, &mut ws).unwrap_err();
-    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 4 }), "{err:?}");
+    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 4, .. }), "{err:?}");
 
     let mut too_many: Vec<Vec<f64>> = vec![Vec::new(); 9];
     let err = engine.solve_batch_into(&bs, &mut too_many).unwrap_err();
-    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 9 }), "{err:?}");
+    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 6, out: 9, .. }), "{err:?}");
 
     // the error message names both counts so the caller knows which
     // argument to fix

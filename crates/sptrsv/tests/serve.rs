@@ -1,0 +1,456 @@
+//! Behavior and stress tests for the serving front-end
+//! (`sptrsv::serve`): bit-identity of coalesced results against serial
+//! `solve()` under many concurrent clients, admission control /
+//! backpressure, deadline-aware flushing, ticket semantics, shutdown
+//! modes, and pool sharing between the dispatcher and foreground
+//! batch work.
+
+use mgpu_sim::MachineConfig;
+use sparsemat::factor::ilu0;
+use sparsemat::gen::{self, LevelSpec};
+use sparsemat::CscMatrix;
+use sptrsv::krylov::{pcg, KrylovOptions, PreconditionerEngine};
+use sptrsv::serve::{
+    serve_preconditioner, serve_solver, ServeError, ServedPreconditioner, ServiceConfig,
+};
+use sptrsv::{verify, SolveError, SolveOptions, SolverEngine, SolverKind};
+use std::time::{Duration, Instant};
+
+fn engine_fixture() -> (CscMatrix, SolveOptions) {
+    let m = gen::level_structured(&LevelSpec::new(1500, 30, 6000, 9));
+    let opts = SolveOptions {
+        kind: SolverKind::ZeroCopy { per_gpu: 8 },
+        verify: false,
+        ..SolveOptions::default()
+    };
+    (m, opts)
+}
+
+/// The acceptance-criteria stress test: 8 submitter threads, each
+/// mixing single submit-then-wait requests with 5-deep bursts and
+/// deadline submissions, every result asserted **bit-identical** to
+/// serial `engine.solve()` of the same right-hand side — whatever
+/// panels the dispatcher coalesced them into.
+#[test]
+fn stress_many_clients_results_bit_identical_to_serial() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    const CLIENTS: u64 = 8;
+    const PER_CLIENT: u64 = 12;
+
+    // serial ground truth, solved on the warm engine up front
+    let expected: Vec<Vec<Vec<f64>>> = (0..CLIENTS)
+        .map(|c| {
+            (0..PER_CLIENT)
+                .map(|k| engine.solve(&verify::rhs_for(&m, 1000 + c * 100 + k).1).unwrap().x)
+                .collect()
+        })
+        .collect();
+
+    let cfg = ServiceConfig { max_linger: Duration::from_micros(300), ..Default::default() };
+    let m = &m;
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        std::thread::scope(|s| {
+            for c in 0..CLIENTS {
+                let expected = &expected[c as usize];
+                s.spawn(move || {
+                    let mut k = 0u64;
+                    while k < PER_CLIENT {
+                        let burst = if k.is_multiple_of(2) { 1 } else { 5.min(PER_CLIENT - k) };
+                        // a burst submits several tickets before
+                        // waiting any — the coalescing opportunity
+                        let tickets: Vec<_> = (k..k + burst)
+                            .map(|j| {
+                                let (_, b) = verify::rhs_for(m, 1000 + c * 100 + j);
+                                if j % 3 == 0 {
+                                    svc.submit_with_deadline(
+                                        &b,
+                                        Instant::now() + Duration::from_micros(150),
+                                    )
+                                    .unwrap()
+                                } else {
+                                    svc.submit(&b).unwrap()
+                                }
+                            })
+                            .collect();
+                        for (j, t) in (k..k + burst).zip(tickets) {
+                            let x = t.wait().unwrap();
+                            assert_eq!(
+                                x, expected[j as usize],
+                                "client {c} request {j}: coalesced result must be \
+                                 bit-identical to serial solve()"
+                            );
+                        }
+                        k += burst;
+                    }
+                });
+            }
+        });
+    })
+    .unwrap();
+
+    let total = CLIENTS * PER_CLIENT;
+    assert_eq!(report.submitted, total);
+    assert_eq!(report.served, total);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.fill_sum, total, "every lane is a served request");
+    assert!(report.panels >= 1 && report.panels <= total);
+    assert!(report.max_fill <= cfg.max_lanes);
+    assert!(report.queue_depth_high_water >= 1);
+}
+
+#[test]
+fn queue_full_backpressure_is_typed_and_submit_never_blocks() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 3);
+    // linger is effectively infinite and the panel never fills, so the
+    // queue holds exactly what we submit until we flush by hand
+    let cfg = ServiceConfig {
+        max_lanes: 8,
+        max_queue_requests: 4,
+        max_linger: Duration::from_secs(300),
+        ..Default::default()
+    };
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        let tickets: Vec<_> = (0..4).map(|_| svc.submit(&b).unwrap()).collect();
+        let t0 = Instant::now();
+        let err = svc.submit(&b).unwrap_err();
+        assert!(
+            matches!(err, ServeError::QueueFull { depth: 4, .. }),
+            "a full queue must reject, got {err:?}"
+        );
+        assert!(t0.elapsed() < Duration::from_secs(60), "submit must not block");
+        svc.flush();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    })
+    .unwrap();
+    assert_eq!(report.rejected_full, 1);
+    assert!(report.hint_flushes >= 1, "flush() must be counted: {report:?}");
+}
+
+#[test]
+fn byte_bound_backpressure() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 4);
+    let bytes_per = m.n() * std::mem::size_of::<f64>();
+    let cfg = ServiceConfig {
+        max_lanes: 8,
+        max_queue_bytes: 2 * bytes_per,
+        max_linger: Duration::from_secs(300),
+        ..Default::default()
+    };
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        let t1 = svc.submit(&b).unwrap();
+        let t2 = svc.submit(&b).unwrap();
+        let err = svc.submit(&b).unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull { .. }), "{err:?}");
+        svc.flush();
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+    })
+    .unwrap();
+    assert_eq!(report.rejected_full, 1);
+    assert_eq!(report.queue_bytes_high_water, 2 * bytes_per);
+}
+
+#[test]
+fn shutdown_rejects_new_submits_and_drains_queued_work() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 5);
+    let expect = engine.solve(&b).unwrap().x;
+    let cfg =
+        ServiceConfig { max_lanes: 8, max_linger: Duration::from_secs(300), ..Default::default() };
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        let t1 = svc.submit(&b).unwrap();
+        let t2 = svc.submit(&b).unwrap();
+        svc.shutdown();
+        let err = svc.submit(&b).unwrap_err();
+        assert!(matches!(err, ServeError::ShuttingDown), "{err:?}");
+        // draining shutdown still completes queued work, bit-identical
+        assert_eq!(t1.wait().unwrap(), expect);
+        assert_eq!(t2.wait().unwrap(), expect);
+    })
+    .unwrap();
+    assert_eq!(report.rejected_shutdown, 1);
+    assert_eq!(report.drained, 2);
+    assert_eq!(report.served, 2);
+}
+
+#[test]
+fn non_draining_shutdown_rejects_queued_work() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 6);
+    let cfg = ServiceConfig {
+        max_lanes: 8,
+        max_linger: Duration::from_secs(300),
+        drain_on_shutdown: false,
+        ..Default::default()
+    };
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        let t1 = svc.submit(&b).unwrap();
+        let t2 = svc.submit(&b).unwrap();
+        svc.shutdown();
+        assert!(matches!(t1.wait(), Err(ServeError::ShuttingDown)));
+        assert!(matches!(t2.wait(), Err(ServeError::ShuttingDown)));
+    })
+    .unwrap();
+    assert_eq!(report.shutdown_rejected, 2);
+    assert_eq!(report.served, 0);
+}
+
+/// A flush hint is consumed by whichever pop services it — it must
+/// never leak into a later, unrelated panel: after hinted traffic
+/// completes, a fresh lone submission lingers until its own trigger.
+#[test]
+fn flush_hint_does_not_leak_into_the_next_panel() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 12);
+    let cfg =
+        ServiceConfig { max_lanes: 8, max_linger: Duration::from_secs(300), ..Default::default() };
+    serve_solver(&engine, &cfg, |svc| {
+        // round 1: a hinted partial panel
+        let hinted: Vec<_> = (0..3).map(|_| svc.submit(&b).unwrap()).collect();
+        svc.flush();
+        for t in hinted {
+            t.wait().unwrap();
+        }
+        // round 2: a lone request must sit in its linger window — no
+        // residual hint state may flush it
+        let t = svc.submit(&b).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        let t = t.try_wait().expect_err("a stale flush hint must not flush a lone request");
+        svc.flush();
+        t.wait().unwrap();
+    })
+    .unwrap();
+}
+
+/// Shutdown racing a flood: every accepted request is accounted for
+/// exactly once — solved before shutdown was observed, or completed
+/// with `ShuttingDown` (draining off) — and the report's conservation
+/// holds. Regression for the shutdown-vs-full flush ordering: panels
+/// still queued when shutdown is observed must be rejected, not
+/// solved, when draining is off.
+#[test]
+fn rapid_shutdown_conserves_every_request() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 13);
+    let cfg = ServiceConfig {
+        max_lanes: 4,
+        max_linger: Duration::from_secs(300),
+        drain_on_shutdown: false,
+        ..Default::default()
+    };
+    let ((ok, rejected), report) = serve_solver(&engine, &cfg, |svc| {
+        let tickets: Vec<_> = (0..12).map(|_| svc.submit(&b).unwrap()).collect();
+        svc.shutdown();
+        let mut ok = 0u64;
+        let mut rejected = 0u64;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => ok += 1,
+                Err(ServeError::ShuttingDown) => rejected += 1,
+                Err(e) => panic!("unexpected completion: {e:?}"),
+            }
+        }
+        (ok, rejected)
+    })
+    .unwrap();
+    assert_eq!(ok + rejected, 12, "every accepted request completes exactly once");
+    assert_eq!(report.served, ok);
+    assert_eq!(report.shutdown_rejected, rejected);
+    assert_eq!(report.submitted, 12);
+    assert_eq!(report.drained, 0, "draining is off");
+}
+
+#[test]
+fn deadline_flushes_a_partial_panel_early() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 7);
+    let expect = engine.solve(&b).unwrap().x;
+    // without the deadline this panel would linger for five minutes
+    let cfg =
+        ServiceConfig { max_lanes: 8, max_linger: Duration::from_secs(300), ..Default::default() };
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        let t0 = Instant::now();
+        let t = svc.submit_with_deadline(&b, Instant::now() + Duration::from_millis(5)).unwrap();
+        assert_eq!(t.wait().unwrap(), expect);
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "a deadline submission must flush long before the linger window"
+        );
+    })
+    .unwrap();
+    assert!(report.deadline_flushes >= 1, "{report:?}");
+}
+
+#[test]
+fn ticket_try_wait_and_wait_timeout_round_trip() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 8);
+    let expect = engine.solve(&b).unwrap().x;
+    let cfg = ServiceConfig {
+        max_lanes: 8,
+        max_queue_requests: 16,
+        max_linger: Duration::from_secs(300),
+        ..Default::default()
+    };
+    serve_solver(&engine, &cfg, |svc| {
+        let t = svc.submit(&b).unwrap();
+        // nothing will flush this panel for minutes, so the
+        // non-blocking and bounded waits must come back unfinished
+        let t = t.try_wait().expect_err("must still be pending");
+        let t = t
+            .wait_timeout(Duration::from_millis(20))
+            .expect_err("20ms cannot outlast a 300s linger");
+        svc.flush();
+        let x = t.wait().unwrap();
+        assert_eq!(x, expect);
+
+        // dropping a ticket abandons the request without wedging the
+        // service or leaking its slot
+        let dropped = svc.submit(&b).unwrap();
+        drop(dropped);
+        svc.flush();
+        let again = svc.submit(&b).unwrap();
+        svc.flush();
+        assert_eq!(again.wait().unwrap(), expect);
+    })
+    .unwrap();
+}
+
+/// Wide groups dispatch through the engine's pooled batch tier while a
+/// foreground thread hammers the same pool with its own batched
+/// solves — the scope_run helping discipline must keep both sides
+/// making progress (no deadlock), and every result stays bit-identical.
+#[test]
+fn wide_groups_share_the_worker_pool_with_foreground_batches() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let bs: Vec<Vec<f64>> = (0..24).map(|k| verify::rhs_for(&m, 400 + k).1).collect();
+    let expected: Vec<Vec<f64>> = bs.iter().map(|b| engine.solve(b).unwrap().x).collect();
+    let cfg = ServiceConfig {
+        max_lanes: 24, // ≥ 2 × PANEL_K: the pooled dispatch path
+        max_linger: Duration::from_millis(2),
+        ..Default::default()
+    };
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        std::thread::scope(|s| {
+            // foreground: direct pooled batches on the same engine
+            s.spawn(|| {
+                let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+                for _ in 0..3 {
+                    engine.solve_batch_into(&bs, &mut outs).unwrap();
+                    assert_eq!(outs, expected);
+                }
+            });
+            // served traffic: bursts wide enough to hit the pooled tier
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let tickets: Vec<_> = bs.iter().map(|b| svc.submit(b).unwrap()).collect();
+                    for (t, e) in tickets.into_iter().zip(&expected) {
+                        assert_eq!(&t.wait().unwrap(), e);
+                    }
+                });
+            }
+        });
+    })
+    .unwrap();
+    assert_eq!(report.served, 48);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn served_preconditioner_keeps_pcg_trajectory_bit_identical() {
+    let a = gen::grid_laplacian(14, 11);
+    let f = ilu0(&a, 1e-8).unwrap();
+    let opts = SolveOptions {
+        kind: SolverKind::ZeroCopy { per_gpu: 8 },
+        verify: false,
+        ..SolveOptions::default()
+    };
+    let pre = PreconditionerEngine::from_ilu0(&f, MachineConfig::dgx1(4), &opts).unwrap();
+    let b: Vec<f64> = (0..a.n()).map(|i| ((i % 17) as f64 - 8.0) / 8.0).collect();
+    let kopts = KrylovOptions::default();
+    let baseline = pcg(&a, &b, &pre, &kopts).unwrap();
+    assert!(baseline.converged);
+
+    let cfg = ServiceConfig { max_linger: Duration::from_micros(200), ..Default::default() };
+    let (served, report) = serve_preconditioner(&pre, &cfg, |svc| {
+        let sp = ServedPreconditioner::new(svc).unwrap();
+        std::thread::scope(|s| {
+            // foreground traffic shares the service while PCG runs
+            s.spawn(|| {
+                for k in 0..20u64 {
+                    let (_, r) = verify::rhs_for(&f.l, 70 + k);
+                    let t = svc.submit(&r).unwrap();
+                    t.wait().unwrap();
+                }
+            });
+            pcg(&a, &b, &sp, &kopts).unwrap()
+        })
+    })
+    .unwrap();
+    assert_eq!(served.x, baseline.x, "served PCG iterates must be bit-identical");
+    assert_eq!(served.residual_history, baseline.residual_history);
+    assert_eq!(served.iterations, baseline.iterations);
+    assert!(report.served >= served.iterations as u64 + 20);
+}
+
+#[test]
+fn served_preconditioner_rejects_solver_backed_service() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    serve_solver(&engine, &ServiceConfig::default(), |svc| {
+        let err = ServedPreconditioner::new(svc).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err:?}");
+    })
+    .unwrap();
+}
+
+#[test]
+fn invalid_configs_are_typed_errors() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let bad = ServiceConfig { max_queue_requests: 0, ..Default::default() };
+    let err = serve_solver(&engine, &bad, |_| ()).unwrap_err();
+    assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err:?}");
+    let bad = ServiceConfig { max_queue_bytes: 0, ..Default::default() };
+    let err = serve_solver(&engine, &bad, |_| ()).unwrap_err();
+    assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err:?}");
+    // a zero lane count is clamped, not fatal
+    let clamped = ServiceConfig { max_lanes: 0, ..Default::default() };
+    let (_, b) = verify::rhs_for(&m, 11);
+    let expect = engine.solve(&b).unwrap().x;
+    let ((), report) = serve_solver(&engine, &clamped, |svc| {
+        assert_eq!(svc.submit(&b).unwrap().wait().unwrap(), expect);
+    })
+    .unwrap();
+    assert_eq!(report.max_fill, 1);
+}
+
+#[test]
+fn wrong_length_submission_names_the_buffer() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    serve_solver(&engine, &ServiceConfig::default(), |svc| {
+        let err = svc.submit(&[1.0, 2.0]).unwrap_err();
+        let ServeError::Solve(inner) = &err else { panic!("expected Solve, got {err:?}") };
+        assert!(
+            matches!(inner, SolveError::DimensionMismatch { rhs: 2, buffer: "b", .. }),
+            "{inner:?}"
+        );
+        assert!(err.to_string().contains("b has 2 entries"), "{err}");
+    })
+    .unwrap();
+}

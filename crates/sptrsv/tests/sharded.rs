@@ -137,5 +137,5 @@ fn sharded_rejects_bad_inputs_with_typed_errors() {
     assert!(matches!(err, sptrsv::SolveError::DimensionMismatch { n: 300, rhs: 2, .. }));
     let mut short = vec![0.0f64; 7];
     let err = engine.solve_sharded_into(&b, &mut short, &mut ws, 4).unwrap_err();
-    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 300, out: 7 }));
+    assert!(matches!(err, sptrsv::SolveError::OutputLength { n: 300, out: 7, .. }));
 }
