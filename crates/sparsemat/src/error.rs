@@ -36,6 +36,15 @@ pub enum MatrixError {
         /// Column of the violating entry.
         col: usize,
     },
+    /// A stored value is NaN or infinite — a factor carrying it would
+    /// poison every solve that touches the entry. Surfaced by the
+    /// build-time [`crate::factor::audit_factor`] sweep.
+    NonFiniteValue {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
     /// A caller-supplied scalar argument (e.g. the ILU(0) pivot fill)
     /// is outside its valid domain.
     InvalidArgument {
@@ -64,6 +73,9 @@ impl fmt::Display for MatrixError {
             MatrixError::ZeroDiagonal(i) => write!(f, "zero diagonal entry at {i} (singular)"),
             MatrixError::NotTriangular { expected, row, col } => {
                 write!(f, "entry ({row}, {col}) violates {expected} triangular structure")
+            }
+            MatrixError::NonFiniteValue { row, col } => {
+                write!(f, "non-finite value at ({row}, {col}) would poison every dependent solve")
             }
             MatrixError::InvalidArgument { what, value } => {
                 write!(f, "invalid {what}: {value} (must be finite and nonzero)")

@@ -115,6 +115,112 @@ pub fn ilu0(a: &CscMatrix, pivot_fill: f64) -> Result<LuFactors, MatrixError> {
     Ok(LuFactors { l, u })
 }
 
+/// Findings per category an audit keeps before it stops recording (the
+/// counts stay exact; only the located examples are capped).
+pub const AUDIT_MAX_FINDINGS: usize = 16;
+
+/// Result of a build-time numeric/structural sweep over a factor —
+/// the guardrail between a factorization and the thousands of warm
+/// solves amortized over it. A NaN produced by one bad pivot poisons
+/// *every* subsequent solve bit-identically, so the sweep runs once at
+/// engine build (where the cost is amortized away) instead of per
+/// solve.
+///
+/// Findings are recorded up to [`AUDIT_MAX_FINDINGS`] per category
+/// (`truncated` reports whether any list hit the cap); the `*_count`
+/// totals are always exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FactorAudit {
+    /// Diagonal entries that are exactly zero (singular pivot rows).
+    pub zero_diagonals: Vec<usize>,
+    /// Diagonal entries that are NaN or infinite.
+    pub nonfinite_diagonals: Vec<usize>,
+    /// Off-diagonal `(row, col)` entries that are NaN or infinite.
+    pub nonfinite_offdiagonals: Vec<(usize, usize)>,
+    /// `(row, col)` pairs stored more than once within a column —
+    /// structurally malformed storage that would double-count updates.
+    pub duplicate_entries: Vec<(usize, usize)>,
+    /// Exact total of offending entries across all categories (the
+    /// example lists above are capped, this count is not).
+    pub finding_count: usize,
+    /// Whether any example list hit [`AUDIT_MAX_FINDINGS`].
+    pub truncated: bool,
+}
+
+impl FactorAudit {
+    /// `true` when the sweep found nothing — the factor is safe to
+    /// amortize warm solves over.
+    pub fn is_clean(&self) -> bool {
+        self.finding_count == 0
+    }
+
+    /// The most severe finding as a typed error (`None` when clean):
+    /// non-finite values first (they poison silently), then zero
+    /// diagonals (they fail loudly at solve time), then duplicates.
+    pub fn first_error(&self) -> Option<MatrixError> {
+        if let Some(&i) = self.nonfinite_diagonals.first() {
+            return Some(MatrixError::NonFiniteValue { row: i, col: i });
+        }
+        if let Some(&(r, c)) = self.nonfinite_offdiagonals.first() {
+            return Some(MatrixError::NonFiniteValue { row: r, col: c });
+        }
+        if let Some(&i) = self.zero_diagonals.first() {
+            return Some(MatrixError::ZeroDiagonal(i));
+        }
+        if let Some(&(_, c)) = self.duplicate_entries.first() {
+            return Some(MatrixError::UnsortedIndices { outer: c });
+        }
+        None
+    }
+}
+
+/// Sweep a (triangular) factor for the numeric and structural hazards
+/// that would poison warm solves: zero or non-finite diagonals,
+/// non-finite off-diagonals, and duplicated entries within a column.
+/// One `O(nnz)` pass; see [`FactorAudit`] for the reporting contract.
+pub fn audit_factor(m: &CscMatrix) -> FactorAudit {
+    let n = m.n();
+    let mut audit = FactorAudit::default();
+    let record_cap = |list_len: usize| list_len < AUDIT_MAX_FINDINGS;
+    for j in 0..n {
+        let mut prev_row: Option<u32> = None;
+        for (r, v) in m.col(j) {
+            let row = r as usize;
+            if !v.is_finite() {
+                audit.finding_count += 1;
+                if row == j {
+                    if record_cap(audit.nonfinite_diagonals.len()) {
+                        audit.nonfinite_diagonals.push(row);
+                    } else {
+                        audit.truncated = true;
+                    }
+                } else if record_cap(audit.nonfinite_offdiagonals.len()) {
+                    audit.nonfinite_offdiagonals.push((row, j));
+                } else {
+                    audit.truncated = true;
+                }
+            } else if row == j && v == 0.0 {
+                audit.finding_count += 1;
+                if record_cap(audit.zero_diagonals.len()) {
+                    audit.zero_diagonals.push(row);
+                } else {
+                    audit.truncated = true;
+                }
+            }
+            if prev_row == Some(r) {
+                audit.finding_count += 1;
+                if record_cap(audit.duplicate_entries.len()) {
+                    audit.duplicate_entries.push((row, j));
+                } else {
+                    audit.truncated = true;
+                }
+            }
+            prev_row = Some(r);
+        }
+    }
+    audit
+}
+
 /// Copy of `a` with every missing diagonal entry inserted as `fill`.
 fn with_full_diagonal(a: &CscMatrix, fill: f64) -> CscMatrix {
     let n = a.n();
@@ -270,6 +376,47 @@ mod tests {
                 assert!((lu - av).abs() < 1e-10, "LU({i},{j})={lu} vs A={av}");
             }
         }
+    }
+
+    #[test]
+    fn audit_passes_clean_factors() {
+        let a = gen::grid_laplacian(8, 8);
+        let f = ilu0(&a, 1e-8).unwrap();
+        let audit = audit_factor(&f.l);
+        assert!(audit.is_clean());
+        assert!(audit.first_error().is_none());
+        assert!(!audit.truncated);
+    }
+
+    #[test]
+    fn audit_finds_nonfinite_and_zero_diagonals() {
+        let mut b = TripletBuilder::new(3);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, f64::NAN);
+        b.push(1, 1, 0.0);
+        b.push(2, 2, f64::INFINITY);
+        let m = b.build().unwrap();
+        let audit = audit_factor(&m);
+        assert_eq!(audit.zero_diagonals, vec![1]);
+        assert_eq!(audit.nonfinite_diagonals, vec![2]);
+        assert_eq!(audit.nonfinite_offdiagonals, vec![(1, 0)]);
+        assert_eq!(audit.finding_count, 3);
+        // severity order: non-finite beats zero-diagonal
+        assert!(matches!(audit.first_error(), Some(MatrixError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn audit_counts_past_the_example_cap() {
+        let n = AUDIT_MAX_FINDINGS + 8;
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            b.push(i, i, f64::NAN);
+        }
+        let m = b.build().unwrap();
+        let audit = audit_factor(&m);
+        assert_eq!(audit.nonfinite_diagonals.len(), AUDIT_MAX_FINDINGS);
+        assert_eq!(audit.finding_count, n, "counts stay exact past the cap");
+        assert!(audit.truncated);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub use corpus::{corpus, spd_corpus, NamedMatrix, PaperStats, SpdMatrix};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::MatrixError;
+pub use factor::{audit_factor, FactorAudit};
 pub use levels::LevelSets;
 pub use reorder::Permutation;
 

@@ -100,7 +100,7 @@ use crate::verify;
 use crate::Backend;
 use desim::SimTime;
 use mgpu_sim::{Machine, MachineConfig};
-use sparsemat::{CscMatrix, LevelSets};
+use sparsemat::{CscMatrix, FactorAudit, LevelSets, MatrixError};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// A reusable solver: analysis done once at build, arbitrarily many
@@ -114,6 +114,10 @@ pub struct SolverEngine<'m> {
     m: &'m CscMatrix,
     opts: SolveOptions,
     variant: Variant,
+    /// The build-time numeric/structural sweep over the factor (see
+    /// [`sparsemat::audit_factor`]); clean by construction on a built
+    /// engine, since non-finite findings fail the build.
+    audit: FactorAudit,
     /// Worker pool + recycled workspaces — engine-private by default,
     /// or shared with sibling engines via
     /// [`SolverEngine::build_shared`] (the L/U pair of a
@@ -148,6 +152,14 @@ impl EngineResources {
 
     fn pool(&self) -> &WorkerPool {
         self.pool.get_or_init(WorkerPool::new)
+    }
+
+    /// Times the worker pool came up short of a requested thread count
+    /// (spawn failure, real or injected) — every shortfall degraded a
+    /// sharded solve to the bit-identical serial replay. Zero if the
+    /// pool was never spawned.
+    pub fn spawn_shortfalls(&self) -> u64 {
+        self.pool.get().map_or(0, WorkerPool::spawn_shortfalls)
     }
 
     pub(crate) fn take_workspace(&self) -> SolveWorkspace {
@@ -268,6 +280,15 @@ impl<'m> SolverEngine<'m> {
         resources: Arc<EngineResources>,
     ) -> Result<SolverEngine<'m>, SolveError> {
         m.validate_triangular(opts.triangle)?;
+        // numeric guardrail, paid once where it is amortized: a NaN or
+        // infinity in the factor would poison thousands of warm solves
+        // bit-identically, so it fails the build instead. Zero
+        // diagonals and duplicates were already rejected above; the
+        // audit is kept on the engine as evidence the sweep ran.
+        let audit = sparsemat::audit_factor(m);
+        if let Some(e @ MatrixError::NonFiniteValue { .. }) = audit.first_error() {
+            return Err(SolveError::Matrix(e));
+        }
         let label: Arc<str> = opts.kind.label().into();
         let zeros = vec![0.0f64; m.n()];
 
@@ -401,7 +422,16 @@ impl<'m> SolverEngine<'m> {
             }
         };
 
-        Ok(SolverEngine { m, opts: opts.clone(), variant, resources })
+        Ok(SolverEngine { m, opts: opts.clone(), variant, audit, resources })
+    }
+
+    /// The build-time [`FactorAudit`] over this engine's factor. On a
+    /// successfully built engine it never carries non-finite findings
+    /// (those fail [`SolverEngine::build`] with a typed error), so
+    /// this is the evidence trail that the sweep ran, plus whatever
+    /// benign findings a caller may want to log.
+    pub fn factor_audit(&self) -> &FactorAudit {
+        &self.audit
     }
 
     /// The factor this engine was built for.

@@ -67,7 +67,17 @@
 //!   of blocking), and reports per-service statistics. Results are
 //!   bit-identical to serial [`SolverEngine::solve`] for every
 //!   coalescing interleaving, and steady-state dispatch allocates
-//!   nothing — the "heavy traffic" path of the north star.
+//!   nothing — the "heavy traffic" path of the north star. The
+//!   front-end is self-healing: [`SolverService::run_supervised`]
+//!   restarts a panicked dispatcher with seeded exponential backoff, a
+//!   circuit breaker degrades repeated panel failures to the
+//!   bit-identical per-request serial path, and non-finite inputs are
+//!   contained per ticket (admission scan + opt-in output scan).
+//! * [`fault`] — the deterministic, seed-driven fault-injection plane
+//!   behind the chaos suite: a [`fault::FaultPlan`] schedules worker
+//!   spawn failures, task/dispatcher panics, admission shedding and
+//!   RHS corruption from one `u64` seed (probes compile to constant
+//!   `false` without the `fault-inject` feature).
 //!
 //! Every solve computes real `f64` numerics while the discrete-event
 //! machine model advances virtual time, so results are simultaneously
@@ -98,6 +108,7 @@
 pub mod cpu;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub mod krylov;
 pub mod levelset;
 pub mod plan;
@@ -109,6 +120,7 @@ pub mod solver;
 pub mod verify;
 
 pub use engine::{EngineResources, SolveWorkspace, SolverEngine};
+pub use fault::{FaultPlan, FaultSite};
 pub use krylov::{
     bicgstab, pcg, ApplyWorkspace, KrylovOptions, KrylovReport, Precondition, PreconditionerEngine,
     SpMv,
@@ -116,8 +128,8 @@ pub use krylov::{
 pub use plan::{ExecutionPlan, Partition};
 pub use report::{SolveReport, Timings};
 pub use serve::{
-    serve_preconditioner, serve_solver, ServeError, ServedPreconditioner, ServiceConfig,
-    ServiceEngine, ServiceReport, SolverService, Ticket,
+    serve_preconditioner, serve_solver, RetryPolicy, ServeError, ServedPreconditioner,
+    ServiceConfig, ServiceEngine, ServiceHealth, ServiceReport, SolverService, Ticket,
 };
 pub use solver::{solve, solve_multi_rhs, MultiRhsReport, SolveError, SolveOptions, SolverKind};
 

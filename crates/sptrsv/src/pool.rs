@@ -54,6 +54,7 @@
 //! the sharded replay shares across region workers, lives here for the
 //! same reason); keep it that way.
 
+use crate::fault::{self, FaultSite};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -177,6 +178,10 @@ struct Shared {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Times [`WorkerPool::ensure_threads`] returned fewer workers than
+    /// requested (spawn failure, real or injected). Callers with a
+    /// serial fallback read this to report how often they degraded.
+    shortfalls: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -196,6 +201,7 @@ impl WorkerPool {
                 region_cv: Condvar::new(),
             }),
             handles: Mutex::new(Vec::new()),
+            shortfalls: AtomicU64::new(0),
         }
     }
 
@@ -214,6 +220,11 @@ impl WorkerPool {
     pub fn ensure_threads(&self, n: usize) -> usize {
         let mut handles = self.handles.lock().expect("pool poisoned");
         while handles.len() < n {
+            // injected spawn failure: stop growing exactly like a real
+            // EAGAIN from the OS would
+            if fault::fire(FaultSite::WorkerSpawn) {
+                break;
+            }
             let shared = Arc::clone(&self.shared);
             let name = format!("sptrsv-worker-{}", handles.len());
             match std::thread::Builder::new().name(name).spawn(move || worker_loop(&shared)) {
@@ -221,7 +232,16 @@ impl WorkerPool {
                 Err(_) => break,
             }
         }
+        if handles.len() < n {
+            self.shortfalls.fetch_add(1, Ordering::Relaxed);
+        }
         handles.len()
+    }
+
+    /// Times [`WorkerPool::ensure_threads`] came up short of its
+    /// request since the pool was created.
+    pub fn spawn_shortfalls(&self) -> u64 {
+        self.shortfalls.load(Ordering::Relaxed)
     }
 
     /// Run every task to completion on the pool, blocking the caller
@@ -478,8 +498,14 @@ fn worker_loop(shared: &Shared) {
             Work::Task(job) => {
                 // catch unwinds so a panicking task cannot kill the
                 // worker or skip the latch; the payload resurfaces on
-                // the caller's thread
-                let result = catch_unwind(AssertUnwindSafe(job.task));
+                // the caller's thread. The injected panic rides inside
+                // the same catch, exactly like a real task bug — never
+                // inside a region body, whose barriers a panicking
+                // worker would strand.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    fault::fire_panic(FaultSite::WorkerTaskPanic);
+                    (job.task)();
+                }));
                 job.latch.complete(result.err());
             }
             Work::Region(f, idx) => {

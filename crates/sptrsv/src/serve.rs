@@ -95,6 +95,28 @@
 //! dispatch through the pooled batch tier instead, which allocates
 //! its chunk tasks per dispatch — documented trade, not default.
 //!
+//! ## Failure modes and containment
+//!
+//! Every fault the [`crate::fault`] plane can inject (and the real
+//! failure it stands in for) has a designed containment boundary, a
+//! typed client-visible outcome, and a counter that proves it fired —
+//! the chaos suite (`tests/chaos.rs`) asserts all three columns for
+//! 64 seeded plans:
+//!
+//! | Fault site ([`crate::fault::FaultSite`]) | Containment boundary | Client sees | Counter |
+//! |---|---|---|---|
+//! | `WorkerSpawn` | pool `ensure_threads` under-provisions; sharded tier declines and replays serially (bit-identical) | nothing — correct results, less parallelism | [`ServiceReport::spawn_shortfalls`] |
+//! | `WorkerTaskPanic` | worker-loop `catch_unwind`; batch tier converts to an error for that panel | [`ServeError::Solve`] / [`ServeError::DispatcherPanicked`] on the panel | [`ServiceReport::failed`], breaker counters |
+//! | `DispatcherPanic` | supervisor in `dispatcher_loop`: in-flight panel failed `Retryable`, dispatcher restarted with backoff ([`SolverService::run_supervised`]) | [`ServeError::Retryable`]; resubmit succeeds | [`ServiceReport::dispatcher_restarts`] |
+//! | `PanelSolve` (kernel panic) | per-panel `catch_unwind` in `run_group`; [`BREAKER_TRIP_PANELS`] consecutive failures open the circuit breaker → per-request serial solves | [`ServeError::DispatcherPanicked`] on failed panels, then plain results (degraded, bit-identical) | [`ServiceReport::breaker_trips`], [`ServiceReport::degraded_solves`] |
+//! | `AdmissionAlloc` | admission control sheds exactly like a full queue | [`ServeError::QueueFull`]; [`SolverService::submit_with_retry`] absorbs it | [`ServiceReport::admission_shed`] |
+//! | `RhsCorruptNonFinite` | post-admission corruption; the output scan ([`ServiceConfig::scan_outputs`]) quarantines the lane and re-solves its panel-mates | [`SolveError::NonFinite`] on the one poisoned request; mates get bit-identical results | [`ServiceReport::poisoned_lanes`], [`ServiceReport::panel_retries`] |
+//!
+//! Finite-but-wrong inputs are cheaper to stop earlier: submits scan
+//! the right-hand side at admission (typed [`SolveError::NonFinite`],
+//! `buffer: "b"`), and [`SolverEngine::build`] audits the factor for
+//! non-finite entries before any service can be built over it.
+//!
 //! ## Pool-worker clients
 //!
 //! Clients may submit (and wait) from inside the engine's own
@@ -106,8 +128,9 @@
 //! of waiting on occupied workers — so a full pool of blocked clients
 //! cannot deadlock the service (regression-tested).
 
-use crate::engine::{SolveWorkspace, SolverEngine};
+use crate::engine::{EngineResources, SolveWorkspace, SolverEngine};
 use crate::exec::PANEL_K;
+use crate::fault::{self, FaultSite};
 use crate::krylov::{ApplyWorkspace, Precondition, PreconditionerEngine};
 use crate::solver::SolveError;
 use std::collections::VecDeque;
@@ -148,6 +171,18 @@ pub enum ServeError {
     /// requests are failed with this error and the service keeps
     /// serving — one poisoned group must not brick the front-end.
     DispatcherPanicked,
+    /// The request was accepted but its dispatcher died before (or
+    /// while) solving it: under
+    /// [`SolverService::run_supervised`] the dispatcher restarted, or
+    /// the service aborted after exhausting its restart budget. The
+    /// right-hand side was never partially consumed, so resubmitting
+    /// is safe — which is exactly what
+    /// [`SolverService::submit_with_retry`] and
+    /// [`ServedPreconditioner`] do.
+    Retryable {
+        /// What interrupted the request.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -166,11 +201,21 @@ impl std::fmt::Display for ServeError {
             ServeError::DispatcherPanicked => {
                 write!(f, "the dispatcher caught a panic while solving this panel")
             }
+            ServeError::Retryable { reason } => {
+                write!(f, "request interrupted ({reason}); safe to resubmit")
+            }
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SolveError> for ServeError {
     fn from(e: SolveError) -> Self {
@@ -193,6 +238,9 @@ impl From<ServeError> for SolveError {
             ServeError::DispatcherPanicked => {
                 SolveError::Rejected { reason: "dispatcher panicked" }
             }
+            ServeError::Retryable { .. } => {
+                SolveError::Rejected { reason: "request interrupted by a dispatcher restart" }
+            }
         }
     }
 }
@@ -211,10 +259,33 @@ pub struct ServiceConfig {
     pub max_queue_bytes: usize,
     /// Longest a queued request may wait for its panel to fill before
     /// the dispatcher flushes a partial one. Clamped to one hour.
+    /// `Duration::ZERO` is a valid, documented setting: every flush
+    /// plan is already due, so each request is dispatched immediately
+    /// in whatever partial panel is queued — maximum latency priority,
+    /// minimum coalescing.
     pub max_linger: Duration,
     /// On shutdown, solve what is still queued (`true`, default) or
     /// complete it with [`ServeError::ShuttingDown`] (`false`).
     pub drain_on_shutdown: bool,
+    /// Scan every successful panel's outputs for non-finite values and
+    /// fail only the poisoned lanes with [`SolveError::NonFinite`]
+    /// (`buffer: "x"`), re-solving the clean lanes so they are never
+    /// collateral damage. Off by default: the scan is an `O(n)` pass
+    /// per lane, and a finite factor plus finite right-hand sides
+    /// cannot produce non-finite outputs.
+    pub scan_outputs: bool,
+    /// Under [`SolverService::run_supervised`]: most dispatcher
+    /// restarts before the service gives up, aborts queued work with
+    /// [`ServeError::Retryable`], and re-raises the panic. Ignored by
+    /// plain [`SolverService::run`], which never restarts.
+    pub max_dispatcher_restarts: u32,
+    /// Base delay of the supervised restart backoff; doubles per
+    /// consecutive restart (with deterministic jitter, capped at
+    /// 100 ms). Clamped to one second.
+    pub restart_backoff: Duration,
+    /// Seed for the restart backoff jitter — supervision is as
+    /// reproducible as everything else in this repository.
+    pub supervision_seed: u64,
 }
 
 impl Default for ServiceConfig {
@@ -225,6 +296,10 @@ impl Default for ServiceConfig {
             max_queue_bytes: 256 << 20,
             max_linger: Duration::from_micros(200),
             drain_on_shutdown: true,
+            scan_outputs: false,
+            max_dispatcher_restarts: 8,
+            restart_backoff: Duration::from_micros(50),
+            supervision_seed: 0,
         }
     }
 }
@@ -232,22 +307,102 @@ impl Default for ServiceConfig {
 impl ServiceConfig {
     /// Clamp the self-healable knobs (a zero lane count means one
     /// lane; a multi-hour linger is capped) and reject the
-    /// unserviceable ones with a typed error — a zero queue bound
-    /// would silently reject every request, which is a configuration
+    /// unserviceable ones with a typed error — a zero queue bound, or
+    /// a byte bound smaller than one `n`-length right-hand side, would
+    /// silently reject every request forever, which is a configuration
     /// bug, not a load condition.
-    fn validated(&self) -> Result<ServiceConfig, ServeError> {
+    fn validated(&self, n: usize) -> Result<ServiceConfig, ServeError> {
         if self.max_queue_requests == 0 {
             return Err(ServeError::InvalidConfig { what: "max_queue_requests must be ≥ 1" });
         }
         if self.max_queue_bytes == 0 {
             return Err(ServeError::InvalidConfig { what: "max_queue_bytes must be ≥ 1" });
         }
+        if self.max_queue_bytes < n * mem::size_of::<f64>() {
+            return Err(ServeError::InvalidConfig {
+                what: "max_queue_bytes is smaller than one right-hand side — admits nothing",
+            });
+        }
         let mut cfg = self.clone();
         cfg.max_lanes = cfg.max_lanes.max(1);
         cfg.max_linger = cfg.max_linger.min(Duration::from_secs(3600));
+        cfg.restart_backoff = cfg.restart_backoff.min(Duration::from_secs(1));
         Ok(cfg)
     }
 }
+
+/// Coarse service condition, computed on demand by
+/// [`SolverService::health`] from the live counters — what an external
+/// load balancer would poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceHealth {
+    /// Accepting and serving normally.
+    Ok,
+    /// Serving, but impaired: the circuit breaker is open (panels run
+    /// on the degraded per-request serial path) or the dispatcher
+    /// restarted within the last few panels.
+    Degraded {
+        /// Why the service is degraded.
+        reason: &'static str,
+    },
+    /// Shutdown has begun; submits are rejected while queued work
+    /// drains.
+    Draining,
+}
+
+/// Client-side retry schedule for [`SolverService::submit_with_retry`]
+/// and [`ServedPreconditioner`]: bounded attempts with deterministic
+/// seeded exponential backoff, so retry storms are impossible and every
+/// test run replays the same schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter seed — same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(5),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Deterministic jittered exponential backoff: `base · 2^(attempt-1)`
+/// capped at `cap`, then jittered into `[d/2, d]` by a split-mix hash
+/// of `(seed, attempt)` — full determinism, no thundering herd.
+fn backoff_delay(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
+    let shift = attempt.saturating_sub(1).min(20);
+    let exp = base.checked_mul(1u32 << shift).unwrap_or(cap).min(cap);
+    let ns = exp.as_nanos() as u64;
+    if ns == 0 {
+        return Duration::ZERO;
+    }
+    let mut s = seed ^ (u64::from(attempt) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    let r = desim::rng::split_mix64(&mut s);
+    Duration::from_nanos(ns / 2 + r % (ns / 2 + 1))
+}
+
+/// Consecutive whole-panel failures that trip the circuit breaker onto
+/// the degraded per-request serial path.
+pub const BREAKER_TRIP_PANELS: u32 = 3;
+
+/// Degraded panels the breaker serves before probing the fused panel
+/// path again (closing the breaker).
+pub const BREAKER_COOLDOWN_PANELS: u32 = 16;
+
+/// Panels after a supervised dispatcher restart during which
+/// [`SolverService::health`] still reports `Degraded`.
+pub const HEALTH_RECOVERY_PANELS: u64 = 4;
 
 /// The warm engine a service dispatches to: a single triangular
 /// [`SolverEngine`] or an L/U [`PreconditionerEngine`] pair. Both
@@ -273,6 +428,15 @@ impl ServiceEngine<'_, '_> {
         match self {
             ServiceEngine::Solver(e) => e.matrix().n(),
             ServiceEngine::Preconditioner(p) => p.n(),
+        }
+    }
+
+    /// The shared engine resources behind this service (a
+    /// preconditioner pair shares one set).
+    fn resources(&self) -> &EngineResources {
+        match self {
+            ServiceEngine::Solver(e) => e.resources(),
+            ServiceEngine::Preconditioner(p) => p.forward().resources(),
         }
     }
 }
@@ -363,6 +527,12 @@ struct QueueState {
     /// Recycled slots; every steady-state submit pops one here.
     free: Vec<Arc<Slot>>,
     stats: ServiceReport,
+    /// Mirror of the dispatcher's breaker state, readable by
+    /// [`SolverService::health`] without touching dispatcher locals.
+    breaker_open: bool,
+    /// Panels completed since the last supervised dispatcher restart
+    /// (or since start); drives the `Degraded → Ok` health recovery.
+    panels_since_restart: u64,
 }
 
 /// The client-facing shared state: FIFO + free list behind one mutex,
@@ -429,6 +599,31 @@ pub struct ServiceReport {
     pub max_wait_ns: u64,
     /// Sum over panels of the panel solve wall-clock.
     pub solve_ns_total: u64,
+    /// Dispatcher panics recovered by a supervised restart
+    /// ([`SolverService::run_supervised`]); the in-flight panel's
+    /// requests were completed with [`ServeError::Retryable`].
+    pub dispatcher_restarts: u64,
+    /// Panels re-solved after the output scan excluded a poisoned
+    /// lane ([`ServiceConfig::scan_outputs`]).
+    pub panel_retries: u64,
+    /// Lanes failed with [`SolveError::NonFinite`] by the post-solve
+    /// output scan.
+    pub poisoned_lanes: u64,
+    /// Lanes served on the degraded per-request serial path while the
+    /// circuit breaker was open — still bit-identical to a serial
+    /// solve, just without panel fusion.
+    pub degraded_solves: u64,
+    /// Times the circuit breaker opened after
+    /// [`BREAKER_TRIP_PANELS`] consecutive whole-panel failures.
+    pub breaker_trips: u64,
+    /// Admissible submits shed by injected allocation-pressure faults
+    /// ([`crate::fault::FaultSite::AdmissionAlloc`]); a subset of
+    /// `rejected_full`.
+    pub admission_shed: u64,
+    /// Worker-pool spawn shortfalls observed by this service's engine
+    /// during the run — each one degraded a sharded solve to the
+    /// bit-identical serial replay.
+    pub spawn_shortfalls: u64,
 }
 
 impl ServiceReport {
@@ -470,6 +665,50 @@ struct DispatchWorkspace {
     apply: ApplyWorkspace,
 }
 
+/// Everything a dispatcher incarnation owns. Living outside
+/// `dispatch()` lets a supervised restart recover the in-flight group
+/// (its `Pending`s are here, not lost in a dead stack frame) and keep
+/// the warmed buffers.
+#[derive(Debug)]
+struct DispatchState {
+    group: Vec<Pending>,
+    bs: Vec<Vec<f64>>,
+    outs: Vec<Vec<f64>>,
+    /// Per-lane completion error for the current group; `None` = lane
+    /// succeeded. Sized to the group on every dispatch.
+    lane_err: Vec<Option<ServeError>>,
+    ws: DispatchWorkspace,
+    /// EWMA of recent panel solve wall-clock, the `est` in the
+    /// deadline-slack rule; starts at zero so the first deadline
+    /// submission flushes no later than its deadline.
+    est_solve: Duration,
+    /// Consecutive whole-panel failures; trips the breaker at
+    /// [`BREAKER_TRIP_PANELS`].
+    consec_panel_failures: u32,
+    /// Circuit breaker: while open, panels bypass the fused kernels
+    /// and run per-request serial solves (bit-identical, slower).
+    breaker_open: bool,
+    /// Degraded panels served since the breaker opened; closes it at
+    /// [`BREAKER_COOLDOWN_PANELS`].
+    degraded_panels: u32,
+}
+
+impl DispatchState {
+    fn new(lanes: usize) -> DispatchState {
+        DispatchState {
+            group: Vec::with_capacity(lanes),
+            bs: Vec::with_capacity(lanes),
+            outs: Vec::with_capacity(lanes),
+            lane_err: Vec::with_capacity(lanes),
+            ws: DispatchWorkspace::default(),
+            est_solve: Duration::ZERO,
+            consec_panel_failures: 0,
+            breaker_open: false,
+            degraded_panels: 0,
+        }
+    }
+}
+
 /// The serving front-end: a bounded FIFO of right-hand sides, a
 /// dispatcher that coalesces them into fused panels over a warm
 /// engine, and [`Ticket`]s that hand results back to the submitting
@@ -485,6 +724,9 @@ pub struct SolverService<'e, 'm> {
     engine: ServiceEngine<'e, 'm>,
     cfg: ServiceConfig,
     shared: Shared,
+    /// Engine-pool spawn shortfalls at service start; the report shows
+    /// the delta accrued during this run.
+    shortfall_base: u64,
 }
 
 impl<'e, 'm> SolverService<'e, 'm> {
@@ -503,12 +745,41 @@ impl<'e, 'm> SolverService<'e, 'm> {
         config: &ServiceConfig,
         body: impl FnOnce(&SolverService<'e, 'm>) -> R,
     ) -> Result<(R, ServiceReport), ServeError> {
-        let cfg = config.validated()?;
-        let svc = SolverService { engine, cfg, shared: Shared::default() };
+        SolverService::run_inner(engine, config, false, body)
+    }
+
+    /// [`SolverService::run`] under supervision: a dispatcher panic no
+    /// longer kills the service. The supervisor completes the panicked
+    /// panel's requests with [`ServeError::Retryable`], restarts the
+    /// dispatcher after a seeded-exponential backoff
+    /// ([`ServiceConfig::restart_backoff`] /
+    /// [`ServiceConfig::supervision_seed`]), and keeps serving — up to
+    /// [`ServiceConfig::max_dispatcher_restarts`] times, after which
+    /// remaining queued work is failed with `Retryable` and the
+    /// original panic resumes. [`ServiceReport::dispatcher_restarts`]
+    /// counts the recoveries; [`SolverService::health`] reports
+    /// `Degraded` for a few panels after each one.
+    pub fn run_supervised<R>(
+        engine: ServiceEngine<'e, 'm>,
+        config: &ServiceConfig,
+        body: impl FnOnce(&SolverService<'e, 'm>) -> R,
+    ) -> Result<(R, ServiceReport), ServeError> {
+        SolverService::run_inner(engine, config, true, body)
+    }
+
+    fn run_inner<R>(
+        engine: ServiceEngine<'e, 'm>,
+        config: &ServiceConfig,
+        supervised: bool,
+        body: impl FnOnce(&SolverService<'e, 'm>) -> R,
+    ) -> Result<(R, ServiceReport), ServeError> {
+        let cfg = config.validated(engine.n())?;
+        let shortfall_base = engine.resources().spawn_shortfalls();
+        let svc = SolverService { engine, cfg, shared: Shared::default(), shortfall_base };
         std::thread::scope(|s| {
             let dispatcher = std::thread::Builder::new()
                 .name("sptrsv-dispatch".into())
-                .spawn_scoped(s, || svc.dispatch())
+                .spawn_scoped(s, || svc.dispatcher_loop(supervised))
                 .map_err(|_| ServeError::Spawn)?;
             let out = catch_unwind(AssertUnwindSafe(|| body(&svc)));
             svc.shutdown();
@@ -545,9 +816,41 @@ impl<'e, 'm> SolverService<'e, 'm> {
     /// Never blocks. Admission control answers immediately with
     /// [`ServeError::QueueFull`] / [`ServeError::ShuttingDown`]; a
     /// wrong-length `b` is a typed [`ServeError::Solve`] naming the
-    /// buffer.
+    /// buffer, and a `b` containing NaN/±∞ is rejected at the door
+    /// with [`SolveError::NonFinite`] — one poisoned request must
+    /// never reach a coalesced panel.
+    #[must_use = "the Ticket is the only way to collect this request's result"]
     pub fn submit(&self, b: &[f64]) -> Result<Ticket<'_>, ServeError> {
         self.submit_inner(b, None)
+    }
+
+    /// [`SolverService::submit`] with bounded client-side retries on
+    /// [`ServeError::QueueFull`]: sleeps the policy's deterministic
+    /// jittered exponential backoff between attempts, giving the
+    /// dispatcher time to drain. Any other outcome (success or a
+    /// non-retryable error) returns immediately.
+    #[must_use = "the Ticket is the only way to collect this request's result"]
+    pub fn submit_with_retry(
+        &self,
+        b: &[f64],
+        policy: &RetryPolicy,
+    ) -> Result<Ticket<'_>, ServeError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(b) {
+                Err(ServeError::QueueFull { .. }) if attempt + 1 < attempts => {
+                    attempt += 1;
+                    std::thread::sleep(backoff_delay(
+                        policy.base_backoff,
+                        policy.max_backoff,
+                        policy.seed,
+                        attempt,
+                    ));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// [`SolverService::submit`] with a completion deadline: the
@@ -556,6 +859,7 @@ impl<'e, 'm> SolverService<'e, 'm> {
     /// instead of lingering for more lanes. The deadline is
     /// best-effort — [`ServiceReport::deadline_misses`] counts the
     /// ones that completed late.
+    #[must_use = "the Ticket is the only way to collect this request's result"]
     pub fn submit_with_deadline(
         &self,
         b: &[f64],
@@ -574,6 +878,12 @@ impl<'e, 'm> SolverService<'e, 'm> {
                 buffer: "b",
             }));
         }
+        // admission guardrail: one NaN lane would propagate through a
+        // fused panel's shared schedule replay, so reject it before it
+        // can ride with anyone (no lock held — pure read of `b`)
+        if let Some(index) = b.iter().position(|v| !v.is_finite()) {
+            return Err(ServeError::Solve(SolveError::NonFinite { buffer: "b", index }));
+        }
         let bytes = n * mem::size_of::<f64>();
         let mut q = self.shared.lock();
         if q.shutdown {
@@ -586,12 +896,26 @@ impl<'e, 'm> SolverService<'e, 'm> {
             q.stats.rejected_full += 1;
             return Err(ServeError::QueueFull { depth: q.pending.len(), bytes: q.bytes });
         }
+        if fault::fire(FaultSite::AdmissionAlloc) {
+            // injected allocation pressure: shed exactly like a full
+            // queue so clients exercise their QueueFull handling
+            q.stats.rejected_full += 1;
+            q.stats.admission_shed += 1;
+            return Err(ServeError::QueueFull { depth: q.pending.len(), bytes: q.bytes });
+        }
         let slot = q.free.pop().unwrap_or_else(|| Arc::new(Slot::new()));
         {
             let mut st = slot.lock();
             st.phase = Phase::Queued;
             st.rhs.clear();
             st.rhs.extend_from_slice(b);
+            if fault::fire(FaultSite::RhsCorruptNonFinite) && !st.rhs.is_empty() {
+                // post-admission corruption: models a bit-flip between
+                // the scan and the solve; only the output scan can
+                // catch it now
+                let mid = st.rhs.len() / 2;
+                st.rhs[mid] = f64::NAN;
+            }
             st.err = None;
             st.abandoned = false;
         }
@@ -631,26 +955,139 @@ impl<'e, 'm> SolverService<'e, 'm> {
 
     /// A point-in-time copy of the service counters.
     pub fn stats(&self) -> ServiceReport {
-        self.shared.lock().stats.clone()
+        let mut s = self.shared.lock().stats.clone();
+        s.spawn_shortfalls =
+            self.engine.resources().spawn_shortfalls().saturating_sub(self.shortfall_base);
+        s
+    }
+
+    /// Coarse service condition for external pollers (a load balancer,
+    /// a supervisor, the chaos harness): `Draining` once shutdown
+    /// begins, `Degraded` while the circuit breaker is open or within
+    /// [`HEALTH_RECOVERY_PANELS`] panels of a supervised dispatcher
+    /// restart, `Ok` otherwise.
+    pub fn health(&self) -> ServiceHealth {
+        let q = self.shared.lock();
+        if q.shutdown {
+            return ServiceHealth::Draining;
+        }
+        if q.breaker_open {
+            return ServiceHealth::Degraded {
+                reason: "circuit breaker open: panels degraded to per-request serial solves",
+            };
+        }
+        if q.stats.dispatcher_restarts > 0 && q.panels_since_restart < HEALTH_RECOVERY_PANELS {
+            return ServiceHealth::Degraded { reason: "dispatcher recently restarted" };
+        }
+        ServiceHealth::Ok
     }
 
     // ---- dispatcher -------------------------------------------------
 
-    /// The dispatcher thread body: wait for work, decide when to
+    /// The dispatcher thread body plus its supervisor. Unsupervised, a
+    /// panic that escapes `dispatch` (only possible from completion
+    /// bookkeeping or an injected [`FaultSite::DispatcherPanic`] — the
+    /// solve itself is caught per panel) aborts the service: every
+    /// queued request completes with [`ServeError::Retryable`] and the
+    /// panic resumes on the joining thread. Supervised, the in-flight
+    /// group is recovered the same way but the dispatcher restarts
+    /// after a seeded backoff and keeps serving.
+    fn dispatcher_loop(&self, supervised: bool) {
+        let mut st = DispatchState::new(self.cfg.max_lanes);
+        let mut restarts = 0u32;
+        loop {
+            let caught = catch_unwind(AssertUnwindSafe(|| self.dispatch(&mut st)));
+            let payload = match caught {
+                Ok(()) => return,
+                Err(p) => p,
+            };
+            let failed = self.recover_inflight(&mut st);
+            if supervised && restarts < self.cfg.max_dispatcher_restarts {
+                restarts += 1;
+                {
+                    let mut q = self.shared.lock();
+                    q.stats.dispatcher_restarts += 1;
+                    q.stats.failed += failed;
+                    q.panels_since_restart = 0;
+                }
+                std::thread::sleep(backoff_delay(
+                    self.cfg.restart_backoff,
+                    Duration::from_millis(100),
+                    self.cfg.supervision_seed,
+                    restarts,
+                ));
+                continue;
+            }
+            self.shared.lock().stats.failed += failed;
+            self.abort_service();
+            resume_unwind(payload);
+        }
+    }
+
+    /// One dispatcher incarnation: wait for work, decide when to
     /// flush, run the panel, complete the tickets — until shutdown
     /// with an empty queue.
-    fn dispatch(&self) {
-        let lanes = self.cfg.max_lanes;
-        let mut group: Vec<Pending> = Vec::with_capacity(lanes);
-        let mut bs: Vec<Vec<f64>> = Vec::with_capacity(lanes);
-        let mut outs: Vec<Vec<f64>> = Vec::with_capacity(lanes);
-        let mut ws = DispatchWorkspace::default();
-        // EWMA of recent panel solve wall-clock, the `est` in the
-        // deadline-slack rule; starts at zero so the first deadline
-        // submission flushes no later than its deadline.
-        let mut est_solve = Duration::ZERO;
-        while let Some(cause) = self.next_group(&mut group, est_solve) {
-            self.run_group(&mut group, &mut bs, &mut outs, &mut ws, &mut est_solve, cause);
+    fn dispatch(&self, st: &mut DispatchState) {
+        while let Some(cause) = self.next_group(&mut st.group, st.est_solve) {
+            fault::fire_panic(FaultSite::DispatcherPanic);
+            self.run_group(st, cause);
+        }
+    }
+
+    /// After a dispatcher panic: complete whatever the dead
+    /// incarnation had popped but not finished with
+    /// [`ServeError::Retryable`], reset the (possibly mid-mutation)
+    /// scratch, and return how many requests were failed.
+    fn recover_inflight(&self, st: &mut DispatchState) -> u64 {
+        let mut failed = 0u64;
+        for p in st.group.drain(..) {
+            let abandoned = {
+                let mut s = p.slot.lock();
+                if s.phase == Phase::Done {
+                    // completed before the panic landed; nothing to do
+                    false
+                } else {
+                    s.err = Some(ServeError::Retryable {
+                        reason: "dispatcher restarted while the request was in flight",
+                    });
+                    s.phase = Phase::Done;
+                    p.slot.cv.notify_all();
+                    failed += 1;
+                    s.abandoned
+                }
+            };
+            if abandoned {
+                self.shared.lock().free.push(p.slot);
+            }
+        }
+        st.bs.clear();
+        st.outs.clear();
+        st.lane_err.clear();
+        st.ws = DispatchWorkspace::default();
+        failed
+    }
+
+    /// Terminal failure path: reject future submits and complete
+    /// everything still queued with [`ServeError::Retryable`], so no
+    /// ticket ever hangs on a dead dispatcher.
+    fn abort_service(&self) {
+        let mut q = self.shared.lock();
+        q.shutdown = true;
+        while let Some(p) = q.pending.pop_front() {
+            q.bytes -= p.bytes;
+            let abandoned = {
+                let mut s = p.slot.lock();
+                s.err = Some(ServeError::Retryable {
+                    reason: "service aborted after repeated dispatcher panics",
+                });
+                s.phase = Phase::Done;
+                p.slot.cv.notify_all();
+                s.abandoned
+            };
+            q.stats.failed += 1;
+            if abandoned {
+                q.free.push(p.slot);
+            }
         }
     }
 
@@ -711,78 +1148,138 @@ impl<'e, 'm> SolverService<'e, 'm> {
 
     /// Solve one flushed group and complete its tickets. Engine errors
     /// and kernel panics fail the panel's requests with a typed error;
-    /// the dispatcher itself survives either.
-    fn run_group(
-        &self,
-        group: &mut Vec<Pending>,
-        bs: &mut Vec<Vec<f64>>,
-        outs: &mut Vec<Vec<f64>>,
-        ws: &mut DispatchWorkspace,
-        est_solve: &mut Duration,
-        cause: FlushCause,
-    ) {
+    /// the dispatcher itself survives either. Repeated whole-panel
+    /// failures trip the circuit breaker onto the degraded per-request
+    /// serial path; [`ServiceConfig::scan_outputs`] additionally
+    /// quarantines non-finite lanes and retries their panel-mates.
+    fn run_group(&self, st: &mut DispatchState, cause: FlushCause) {
         let dispatch_start = Instant::now();
         let mut wait_ns = 0u64;
         let mut max_wait = 0u64;
-        for p in group.iter() {
-            let mut st = p.slot.lock();
-            st.phase = Phase::InFlight;
-            bs.push(mem::take(&mut st.rhs));
-            outs.push(mem::take(&mut st.out));
-            drop(st);
+        for p in st.group.iter() {
+            let mut s = p.slot.lock();
+            s.phase = Phase::InFlight;
+            st.bs.push(mem::take(&mut s.rhs));
+            st.outs.push(mem::take(&mut s.out));
+            drop(s);
             let w = dispatch_start.saturating_duration_since(p.submitted_at).as_nanos() as u64;
             wait_ns += w;
             max_wait = max_wait.max(w);
         }
+        let fill = st.group.len();
+        st.lane_err.clear();
+        st.lane_err.resize(fill, None);
 
         let reject = cause == FlushCause::Shutdown && !self.cfg.drain_on_shutdown;
         let mut solve_ns = 0u64;
-        let outcome: Option<ServeError> = if reject {
-            Some(ServeError::ShuttingDown)
+        let mut poisoned = 0u64;
+        let mut retries = 0u64;
+        let mut breaker_tripped = false;
+        let mut breaker_closed = false;
+        let mut degraded = 0u64;
+        if reject {
+            for e in st.lane_err.iter_mut() {
+                *e = Some(ServeError::ShuttingDown);
+            }
+        } else if st.breaker_open {
+            // degraded mode: per-request serial solves, each behind its
+            // own catch_unwind — bit-identical results, no panel fusion,
+            // no shared blast radius
+            let t0 = Instant::now();
+            poisoned += self.solve_degraded(st);
+            solve_ns = t0.elapsed().as_nanos() as u64;
+            degraded = fill as u64;
+            st.degraded_panels += 1;
+            if st.degraded_panels >= BREAKER_COOLDOWN_PANELS {
+                st.breaker_open = false;
+                st.degraded_panels = 0;
+                st.consec_panel_failures = 0;
+                breaker_closed = true;
+            }
         } else {
             let t0 = Instant::now();
-            let solved = catch_unwind(AssertUnwindSafe(|| self.solve_group(bs, outs, ws)));
+            let solved = catch_unwind(AssertUnwindSafe(|| {
+                self.solve_group(&st.bs, &mut st.outs, &mut st.ws)
+            }));
             let took = t0.elapsed();
             solve_ns = took.as_nanos() as u64;
             // EWMA with 1/4 weight on the newest sample: stable under
             // jitter, adapts within a few panels
-            *est_solve = (*est_solve * 3 + took) / 4;
-            match solved {
+            st.est_solve = (st.est_solve * 3 + took) / 4;
+            let panel_err: Option<ServeError> = match solved {
                 Ok(Ok(())) => None,
                 Ok(Err(e)) => Some(ServeError::Solve(e)),
                 Err(_) => {
                     // the workspace may be mid-mutation; replace it
                     // rather than trust it (allocates, but only on the
                     // panic path)
-                    *ws = DispatchWorkspace::default();
+                    st.ws = DispatchWorkspace::default();
                     Some(ServeError::DispatcherPanicked)
                 }
+            };
+            if let Some(e) = panel_err {
+                for l in st.lane_err.iter_mut() {
+                    *l = Some(e.clone());
+                }
+                st.consec_panel_failures += 1;
+                if st.consec_panel_failures >= BREAKER_TRIP_PANELS {
+                    st.breaker_open = true;
+                    st.degraded_panels = 0;
+                    breaker_tripped = true;
+                }
+            } else {
+                st.consec_panel_failures = 0;
+                if self.cfg.scan_outputs {
+                    let (p, r) = self.scan_and_retry(st);
+                    poisoned += p;
+                    retries += r;
+                }
             }
-        };
+        }
 
         let completed_at = Instant::now();
-        let fill = group.len();
         let mut misses = 0u64;
-        for (p, (rhs, out)) in group.drain(..).zip(bs.drain(..).zip(outs.drain(..))) {
+        let mut served = 0u64;
+        let mut failed = 0u64;
+        let mut shutdown_rej = 0u64;
+        let mut lane_err = mem::take(&mut st.lane_err);
+        for (i, (p, (rhs, out))) in
+            st.group.drain(..).zip(st.bs.drain(..).zip(st.outs.drain(..))).enumerate()
+        {
             if p.deadline.is_some_and(|d| completed_at > d) {
                 misses += 1;
             }
+            let err = lane_err[i].take();
+            match &err {
+                None => served += 1,
+                Some(ServeError::ShuttingDown) => shutdown_rej += 1,
+                Some(_) => failed += 1,
+            }
             let abandoned = {
-                let mut st = p.slot.lock();
-                st.rhs = rhs;
-                st.out = out;
-                st.err = outcome.clone();
-                st.phase = Phase::Done;
+                let mut s = p.slot.lock();
+                s.rhs = rhs;
+                s.out = out;
+                s.err = err;
+                s.phase = Phase::Done;
                 p.slot.cv.notify_all();
-                st.abandoned
+                s.abandoned
             };
             if abandoned {
                 // the ticket is gone; the dispatcher recycles
                 self.shared.lock().free.push(p.slot);
             }
         }
+        st.lane_err = lane_err;
 
         let mut q = self.shared.lock();
+        if breaker_tripped {
+            q.breaker_open = true;
+            q.stats.breaker_trips += 1;
+        }
+        if breaker_closed {
+            q.breaker_open = false;
+        }
+        q.panels_since_restart += 1;
         let s = &mut q.stats;
         s.panels += 1;
         s.fill_sum += fill as u64;
@@ -791,6 +1288,9 @@ impl<'e, 'm> SolverService<'e, 'm> {
         s.wait_ns_total += wait_ns;
         s.max_wait_ns = s.max_wait_ns.max(max_wait);
         s.solve_ns_total += solve_ns;
+        s.poisoned_lanes += poisoned;
+        s.panel_retries += retries;
+        s.degraded_solves += degraded;
         match cause {
             FlushCause::Full => s.full_flushes += 1,
             FlushCause::Linger => s.linger_flushes += 1,
@@ -798,15 +1298,11 @@ impl<'e, 'm> SolverService<'e, 'm> {
             FlushCause::Hint => s.hint_flushes += 1,
             FlushCause::Shutdown => {}
         }
-        if reject {
-            s.shutdown_rejected += fill as u64;
-        } else if outcome.is_none() {
-            s.served += fill as u64;
-            if cause == FlushCause::Shutdown {
-                s.drained += fill as u64;
-            }
-        } else {
-            s.failed += fill as u64;
+        s.served += served;
+        s.failed += failed;
+        s.shutdown_rejected += shutdown_rej;
+        if cause == FlushCause::Shutdown {
+            s.drained += served;
         }
     }
 
@@ -820,6 +1316,7 @@ impl<'e, 'm> SolverService<'e, 'm> {
         outs: &mut [Vec<f64>],
         ws: &mut DispatchWorkspace,
     ) -> Result<(), SolveError> {
+        fault::fire_panic(FaultSite::PanelSolve);
         match self.engine {
             ServiceEngine::Solver(e) => {
                 if bs.len() > 2 * PANEL_K {
@@ -829,6 +1326,111 @@ impl<'e, 'm> SolverService<'e, 'm> {
                 }
             }
             ServiceEngine::Preconditioner(p) => p.apply_batch_prevalidated(bs, outs, &mut ws.apply),
+        }
+    }
+
+    /// Breaker-open dispatch: solve each lane independently through
+    /// the engines' serial paths, one `catch_unwind` per lane. Note
+    /// the injected [`FaultSite::PanelSolve`] probe lives in
+    /// [`SolverService::solve_group`], which this path bypasses — so a
+    /// plan that keeps killing the fused path cannot also kill the
+    /// degraded path, and the service keeps serving. Returns the count
+    /// of lanes quarantined by the output scan.
+    fn solve_degraded(&self, st: &mut DispatchState) -> u64 {
+        let n = self.n();
+        let mut poisoned = 0u64;
+        for i in 0..st.bs.len() {
+            st.outs[i].resize(n, 0.0);
+            let solved = match self.engine {
+                ServiceEngine::Solver(e) => catch_unwind(AssertUnwindSafe(|| {
+                    e.solve_into(&st.bs[i], &mut st.outs[i], &mut st.ws.solve)
+                })),
+                ServiceEngine::Preconditioner(p) => catch_unwind(AssertUnwindSafe(|| {
+                    p.apply_into(&st.bs[i], &mut st.outs[i], &mut st.ws.apply)
+                })),
+            };
+            st.lane_err[i] = match solved {
+                Ok(Ok(())) => {
+                    if self.cfg.scan_outputs {
+                        if let Some(index) = st.outs[i].iter().position(|v| !v.is_finite()) {
+                            poisoned += 1;
+                            Some(ServeError::Solve(SolveError::NonFinite { buffer: "x", index }))
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+                Ok(Err(e)) => Some(ServeError::Solve(e)),
+                Err(_) => {
+                    st.ws = DispatchWorkspace::default();
+                    Some(ServeError::DispatcherPanicked)
+                }
+            };
+        }
+        poisoned
+    }
+
+    /// Post-solve guardrail ([`ServiceConfig::scan_outputs`]): scan
+    /// each successful lane's output for non-finite values, fail the
+    /// poisoned lanes with [`SolveError::NonFinite`] (`buffer: "x"`),
+    /// and re-solve the clean panel-mates so a corrupted lane is never
+    /// collateral damage. Loops until a scan comes back clean; each
+    /// iteration quarantines at least one lane, so it terminates.
+    fn scan_and_retry(&self, st: &mut DispatchState) -> (u64, u64) {
+        let mut poisoned = 0u64;
+        let mut retries = 0u64;
+        loop {
+            let mut newly = false;
+            for i in 0..st.outs.len() {
+                if st.lane_err[i].is_some() {
+                    continue;
+                }
+                if let Some(index) = st.outs[i].iter().position(|v| !v.is_finite()) {
+                    st.lane_err[i] =
+                        Some(ServeError::Solve(SolveError::NonFinite { buffer: "x", index }));
+                    poisoned += 1;
+                    newly = true;
+                }
+            }
+            if !newly {
+                return (poisoned, retries);
+            }
+            let clean: Vec<usize> =
+                (0..st.outs.len()).filter(|&i| st.lane_err[i].is_none()).collect();
+            if clean.is_empty() {
+                return (poisoned, retries);
+            }
+            // retry the surviving lanes as a smaller panel (allocates
+            // the sub-panel views; acceptable on this exceptional path)
+            let sub_bs: Vec<Vec<f64>> = clean.iter().map(|&i| mem::take(&mut st.bs[i])).collect();
+            let mut sub_outs: Vec<Vec<f64>> =
+                clean.iter().map(|&i| mem::take(&mut st.outs[i])).collect();
+            retries += 1;
+            let solved = catch_unwind(AssertUnwindSafe(|| {
+                self.solve_group(&sub_bs, &mut sub_outs, &mut st.ws)
+            }));
+            for ((&i, b), out) in clean.iter().zip(sub_bs).zip(sub_outs) {
+                st.bs[i] = b;
+                st.outs[i] = out;
+            }
+            match solved {
+                Ok(Ok(())) => {} // rescan on the next loop iteration
+                Ok(Err(e)) => {
+                    for &i in &clean {
+                        st.lane_err[i] = Some(ServeError::Solve(e.clone()));
+                    }
+                    return (poisoned, retries);
+                }
+                Err(_) => {
+                    st.ws = DispatchWorkspace::default();
+                    for &i in &clean {
+                        st.lane_err[i] = Some(ServeError::DispatcherPanicked);
+                    }
+                    return (poisoned, retries);
+                }
+            }
         }
     }
 }
@@ -869,6 +1471,7 @@ fn flush_plan(
 /// ticket abandons the request — the solve may still run, but its
 /// result is recycled instead of delivered.
 #[derive(Debug)]
+#[must_use = "dropping a Ticket abandons its request; wait/try_wait/wait_timeout collect it"]
 pub struct Ticket<'s> {
     /// `Some` until the result is collected or the ticket dropped.
     slot: Option<Arc<Slot>>,
@@ -1033,6 +1636,7 @@ pub fn serve_preconditioner<'e, 'm, R>(
 pub struct ServedPreconditioner<'a, 'e, 'm> {
     svc: &'a SolverService<'e, 'm>,
     slack: Duration,
+    retry: RetryPolicy,
 }
 
 impl<'a, 'e, 'm> ServedPreconditioner<'a, 'e, 'm> {
@@ -1055,11 +1659,23 @@ impl<'a, 'e, 'm> ServedPreconditioner<'a, 'e, 'm> {
         slack: Duration,
     ) -> Result<ServedPreconditioner<'a, 'e, 'm>, ServeError> {
         match svc.engine {
-            ServiceEngine::Preconditioner(_) => Ok(ServedPreconditioner { svc, slack }),
+            ServiceEngine::Preconditioner(_) => {
+                Ok(ServedPreconditioner { svc, slack, retry: RetryPolicy::default() })
+            }
             ServiceEngine::Solver(_) => Err(ServeError::InvalidConfig {
                 what: "ServedPreconditioner needs a preconditioner-backed service",
             }),
         }
+    }
+
+    /// Override the transient-failure retry schedule. Each Krylov
+    /// application retries [`ServeError::QueueFull`] and
+    /// [`ServeError::Retryable`] (the two outcomes that mean "the
+    /// request never ran — try again") up to the policy's attempt
+    /// budget; everything else surfaces immediately.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ServedPreconditioner<'a, 'e, 'm> {
+        self.retry = retry;
+        self
     }
 }
 
@@ -1069,8 +1685,26 @@ impl Precondition for ServedPreconditioner<'_, '_, '_> {
     }
 
     fn precondition_into(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveError> {
-        let deadline = Instant::now() + self.slack;
-        let ticket = self.svc.submit_with_deadline(r, deadline).map_err(SolveError::from)?;
-        ticket.wait_into(z).map_err(SolveError::from)
+        let attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let deadline = Instant::now() + self.slack;
+            let res =
+                self.svc.submit_with_deadline(r, deadline).and_then(|ticket| ticket.wait_into(z));
+            match res {
+                Err(ServeError::QueueFull { .. } | ServeError::Retryable { .. })
+                    if attempt + 1 < attempts =>
+                {
+                    attempt += 1;
+                    std::thread::sleep(backoff_delay(
+                        self.retry.base_backoff,
+                        self.retry.max_backoff,
+                        self.retry.seed,
+                        attempt,
+                    ));
+                }
+                other => return other.map_err(SolveError::from),
+            }
+        }
     }
 }

@@ -169,6 +169,21 @@ pub enum SolveError {
         /// Iteration at which the breakdown occurred.
         iteration: usize,
     },
+    /// A vector carried a NaN or infinity. Raised by the serving
+    /// front-end's admission scan (`buffer = "b"`: the client's
+    /// right-hand side was bad on arrival) and by its opt-in post-solve
+    /// output scan (`buffer = "x"`: the value went non-finite between
+    /// admission and completion — a corrupted buffer or a poisoned
+    /// factor). Containment is per ticket: one tenant's NaN fails only
+    /// its own request, never its panel-mates.
+    NonFinite {
+        /// Which vector carried the non-finite value, in the caller's
+        /// vocabulary (`"b"` for the submitted right-hand side, `"x"`
+        /// for the computed solution).
+        buffer: &'static str,
+        /// Index of the first non-finite entry.
+        index: usize,
+    },
     /// Caller-provided output storage does not match what the solve
     /// needs (the `*_into` warm-solve APIs): a single-solve output
     /// buffer whose length is not the matrix dimension, or a batch
@@ -211,6 +226,9 @@ impl std::fmt::Display for SolveError {
             SolveError::Breakdown { method, iteration } => {
                 write!(f, "{method} breakdown at iteration {iteration}: recurrence denominator is zero or non-finite")
             }
+            SolveError::NonFinite { buffer, index } => {
+                write!(f, "non-finite value in `{buffer}` at index {index}")
+            }
             SolveError::OutputLength { n, out, buffer } => {
                 write!(f, "the solve needs {n} entries (or vectors) in output buffer `{buffer}` but the caller provided {out}")
             }
@@ -218,7 +236,18 @@ impl std::fmt::Display for SolveError {
     }
 }
 
-impl std::error::Error for SolveError {}
+impl std::error::Error for SolveError {
+    /// The underlying cause, for `anyhow`-style chain printing: a
+    /// matrix validation failure or an executor stall; every other
+    /// variant is a root cause itself.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Matrix(e) => Some(e),
+            SolveError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<MatrixError> for SolveError {
     fn from(e: MatrixError) -> Self {

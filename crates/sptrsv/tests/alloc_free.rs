@@ -182,6 +182,20 @@ fn warm_solve_into_and_panel_allocate_nothing() {
         .unwrap();
     }
 
+    // --- the fault-injection plane: in its default (disabled) build
+    // the probe path is a compiled-out constant — consulting it from a
+    // hot loop costs zero heap allocations and reports no active plan.
+    // (The serving window above already covers the probes embedded in
+    // submit and dispatch; this pins the public query too.)
+    {
+        let inert = allocations_during(|| {
+            for _ in 0..1000 {
+                assert!(!sptrsv::fault::plan_active(), "no plan can be armed without the feature");
+            }
+        });
+        assert_eq!(inert, 0, "disabled fault plane must not touch the heap");
+    }
+
     // --- the preconditioner tier: warm apply_into / apply_batch_into
     // must be heap-silent too — it is the inner loop of every Krylov
     // iteration, the paper's §I workload

@@ -1,0 +1,424 @@
+//! Chaos suite for the fault-injection plane (`sptrsv::fault`) and the
+//! self-healing serving stack (requires `--features fault-inject`;
+//! gated via `required-features` in Cargo.toml).
+//!
+//! Two layers:
+//!
+//! * **Targeted scenarios** — one fault site each, armed with rate 1.0
+//!   and a small budget so the failure lands at a known place, with
+//!   exact assertions on containment (who failed, with what type, and
+//!   which counters moved).
+//! * **The 64-seed sweep** — mixed fault plans over mixed concurrent
+//!   traffic, asserting the three global invariants: every ticket
+//!   resolves (bit-identical to a serial solve, or a typed error), the
+//!   service never deadlocks (watchdog), and the final report
+//!   reconciles with the plan's fired counters.
+//!
+//! Fault plans are process-global, so every test serializes on one
+//! mutex.
+
+use mgpu_sim::MachineConfig;
+use sparsemat::gen::{self, LevelSpec};
+use sparsemat::CscMatrix;
+use sptrsv::fault::{self, FaultPlan, FaultSite};
+use sptrsv::serve::{
+    RetryPolicy, ServeError, ServiceConfig, ServiceEngine, ServiceHealth, SolverService,
+    BREAKER_COOLDOWN_PANELS, BREAKER_TRIP_PANELS,
+};
+use sptrsv::{verify, SolveError, SolveOptions, SolverEngine, SolverKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fault plans install process-globally; chaos tests must not overlap.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Abort the whole process (with a recognizable message) if `f` does
+/// not finish within `secs` — a hung ticket or dispatcher must fail
+/// the suite, not hang CI.
+fn with_watchdog<R>(secs: u64, f: impl FnOnce() -> R) -> R {
+    let done = Arc::new(AtomicBool::new(false));
+    let observer = Arc::clone(&done);
+    let dog = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while Instant::now() < deadline {
+            if observer.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("chaos watchdog: no progress in {secs}s — deadlock suspected, aborting");
+        std::process::abort();
+    });
+    let r = f();
+    done.store(true, Ordering::Relaxed);
+    let _ = dog.join();
+    r
+}
+
+fn fixture() -> (CscMatrix, SolveOptions) {
+    let m = gen::level_structured(&LevelSpec::new(1200, 24, 5000, 17));
+    let opts = SolveOptions {
+        kind: SolverKind::ZeroCopy { per_gpu: 8 },
+        // verification would fail a whole panel on an injected NaN
+        // lane; the chaos invariants are asserted client-side instead
+        verify: false,
+        ..SolveOptions::default()
+    };
+    (m, opts)
+}
+
+/// Acceptance scenario: a dispatcher panic under `run_supervised`
+/// fails only the in-flight requests (typed `Retryable`), restarts the
+/// dispatcher, and the service keeps serving bit-identically; the
+/// report counts exactly the plan's fires.
+#[test]
+fn dispatcher_panic_supervised_restart_recovers() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    let plan = Arc::new(
+        FaultPlan::new(0xD15)
+            .with_rate(FaultSite::DispatcherPanic, 1.0)
+            .with_budget(FaultSite::DispatcherPanic, 1),
+    );
+    let cfg = ServiceConfig { supervision_seed: 0xD15, ..ServiceConfig::default() };
+
+    let report = with_watchdog(120, || {
+        fault::with_plan(&plan, || {
+            let ((), report) =
+                SolverService::run_supervised(ServiceEngine::Solver(&engine), &cfg, |svc| {
+                    // first wave rides the panicking incarnation
+                    let mut retryable = 0u64;
+                    for k in 0..4u64 {
+                        let (_, b) = verify::rhs_for(&m, 50 + k);
+                        match svc.submit(&b).unwrap().wait() {
+                            Ok(x) => assert_eq!(x, engine.solve(&b).unwrap().x),
+                            Err(ServeError::Retryable { .. }) => retryable += 1,
+                            Err(e) => panic!("unexpected error under supervision: {e}"),
+                        }
+                    }
+                    assert!(retryable >= 1, "the injected panic must fail at least one ticket");
+                    // second wave must be served normally by the
+                    // restarted dispatcher — resubmission succeeds
+                    for k in 0..4u64 {
+                        let (_, b) = verify::rhs_for(&m, 50 + k);
+                        let x =
+                            svc.submit(&b).unwrap().wait().expect("restarted dispatcher serves");
+                        assert_eq!(x, engine.solve(&b).unwrap().x, "bit-identical after restart");
+                    }
+                    assert_ne!(svc.health(), ServiceHealth::Draining);
+                })
+                .unwrap();
+            report
+        })
+    });
+    assert_eq!(plan.fired(FaultSite::DispatcherPanic), 1);
+    assert_eq!(report.dispatcher_restarts, 1, "one fire, one supervised restart");
+    assert!(report.failed >= 1);
+}
+
+/// Acceptance scenario: one post-admission RHS corruption inside a
+/// burst fails exactly that request with `SolveError::NonFinite`
+/// (buffer `"x"`), and its panel-mates still complete bit-identically
+/// after the quarantine retry.
+#[test]
+fn rhs_corruption_fails_one_lane_mates_bit_identical() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    let plan = Arc::new(
+        FaultPlan::new(0xBAD)
+            .with_rate(FaultSite::RhsCorruptNonFinite, 1.0)
+            .with_budget(FaultSite::RhsCorruptNonFinite, 1),
+    );
+    // a generous linger so the whole burst coalesces into one panel
+    let cfg = ServiceConfig {
+        scan_outputs: true,
+        max_linger: Duration::from_millis(100),
+        ..ServiceConfig::default()
+    };
+    const BURST: u64 = 8;
+
+    let report = with_watchdog(120, || {
+        fault::with_plan(&plan, || {
+            let bs: Vec<Vec<f64>> = (0..BURST).map(|k| verify::rhs_for(&m, 900 + k).1).collect();
+            let ((), report) = SolverService::run(ServiceEngine::Solver(&engine), &cfg, |svc| {
+                let tickets: Vec<_> = bs.iter().map(|b| svc.submit(b).unwrap()).collect();
+                let mut poisoned = 0u64;
+                for (k, t) in tickets.into_iter().enumerate() {
+                    let (_, b) = verify::rhs_for(&m, 900 + k as u64);
+                    match t.wait() {
+                        Ok(x) => assert_eq!(
+                            x,
+                            engine.solve(&b).unwrap().x,
+                            "panel-mate {k} must be bit-identical despite the poisoned lane"
+                        ),
+                        Err(ServeError::Solve(SolveError::NonFinite { buffer, .. })) => {
+                            assert_eq!(buffer, "x", "caught by the output scan");
+                            poisoned += 1;
+                        }
+                        Err(e) => panic!("request {k}: unexpected error {e}"),
+                    }
+                }
+                assert_eq!(poisoned, 1, "exactly the corrupted request fails");
+            })
+            .unwrap();
+            report
+        })
+    });
+    assert_eq!(plan.fired(FaultSite::RhsCorruptNonFinite), 1);
+    assert_eq!(report.poisoned_lanes, 1);
+    assert!(report.panel_retries >= 1, "clean mates were re-solved");
+    assert_eq!(report.served, BURST - 1);
+}
+
+/// A permanently-failing fused panel path trips the circuit breaker
+/// after `BREAKER_TRIP_PANELS` consecutive failures; the service then
+/// serves on the degraded per-request serial path (bit-identical),
+/// probes the fused path again after `BREAKER_COOLDOWN_PANELS`, and
+/// re-trips — fully deterministic under sequential traffic.
+#[test]
+fn breaker_trips_and_degrades_to_serial() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    let plan = Arc::new(FaultPlan::new(0x0B).with_rate(FaultSite::PanelSolve, 1.0));
+    let cfg = ServiceConfig::default();
+    let trip = BREAKER_TRIP_PANELS as u64;
+    let cooldown = BREAKER_COOLDOWN_PANELS as u64;
+    let requests = 2 * trip + cooldown + 2; // trip, cool down, re-trip, degrade again
+
+    let report = with_watchdog(120, || {
+        fault::with_plan(&plan, || {
+            let ((), report) = SolverService::run(ServiceEngine::Solver(&engine), &cfg, |svc| {
+                let mut failed = 0u64;
+                let mut served = 0u64;
+                for k in 0..requests {
+                    let (_, b) = verify::rhs_for(&m, 300 + k);
+                    match svc.submit(&b).unwrap().wait() {
+                        Ok(x) => {
+                            assert_eq!(
+                                x,
+                                engine.solve(&b).unwrap().x,
+                                "degraded serial path stays bit-identical"
+                            );
+                            served += 1;
+                        }
+                        Err(ServeError::DispatcherPanicked) => failed += 1,
+                        Err(e) => panic!("request {k}: unexpected error {e}"),
+                    }
+                    if k == trip {
+                        assert!(
+                            matches!(svc.health(), ServiceHealth::Degraded { .. }),
+                            "breaker open must surface as Degraded"
+                        );
+                    }
+                }
+                // sequential traffic → one request per panel → exact
+                // schedule: 3 fail, 16 degraded, 3 fail, rest degraded
+                assert_eq!(failed, 2 * trip);
+                assert_eq!(served, requests - 2 * trip);
+            })
+            .unwrap();
+            report
+        })
+    });
+    assert_eq!(report.breaker_trips, 2);
+    assert_eq!(report.degraded_solves, cooldown + 2);
+    assert!(plan.fired(FaultSite::PanelSolve) >= 2 * trip);
+}
+
+/// Injected admission shedding surfaces as ordinary `QueueFull`, and
+/// `submit_with_retry`'s bounded deterministic backoff absorbs it;
+/// the report's `admission_shed` reconciles exactly with the plan.
+#[test]
+fn submit_with_retry_absorbs_admission_shedding() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    let plan = Arc::new(FaultPlan::new(0xA110).with_rate(FaultSite::AdmissionAlloc, 0.5));
+    let cfg = ServiceConfig::default();
+    let policy = RetryPolicy { max_attempts: 32, ..RetryPolicy::default() };
+
+    let report = with_watchdog(120, || {
+        fault::with_plan(&plan, || {
+            let ((), report) = SolverService::run(ServiceEngine::Solver(&engine), &cfg, |svc| {
+                for k in 0..24u64 {
+                    let (_, b) = verify::rhs_for(&m, 700 + k);
+                    let x = svc
+                        .submit_with_retry(&b, &policy)
+                        .expect("32 attempts at shed rate 0.5 cannot all lose")
+                        .wait()
+                        .unwrap();
+                    assert_eq!(x, engine.solve(&b).unwrap().x);
+                }
+            })
+            .unwrap();
+            report
+        })
+    });
+    assert!(report.admission_shed >= 1, "rate 0.5 over 24 submits fires");
+    assert_eq!(report.admission_shed, plan.fired(FaultSite::AdmissionAlloc));
+    assert_eq!(report.admission_shed, report.rejected_full, "shed counts as QueueFull");
+    assert_eq!(report.served, 24);
+}
+
+/// Worker-spawn failure is invisible to correctness: with every spawn
+/// refused, `scope_run`'s helping submitter executes the pooled batch
+/// chunks itself (bit-identical results), the engine counts each
+/// shortfall, and the service report surfaces the count — reconciling
+/// exactly with the plan's fires. The pool is driven via an explicit
+/// thread request so the test does not depend on the host's core
+/// count.
+#[test]
+fn spawn_shortfall_degrades_batch_to_helping_submitter() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    // serial ground truth before any chaos
+    let expected: Vec<Vec<f64>> =
+        (0..8u64).map(|k| engine.solve(&verify::rhs_for(&m, 400 + k).1).unwrap().x).collect();
+    let plan = Arc::new(FaultPlan::new(0x5BA).with_rate(FaultSite::WorkerSpawn, 1.0));
+    let cfg = ServiceConfig::default();
+
+    let report = with_watchdog(120, || {
+        fault::with_plan(&plan, || {
+            let ((), report) = SolverService::run(ServiceEngine::Solver(&engine), &cfg, |svc| {
+                // foreground batch work on the same engine the service
+                // dispatches to — the pool refuses every spawn, the
+                // helping submitter does the chunks
+                let bs: Vec<Vec<f64>> = (0..8u64).map(|k| verify::rhs_for(&m, 400 + k).1).collect();
+                let mr = engine
+                    .solve_batch_with_threads(&bs, 4)
+                    .expect("spawn shortfall must not fail the batch");
+                for (r, want) in mr.reports.iter().zip(&expected) {
+                    assert_eq!(&r.x, want, "helping-submitter batch stays bit-identical");
+                }
+                // and the service keeps serving normally alongside
+                for (k, b) in bs.iter().enumerate() {
+                    let x = svc.submit(b).unwrap().wait().unwrap();
+                    assert_eq!(x, expected[k]);
+                }
+            })
+            .unwrap();
+            report
+        })
+    });
+    assert_eq!(report.served, 8);
+    assert!(plan.fired(FaultSite::WorkerSpawn) >= 1, "the batch probed the pool");
+    assert_eq!(report.spawn_shortfalls, plan.fired(FaultSite::WorkerSpawn));
+}
+
+/// The sweep: 64 seeded fault plans × 8 concurrent clients × 6
+/// requests of mixed shapes. Invariants, per seed:
+///
+/// 1. every ticket resolves — `Ok` bit-identical to a serial solve of
+///    the same right-hand side, or a typed error;
+/// 2. nothing deadlocks (one watchdog over the whole sweep);
+/// 3. the final report reconciles with the plan: `admission_shed` and
+///    `dispatcher_restarts` equal the fired counts, `poisoned_lanes`
+///    never exceeds the corruption fires, and completions account for
+///    every submitted request.
+#[test]
+fn chaos_sweep_64_seeds() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    const CLIENTS: u64 = 8;
+    const PER_CLIENT: u64 = 6;
+    // serial ground truth, shared by every seed
+    let expected: Vec<Vec<f64>> = (0..CLIENTS * PER_CLIENT)
+        .map(|k| engine.solve(&verify::rhs_for(&m, 2000 + k).1).unwrap().x)
+        .collect();
+
+    with_watchdog(600, || {
+        for seed in 0..64u64 {
+            let plan = Arc::new(
+                FaultPlan::new(seed)
+                    .with_rate(FaultSite::WorkerSpawn, 0.2)
+                    .with_rate(FaultSite::WorkerTaskPanic, 0.01)
+                    .with_rate(FaultSite::DispatcherPanic, 0.03)
+                    .with_budget(FaultSite::DispatcherPanic, 3)
+                    .with_rate(FaultSite::PanelSolve, 0.02)
+                    .with_rate(FaultSite::AdmissionAlloc, 0.1)
+                    .with_rate(FaultSite::RhsCorruptNonFinite, 0.05)
+                    .with_budget(FaultSite::RhsCorruptNonFinite, 4),
+            );
+            let cfg = ServiceConfig {
+                // every 4th seed exercises the pooled wide-panel tier
+                max_lanes: if seed % 4 == 0 { 24 } else { 8 },
+                max_linger: Duration::from_micros(200),
+                scan_outputs: true,
+                supervision_seed: seed,
+                max_dispatcher_restarts: 64,
+                ..ServiceConfig::default()
+            };
+            let report = fault::with_plan(&plan, || {
+                let ((), report) =
+                    SolverService::run_supervised(ServiceEngine::Solver(&engine), &cfg, |svc| {
+                        std::thread::scope(|s| {
+                            for c in 0..CLIENTS {
+                                let expected = &expected;
+                                let m = &m;
+                                s.spawn(move || {
+                                    let policy =
+                                        RetryPolicy { seed: seed ^ c, ..RetryPolicy::default() };
+                                    for j in 0..PER_CLIENT {
+                                        let k = c * PER_CLIENT + j;
+                                        let (_, b) = verify::rhs_for(m, 2000 + k);
+                                        let sub = if j % 2 == 0 {
+                                            svc.submit_with_retry(&b, &policy)
+                                        } else {
+                                            svc.submit(&b)
+                                        };
+                                        // typed rejections and typed completions are
+                                        // both legal outcomes under chaos — the
+                                        // invariant is "resolved, typed, no hang"
+                                        if let Ok(Ok(x)) = sub.map(|t| t.wait()) {
+                                            assert_eq!(
+                                                x, expected[k as usize],
+                                                "seed {seed} req {k}: Ok must be bit-identical"
+                                            );
+                                        }
+                                    }
+                                });
+                            }
+                        });
+                    })
+                    .unwrap();
+                report
+            });
+            // reconciliation: the report must account for every accepted
+            // request and agree with the plan about what fired
+            assert_eq!(
+                report.submitted,
+                report.served + report.failed + report.shutdown_rejected,
+                "seed {seed}: every accepted request resolved exactly once"
+            );
+            assert_eq!(
+                report.admission_shed,
+                plan.fired(FaultSite::AdmissionAlloc),
+                "seed {seed}: shed reconciles"
+            );
+            assert_eq!(
+                report.dispatcher_restarts,
+                plan.fired(FaultSite::DispatcherPanic),
+                "seed {seed}: every dispatcher panic was a supervised restart"
+            );
+            assert!(
+                report.poisoned_lanes <= plan.fired(FaultSite::RhsCorruptNonFinite),
+                "seed {seed}: only injected corruption poisons lanes"
+            );
+            assert_eq!(
+                report.spawn_shortfalls,
+                plan.fired(FaultSite::WorkerSpawn),
+                "seed {seed}: every spawn fire was counted as a shortfall"
+            );
+        }
+    });
+}

@@ -12,6 +12,7 @@ use sparsemat::CscMatrix;
 use sptrsv::krylov::{pcg, KrylovOptions, PreconditionerEngine};
 use sptrsv::serve::{
     serve_preconditioner, serve_solver, ServeError, ServedPreconditioner, ServiceConfig,
+    ServiceHealth,
 };
 use sptrsv::{verify, SolveError, SolveOptions, SolverEngine, SolverKind};
 use std::time::{Duration, Instant};
@@ -451,6 +452,139 @@ fn wrong_length_submission_names_the_buffer() {
             "{inner:?}"
         );
         assert!(err.to_string().contains("b has 2 entries"), "{err}");
+    })
+    .unwrap();
+}
+
+/// Regression for the re-waitable ticket contract: a ticket whose
+/// `wait_timeout` expired (possibly several times) must keep working —
+/// the eventual `wait()` returns the same bit-identical result a
+/// never-timed-out wait would have.
+#[test]
+fn wait_timeout_expiry_then_wait_is_bit_identical() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 21);
+    let expect = engine.solve(&b).unwrap().x;
+    let cfg = ServiceConfig { max_linger: Duration::from_secs(300), ..Default::default() };
+    serve_solver(&engine, &cfg, |svc| {
+        let mut t = svc.submit(&b).unwrap();
+        // several expired timeouts in a row: each returns the ticket
+        // for another try, consuming nothing
+        for _ in 0..3 {
+            t = t.wait_timeout(Duration::from_millis(5)).expect_err("still lingering");
+        }
+        svc.flush();
+        // and a timeout generous enough to span the flush completes
+        // with the exact same bits
+        let x = t.wait_timeout(Duration::from_secs(60)).expect("completed").unwrap();
+        assert_eq!(x, expect, "re-waited ticket must lose nothing");
+    })
+    .unwrap();
+}
+
+/// A byte budget too small for even one right-hand side would admit
+/// nothing forever — that is a configuration bug and must be a typed
+/// error at `run()` entry, not an eternal `QueueFull` at runtime.
+#[test]
+fn byte_budget_below_one_request_is_invalid_config() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let bad = ServiceConfig { max_queue_bytes: m.n() * 8 - 1, ..Default::default() };
+    let err = serve_solver(&engine, &bad, |_| ()).unwrap_err();
+    assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err:?}");
+    // exactly one request's worth is serviceable
+    let tight = ServiceConfig { max_queue_bytes: m.n() * 8, ..Default::default() };
+    let (_, b) = verify::rhs_for(&m, 31);
+    let expect = engine.solve(&b).unwrap().x;
+    serve_solver(&engine, &tight, |svc| {
+        assert_eq!(svc.submit(&b).unwrap().wait().unwrap(), expect);
+    })
+    .unwrap();
+}
+
+/// The admission guardrail: a right-hand side containing NaN or ±∞ is
+/// rejected at submit with a typed `NonFinite` naming buffer `"b"` and
+/// the poisoned index — it must never reach a coalesced panel where it
+/// could ride with innocent requests.
+#[test]
+fn nonfinite_rhs_is_rejected_at_admission() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    serve_solver(&engine, &ServiceConfig::default(), |svc| {
+        let (_, mut b) = verify::rhs_for(&m, 41);
+        b[7] = f64::NAN;
+        let err = svc.submit(&b).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Solve(SolveError::NonFinite { buffer: "b", index: 7 })),
+            "{err:?}"
+        );
+        b[7] = 1.0;
+        b[11] = f64::INFINITY;
+        let err = svc.submit(&b).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Solve(SolveError::NonFinite { buffer: "b", index: 11 })),
+            "{err:?}"
+        );
+        // repaired, the same vector is admitted and solved
+        b[11] = 1.0;
+        let expect = engine.solve(&b).unwrap().x;
+        assert_eq!(svc.submit(&b).unwrap().wait().unwrap(), expect);
+    })
+    .unwrap();
+}
+
+/// `health()` tracks the lifecycle: `Ok` while serving, `Draining`
+/// once shutdown begins (the degraded states are exercised by the
+/// chaos suite, which can actually provoke them).
+#[test]
+fn health_reports_ok_then_draining() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    serve_solver(&engine, &ServiceConfig::default(), |svc| {
+        assert_eq!(svc.health(), ServiceHealth::Ok);
+        svc.shutdown();
+        assert_eq!(svc.health(), ServiceHealth::Draining);
+    })
+    .unwrap();
+}
+
+/// `max_linger == 0` is the documented immediate-flush mode: every
+/// request dispatches in whatever partial panel is queued, without a
+/// flush hint and without waiting on a linger window.
+#[test]
+fn zero_linger_flushes_immediately() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 51);
+    let expect = engine.solve(&b).unwrap().x;
+    let cfg = ServiceConfig { max_linger: Duration::ZERO, ..Default::default() };
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        for _ in 0..4 {
+            // no flush() calls anywhere: completion relies entirely on
+            // the immediate-flush semantics
+            assert_eq!(svc.submit(&b).unwrap().wait().unwrap(), expect);
+        }
+    })
+    .unwrap();
+    assert_eq!(report.served, 4);
+    assert_eq!(report.hint_flushes, 0, "no hints were needed");
+}
+
+/// The error types form a `std::error::Error` chain: a serving failure
+/// exposes the solver error as its `source()`, and a solver failure
+/// wrapping a matrix error exposes that — what `anyhow`-style callers
+/// walk for root causes.
+#[test]
+fn serve_errors_expose_sources() {
+    use std::error::Error as _;
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    serve_solver(&engine, &ServiceConfig::default(), |svc| {
+        let err = svc.submit(&[1.0, 2.0]).unwrap_err();
+        let src = err.source().expect("Solve wraps its SolveError");
+        assert!(src.downcast_ref::<SolveError>().is_some(), "{src}");
+        assert!(ServeError::ShuttingDown.source().is_none(), "leaf errors have no source");
     })
     .unwrap();
 }
