@@ -19,6 +19,12 @@
 //!   floor (≥ 1.5× at 4 workers) is asserted only when the hardware
 //!   actually has ≥ 4 threads; on narrower machines the numbers are
 //!   recorded with the effective worker count for the record.
+//! * **fleet warm submit vs cold rebuild** — per-request latency of a
+//!   warm [`EngineFleet`] submit (mailbox dispatch + cached-engine
+//!   replay) against the cold one-shot solve a service without the
+//!   factor cache would pay per request; asserted ≥ 2× (build
+//!   dominates, so the floor is hardware-independent), and the
+//!   fleet's byte high-water is asserted under budget.
 //!
 //! Results go to `BENCH_engine.json` at the repository root so the perf
 //! trajectory is tracked from PR to PR. The batch and fused-panel
@@ -31,13 +37,14 @@ use mgpu_sim::MachineConfig;
 use sparsemat::factor::{ilu0, LuFactors};
 use sparsemat::gen::{self, LevelSpec};
 use sparsemat::{CscMatrix, Triangle};
+use sptrsv::fleet::{EngineFleet, FleetConfig};
 use sptrsv::krylov::{pcg, KrylovOptions, PreconditionerEngine};
 use sptrsv::serve::{serve_solver, ServiceConfig};
 use sptrsv::{solve, verify, SolveOptions, SolveWorkspace, SolverEngine, SolverKind};
 use sptrsv_bench::timer::{time_ns, TimingSummary};
 use std::cell::Cell;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const BASE_N: usize = 100_000;
@@ -288,6 +295,45 @@ fn main() {
         TimingSummary::human(warm_pcg.median_ns)
     );
 
+    // --- fleet: warm cached-engine serving vs cold per-request build -
+    // The factor cache's value proposition: once a tenant's engine is
+    // resident, a fleet submit pays mailbox dispatch + warm panel
+    // replay, while a service WITHOUT the cache pays the full build
+    // (analysis + calibration) per request — the already-measured cold
+    // one-shot solve. The floor is hardware-independent: an engine
+    // build costs orders of magnitude more than a warm dispatch.
+    const FLEET_REQS: u64 = 16;
+    let fleet_cfg = FleetConfig { machine: cfg.clone(), solve: opts.clone(), ..Default::default() };
+    let fleet = EngineFleet::new(fleet_cfg).expect("fleet config");
+    let fleet_fp = fleet.register(Arc::new(m.clone()));
+    let fleet_bs: Vec<Vec<f64>> =
+        (0..FLEET_REQS).map(|k| verify::rhs_for(&m, 9000 + k).1).collect();
+    // first submit admits + builds the tenant; excluded from the warm timing
+    fleet.submit(fleet_fp, &fleet_bs[0]).unwrap().wait().unwrap();
+    let fleet_warm = time_ns(3, || {
+        let tickets: Vec<_> = (0..FLEET_REQS as usize)
+            .map(|r| fleet.submit(fleet_fp, &fleet_bs[r]).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    });
+    let fleet_report = fleet.report();
+    let fleet_per_req = fleet_warm.median_ns / FLEET_REQS;
+    let fleet_speedup = cold.median_ns as f64 / fleet_per_req.max(1) as f64;
+    println!(
+        "fleet warm submit     median {:>12}/req   (vs cold per-request build: {fleet_speedup:.1}x, \
+         cache {}/{} bytes)",
+        TimingSummary::human(fleet_per_req),
+        fleet_report.cache_bytes_high_water,
+        fleet_report.cache_budget_bytes,
+    );
+    assert!(
+        fleet_report.cache_bytes_high_water <= fleet_report.cache_budget_bytes,
+        "fleet byte budget violated under bench traffic: {fleet_report:?}"
+    );
+    drop(fleet);
+
     // --- emit BENCH_engine.json at the repo root ---------------------
     let json = format!(
         r#"{{
@@ -348,9 +394,20 @@ fn main() {
     "serial_warm_ns": {serial_med},
     "sharded_warm_ns": {sharded_med},
     "speedup_vs_serial": {sharded_speedup:.2}
+  }},
+  "fleet": {{
+    "requests": {fleet_reqs},
+    "warm_submit_ns_per_req": {fleet_per_req},
+    "cold_build_per_request_ns": {cold_med},
+    "speedup_vs_cold_rebuild": {fleet_speedup:.2},
+    "cache_bytes_high_water": {fleet_high_water},
+    "cache_budget_bytes": {fleet_budget}
   }}
 }}
 "#,
+        fleet_reqs = FLEET_REQS,
+        fleet_high_water = fleet_report.cache_bytes_high_water,
+        fleet_budget = fleet_report.cache_budget_bytes,
         label = opts.kind.label(),
         cold_med = cold.median_ns,
         cold_min = cold.min_ns,
@@ -403,6 +460,11 @@ fn main() {
         pcg_speedup >= 2.0,
         "warm PCG (engine pair) must be at least 2x faster than per-application \
          analysis, got {pcg_speedup:.2}x"
+    );
+    assert!(
+        fleet_speedup >= 2.0,
+        "a warm fleet submit must be at least 2x faster than a cold per-request \
+         engine rebuild, got {fleet_speedup:.2}x"
     );
     // coalescing must beat the lock-per-request loop wherever parallel
     // hardware exists; a 1–3 thread machine records its honest numbers

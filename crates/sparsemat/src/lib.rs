@@ -12,6 +12,9 @@
 //! * [`io`] — Matrix Market reader/writer for real SuiteSparse inputs.
 //! * [`factor`] — ILU(0) and triangular-part extraction, standing in
 //!   for the paper's MA48 factorization step (see DESIGN.md §1).
+//! * [`fingerprint`] — content-addressed factor identity
+//!   ([`FactorFingerprint`]: structural hash + value epoch), the
+//!   routing key of the serving fleet's factor cache.
 //! * [`gen`] — synthetic triangular-system generators with exact
 //!   control over the level structure, dependency and locality.
 //! * [`mod@corpus`] — the 16-matrix Table-I analog suite used by every
@@ -26,6 +29,7 @@ pub mod csc;
 pub mod csr;
 pub mod error;
 pub mod factor;
+pub mod fingerprint;
 pub mod gen;
 pub mod io;
 pub mod levels;
@@ -37,6 +41,7 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::MatrixError;
 pub use factor::{audit_factor, FactorAudit};
+pub use fingerprint::FactorFingerprint;
 pub use levels::LevelSets;
 pub use reorder::Permutation;
 

@@ -446,6 +446,24 @@ impl<'m> SolverEngine<'m> {
         &self.opts
     }
 
+    /// Host bytes this engine holds beyond the matrix it borrows:
+    /// analysis arrays, the sharded schedule (canonical order counted
+    /// once, here), plus one warm [`SolveWorkspace`] at this dimension
+    /// — the per-engine charge a byte-bounded factor cache accounts
+    /// (the cache adds the matrix's own bytes separately, since the
+    /// cache is what keeps the matrix alive).
+    pub fn footprint_bytes(&self) -> u64 {
+        let n = self.m.n() as u64;
+        // one fully-grown workspace: three n×PANEL_K panel buffers
+        // plus the two n-length scalar scratch vectors
+        let workspace = n * 8 * (3 * crate::exec::PANEL_K as u64 + 2);
+        let prepared = match &self.variant {
+            Variant::Simulated(p) => p.analysis.host_bytes() + p.sharded.host_bytes(),
+            Variant::Serial => 0,
+        };
+        prepared + workspace
+    }
+
     /// Cross-GPU dependency edges under the engine's layout (0 for
     /// serial / level-set variants).
     pub fn cross_edges(&self) -> u64 {

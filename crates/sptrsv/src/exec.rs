@@ -225,6 +225,26 @@ impl ExecAnalysis {
         }
     }
 
+    /// Host bytes held by this analysis' flat arrays — what an engine
+    /// cache charges against its byte budget. Counts capacity, not
+    /// length: the allocation is what occupies memory.
+    pub fn host_bytes(&self) -> u64 {
+        fn cap<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        cap(&self.in_degree)
+            + cap(&self.remote_mask)
+            + cap(&self.peers_ptr)
+            + cap(&self.peers)
+            + cap(&self.dep_ptr)
+            + cap(&self.dep_rows)
+            + cap(&self.dep_vals)
+            + cap(&self.diag)
+            + cap(&self.col_nnz)
+            + cap(&self.nnz_per_gpu)
+            + cap(&self.device_bytes)
+    }
+
     /// Update list (dependent rows and matrix values) of component `c`.
     #[inline]
     fn updates_of(&self, c: u32) -> (&[u32], &[f64]) {
@@ -554,6 +574,21 @@ impl ShardedReplay {
     #[inline]
     pub fn order_shared(&self) -> Arc<[u32]> {
         Arc::clone(&self.order)
+    }
+
+    /// Host bytes held by the sharded schedule (including the shared
+    /// canonical order — counted once here, by the owner of record) —
+    /// what an engine cache charges against its byte budget.
+    pub fn host_bytes(&self) -> u64 {
+        fn cap<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        (self.order.len() * std::mem::size_of::<u32>()) as u64
+            + cap(&self.seg_ptr)
+            + cap(&self.upd_ptr)
+            + cap(&self.upd_src)
+            + cap(&self.upd_row)
+            + cap(&self.upd_val)
     }
 
     /// Execute one warm solve level-parallel across `workers` region

@@ -28,9 +28,15 @@
 //! [`with_plan`] installs the plan process-globally (the dispatcher
 //! and pool workers are separate threads and must observe it), saves
 //! whatever plan was active before, and restores it on exit — even by
-//! panic — so chaos tests compose. Tests that install plans should
-//! still serialize among themselves: two concurrent `with_plan` scopes
-//! would observe each other's plans.
+//! panic — so chaos tests compose. Scoping is an explicit **LIFO
+//! stack on one thread**: nested scopes shadow the outer plan for
+//! their duration and restore it on exit (tested, not incidental).
+//! Two *concurrent* scopes on different threads can never both be
+//! honored by one process-global plan, so the inner [`with_plan`]
+//! panics with a diagnostic instead of silently clobbering the other
+//! thread's schedule — chaos tests serialize on a mutex and never see
+//! it; a test that forgets gets an immediate loud failure rather than
+//! a flaky cross-contaminated fault schedule.
 
 use std::sync::Arc;
 
@@ -66,10 +72,21 @@ pub enum FaultSite {
     /// scan accepted it — the bit-flip case the opt-in post-solve
     /// output scan exists to contain.
     RhsCorruptNonFinite = 5,
+    /// An engine build panics on the fleet's build pool (a poisoned
+    /// factor, an analysis bug): [`crate::fleet::EngineFleet`] retries
+    /// with seeded backoff and quarantines the fingerprint when the
+    /// attempt budget is exhausted
+    /// ([`crate::fleet::FleetError::Quarantined`]).
+    EngineBuild = 6,
+    /// Factor-cache admission sheds a cold request under (simulated)
+    /// memory pressure before reserving cache bytes: the client sees
+    /// [`crate::fleet::FleetError::CacheFull`] and may retry — warm
+    /// tenants are unaffected.
+    CacheAdmit = 7,
 }
 
 /// Number of distinct [`FaultSite`]s.
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 8;
 
 /// Every site, in discriminant order — iterate this to reconcile a
 /// report's counters against [`FaultPlan::fired`].
@@ -80,6 +97,8 @@ pub const ALL_SITES: [FaultSite; SITE_COUNT] = [
     FaultSite::PanelSolve,
     FaultSite::AdmissionAlloc,
     FaultSite::RhsCorruptNonFinite,
+    FaultSite::EngineBuild,
+    FaultSite::CacheAdmit,
 ];
 
 impl FaultSite {
@@ -92,6 +111,8 @@ impl FaultSite {
             FaultSite::PanelSolve => "panel-solve",
             FaultSite::AdmissionAlloc => "admission-alloc",
             FaultSite::RhsCorruptNonFinite => "rhs-corrupt-nonfinite",
+            FaultSite::EngineBuild => "engine-build",
+            FaultSite::CacheAdmit => "cache-admit",
         }
     }
 }
@@ -197,6 +218,8 @@ const SITE_SALT: [u64; SITE_COUNT] = [
     0xD6E8_FEB8_6659_FD93,
     0xA076_1D64_78BD_642F,
     0xE703_7ED1_A0B4_28DB,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x8CB9_2BA7_2F3D_8DD7,
 ];
 
 #[cfg(feature = "fault-inject")]
@@ -216,6 +239,55 @@ mod armed {
         let prev = std::mem::replace(&mut *g, plan);
         ENABLED.store(g.is_some(), Ordering::Release);
         prev
+    }
+
+    /// Threads whose outermost `with_plan` scope is currently open.
+    /// The plan is process-global, so this may legitimately be 0 or 1
+    /// — a second thread trying to open a scope is a test bug.
+    static OUTERMOST_SCOPES: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+    std::thread_local! {
+        /// This thread's `with_plan` nesting depth.
+        static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+
+    /// RAII token for one `with_plan` scope: tracks per-thread nesting
+    /// depth and rejects concurrent outermost scopes across threads.
+    pub(super) struct Scope {
+        outermost: bool,
+    }
+
+    impl Scope {
+        pub(super) fn enter() -> Scope {
+            let depth = DEPTH.with(|d| {
+                let v = d.get();
+                d.set(v + 1);
+                v
+            });
+            if depth > 0 {
+                // nested on this thread: legal LIFO shadowing
+                return Scope { outermost: false };
+            }
+            if OUTERMOST_SCOPES.fetch_add(1, Ordering::AcqRel) != 0 {
+                OUTERMOST_SCOPES.fetch_sub(1, Ordering::AcqRel);
+                DEPTH.with(|d| d.set(d.get() - 1));
+                panic!(
+                    "fault::with_plan: a fault-plan scope is already active on another \
+                     thread; plans are process-global, so concurrent scopes would \
+                     clobber each other's schedules — serialize chaos scopes on a mutex"
+                );
+            }
+            Scope { outermost: true }
+        }
+    }
+
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            DEPTH.with(|d| d.set(d.get() - 1));
+            if self.outermost {
+                OUTERMOST_SCOPES.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
     }
 
     pub(super) fn active() -> bool {
@@ -238,9 +310,13 @@ mod armed {
 /// restoring the previously installed plan (if any) on exit — panic
 /// included. Without the `fault-inject` feature this is exactly `f()`.
 ///
-/// Scopes nest (the inner plan shadows the outer for its duration),
-/// but concurrent scopes on different threads observe each other —
-/// chaos tests serialize among themselves for hermeticity.
+/// Scoping is an explicit LIFO stack **per thread**: a nested call on
+/// the same thread shadows the outer plan for its duration and the
+/// outer plan is restored when the inner scope exits (even by panic).
+/// A call while another thread's scope is open **panics** — the plan
+/// is process-global, so two live scopes would silently corrupt each
+/// other's deterministic schedules, and a loud immediate failure beats
+/// a flaky one. Chaos tests serialize on one mutex and never hit this.
 #[cfg(feature = "fault-inject")]
 pub fn with_plan<R>(plan: &Arc<FaultPlan>, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<Option<Arc<FaultPlan>>>);
@@ -251,6 +327,9 @@ pub fn with_plan<R>(plan: &Arc<FaultPlan>, f: impl FnOnce() -> R) -> R {
             }
         }
     }
+    // scope token first: a rejected concurrent scope must panic before
+    // touching the installed plan
+    let _scope = armed::Scope::enter();
     let prev = armed::install(Some(Arc::clone(plan)));
     let _restore = Restore(Some(prev));
     f()
@@ -344,8 +423,100 @@ mod tests {
 
     #[test]
     fn unarmed_probes_never_fire() {
+        let _g = global_guard();
         assert!(!plan_active());
         assert!(!fire(FaultSite::PanelSolve));
         fire_panic(FaultSite::PanelSolve); // must not panic
+    }
+
+    /// Satellite: N threads hammering one CAS-budgeted site fire
+    /// exactly `budget` times — concurrent probes can race the rate
+    /// draw freely, but the fired CAS loop admits one fire at a time
+    /// and never overshoots.
+    #[test]
+    fn concurrent_probes_never_overshoot_budget() {
+        const THREADS: usize = 8;
+        const PROBES: usize = 1000;
+        const BUDGET: u64 = 17;
+        let p = FaultPlan::new(0xC0FFEE)
+            .with_rate(FaultSite::CacheAdmit, 1.0)
+            .with_budget(FaultSite::CacheAdmit, BUDGET);
+        let fired: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| (0..PROBES).filter(|_| p.should_fire(FaultSite::CacheAdmit)).count())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(fired as u64, BUDGET, "exactly the budget, never more");
+        assert_eq!(p.fired(FaultSite::CacheAdmit), BUDGET);
+        assert_eq!(p.probes(FaultSite::CacheAdmit), (THREADS * PROBES) as u64);
+    }
+
+    #[test]
+    fn new_sites_have_salts_and_labels() {
+        assert_eq!(ALL_SITES.len(), SITE_COUNT);
+        for (i, s) in ALL_SITES.iter().enumerate() {
+            assert_eq!(*s as usize, i, "discriminants match ALL_SITES order");
+            assert!(!s.label().is_empty());
+        }
+        let salts: std::collections::HashSet<u64> = SITE_SALT.iter().copied().collect();
+        assert_eq!(salts.len(), SITE_COUNT, "per-site salts are distinct");
+    }
+
+    /// The installed-plan tests below mutate process-global state; they
+    /// serialize on this mutex (integration-test chaos suites live in a
+    /// different process, so only this binary's tests matter here).
+    static GLOBAL: Mutex<()> = Mutex::new(());
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    fn global_guard() -> MutexGuard<'static, ()> {
+        GLOBAL.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Satellite: nesting is documented LIFO shadowing — the inner
+    /// plan's schedule applies inside the inner scope, the outer plan
+    /// is restored when it exits, panic included.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn with_plan_nests_lifo_and_restores_on_panic() {
+        let _g = global_guard();
+        let outer = Arc::new(FaultPlan::new(1).with_rate(FaultSite::PanelSolve, 1.0));
+        let inner = Arc::new(FaultPlan::new(2)); // never fires
+        with_plan(&outer, || {
+            assert!(fire(FaultSite::PanelSolve), "outer plan armed");
+            with_plan(&inner, || {
+                assert!(!fire(FaultSite::PanelSolve), "inner plan shadows the outer");
+            });
+            assert!(fire(FaultSite::PanelSolve), "outer plan restored after inner exits");
+            // a panicking inner scope must restore the outer plan too
+            let r = std::panic::catch_unwind(|| with_plan(&inner, || panic!("inner scope dies")));
+            assert!(r.is_err());
+            assert!(fire(FaultSite::PanelSolve), "outer plan restored after inner panic");
+        });
+        assert!(!plan_active(), "everything restored after the stack unwinds");
+    }
+
+    /// Satellite: a concurrent scope on another thread is a loud typed
+    /// failure (panic with a diagnostic), not silent last-writer-wins.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn with_plan_concurrent_scopes_panic() {
+        let _g = global_guard();
+        let plan = Arc::new(FaultPlan::new(3));
+        with_plan(&plan, || {
+            let other = Arc::new(FaultPlan::new(4));
+            let r = std::thread::spawn(move || {
+                std::panic::catch_unwind(|| with_plan(&other, || ())).is_err()
+            })
+            .join()
+            .unwrap();
+            assert!(r, "the second thread's scope must be rejected");
+            assert!(plan_active(), "the first thread's plan survives the rejection");
+        });
+        assert!(!plan_active());
+        // and after the rejection, a fresh scope works again
+        with_plan(&plan, || assert!(plan_active()));
     }
 }

@@ -1,0 +1,1141 @@
+//! # fleet — fault-isolated multi-tenant serving over a factor cache
+//!
+//! A production serving tier rarely holds one factor: an iterative
+//! pipeline re-factors as the operator drifts, and many independent
+//! systems (tenants) share one box. [`EngineFleet`] is that tier for
+//! this repository's solvers. Clients address requests by
+//! [`FactorFingerprint`] — the content-addressed factor identity from
+//! [`sparsemat::fingerprint`] — and the fleet routes each right-hand
+//! side to a warm per-tenant [`SolverService`], building, caching and
+//! evicting [`SolverEngine`]s on demand under a hard byte budget.
+//!
+//! ## Architecture
+//!
+//! * **Bulkheads.** Every cached engine lives on its own OS thread
+//!   (the *tenant thread*), which owns the `Arc<CscMatrix>`, builds
+//!   the engine on its own stack, and runs
+//!   [`SolverService::run_supervised`] locally, pumping requests from
+//!   an mpsc mailbox. No tenant shares a dispatcher, a queue, or a
+//!   panic domain with any other — the classic bulkhead pattern. All
+//!   tenants *do* share one [`EngineResources`] pool, so worker
+//!   threads and solve workspaces are recycled fleet-wide.
+//! * **Quarantining build pool.** Engine builds run under
+//!   `catch_unwind` with a wall-clock deadline and bounded, seeded
+//!   retries. A fingerprint whose build keeps failing is quarantined:
+//!   submits get a typed [`FleetError::Quarantined`] (with the
+//!   remaining cooldown) instead of burning build attempts, and after
+//!   the cooldown a single cold probe decides re-admission.
+//! * **Byte-bounded factor cache.** Cached engines are charged their
+//!   real footprint (matrix + analysis + replay + workspace bytes, via
+//!   [`SolverEngine::footprint_bytes`]); admitting a new tenant sheds
+//!   the coldest idle one first (LRU). Engines with in-flight requests
+//!   are pinned — eviction never strands a ticket. Bytes are reserved
+//!   *before* a build starts and corrected to the engine's actual
+//!   footprint after, so live bytes never exceed the budget, not even
+//!   transiently.
+//!
+//! ## Containment map
+//!
+//! What fails, where the blast radius stops, and how you can tell:
+//!
+//! | failure | containment boundary | what the client sees | counter |
+//! |---|---|---|---|
+//! | engine build panics or times out ([`FaultSite::EngineBuild`]) | build pool: retries, then quarantine | [`FleetError::BuildFailed`], then [`FleetError::Quarantined`] | `builds_failed`, `quarantine_events` |
+//! | poisoned factor re-submitted after cooldown | one cold probe re-runs the build | success, or quarantine renewed | `build_retries`, `quarantine_rejections` |
+//! | one tenant's dispatcher panics repeatedly | that tenant's bulkhead thread | [`ServeError::Retryable`] on that tenant only; other tenants bit-identical | `tenant_aborts` |
+//! | one client floods the fleet | per-tenant request/byte budgets | [`FleetError::TenantQueueFull`] | `tenant_shed` |
+//! | cache pressure | LRU shed of coldest *idle* engine (in-flight engines pinned) | cold rebuild on next submit | `evictions` |
+//! | admission allocation failure ([`FaultSite::CacheAdmit`]) | admission gate | [`FleetError::CacheFull`] | `cache_admit_shed` |
+//! | fleet shutdown | every mailbox drained with typed errors | [`FleetError::ShuttingDown`] | — |
+//!
+//! Two invariants hold under any interleaving of the above — the chaos
+//! suite (`tests/chaos.rs`) asserts both while injecting faults into
+//! one tenant of a multi-tenant sweep:
+//!
+//! 1. **No ticket ever hangs.** Every [`FleetTicket`] resolves to a
+//!    value or a typed error, even if its tenant thread panics, is
+//!    evicted mid-queue, or the fleet shuts down underneath it.
+//!    (Mailbox messages carry a drop-completing guard: a request
+//!    dropped unread resolves its ticket with
+//!    [`ServeError::Retryable`].)
+//! 2. **The byte budget is hard.** `cache_bytes ≤ cache_budget_bytes`
+//!    at every instant; [`FleetReport::cache_bytes_high_water`] is the
+//!    audit trail.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sptrsv::fleet::{EngineFleet, FleetConfig};
+//!
+//! let l = Arc::new(sparsemat::gen::banded_lower(256, 4, 3.0, 1));
+//! let fleet = EngineFleet::new(FleetConfig::default()).unwrap();
+//! let fp = fleet.register(Arc::clone(&l));
+//! let (_, b) = sptrsv::verify::rhs_for(&l, 7);
+//! let x = fleet.submit(fp, &b).unwrap().wait().unwrap();
+//! assert_eq!(x.len(), 256);
+//! ```
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mgpu_sim::MachineConfig;
+use sparsemat::{CscMatrix, FactorFingerprint};
+
+use crate::engine::{EngineResources, SolverEngine};
+use crate::exec::PANEL_K;
+use crate::fault::{self, FaultSite};
+use crate::serve::{
+    backoff_delay, ServeError, ServiceConfig, ServiceEngine, ServiceHealth, ServiceReport,
+    SolverService,
+};
+use crate::solver::{SolveError, SolveOptions};
+
+/// Tuning knobs for an [`EngineFleet`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Machine model every tenant engine is built against.
+    pub machine: MachineConfig,
+    /// Solver options every tenant engine is built with. Defaults to
+    /// the engine default with `verify` off — per-solve verification
+    /// against the serial reference defeats the point of a warm cache.
+    pub solve: SolveOptions,
+    /// Per-tenant [`SolverService`] configuration (queue bounds,
+    /// linger, supervision). The fleet overrides `supervision_seed`
+    /// per tenant (`seed ^ fingerprint.structural`) so restart
+    /// schedules are decorrelated across tenants but reproducible.
+    pub service: ServiceConfig,
+    /// Hard ceiling on cached bytes: engines + workspaces + matrices
+    /// of all live tenants. Never exceeded, even mid-build.
+    pub cache_budget_bytes: u64,
+    /// Most in-flight requests one tenant may hold before its submits
+    /// shed with [`FleetError::TenantQueueFull`].
+    pub max_tenant_requests: usize,
+    /// Most in-flight payload bytes one tenant may hold.
+    pub max_tenant_bytes: usize,
+    /// Build attempts (including the first) before a fingerprint is
+    /// quarantined. Clamped to ≥ 1. Only *panicking* builds are
+    /// retried; a typed build error is deterministic and fails fast.
+    pub build_attempts: u32,
+    /// Wall-clock deadline across all build attempts of one admission.
+    pub build_deadline: Duration,
+    /// Base backoff between build retries (seeded exponential jitter,
+    /// capped at 100 ms).
+    pub build_backoff: Duration,
+    /// Most engine builds running concurrently fleet-wide; excess
+    /// builders wait. Clamped to ≥ 1.
+    pub build_concurrency: usize,
+    /// How long a quarantined fingerprint is rejected before one cold
+    /// probe may re-attempt its build.
+    pub quarantine_cooldown: Duration,
+    /// Seed for every deterministic schedule in the fleet (build
+    /// backoff, per-tenant supervision jitter).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            machine: MachineConfig::dgx1(2),
+            solve: SolveOptions { verify: false, ..SolveOptions::default() },
+            service: ServiceConfig::default(),
+            cache_budget_bytes: 256 << 20,
+            max_tenant_requests: 256,
+            max_tenant_bytes: 64 << 20,
+            build_attempts: 3,
+            build_deadline: Duration::from_secs(10),
+            build_backoff: Duration::from_micros(200),
+            build_concurrency: 2,
+            quarantine_cooldown: Duration::from_millis(500),
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Clamp the self-healable knobs and reject the unserviceable ones
+    /// — a zero byte budget or zero tenant budget would reject every
+    /// request forever, which is a configuration bug, not load.
+    fn validated(&self) -> Result<FleetConfig, FleetError> {
+        if self.cache_budget_bytes == 0 {
+            return Err(FleetError::InvalidConfig { what: "cache_budget_bytes must be ≥ 1" });
+        }
+        if self.max_tenant_requests == 0 {
+            return Err(FleetError::InvalidConfig { what: "max_tenant_requests must be ≥ 1" });
+        }
+        if self.max_tenant_bytes == 0 {
+            return Err(FleetError::InvalidConfig { what: "max_tenant_bytes must be ≥ 1" });
+        }
+        let mut cfg = self.clone();
+        cfg.build_attempts = cfg.build_attempts.max(1);
+        cfg.build_concurrency = cfg.build_concurrency.max(1);
+        Ok(cfg)
+    }
+}
+
+/// Everything that can go wrong between a client and the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// No matrix has been [`EngineFleet::register`]ed under this
+    /// fingerprint — the fleet cannot build what it has never seen.
+    UnknownFactor {
+        /// The unrecognized routing key.
+        fingerprint: FactorFingerprint,
+    },
+    /// This fingerprint's builds failed repeatedly and it is cooling
+    /// off; resubmit after `retry_in`.
+    Quarantined {
+        /// Consecutive admission failures recorded for the factor.
+        failures: u32,
+        /// Remaining cooldown before a re-admission probe is allowed.
+        retry_in: Duration,
+    },
+    /// The engine build failed (panic, deadline, or a typed engine
+    /// error) after `attempts` attempts; the fingerprint is now
+    /// quarantined.
+    BuildFailed {
+        /// Build attempts actually made.
+        attempts: u32,
+    },
+    /// The factor cache cannot fit this engine: the budget is smaller
+    /// than the engine, or every resident engine is pinned by
+    /// in-flight requests.
+    CacheFull {
+        /// Bytes the admission needed and could not reserve.
+        needed_bytes: u64,
+        /// The configured ceiling.
+        budget_bytes: u64,
+    },
+    /// This tenant is at its per-tenant admission budget (requests or
+    /// bytes); other tenants are unaffected.
+    TenantQueueFull {
+        /// The tenant's in-flight requests at rejection.
+        depth: usize,
+        /// The tenant's in-flight payload bytes at rejection.
+        bytes: usize,
+    },
+    /// The fleet is shutting down (or shut down underneath a queued
+    /// request).
+    ShuttingDown,
+    /// The fleet configuration cannot work.
+    InvalidConfig {
+        /// Which knob is broken.
+        what: &'static str,
+    },
+    /// The tenant's serving front-end failed the request — the
+    /// per-tenant [`SolverService`] error, verbatim.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownFactor { fingerprint } => {
+                write!(f, "no registered factor under fingerprint {fingerprint}")
+            }
+            FleetError::Quarantined { failures, retry_in } => {
+                write!(f, "factor quarantined after {failures} failures; retry in {retry_in:?}")
+            }
+            FleetError::BuildFailed { attempts } => {
+                write!(f, "engine build failed after {attempts} attempts; factor quarantined")
+            }
+            FleetError::CacheFull { needed_bytes, budget_bytes } => write!(
+                f,
+                "factor cache full: {needed_bytes} bytes needed, {budget_bytes} byte budget, \
+                 no evictable engine"
+            ),
+            FleetError::TenantQueueFull { depth, bytes } => write!(
+                f,
+                "tenant at its admission budget ({depth} requests / {bytes} bytes in flight)"
+            ),
+            FleetError::ShuttingDown => write!(f, "the engine fleet is shutting down"),
+            FleetError::InvalidConfig { what } => {
+                write!(f, "invalid fleet configuration: {what}")
+            }
+            FleetError::Serve(e) => write!(f, "tenant service failed the request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}
+
+/// Coarse per-tenant condition, reported by [`EngineFleet::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantHealth {
+    /// Admitted; the engine build has not finished yet. Submits are
+    /// accepted and queue in the tenant mailbox.
+    Building,
+    /// Serving normally.
+    Ok,
+    /// Serving, but impaired (circuit breaker open, or the dispatcher
+    /// recently restarted).
+    Degraded {
+        /// Why the tenant is degraded.
+        reason: &'static str,
+    },
+    /// The tenant is draining (eviction, abort cleanup, or fleet
+    /// shutdown).
+    Draining,
+    /// The fingerprint is quarantined and holds no live engine.
+    Quarantined {
+        /// Consecutive admission failures recorded for the factor.
+        failures: u32,
+        /// Remaining cooldown before a re-admission probe is allowed.
+        retry_in: Duration,
+    },
+}
+
+/// Fleet-wide counters (all monotonic), snapshot by
+/// [`EngineFleet::report`].
+#[derive(Debug, Default)]
+struct FleetCounters {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    failed: AtomicU64,
+    tenant_shed: AtomicU64,
+    cache_admit_shed: AtomicU64,
+    quarantine_rejections: AtomicU64,
+    builds_started: AtomicU64,
+    builds_ok: AtomicU64,
+    builds_failed: AtomicU64,
+    build_retries: AtomicU64,
+    quarantine_events: AtomicU64,
+    evictions: AtomicU64,
+    tenant_aborts: AtomicU64,
+}
+
+/// A point-in-time snapshot of the fleet, from [`EngineFleet::report`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Tenants currently holding a cached engine (or building one).
+    pub tenants_live: usize,
+    /// Fingerprints currently inside their quarantine cooldown.
+    pub quarantined_now: usize,
+    /// Bytes currently charged against the cache budget.
+    pub cache_bytes: u64,
+    /// Most bytes ever charged at once — always ≤ the budget.
+    pub cache_bytes_high_water: u64,
+    /// The configured ceiling, for reconciliation.
+    pub cache_budget_bytes: u64,
+    /// Requests accepted into some tenant mailbox.
+    pub submitted: u64,
+    /// Requests completed with a solution.
+    pub served: u64,
+    /// Requests completed with a typed error.
+    pub failed: u64,
+    /// Submits shed by a per-tenant admission budget.
+    pub tenant_shed: u64,
+    /// Cold admissions shed by injected allocation-pressure faults
+    /// ([`FaultSite::CacheAdmit`]).
+    pub cache_admit_shed: u64,
+    /// Submits rejected because their fingerprint was in quarantine.
+    pub quarantine_rejections: u64,
+    /// Engine builds started (cold admissions).
+    pub builds_started: u64,
+    /// Builds that produced a serving engine.
+    pub builds_ok: u64,
+    /// Admissions that exhausted their build attempts or deadline.
+    pub builds_failed: u64,
+    /// Individual panicking build attempts that were retried.
+    pub build_retries: u64,
+    /// Times a fingerprint entered (or renewed) quarantine.
+    pub quarantine_events: u64,
+    /// Idle engines shed by the LRU to make room.
+    pub evictions: u64,
+    /// Tenant dispatchers that exhausted their restart budget and
+    /// aborted — contained to their own bulkhead.
+    pub tenant_aborts: u64,
+}
+
+/// Live per-tenant gauges, shared between the tenant thread (writer)
+/// and the fleet (reader), and read by every completing request slot.
+#[derive(Debug)]
+struct TenantGauge {
+    inflight_requests: AtomicUsize,
+    inflight_bytes: AtomicUsize,
+    health: Mutex<TenantHealth>,
+    last_report: Mutex<ServiceReport>,
+}
+
+impl TenantGauge {
+    fn new(health: TenantHealth) -> TenantGauge {
+        TenantGauge {
+            inflight_requests: AtomicUsize::new(0),
+            inflight_bytes: AtomicUsize::new(0),
+            health: Mutex::new(health),
+            last_report: Mutex::new(ServiceReport::default()),
+        }
+    }
+
+    fn health(&self) -> TenantHealth {
+        *self.health.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn set_health(&self, h: TenantHealth) {
+        *self.health.lock().unwrap_or_else(PoisonError::into_inner) = h;
+    }
+}
+
+/// One request's rendezvous: the client waits on the condvar, whoever
+/// owns the request completes it exactly once.
+#[derive(Debug)]
+struct ReqSlot {
+    result: Mutex<Option<Result<Vec<f64>, FleetError>>>,
+    cv: Condvar,
+    bytes: usize,
+    gauge: Arc<TenantGauge>,
+    counters: Arc<FleetCounters>,
+}
+
+impl ReqSlot {
+    fn complete(&self, r: Result<Vec<f64>, FleetError>) {
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_some() {
+            debug_assert!(false, "fleet request completed twice");
+            return;
+        }
+        match &r {
+            Ok(_) => self.counters.served.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        self.gauge.inflight_requests.fetch_sub(1, Ordering::AcqRel);
+        self.gauge.inflight_bytes.fetch_sub(self.bytes, Ordering::AcqRel);
+        *slot = Some(r);
+        self.cv.notify_all();
+    }
+}
+
+/// The no-hang guarantee, mechanized: a mailbox message owns its slot
+/// through this guard, and dropping the guard un-completed (pump
+/// panic, dead mailbox, `SendError`) resolves the ticket with a typed
+/// retryable error instead of stranding the waiting client.
+#[derive(Debug)]
+struct SlotGuard(Option<Arc<ReqSlot>>);
+
+impl SlotGuard {
+    fn new(slot: Arc<ReqSlot>) -> SlotGuard {
+        SlotGuard(Some(slot))
+    }
+
+    fn complete(mut self, r: Result<Vec<f64>, FleetError>) {
+        if let Some(s) = self.0.take() {
+            s.complete(r);
+        }
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        if let Some(s) = self.0.take() {
+            s.complete(Err(FleetError::Serve(ServeError::Retryable {
+                reason: "tenant dispatcher exited before serving the request",
+            })));
+        }
+    }
+}
+
+/// A pending fleet request. Resolve it with [`FleetTicket::wait`] (or
+/// the timed variants); dropping it abandons the result but the solve
+/// still runs and the counters still reconcile.
+#[derive(Debug)]
+#[must_use = "the FleetTicket is the only way to collect this request's result"]
+pub struct FleetTicket {
+    slot: Arc<ReqSlot>,
+}
+
+impl FleetTicket {
+    /// Block until the request completes.
+    pub fn wait(self) -> Result<Vec<f64>, FleetError> {
+        let mut g = self.slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.slot.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block at most `timeout`. `Ok(result)` if the request completed
+    /// in time; `Err(self)` returns the still-live ticket so the
+    /// caller can keep waiting. `Duration::ZERO` is a pure poll.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<Vec<f64>, FleetError>, FleetTicket> {
+        let deadline = Instant::now() + timeout;
+        {
+            let slot = Arc::clone(&self.slot);
+            let mut g = slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(r) = g.take() {
+                    return Ok(r);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                g = slot
+                    .cv
+                    .wait_timeout(g, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
+        Err(self)
+    }
+
+    /// Non-blocking poll: `wait_timeout(Duration::ZERO)`.
+    pub fn try_wait(self) -> Result<Result<Vec<f64>, FleetError>, FleetTicket> {
+        self.wait_timeout(Duration::ZERO)
+    }
+}
+
+enum TenantMsg {
+    Req(Vec<f64>, SlotGuard),
+    Stop,
+}
+
+struct TenantEntry {
+    tx: Sender<TenantMsg>,
+    join: Option<JoinHandle<()>>,
+    gauge: Arc<TenantGauge>,
+    /// Bytes currently charged against the cache budget for this
+    /// tenant (reservation until the build recharges to actual).
+    bytes: u64,
+    last_used: u64,
+    /// Until the build recharges: never an eviction victim, and the
+    /// charged bytes are still the admission estimate.
+    building: bool,
+    n: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quarantine {
+    until: Instant,
+    failures: u32,
+}
+
+struct FleetState {
+    factors: HashMap<FactorFingerprint, Arc<CscMatrix>>,
+    tenants: HashMap<FactorFingerprint, TenantEntry>,
+    quarantine: HashMap<FactorFingerprint, Quarantine>,
+    cache_bytes: u64,
+    cache_high_water: u64,
+    lru_clock: u64,
+    builds_inflight: usize,
+    shutdown: bool,
+}
+
+struct FleetShared {
+    cfg: FleetConfig,
+    counters: Arc<FleetCounters>,
+    st: Mutex<FleetState>,
+    cv: Condvar,
+}
+
+impl FleetShared {
+    fn lock(&self) -> MutexGuard<'_, FleetState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wait for a build slot. `false` means the fleet shut down while
+    /// waiting and no permit was taken.
+    fn acquire_build_permit(&self) -> bool {
+        let mut st = self.lock();
+        while st.builds_inflight >= self.cfg.build_concurrency && !st.shutdown {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.shutdown {
+            return false;
+        }
+        st.builds_inflight += 1;
+        true
+    }
+
+    fn release_build_permit(&self) {
+        let mut st = self.lock();
+        st.builds_inflight -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Remove `fp`'s entry and release its charged bytes — whoever
+    /// removes the entry releases the bytes, exactly once.
+    fn remove_and_release(&self, fp: FactorFingerprint) {
+        let mut st = self.lock();
+        if let Some(e) = st.tenants.remove(&fp) {
+            st.cache_bytes = st.cache_bytes.saturating_sub(e.bytes);
+        }
+    }
+
+    /// Enter (or renew) quarantine for `fp` and tear down its entry.
+    fn quarantine_and_remove(&self, fp: FactorFingerprint) {
+        let mut st = self.lock();
+        let cooldown = self.cfg.quarantine_cooldown;
+        let q =
+            st.quarantine.entry(fp).or_insert(Quarantine { until: Instant::now(), failures: 0 });
+        q.failures += 1;
+        q.until = Instant::now() + cooldown;
+        self.counters.quarantine_events.fetch_add(1, Ordering::Relaxed);
+        if let Some(e) = st.tenants.remove(&fp) {
+            st.cache_bytes = st.cache_bytes.saturating_sub(e.bytes);
+        }
+    }
+
+    /// Correct `fp`'s reservation to the engine's `actual` footprint.
+    /// Shrinking always succeeds; growing may evict coldest idle
+    /// engines, and if nothing can be shed the entry is removed and
+    /// the admission fails with [`FleetError::CacheFull`]. Success
+    /// clears the build flag and any quarantine record — the factor
+    /// proved itself.
+    fn recharge(&self, fp: FactorFingerprint, actual: u64) -> Result<(), FleetError> {
+        loop {
+            let mut st = self.lock();
+            let Some(e) = st.tenants.get(&fp) else {
+                // evicted or shut down mid-build: the remover released
+                // our bytes; nothing to charge
+                return Err(FleetError::ShuttingDown);
+            };
+            let reserved = e.bytes;
+            if actual <= reserved
+                || st.cache_bytes + (actual - reserved) <= self.cfg.cache_budget_bytes
+            {
+                let e = st.tenants.get_mut(&fp).expect("checked above");
+                e.bytes = actual;
+                e.building = false;
+                if actual <= reserved {
+                    st.cache_bytes -= reserved - actual;
+                } else {
+                    st.cache_bytes += actual - reserved;
+                    st.cache_high_water = st.cache_high_water.max(st.cache_bytes);
+                }
+                st.quarantine.remove(&fp);
+                return Ok(());
+            }
+            let delta = actual - reserved;
+            let Some(victim) = pick_victim(&st, Some(fp)) else {
+                st.tenants.remove(&fp);
+                st.cache_bytes = st.cache_bytes.saturating_sub(reserved);
+                return Err(FleetError::CacheFull {
+                    needed_bytes: delta,
+                    budget_bytes: self.cfg.cache_budget_bytes,
+                });
+            };
+            let mut ve = st.tenants.remove(&victim).expect("victim picked from this map");
+            st.cache_bytes = st.cache_bytes.saturating_sub(ve.bytes);
+            drop(st);
+            self.stop_tenant(&mut ve);
+        }
+    }
+
+    /// Stop and join an already-removed tenant entry (bytes were
+    /// released by the remover).
+    fn stop_tenant(&self, e: &mut TenantEntry) {
+        let _ = e.tx.send(TenantMsg::Stop);
+        if let Some(j) = e.join.take() {
+            let _ = j.join();
+        }
+        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Complete everything already queued in a dying mailbox with a
+    /// typed error. Later sends fail (`SendError`) or are dropped with
+    /// the receiver — either way the [`SlotGuard`] resolves them.
+    fn fail_mailbox(&self, rx: &Receiver<TenantMsg>, err: impl Fn() -> FleetError) {
+        while let Ok(msg) = rx.try_recv() {
+            if let TenantMsg::Req(_, guard) = msg {
+                guard.complete(Err(err()));
+            }
+        }
+    }
+}
+
+/// Coldest idle engine: not building (bytes still an estimate, thread
+/// mid-build), no in-flight requests (pinning — eviction must never
+/// strand a ticket), smallest LRU stamp. `exclude` keeps a recharging
+/// tenant from evicting itself.
+fn pick_victim(st: &FleetState, exclude: Option<FactorFingerprint>) -> Option<FactorFingerprint> {
+    st.tenants
+        .iter()
+        .filter(|(fp, e)| {
+            Some(**fp) != exclude
+                && !e.building
+                && e.gauge.inflight_requests.load(Ordering::Acquire) == 0
+        })
+        .min_by_key(|(_, e)| e.last_used)
+        .map(|(fp, _)| *fp)
+}
+
+/// Host bytes of the matrix an engine borrows — charged to the cache
+/// alongside the engine because the fleet's `Arc<CscMatrix>` keeps it
+/// alive exactly as long as the tenant.
+fn matrix_host_bytes(m: &CscMatrix) -> u64 {
+    ((m.n() + 1) * std::mem::size_of::<usize>()
+        + m.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>())) as u64
+}
+
+/// Admission-time footprint estimate, deliberately generous: the
+/// analysis arrays are a small multiple of the matrix, and the
+/// reservation is corrected to [`SolverEngine::footprint_bytes`] the
+/// moment the build finishes — over-reserving briefly is safe, while
+/// under-reserving could let live bytes cross the budget mid-build.
+fn estimate_bytes(m: &CscMatrix) -> u64 {
+    let host = matrix_host_bytes(m);
+    let workspace = m.n() as u64 * 8 * (3 * PANEL_K as u64 + 2);
+    host * 4 + workspace
+}
+
+/// The multi-tenant serving tier: a factor registry, a byte-bounded
+/// engine cache, and one bulkheaded [`SolverService`] per live tenant.
+/// See the [module docs](self) for the containment map.
+///
+/// All methods take `&self`; the fleet is `Sync` and meant to be
+/// shared across client threads (e.g. behind an `Arc`).
+pub struct EngineFleet {
+    shared: Arc<FleetShared>,
+    resources: Arc<EngineResources>,
+}
+
+impl std::fmt::Debug for EngineFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineFleet").field("report", &self.report()).finish()
+    }
+}
+
+impl EngineFleet {
+    /// Validate `cfg` and start an empty fleet (no threads until the
+    /// first cold submit).
+    pub fn new(cfg: FleetConfig) -> Result<EngineFleet, FleetError> {
+        let cfg = cfg.validated()?;
+        Ok(EngineFleet {
+            shared: Arc::new(FleetShared {
+                cfg,
+                counters: Arc::new(FleetCounters::default()),
+                st: Mutex::new(FleetState {
+                    factors: HashMap::new(),
+                    tenants: HashMap::new(),
+                    quarantine: HashMap::new(),
+                    cache_bytes: 0,
+                    cache_high_water: 0,
+                    lru_clock: 0,
+                    builds_inflight: 0,
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+            }),
+            resources: Arc::new(EngineResources::new()),
+        })
+    }
+
+    /// Register `m` under its content fingerprint (epoch 0) and return
+    /// the routing key. Registration is cheap — no engine is built
+    /// until the first submit. Re-registering a fingerprint replaces
+    /// the stored matrix for *future* builds only.
+    pub fn register(&self, m: Arc<CscMatrix>) -> FactorFingerprint {
+        let fp = FactorFingerprint::of(&m);
+        self.shared.lock().factors.insert(fp, m);
+        fp
+    }
+
+    /// [`EngineFleet::register`] with an explicit value epoch — how a
+    /// caller distinguishes numeric refreshes of one structure (see
+    /// [`FactorFingerprint::next_epoch`]). Each epoch is its own
+    /// tenant with its own engine and quarantine record.
+    pub fn register_epoch(&self, m: Arc<CscMatrix>, epoch: u64) -> FactorFingerprint {
+        let fp = FactorFingerprint::of(&m).with_epoch(epoch);
+        self.shared.lock().factors.insert(fp, m);
+        fp
+    }
+
+    /// Submit right-hand side `b` against the factor registered under
+    /// `fp`. Warm tenants enqueue immediately; a cold fingerprint is
+    /// admitted (reserving cache bytes, evicting coldest idle engines
+    /// if needed) and its engine built on a fresh bulkhead thread
+    /// while the request waits in the tenant mailbox.
+    ///
+    /// Never blocks on a solve. Typed rejections:
+    /// [`FleetError::UnknownFactor`], [`FleetError::Quarantined`],
+    /// [`FleetError::TenantQueueFull`], [`FleetError::CacheFull`],
+    /// [`FleetError::ShuttingDown`], and dimension mismatches as
+    /// [`FleetError::Serve`].
+    pub fn submit(&self, fp: FactorFingerprint, b: &[f64]) -> Result<FleetTicket, FleetError> {
+        loop {
+            let mut st = self.shared.lock();
+            if st.shutdown {
+                return Err(FleetError::ShuttingDown);
+            }
+            if let Some(q) = st.quarantine.get(&fp).copied() {
+                let now = Instant::now();
+                if q.until > now {
+                    self.shared.counters.quarantine_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(FleetError::Quarantined {
+                        failures: q.failures,
+                        retry_in: q.until - now,
+                    });
+                }
+            }
+            st.lru_clock += 1;
+            let clock = st.lru_clock;
+
+            // warm path: the tenant exists (serving or still building)
+            if let Some(entry) = st.tenants.get_mut(&fp) {
+                if b.len() != entry.n {
+                    return Err(FleetError::Serve(ServeError::Solve(
+                        SolveError::DimensionMismatch {
+                            n: entry.n,
+                            rhs: b.len(),
+                            index: None,
+                            buffer: "b",
+                        },
+                    )));
+                }
+                let depth = entry.gauge.inflight_requests.load(Ordering::Acquire);
+                let bytes_inflight = entry.gauge.inflight_bytes.load(Ordering::Acquire);
+                let bytes = std::mem::size_of_val(b);
+                if depth >= self.shared.cfg.max_tenant_requests
+                    || bytes_inflight.saturating_add(bytes) > self.shared.cfg.max_tenant_bytes
+                {
+                    self.shared.counters.tenant_shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(FleetError::TenantQueueFull { depth, bytes: bytes_inflight });
+                }
+                entry.last_used = clock;
+                entry.gauge.inflight_requests.fetch_add(1, Ordering::AcqRel);
+                entry.gauge.inflight_bytes.fetch_add(bytes, Ordering::AcqRel);
+                let gauge = Arc::clone(&entry.gauge);
+                let tx = entry.tx.clone();
+                self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                let slot = Arc::new(ReqSlot {
+                    result: Mutex::new(None),
+                    cv: Condvar::new(),
+                    bytes,
+                    gauge,
+                    counters: Arc::clone(&self.shared.counters),
+                });
+                let ticket = FleetTicket { slot: Arc::clone(&slot) };
+                // a SendError drops the message, whose SlotGuard then
+                // completes the ticket — the no-hang guarantee again
+                let _ = tx.send(TenantMsg::Req(b.to_vec(), SlotGuard::new(slot)));
+                return Ok(ticket);
+            }
+
+            // cold path: admit, reserve bytes, spawn the bulkhead
+            let Some(matrix) = st.factors.get(&fp).map(Arc::clone) else {
+                return Err(FleetError::UnknownFactor { fingerprint: fp });
+            };
+            if b.len() != matrix.n() {
+                return Err(FleetError::Serve(ServeError::Solve(SolveError::DimensionMismatch {
+                    n: matrix.n(),
+                    rhs: b.len(),
+                    index: None,
+                    buffer: "b",
+                })));
+            }
+            let needed = estimate_bytes(&matrix);
+            if fault::fire(FaultSite::CacheAdmit) {
+                // injected allocation pressure at the admission gate:
+                // shed exactly like a full cache
+                self.shared.counters.cache_admit_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(FleetError::CacheFull {
+                    needed_bytes: needed,
+                    budget_bytes: self.shared.cfg.cache_budget_bytes,
+                });
+            }
+            if st.cache_bytes + needed > self.shared.cfg.cache_budget_bytes {
+                let Some(victim) = pick_victim(&st, None) else {
+                    return Err(FleetError::CacheFull {
+                        needed_bytes: needed,
+                        budget_bytes: self.shared.cfg.cache_budget_bytes,
+                    });
+                };
+                let mut ve = st.tenants.remove(&victim).expect("victim picked from this map");
+                st.cache_bytes = st.cache_bytes.saturating_sub(ve.bytes);
+                drop(st);
+                self.shared.stop_tenant(&mut ve);
+                continue;
+            }
+            st.cache_bytes += needed;
+            st.cache_high_water = st.cache_high_water.max(st.cache_bytes);
+            self.shared.counters.builds_started.fetch_add(1, Ordering::Relaxed);
+            let gauge = Arc::new(TenantGauge::new(TenantHealth::Building));
+            let (tx, rx) = channel();
+            st.tenants.insert(
+                fp,
+                TenantEntry {
+                    tx,
+                    join: None,
+                    gauge: Arc::clone(&gauge),
+                    bytes: needed,
+                    last_used: clock,
+                    building: true,
+                    n: matrix.n(),
+                },
+            );
+            let shared = Arc::clone(&self.shared);
+            let resources = Arc::clone(&self.resources);
+            let spawned = std::thread::Builder::new()
+                .name(format!("sptrsv-fleet-{fp}"))
+                .spawn(move || tenant_main(fp, matrix, shared, resources, gauge, rx));
+            match spawned {
+                Ok(j) => {
+                    st.tenants.get_mut(&fp).expect("just inserted").join = Some(j);
+                }
+                Err(_) => {
+                    st.tenants.remove(&fp);
+                    st.cache_bytes = st.cache_bytes.saturating_sub(needed);
+                    return Err(FleetError::Serve(ServeError::Spawn));
+                }
+            }
+            drop(st);
+            // loop back: the warm path performs the actual enqueue
+        }
+    }
+
+    /// Per-tenant condition, sorted by fingerprint for deterministic
+    /// output: live tenants report their gauge; quarantined
+    /// fingerprints without a live engine are appended as
+    /// [`TenantHealth::Quarantined`].
+    pub fn health(&self) -> Vec<(FactorFingerprint, TenantHealth)> {
+        let st = self.shared.lock();
+        let now = Instant::now();
+        let mut v: Vec<_> = st.tenants.iter().map(|(fp, e)| (*fp, e.gauge.health())).collect();
+        for (fp, q) in &st.quarantine {
+            if !st.tenants.contains_key(fp) && q.until > now {
+                v.push((
+                    *fp,
+                    TenantHealth::Quarantined { failures: q.failures, retry_in: q.until - now },
+                ));
+            }
+        }
+        v.sort_by_key(|(fp, _)| *fp);
+        v
+    }
+
+    /// The last [`ServiceReport`] a tenant's service published (the
+    /// pump refreshes it after every batch, and the final report lands
+    /// when the tenant drains). `None` for unknown or never-built
+    /// fingerprints.
+    pub fn tenant_report(&self, fp: FactorFingerprint) -> Option<ServiceReport> {
+        let st = self.shared.lock();
+        st.tenants
+            .get(&fp)
+            .map(|e| e.gauge.last_report.lock().unwrap_or_else(PoisonError::into_inner).clone())
+    }
+
+    /// A point-in-time snapshot of the fleet counters and gauges.
+    pub fn report(&self) -> FleetReport {
+        let st = self.shared.lock();
+        let c = &self.shared.counters;
+        let now = Instant::now();
+        FleetReport {
+            tenants_live: st.tenants.len(),
+            quarantined_now: st.quarantine.values().filter(|q| q.until > now).count(),
+            cache_bytes: st.cache_bytes,
+            cache_bytes_high_water: st.cache_high_water,
+            cache_budget_bytes: self.shared.cfg.cache_budget_bytes,
+            submitted: c.submitted.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            tenant_shed: c.tenant_shed.load(Ordering::Relaxed),
+            cache_admit_shed: c.cache_admit_shed.load(Ordering::Relaxed),
+            quarantine_rejections: c.quarantine_rejections.load(Ordering::Relaxed),
+            builds_started: c.builds_started.load(Ordering::Relaxed),
+            builds_ok: c.builds_ok.load(Ordering::Relaxed),
+            builds_failed: c.builds_failed.load(Ordering::Relaxed),
+            build_retries: c.build_retries.load(Ordering::Relaxed),
+            quarantine_events: c.quarantine_events.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            tenant_aborts: c.tenant_aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Begin shutdown: reject new submits, stop and join every tenant
+    /// (their queued work completes with typed errors per the service
+    /// config), release all cache bytes. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&self) {
+        let entries: Vec<TenantEntry> = {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+            let fps: Vec<_> = st.tenants.keys().copied().collect();
+            fps.iter().filter_map(|fp| st.tenants.remove(fp)).collect()
+        };
+        for mut e in entries {
+            let _ = e.tx.send(TenantMsg::Stop);
+            if let Some(j) = e.join.take() {
+                let _ = j.join();
+            }
+            let mut st = self.shared.lock();
+            st.cache_bytes = st.cache_bytes.saturating_sub(e.bytes);
+        }
+    }
+}
+
+impl Drop for EngineFleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The bulkhead: one tenant's whole life on its own OS thread — build
+/// (with retries, deadline and quarantine), recharge the byte
+/// reservation, then serve the mailbox through a supervised
+/// [`SolverService`] until stopped. Every exit path drains the mailbox
+/// with typed errors; a panic here is caught and contained.
+fn tenant_main(
+    fp: FactorFingerprint,
+    matrix: Arc<CscMatrix>,
+    shared: Arc<FleetShared>,
+    resources: Arc<EngineResources>,
+    gauge: Arc<TenantGauge>,
+    rx: Receiver<TenantMsg>,
+) {
+    let cfg = shared.cfg.clone();
+    if !shared.acquire_build_permit() {
+        shared.remove_and_release(fp);
+        shared.fail_mailbox(&rx, || FleetError::ShuttingDown);
+        return;
+    }
+    let deadline = Instant::now() + cfg.build_deadline;
+    let mut attempts = 0u32;
+    let mut engine = None;
+    while attempts < cfg.build_attempts {
+        attempts += 1;
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            fault::fire_panic(FaultSite::EngineBuild);
+            SolverEngine::build_shared(
+                &matrix,
+                cfg.machine.clone(),
+                &cfg.solve,
+                Arc::clone(&resources),
+            )
+        }));
+        match built {
+            Ok(Ok(e)) if Instant::now() <= deadline => {
+                engine = Some(e);
+                break;
+            }
+            Ok(Ok(_)) => break,  // built, but past the deadline: too slow, fail
+            Ok(Err(_)) => break, // typed engine error: deterministic, never retry
+            Err(_) => {}         // panic: retryable
+        }
+        if attempts < cfg.build_attempts && Instant::now() < deadline {
+            shared.counters.build_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(backoff_delay(
+                cfg.build_backoff,
+                Duration::from_millis(100),
+                cfg.seed ^ fp.structural,
+                attempts,
+            ));
+        } else {
+            break;
+        }
+    }
+    shared.release_build_permit();
+    let Some(engine) = engine else {
+        shared.counters.builds_failed.fetch_add(1, Ordering::Relaxed);
+        shared.quarantine_and_remove(fp);
+        gauge.set_health(TenantHealth::Draining);
+        shared.fail_mailbox(&rx, || FleetError::BuildFailed { attempts });
+        return;
+    };
+    let actual = matrix_host_bytes(&matrix) + engine.footprint_bytes();
+    if let Err(e) = shared.recharge(fp, actual) {
+        gauge.set_health(TenantHealth::Draining);
+        shared.fail_mailbox(&rx, || e.clone());
+        return;
+    }
+    shared.counters.builds_ok.fetch_add(1, Ordering::Relaxed);
+    gauge.set_health(TenantHealth::Ok);
+    let mut svc_cfg = cfg.service.clone();
+    svc_cfg.supervision_seed = cfg.seed ^ fp.structural;
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        SolverService::run_supervised(ServiceEngine::Solver(&engine), &svc_cfg, |svc| {
+            pump(&rx, svc, &gauge)
+        })
+    }));
+    match ran {
+        Ok(Ok(((), report))) => {
+            // normal Stop-driven exit: whoever sent Stop (evictor or
+            // shutdown) already removed the entry and released bytes
+            *gauge.last_report.lock().unwrap_or_else(PoisonError::into_inner) = report;
+            gauge.set_health(TenantHealth::Draining);
+            shared.fail_mailbox(&rx, || FleetError::ShuttingDown);
+        }
+        Ok(Err(e)) => {
+            shared.remove_and_release(fp);
+            gauge.set_health(TenantHealth::Draining);
+            shared.fail_mailbox(&rx, || FleetError::Serve(e.clone()));
+        }
+        Err(_panic) => {
+            // the dispatcher exhausted its restart budget and aborted;
+            // the blast radius ends at this bulkhead
+            shared.counters.tenant_aborts.fetch_add(1, Ordering::Relaxed);
+            shared.quarantine_and_remove(fp);
+            gauge.set_health(TenantHealth::Draining);
+            shared.fail_mailbox(&rx, || {
+                FleetError::Serve(ServeError::Retryable {
+                    reason: "tenant dispatcher aborted after exhausting its restart budget",
+                })
+            });
+        }
+    }
+}
+
+/// The tenant thread's serving loop: batch the mailbox into the
+/// service, resolve tickets, mirror service health into the gauge.
+/// Returns on Stop, a dead mailbox, or a service abort (Draining
+/// without Stop — returning lets `run_supervised` re-raise the panic
+/// into `tenant_main`'s containment).
+fn pump(rx: &Receiver<TenantMsg>, svc: &SolverService<'_, '_>, gauge: &TenantGauge) {
+    let mut stop = false;
+    let mut msgs = Vec::new();
+    let mut inflight = Vec::new();
+    while !stop {
+        let Ok(first) = rx.recv() else { return };
+        msgs.push(first);
+        while let Ok(m) = rx.try_recv() {
+            msgs.push(m);
+        }
+        for m in msgs.drain(..) {
+            match m {
+                TenantMsg::Req(b, guard) => match svc.submit(&b) {
+                    Ok(t) => inflight.push((t, guard)),
+                    Err(e) => guard.complete(Err(FleetError::Serve(e))),
+                },
+                TenantMsg::Stop => stop = true,
+            }
+        }
+        for (t, guard) in inflight.drain(..) {
+            guard.complete(t.wait().map_err(FleetError::Serve));
+        }
+        let h = svc.health();
+        gauge.set_health(match h {
+            ServiceHealth::Ok => TenantHealth::Ok,
+            ServiceHealth::Degraded { reason } => TenantHealth::Degraded { reason },
+            ServiceHealth::Draining => TenantHealth::Draining,
+        });
+        *gauge.last_report.lock().unwrap_or_else(PoisonError::into_inner) = svc.stats();
+        if matches!(h, ServiceHealth::Draining) && !stop {
+            return;
+        }
+    }
+}

@@ -73,6 +73,14 @@
 //!   circuit breaker degrades repeated panel failures to the
 //!   bit-identical per-request serial path, and non-finite inputs are
 //!   contained per ticket (admission scan + opt-in output scan).
+//! * [`fleet`] — the fault-isolated multi-tenant serving tier: an
+//!   [`EngineFleet`] routes `(FactorFingerprint, rhs)` requests to
+//!   per-tenant bulkheaded [`SolverService`]s over a byte-bounded LRU
+//!   factor cache, with a quarantining build pool (bounded retried
+//!   builds under `catch_unwind` + deadline, typed
+//!   [`fleet::FleetError::Quarantined`] cooldowns) and hard per-tenant
+//!   admission budgets — one misbehaving factor or flooding client
+//!   cannot touch any other tenant's latency or results.
 //! * [`fault`] — the deterministic, seed-driven fault-injection plane
 //!   behind the chaos suite: a [`fault::FaultPlan`] schedules worker
 //!   spawn failures, task/dispatcher panics, admission shedding and
@@ -109,6 +117,7 @@ pub mod cpu;
 pub mod engine;
 pub mod exec;
 pub mod fault;
+pub mod fleet;
 pub mod krylov;
 pub mod levelset;
 pub mod plan;
@@ -121,6 +130,7 @@ pub mod verify;
 
 pub use engine::{EngineResources, SolveWorkspace, SolverEngine};
 pub use fault::{FaultPlan, FaultSite};
+pub use fleet::{EngineFleet, FleetConfig, FleetError, FleetReport, FleetTicket, TenantHealth};
 pub use krylov::{
     bicgstab, pcg, ApplyWorkspace, KrylovOptions, KrylovReport, Precondition, PreconditionerEngine,
     SpMv,

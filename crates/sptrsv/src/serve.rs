@@ -183,6 +183,16 @@ pub enum ServeError {
         /// What interrupted the request.
         reason: &'static str,
     },
+    /// A client-side retry loop ([`SolverService::submit_with_retry`],
+    /// [`ServedPreconditioner`], the fleet's build pool) exhausted its
+    /// [`RetryPolicy`] — attempt cap or overall deadline — without the
+    /// retried condition clearing. Typed so a caller can tell "the
+    /// queue never drained" apart from a single shed, and bounded so a
+    /// retry loop can never spin forever.
+    RetryExhausted {
+        /// Attempts actually made (≥ 1) before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -203,6 +213,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Retryable { reason } => {
                 write!(f, "request interrupted ({reason}); safe to resubmit")
+            }
+            ServeError::RetryExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
             }
         }
     }
@@ -240,6 +253,9 @@ impl From<ServeError> for SolveError {
             }
             ServeError::Retryable { .. } => {
                 SolveError::Rejected { reason: "request interrupted by a dispatcher restart" }
+            }
+            ServeError::RetryExhausted { .. } => {
+                SolveError::Rejected { reason: "retry budget exhausted" }
             }
         }
     }
@@ -362,6 +378,14 @@ pub struct RetryPolicy {
     pub base_backoff: Duration,
     /// Upper bound on a single backoff sleep.
     pub max_backoff: Duration,
+    /// Overall wall-clock deadline across ALL attempts: once this much
+    /// time has elapsed since the first attempt, the loop stops
+    /// retrying even with attempts left and returns
+    /// [`ServeError::RetryExhausted`]. The second jaw of the vise —
+    /// `max_attempts` bounds the count, this bounds the wall-clock, so
+    /// a retry loop can never spin forever against a queue that never
+    /// drains (however generous the attempt cap).
+    pub max_elapsed: Duration,
     /// Jitter seed — same seed, same schedule.
     pub seed: u64,
 }
@@ -372,7 +396,41 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_backoff: Duration::from_micros(20),
             max_backoff: Duration::from_millis(5),
+            max_elapsed: Duration::from_secs(2),
             seed: 0x5EED,
+        }
+    }
+}
+
+/// Run `op` under `policy`: retry while the error satisfies
+/// `retryable`, sleeping the deterministic jittered backoff between
+/// attempts; give up with [`ServeError::RetryExhausted`] (carrying the
+/// attempts actually made) once the attempt cap or the overall
+/// `max_elapsed` deadline is hit. Non-retryable outcomes — success or
+/// any other error — return immediately.
+pub(crate) fn run_retry<T>(
+    policy: &RetryPolicy,
+    retryable: impl Fn(&ServeError) -> bool,
+    mut op: impl FnMut() -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    let attempts_cap = policy.max_attempts.max(1);
+    let deadline = Instant::now() + policy.max_elapsed;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match op() {
+            Err(e) if retryable(&e) => {
+                if attempt >= attempts_cap || Instant::now() >= deadline {
+                    return Err(ServeError::RetryExhausted { attempts: attempt });
+                }
+                std::thread::sleep(backoff_delay(
+                    policy.base_backoff,
+                    policy.max_backoff,
+                    policy.seed,
+                    attempt,
+                ));
+            }
+            other => return other,
         }
     }
 }
@@ -380,7 +438,7 @@ impl Default for RetryPolicy {
 /// Deterministic jittered exponential backoff: `base · 2^(attempt-1)`
 /// capped at `cap`, then jittered into `[d/2, d]` by a split-mix hash
 /// of `(seed, attempt)` — full determinism, no thundering herd.
-fn backoff_delay(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
+pub(crate) fn backoff_delay(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
     let shift = attempt.saturating_sub(1).min(20);
     let exp = base.checked_mul(1u32 << shift).unwrap_or(cap).min(cap);
     let ns = exp.as_nanos() as u64;
@@ -828,29 +886,18 @@ impl<'e, 'm> SolverService<'e, 'm> {
     /// [`ServeError::QueueFull`]: sleeps the policy's deterministic
     /// jittered exponential backoff between attempts, giving the
     /// dispatcher time to drain. Any other outcome (success or a
-    /// non-retryable error) returns immediately.
+    /// non-retryable error) returns immediately; exhausting the
+    /// policy's attempt cap **or** its overall `max_elapsed` deadline
+    /// returns [`ServeError::RetryExhausted`] with the attempts made —
+    /// the loop can never spin forever against a queue that never
+    /// drains.
     #[must_use = "the Ticket is the only way to collect this request's result"]
     pub fn submit_with_retry(
         &self,
         b: &[f64],
         policy: &RetryPolicy,
     ) -> Result<Ticket<'_>, ServeError> {
-        let attempts = policy.max_attempts.max(1);
-        let mut attempt = 0u32;
-        loop {
-            match self.submit(b) {
-                Err(ServeError::QueueFull { .. }) if attempt + 1 < attempts => {
-                    attempt += 1;
-                    std::thread::sleep(backoff_delay(
-                        policy.base_backoff,
-                        policy.max_backoff,
-                        policy.seed,
-                        attempt,
-                    ));
-                }
-                other => return other,
-            }
-        }
+        run_retry(policy, |e| matches!(e, ServeError::QueueFull { .. }), || self.submit(b))
     }
 
     /// [`SolverService::submit`] with a completion deadline: the
@@ -1685,26 +1732,114 @@ impl Precondition for ServedPreconditioner<'_, '_, '_> {
     }
 
     fn precondition_into(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveError> {
-        let attempts = self.retry.max_attempts.max(1);
-        let mut attempt = 0u32;
-        loop {
-            let deadline = Instant::now() + self.slack;
-            let res =
-                self.svc.submit_with_deadline(r, deadline).and_then(|ticket| ticket.wait_into(z));
-            match res {
-                Err(ServeError::QueueFull { .. } | ServeError::Retryable { .. })
-                    if attempt + 1 < attempts =>
-                {
-                    attempt += 1;
-                    std::thread::sleep(backoff_delay(
-                        self.retry.base_backoff,
-                        self.retry.max_backoff,
-                        self.retry.seed,
-                        attempt,
-                    ));
-                }
-                other => return other.map_err(SolveError::from),
-            }
+        run_retry(
+            &self.retry,
+            |e| matches!(e, ServeError::QueueFull { .. } | ServeError::Retryable { .. }),
+            || {
+                let deadline = Instant::now() + self.slack;
+                self.svc.submit_with_deadline(r, deadline).and_then(|ticket| ticket.wait_into(z))
+            },
+        )
+        .map_err(SolveError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(10),
+            ..RetryPolicy::default()
         }
+    }
+
+    /// Satellite regression: a queue that never drains cannot spin the
+    /// retry loop forever — exhaustion is typed and carries the
+    /// attempts actually made.
+    #[test]
+    fn run_retry_attempt_cap_returns_typed_exhaustion() {
+        let mut calls = 0u32;
+        let r: Result<(), ServeError> = run_retry(
+            &fast_policy(5),
+            |e| matches!(e, ServeError::QueueFull { .. }),
+            || {
+                calls += 1;
+                Err(ServeError::QueueFull { depth: 1, bytes: 8 })
+            },
+        );
+        assert_eq!(r, Err(ServeError::RetryExhausted { attempts: 5 }));
+        assert_eq!(calls, 5, "exactly max_attempts attempts were made");
+    }
+
+    /// The overall deadline is the second jaw: with a huge attempt cap
+    /// and a zero deadline, exactly one attempt is made.
+    #[test]
+    fn run_retry_deadline_beats_attempt_cap() {
+        let policy = RetryPolicy { max_elapsed: Duration::ZERO, ..fast_policy(u32::MAX) };
+        let mut calls = 0u32;
+        let r: Result<(), ServeError> = run_retry(
+            &policy,
+            |e| matches!(e, ServeError::QueueFull { .. }),
+            || {
+                calls += 1;
+                Err(ServeError::QueueFull { depth: 1, bytes: 8 })
+            },
+        );
+        assert_eq!(r, Err(ServeError::RetryExhausted { attempts: 1 }));
+        assert_eq!(calls, 1, "a zero deadline still permits the first attempt");
+    }
+
+    /// Success and non-retryable errors pass through untouched — no
+    /// sleeping, no rewrapping.
+    #[test]
+    fn run_retry_passes_through_non_retryable_outcomes() {
+        let ok: Result<u32, ServeError> = run_retry(&fast_policy(3), |_| true, || Ok(42));
+        assert_eq!(ok, Ok(42));
+        let err: Result<(), ServeError> = run_retry(
+            &fast_policy(3),
+            |e| matches!(e, ServeError::QueueFull { .. }),
+            || Err(ServeError::ShuttingDown),
+        );
+        assert_eq!(err, Err(ServeError::ShuttingDown));
+    }
+
+    /// A retryable error that clears mid-schedule succeeds without
+    /// reporting exhaustion.
+    #[test]
+    fn run_retry_recovers_when_the_condition_clears() {
+        let mut calls = 0u32;
+        let r = run_retry(
+            &fast_policy(4),
+            |e| matches!(e, ServeError::QueueFull { .. }),
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(ServeError::QueueFull { depth: 9, bytes: 72 })
+                } else {
+                    Ok("drained")
+                }
+            },
+        );
+        assert_eq!(r, Ok("drained"));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn zero_attempt_policy_is_clamped_to_one() {
+        let mut calls = 0u32;
+        let r: Result<(), ServeError> = run_retry(
+            &fast_policy(0),
+            |_| true,
+            || {
+                calls += 1;
+                Err(ServeError::QueueFull { depth: 1, bytes: 8 })
+            },
+        );
+        assert_eq!(r, Err(ServeError::RetryExhausted { attempts: 1 }));
+        assert_eq!(calls, 1);
     }
 }

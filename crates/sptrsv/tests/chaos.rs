@@ -422,3 +422,331 @@ fn chaos_sweep_64_seeds() {
         }
     });
 }
+
+// ---- fleet containment scenarios -----------------------------------
+
+use sptrsv::fleet::{EngineFleet, FleetConfig, FleetError, TenantHealth};
+
+fn fleet_cfg() -> FleetConfig {
+    FleetConfig {
+        machine: MachineConfig::dgx1(2),
+        solve: SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 8 },
+            verify: false,
+            ..SolveOptions::default()
+        },
+        build_backoff: Duration::from_micros(50),
+        quarantine_cooldown: Duration::from_millis(200),
+        ..FleetConfig::default()
+    }
+}
+
+fn fleet_tenants(n: usize) -> Vec<Arc<CscMatrix>> {
+    (0..n as u64)
+        .map(|t| Arc::new(gen::level_structured(&LevelSpec::new(600, 20, 2500, 90 + t))))
+        .collect()
+}
+
+fn serial_x(m: &CscMatrix, cfg: &FleetConfig, b: &[f64]) -> Vec<f64> {
+    SolverEngine::build(m, cfg.machine.clone(), &cfg.solve).unwrap().solve(b).unwrap().x
+}
+
+/// Acceptance scenario: every build attempt of one tenant panics
+/// (injected [`FaultSite::EngineBuild`], budget = the attempt cap).
+/// The victim's ticket resolves with typed `BuildFailed`, the
+/// fingerprint is quarantined (typed `Quarantined` with the remaining
+/// cooldown), the other tenants serve bit-identically throughout, and
+/// after the cooldown one clean probe re-admits the factor and clears
+/// the quarantine.
+#[test]
+fn engine_build_faults_quarantine_one_tenant_and_spare_the_rest() {
+    let _g = chaos_guard();
+    let cfg = fleet_cfg();
+    let ms = fleet_tenants(3);
+    let plan = Arc::new(
+        FaultPlan::new(0xB11D)
+            .with_rate(FaultSite::EngineBuild, 1.0)
+            .with_budget(FaultSite::EngineBuild, u64::from(cfg.build_attempts)),
+    );
+    with_watchdog(120, || {
+        fault::with_plan(&plan, || {
+            let fleet = EngineFleet::new(cfg.clone()).unwrap();
+            let fps: Vec<_> = ms.iter().map(|m| fleet.register(Arc::clone(m))).collect();
+            // victim first: its build consumes the whole fault budget
+            let (_, b0) = verify::rhs_for(&ms[0], 1);
+            match fleet.submit(fps[0], &b0).unwrap().wait() {
+                Err(FleetError::BuildFailed { attempts }) => {
+                    assert_eq!(attempts, cfg.build_attempts)
+                }
+                other => panic!("expected BuildFailed, got {other:?}"),
+            }
+            // quarantined now: typed rejection, no build attempts burned
+            match fleet.submit(fps[0], &b0) {
+                Err(FleetError::Quarantined { failures, retry_in }) => {
+                    assert_eq!(failures, 1);
+                    assert!(retry_in <= cfg.quarantine_cooldown);
+                }
+                other => panic!("expected Quarantined, got {other:?}"),
+            }
+            assert!(
+                fleet
+                    .health()
+                    .iter()
+                    .any(|(fp, h)| *fp == fps[0] && matches!(h, TenantHealth::Quarantined { .. })),
+                "health must surface the quarantined fingerprint"
+            );
+            // the other tenants are untouched: bit-identical service
+            for (t, m) in ms.iter().enumerate().skip(1) {
+                let (_, b) = verify::rhs_for(m, 10 + t as u64);
+                let x = fleet.submit(fps[t], &b).unwrap().wait().unwrap();
+                assert_eq!(x, serial_x(m, &cfg, &b), "healthy tenant {t} diverged");
+            }
+            // cooldown expiry: the re-admission probe builds cleanly
+            // (the fault budget is spent) and clears the quarantine
+            std::thread::sleep(cfg.quarantine_cooldown + Duration::from_millis(50));
+            let x = fleet.submit(fps[0], &b0).unwrap().wait().expect("re-admission probe serves");
+            assert_eq!(x, serial_x(&ms[0], &cfg, &b0));
+            let report = fleet.report();
+            assert_eq!(report.builds_failed, 1);
+            assert_eq!(report.build_retries, u64::from(cfg.build_attempts - 1));
+            assert_eq!(report.quarantine_events, 1);
+            assert!(report.quarantine_rejections >= 1);
+            assert_eq!(report.quarantined_now, 0, "a clean rebuild clears quarantine");
+            assert!(report.cache_bytes_high_water <= report.cache_budget_bytes);
+        })
+    });
+    assert_eq!(plan.fired(FaultSite::EngineBuild), u64::from(cfg.build_attempts));
+}
+
+/// Acceptance scenario: one tenant's dispatcher panics past its
+/// restart budget and aborts — the blast radius ends at that tenant's
+/// bulkhead. Every victim ticket resolves with a typed error (never
+/// hangs, enforced by the watchdog), the fingerprint quarantines, and
+/// the other tenants' results stay bit-identical throughout.
+#[test]
+fn tenant_dispatcher_abort_is_contained_to_its_bulkhead() {
+    let _g = chaos_guard();
+    let mut cfg = fleet_cfg();
+    cfg.service.max_dispatcher_restarts = 1;
+    let ms = fleet_tenants(3);
+    let plan = Arc::new(
+        FaultPlan::new(0xAB0)
+            .with_rate(FaultSite::DispatcherPanic, 1.0)
+            .with_budget(FaultSite::DispatcherPanic, 2),
+    );
+    with_watchdog(120, || {
+        let fleet = EngineFleet::new(cfg.clone()).unwrap();
+        let fps: Vec<_> = ms.iter().map(|m| fleet.register(Arc::clone(m))).collect();
+        // warm every tenant before arming the plan, so only the victim
+        // (the sole tenant given traffic under the plan) can consume
+        // the panic budget
+        for (t, m) in ms.iter().enumerate() {
+            let (_, b) = verify::rhs_for(m, 20 + t as u64);
+            fleet.submit(fps[t], &b).unwrap().wait().unwrap();
+        }
+        fault::with_plan(&plan, || {
+            let (_, b0) = verify::rhs_for(&ms[0], 30);
+            let expected0 = serial_x(&ms[0], &cfg, &b0);
+            let mut typed_failures = 0u64;
+            let mut quarantined = false;
+            for _ in 0..32 {
+                match fleet.submit(fps[0], &b0) {
+                    Ok(t) => match t.wait() {
+                        // possible only once the budget is spent (or a
+                        // post-cooldown rebuild) — must still be exact
+                        Ok(x) => assert_eq!(x, expected0),
+                        Err(FleetError::Serve(ServeError::Retryable { .. })) => typed_failures += 1,
+                        Err(FleetError::ShuttingDown) => typed_failures += 1,
+                        Err(e) => panic!("unexpected victim error: {e}"),
+                    },
+                    Err(FleetError::Quarantined { .. }) => {
+                        quarantined = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            assert!(typed_failures >= 2, "both injected panics must fail tickets, typed");
+            assert!(quarantined, "the aborted tenant must enter quarantine");
+            // the other tenants keep serving bit-identically through it
+            for (t, m) in ms.iter().enumerate().skip(1) {
+                let (_, b) = verify::rhs_for(m, 40 + t as u64);
+                let x = fleet.submit(fps[t], &b).unwrap().wait().unwrap();
+                assert_eq!(x, serial_x(m, &cfg, &b), "bulkhead leaked into tenant {t}");
+            }
+            let report = fleet.report();
+            assert_eq!(report.tenant_aborts, 1);
+            assert_eq!(report.quarantine_events, 1);
+            assert!(report.cache_bytes_high_water <= report.cache_budget_bytes);
+        });
+        assert_eq!(plan.fired(FaultSite::DispatcherPanic), 2);
+    });
+}
+
+/// Targeted [`FaultSite::CacheAdmit`]: injected allocation pressure at
+/// the admission gate sheds the cold submit with a typed `CacheFull`,
+/// charges nothing, and the retry (budget spent) admits and serves.
+#[test]
+fn cache_admit_fault_sheds_cold_admission_typed() {
+    let _g = chaos_guard();
+    let cfg = fleet_cfg();
+    let ms = fleet_tenants(1);
+    let plan = Arc::new(
+        FaultPlan::new(0xCA0)
+            .with_rate(FaultSite::CacheAdmit, 1.0)
+            .with_budget(FaultSite::CacheAdmit, 1),
+    );
+    with_watchdog(60, || {
+        fault::with_plan(&plan, || {
+            let fleet = EngineFleet::new(cfg.clone()).unwrap();
+            let fp = fleet.register(Arc::clone(&ms[0]));
+            let (_, b) = verify::rhs_for(&ms[0], 5);
+            match fleet.submit(fp, &b) {
+                Err(FleetError::CacheFull { .. }) => {}
+                other => panic!("expected injected CacheFull, got {other:?}"),
+            }
+            assert_eq!(fleet.report().cache_bytes, 0, "a shed admission must charge nothing");
+            let x = fleet.submit(fp, &b).unwrap().wait().unwrap();
+            assert_eq!(x, serial_x(&ms[0], &cfg, &b));
+            assert_eq!(fleet.report().cache_admit_shed, 1);
+        })
+    });
+    assert_eq!(plan.fired(FaultSite::CacheAdmit), 1);
+}
+
+/// The fleet acceptance sweep: 16 seeds of mixed build/admission
+/// faults aimed at one victim tenant (the healthy tenants are warmed
+/// before the plan arms, so only victim builds probe the armed sites)
+/// while the healthy tenants take concurrent traffic. Per seed: every
+/// ticket resolves (watchdog), healthy tenants stay bit-identical to
+/// serial `solve()`, victim outcomes are exact solutions or typed
+/// errors, cache live bytes never cross the budget, counters
+/// reconcile, and no accepted request leaks.
+#[test]
+fn fleet_chaos_sweep_multi_tenant() {
+    let _g = chaos_guard();
+    let mut cfg = fleet_cfg();
+    cfg.quarantine_cooldown = Duration::from_millis(50);
+    let ms = fleet_tenants(3);
+    let expected: Vec<Vec<Vec<f64>>> = ms
+        .iter()
+        .enumerate()
+        .map(|(t, m)| {
+            let serial = SolverEngine::build(m, cfg.machine.clone(), &cfg.solve).unwrap();
+            (0..6u64)
+                .map(|k| serial.solve(&verify::rhs_for(m, 100 * t as u64 + k).1).unwrap().x)
+                .collect()
+        })
+        .collect();
+
+    for seed in 0..16u64 {
+        let plan = Arc::new(
+            FaultPlan::new(0xF1EE7 ^ seed)
+                .with_rate(FaultSite::EngineBuild, 0.6)
+                .with_budget(FaultSite::EngineBuild, 4)
+                .with_rate(FaultSite::CacheAdmit, 0.3)
+                .with_budget(FaultSite::CacheAdmit, 2),
+        );
+        with_watchdog(120, || {
+            let fleet = EngineFleet::new(cfg.clone()).unwrap();
+            let fps: Vec<_> = ms.iter().map(|m| fleet.register(Arc::clone(m))).collect();
+            // healthy tenants warm up fault-free
+            for t in 1..3usize {
+                let (_, b) = verify::rhs_for(&ms[t], 100 * t as u64);
+                let x = fleet.submit(fps[t], &b).unwrap().wait().unwrap();
+                assert_eq!(x, expected[t][0]);
+            }
+            fault::with_plan(&plan, || {
+                std::thread::scope(|s| {
+                    {
+                        let (fleet, ms, fps, expected) = (&fleet, &ms, &fps, &expected);
+                        s.spawn(move || {
+                            for k in 0..6u64 {
+                                let (_, b) = verify::rhs_for(&ms[0], k);
+                                match fleet.submit(fps[0], &b) {
+                                    Ok(t) => match t.wait() {
+                                        Ok(x) => assert_eq!(
+                                            x, expected[0][k as usize],
+                                            "seed {seed}: victim solved wrong"
+                                        ),
+                                        Err(_typed) => {}
+                                    },
+                                    Err(_typed) => {}
+                                }
+                                // straddle the quarantine cooldown so
+                                // re-admission probes happen mid-sweep
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                        });
+                    }
+                    for t in 1..3usize {
+                        let (fleet, ms, fps, expected) = (&fleet, &ms, &fps, &expected);
+                        s.spawn(move || {
+                            for k in 1..6u64 {
+                                let (_, b) = verify::rhs_for(&ms[t], 100 * t as u64 + k);
+                                let x = fleet
+                                    .submit(fps[t], &b)
+                                    .unwrap()
+                                    .wait()
+                                    .unwrap_or_else(|e| panic!("healthy tenant {t}: {e}"));
+                                assert_eq!(
+                                    x, expected[t][k as usize],
+                                    "seed {seed}: healthy tenant {t} diverged under chaos"
+                                );
+                            }
+                        });
+                    }
+                });
+                let report = fleet.report();
+                assert!(
+                    report.cache_bytes_high_water <= report.cache_budget_bytes,
+                    "seed {seed}: byte budget violated: {report:?}"
+                );
+                assert_eq!(
+                    report.cache_admit_shed,
+                    plan.fired(FaultSite::CacheAdmit),
+                    "seed {seed}: shed counter must reconcile with the plan"
+                );
+                assert_eq!(
+                    report.submitted,
+                    report.served + report.failed,
+                    "seed {seed}: an accepted request leaked: {report:?}"
+                );
+            });
+        });
+    }
+}
+
+/// S1 regression: with admission shedding firing on every submit, the
+/// client retry loop gives up with the typed exhaustion error carrying
+/// exactly the policy's attempt cap — it must neither spin forever nor
+/// surface a bare `QueueFull`.
+#[test]
+fn retry_exhaustion_is_typed_with_attempt_count() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    let plan = Arc::new(FaultPlan::new(0xE0).with_rate(FaultSite::AdmissionAlloc, 1.0));
+    let cfg = ServiceConfig::default();
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff: Duration::from_micros(10),
+        ..RetryPolicy::default()
+    };
+    with_watchdog(60, || {
+        fault::with_plan(&plan, || {
+            let ((), _report) = SolverService::run(ServiceEngine::Solver(&engine), &cfg, |svc| {
+                let (_, b) = verify::rhs_for(&m, 1);
+                match svc.submit_with_retry(&b, &policy) {
+                    Err(ServeError::RetryExhausted { attempts }) => {
+                        assert_eq!(attempts, policy.max_attempts)
+                    }
+                    Ok(_) => panic!("expected RetryExhausted, got a ticket"),
+                    Err(e) => panic!("expected RetryExhausted, got {e}"),
+                }
+            })
+            .unwrap();
+        })
+    });
+    assert_eq!(plan.fired(FaultSite::AdmissionAlloc), u64::from(policy.max_attempts));
+}

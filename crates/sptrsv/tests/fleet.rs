@@ -1,0 +1,306 @@
+//! Behavior tests for the multi-tenant engine fleet (`sptrsv::fleet`):
+//! fingerprint routing, multi-tenant bit-identity against serial
+//! `solve()`, the byte-bounded LRU factor cache (eviction order,
+//! pinning, typed `CacheFull`), per-tenant admission budgets, and the
+//! health / report surfaces. The fault-injected containment sweeps
+//! live in `tests/chaos.rs`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mgpu_sim::MachineConfig;
+use sparsemat::gen::{self, LevelSpec};
+use sparsemat::{CscMatrix, FactorFingerprint};
+use sptrsv::fleet::{EngineFleet, FleetConfig, FleetError, TenantHealth};
+use sptrsv::{verify, SolveOptions, SolverEngine, SolverKind};
+
+fn tenant_matrix(seed: u64) -> Arc<CscMatrix> {
+    Arc::new(gen::level_structured(&LevelSpec::new(600, 20, 2500, seed)))
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        machine: MachineConfig::dgx1(2),
+        solve: SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 8 },
+            verify: false,
+            ..SolveOptions::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+/// Serial ground truth for one tenant's right-hand side.
+fn serial_solution(m: &CscMatrix, cfg: &FleetConfig, b: &[f64]) -> Vec<f64> {
+    let engine = SolverEngine::build(m, cfg.machine.clone(), &cfg.solve).unwrap();
+    engine.solve(b).unwrap().x
+}
+
+#[test]
+fn unknown_fingerprint_is_a_typed_error() {
+    let fleet = EngineFleet::new(fleet_config()).unwrap();
+    let bogus = FactorFingerprint { structural: 0xDEAD, epoch: 0 };
+    match fleet.submit(bogus, &[1.0; 8]) {
+        Err(FleetError::UnknownFactor { fingerprint }) => assert_eq!(fingerprint, bogus),
+        other => panic!("expected UnknownFactor, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_dimension_is_a_typed_error_cold_and_warm() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg).unwrap();
+    let m = tenant_matrix(3);
+    let fp = fleet.register(Arc::clone(&m));
+    // cold: no engine exists yet
+    assert!(matches!(
+        fleet.submit(fp, &[1.0; 7]),
+        Err(FleetError::Serve(sptrsv::ServeError::Solve(
+            sptrsv::SolveError::DimensionMismatch { .. }
+        )))
+    ));
+    // warm the tenant, then hit the warm-path check
+    let (_, b) = verify::rhs_for(&m, 1);
+    fleet.submit(fp, &b).unwrap().wait().unwrap();
+    assert!(matches!(
+        fleet.submit(fp, &[1.0; 7]),
+        Err(FleetError::Serve(sptrsv::ServeError::Solve(
+            sptrsv::SolveError::DimensionMismatch { .. }
+        )))
+    ));
+}
+
+/// The core promise: three tenants with different factors, interleaved
+/// submissions from several client threads, every result bit-identical
+/// to a serial `SolverEngine::solve` of the same (factor, rhs) pair.
+#[test]
+fn multi_tenant_results_bit_identical_to_serial() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let matrices: Vec<Arc<CscMatrix>> = (0..3).map(|t| tenant_matrix(10 + t)).collect();
+    let fps: Vec<FactorFingerprint> =
+        matrices.iter().map(|m| fleet.register(Arc::clone(m))).collect();
+
+    const PER_TENANT: u64 = 6;
+    let expected: Vec<Vec<Vec<f64>>> = matrices
+        .iter()
+        .enumerate()
+        .map(|(t, m)| {
+            (0..PER_TENANT)
+                .map(|k| {
+                    let (_, b) = verify::rhs_for(m, 100 * t as u64 + k);
+                    serial_solution(m, &cfg, &b)
+                })
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for (t, m) in matrices.iter().enumerate() {
+            let fleet = &fleet;
+            let fps = &fps;
+            let expected = &expected[t];
+            s.spawn(move || {
+                for k in 0..PER_TENANT {
+                    let (_, b) = verify::rhs_for(m, 100 * t as u64 + k);
+                    let x = fleet.submit(fps[t], &b).unwrap().wait().unwrap();
+                    assert_eq!(x, expected[k as usize], "tenant {t} rhs {k} diverged");
+                }
+            });
+        }
+    });
+
+    let report = fleet.report();
+    assert_eq!(report.submitted, 3 * PER_TENANT);
+    assert_eq!(report.served, 3 * PER_TENANT);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.builds_ok, 3);
+    assert_eq!(report.tenants_live, 3);
+    assert!(report.cache_bytes_high_water <= report.cache_budget_bytes);
+}
+
+/// Squeezing the budget to ~one engine forces the LRU to cycle: each
+/// new tenant evicts the coldest idle one, results stay bit-identical,
+/// and live bytes never cross the budget.
+#[test]
+fn lru_evicts_coldest_idle_engine_under_a_tight_budget() {
+    let mut cfg = fleet_config();
+    let matrices: Vec<Arc<CscMatrix>> = (0..3).map(|t| tenant_matrix(20 + t)).collect();
+    // budget: room for one engine (admission estimate AND real
+    // footprint), never for two — every tenant switch must evict.
+    // estimate mirrors the fleet's admission formula; actual is the
+    // real post-recharge charge.
+    let host = ((matrices[0].n() + 1) * std::mem::size_of::<usize>()
+        + matrices[0].nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f64>()))
+        as u64;
+    let estimate = host * 4 + matrices[0].n() as u64 * 8 * (3 * 8 + 2);
+    let probe = SolverEngine::build(&matrices[0], cfg.machine.clone(), &cfg.solve).unwrap();
+    let actual = host + probe.footprint_bytes();
+    cfg.cache_budget_bytes = estimate.max(actual) + estimate.min(actual) / 2;
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let fps: Vec<FactorFingerprint> =
+        matrices.iter().map(|m| fleet.register(Arc::clone(m))).collect();
+
+    for round in 0..2 {
+        for (t, m) in matrices.iter().enumerate() {
+            let (_, b) = verify::rhs_for(m, 500 + t as u64);
+            let x = fleet.submit(fps[t], &b).unwrap().wait().unwrap();
+            assert_eq!(x, serial_solution(m, &cfg, &b), "round {round} tenant {t}");
+            let report = fleet.report();
+            assert!(report.cache_bytes <= report.cache_budget_bytes);
+            assert!(report.cache_bytes_high_water <= report.cache_budget_bytes);
+        }
+    }
+    let report = fleet.report();
+    // 6 cold admissions total (every switch rebuilds), so at least 5
+    // evictions cycled the single-engine cache
+    assert_eq!(report.builds_ok, 6);
+    assert!(report.evictions >= 5, "expected the LRU to cycle, got {report:?}");
+    assert_eq!(report.tenants_live, 1);
+}
+
+/// A budget smaller than one engine can never admit anything: typed
+/// `CacheFull`, not a hang or a budget violation.
+#[test]
+fn budget_smaller_than_one_engine_is_cache_full() {
+    let mut cfg = fleet_config();
+    cfg.cache_budget_bytes = 1024;
+    let fleet = EngineFleet::new(cfg).unwrap();
+    let m = tenant_matrix(30);
+    let fp = fleet.register(Arc::clone(&m));
+    let (_, b) = verify::rhs_for(&m, 1);
+    match fleet.submit(fp, &b) {
+        Err(FleetError::CacheFull { needed_bytes, budget_bytes }) => {
+            assert_eq!(budget_bytes, 1024);
+            assert!(needed_bytes > budget_bytes);
+        }
+        other => panic!("expected CacheFull, got {other:?}"),
+    }
+    assert_eq!(fleet.report().cache_bytes, 0);
+}
+
+/// Per-tenant admission budgets isolate a flooding client: the flooded
+/// tenant sheds with `TenantQueueFull` while a second tenant keeps
+/// serving bit-identically.
+#[test]
+fn tenant_budget_sheds_without_touching_other_tenants() {
+    let mut cfg = fleet_config();
+    cfg.max_tenant_requests = 1;
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let flooded = tenant_matrix(40);
+    let healthy = tenant_matrix(41);
+    let fp_flood = fleet.register(Arc::clone(&flooded));
+    let fp_ok = fleet.register(Arc::clone(&healthy));
+
+    let (_, bf) = verify::rhs_for(&flooded, 7);
+    // warm the flooded tenant first so the budget applies to a live queue
+    fleet.submit(fp_flood, &bf).unwrap().wait().unwrap();
+
+    // saturate: with a budget of one, burst submits must shed
+    let mut shed = 0u64;
+    let mut tickets = Vec::new();
+    for _ in 0..64 {
+        match fleet.submit(fp_flood, &bf) {
+            Ok(t) => tickets.push(t),
+            Err(FleetError::TenantQueueFull { .. }) => shed += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(shed > 0, "a 1-request budget must shed a 64-deep burst");
+    assert_eq!(fleet.report().tenant_shed, shed);
+
+    // the other tenant is untouched by the flood
+    let (_, bh) = verify::rhs_for(&healthy, 8);
+    let x = fleet.submit(fp_ok, &bh).unwrap().wait().unwrap();
+    assert_eq!(x, serial_solution(&healthy, &cfg, &bh));
+
+    for t in tickets {
+        t.wait().unwrap();
+    }
+}
+
+/// Ticket surface: `wait_timeout(ZERO)` polls without blocking and
+/// returns the live ticket; waiting afterwards yields the bit-exact
+/// result. After shutdown, submits are typed `ShuttingDown`.
+#[test]
+fn ticket_polling_and_shutdown_semantics() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let m = tenant_matrix(50);
+    let fp = fleet.register(Arc::clone(&m));
+    let (_, b) = verify::rhs_for(&m, 3);
+
+    let mut ticket = fleet.submit(fp, &b).unwrap();
+    let x = loop {
+        match ticket.wait_timeout(Duration::ZERO) {
+            Ok(r) => break r.unwrap(),
+            Err(t) => {
+                ticket = t;
+                std::thread::yield_now();
+            }
+        }
+    };
+    assert_eq!(x, serial_solution(&m, &cfg, &b));
+
+    fleet.shutdown();
+    assert!(matches!(fleet.submit(fp, &b), Err(FleetError::ShuttingDown)));
+    let report = fleet.report();
+    assert_eq!(report.tenants_live, 0);
+    assert_eq!(report.cache_bytes, 0, "shutdown must release every charged byte");
+}
+
+/// Health surface: a building tenant reports `Building`, a serving one
+/// `Ok`, and the listing is sorted by fingerprint.
+#[test]
+fn health_reports_building_then_ok_sorted() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg).unwrap();
+    let ms: Vec<Arc<CscMatrix>> = (0..2).map(|t| tenant_matrix(60 + t)).collect();
+    let mut fps: Vec<FactorFingerprint> =
+        ms.iter().map(|m| fleet.register(Arc::clone(m))).collect();
+    let tickets: Vec<_> = ms
+        .iter()
+        .zip(&fps)
+        .map(|(m, fp)| fleet.submit(*fp, &verify::rhs_for(m, 9).1).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let health = fleet.health();
+    assert_eq!(health.len(), 2);
+    fps.sort();
+    for ((fp, h), want) in health.iter().zip(&fps) {
+        assert_eq!(fp, want, "health listing must be fingerprint-sorted");
+        assert!(
+            matches!(h, TenantHealth::Ok | TenantHealth::Degraded { .. }),
+            "served tenant should be live, got {h:?}"
+        );
+    }
+}
+
+/// Epoch registration: the same structure at two value epochs routes
+/// to two distinct tenants with distinct results.
+#[test]
+fn value_epochs_are_distinct_tenants() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let m0 = tenant_matrix(70);
+    // same structure, scaled values: a numeric refresh
+    let mut m1 = (*m0).clone();
+    for v in m1.values_mut() {
+        *v *= 2.0;
+    }
+    let m1 = Arc::new(m1);
+    let fp0 = fleet.register_epoch(Arc::clone(&m0), 0);
+    let fp1 = fleet.register_epoch(Arc::clone(&m1), 1);
+    assert_ne!(fp0, fp1);
+    assert_eq!(fp0.structural, fp1.structural);
+
+    let (_, b) = verify::rhs_for(&m0, 4);
+    let x0 = fleet.submit(fp0, &b).unwrap().wait().unwrap();
+    let x1 = fleet.submit(fp1, &b).unwrap().wait().unwrap();
+    assert_eq!(x0, serial_solution(&m0, &cfg, &b));
+    assert_eq!(x1, serial_solution(&m1, &cfg, &b));
+    assert_ne!(x0, x1, "different value epochs must solve differently");
+    assert_eq!(fleet.report().tenants_live, 2);
+}

@@ -588,3 +588,122 @@ fn serve_errors_expose_sources() {
     })
     .unwrap();
 }
+
+/// `wait_timeout(Duration::ZERO)` is a pure poll: on a pending ticket
+/// it returns `Err(ticket)` without blocking (bounded well under the
+/// panel's linger), and once the request completes the same call
+/// returns the bit-exact result.
+#[test]
+fn wait_timeout_zero_is_a_nonblocking_poll() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 21);
+    let expect = engine.solve(&b).unwrap().x;
+    let cfg = ServiceConfig {
+        max_lanes: 8,
+        max_queue_requests: 16,
+        max_linger: Duration::from_secs(300),
+        ..Default::default()
+    };
+    serve_solver(&engine, &cfg, |svc| {
+        let t = svc.submit(&b).unwrap();
+        // nothing flushes for minutes: a zero-timeout wait must come
+        // back pending, and promptly
+        let t0 = Instant::now();
+        let mut t = t.wait_timeout(Duration::ZERO).expect_err("must still be pending");
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "Duration::ZERO must not block on the linger window"
+        );
+        svc.flush();
+        // poll to completion: ZERO keeps returning the live ticket
+        // until the result lands, then yields it intact
+        let x = loop {
+            match t.wait_timeout(Duration::ZERO) {
+                Ok(r) => break r.unwrap(),
+                Err(pending) => {
+                    t = pending;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(x, expect, "a polled result must be bit-identical");
+    })
+    .unwrap();
+}
+
+/// Shutdown racing in-flight panels, both modes: client threads are
+/// mid-burst when another thread begins shutdown, so some requests are
+/// in panels, some queued, some rejected at the door. In both modes the
+/// report must reconcile exactly — every accepted request completes
+/// exactly once (`submitted == served + failed + shutdown_rejected`),
+/// drained work is a subset of served, and with draining on nothing is
+/// shutdown-rejected.
+#[test]
+fn shutdown_racing_inflight_panels_reconciles_in_both_modes() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    for drain in [true, false] {
+        let cfg = ServiceConfig {
+            max_lanes: 4,
+            max_linger: Duration::from_micros(50),
+            drain_on_shutdown: drain,
+            ..Default::default()
+        };
+        let (accepted, report) = serve_solver(&engine, &cfg, |svc| {
+            std::thread::scope(|s| {
+                let workers: Vec<_> = (0..4u64)
+                    .map(|c| {
+                        let (m, engine) = (&m, &engine);
+                        s.spawn(move || {
+                            let mut accepted = 0u64;
+                            for k in 0..16u64 {
+                                let (_, b) = verify::rhs_for(m, 3000 + 100 * c + k);
+                                match svc.submit(&b) {
+                                    Ok(t) => {
+                                        accepted += 1;
+                                        match t.wait() {
+                                            Ok(x) => assert_eq!(
+                                                x,
+                                                engine.solve(&b).unwrap().x,
+                                                "served mid-shutdown must stay bit-identical"
+                                            ),
+                                            Err(ServeError::ShuttingDown) => assert!(
+                                                !drain,
+                                                "draining mode must not reject queued work"
+                                            ),
+                                            Err(e) => panic!("unexpected completion: {e}"),
+                                        }
+                                    }
+                                    Err(ServeError::ShuttingDown) => {}
+                                    Err(ServeError::QueueFull { .. }) => {}
+                                    Err(e) => panic!("unexpected submit error: {e}"),
+                                }
+                            }
+                            accepted
+                        })
+                    })
+                    .collect();
+                // begin shutdown while the bursts are in flight
+                std::thread::sleep(Duration::from_millis(2));
+                svc.shutdown();
+                workers.into_iter().map(|w| w.join().unwrap()).sum::<u64>()
+            })
+        })
+        .unwrap();
+        assert_eq!(report.submitted, accepted, "drain={drain}");
+        assert_eq!(
+            report.submitted,
+            report.served + report.failed + report.shutdown_rejected,
+            "drain={drain}: accepted work must complete exactly once: {report:?}"
+        );
+        assert!(report.drained <= report.served, "drain={drain}");
+        if drain {
+            assert_eq!(report.shutdown_rejected, 0, "draining mode rejects nothing: {report:?}");
+        }
+        assert!(
+            report.rejected_shutdown + report.submitted >= 4,
+            "drain={drain}: the race must exercise the shutdown path"
+        );
+    }
+}
