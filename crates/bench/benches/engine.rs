@@ -19,6 +19,11 @@
 //!   floor (≥ 1.5× at 4 workers) is asserted only when the hardware
 //!   actually has ≥ 4 threads; on narrower machines the numbers are
 //!   recorded with the effective worker count for the record.
+//! * **value refresh vs full rebuild** — the time-stepping step cost:
+//!   `refresh_values` (in-place value swap, zero symbolic work) then a
+//!   warm solve, against a full `SolverEngine::build` then the same
+//!   solve; asserted ≥ 3× (the rebuild pays analysis + calibration,
+//!   the refresh pays neither, so the floor is hardware-independent).
 //! * **fleet warm submit vs cold rebuild** — per-request latency of a
 //!   warm [`EngineFleet`] submit (mailbox dispatch + cached-engine
 //!   replay) against the cold one-shot solve a service without the
@@ -334,6 +339,47 @@ fn main() {
     );
     drop(fleet);
 
+    // --- value refresh vs full rebuild -------------------------------
+    // Time-stepping workloads change factor VALUES every step while
+    // the structure is fixed. `refresh_values` validates, audits and
+    // rewrites every warm tier's value arrays in place — zero symbolic
+    // work; the alternative is a full engine rebuild (analysis + plan
+    // + adjacency + calibration) per step. Samples alternate between
+    // two value sets so every refresh writes genuinely new values.
+    let m2 = {
+        let mut t = m.clone();
+        for (i, v) in t.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + ((i % 7) as f64) * 0.01;
+        }
+        t
+    };
+    let mut rws = SolveWorkspace::new();
+    let mut rout = vec![0.0f64; n];
+    engine.solve_into(&b, &mut rout, &mut rws).unwrap(); // warm buffers
+    let flip = Cell::new(false);
+    let refresh_then_solve = time_ns(5, || {
+        let next = if flip.replace(!flip.get()) { &m } else { &m2 };
+        engine.refresh_values(next).unwrap();
+        engine.solve_into(&b, &mut rout, &mut rws).unwrap();
+        rout[0]
+    });
+    assert!(engine.value_epoch() >= 5, "every sample must commit a refresh");
+    let rebuild_then_solve = time_ns(3, || {
+        let e2 = SolverEngine::build(&m2, cfg.clone(), &opts).unwrap();
+        e2.solve_into(&b, &mut rout, &mut rws).unwrap();
+        rout[0]
+    });
+    let refresh_speedup =
+        rebuild_then_solve.median_ns as f64 / refresh_then_solve.median_ns.max(1) as f64;
+    println!(
+        "rebuild-then-solve median {:>12}",
+        TimingSummary::human(rebuild_then_solve.median_ns)
+    );
+    println!(
+        "refresh-then-solve median {:>12}   (speedup = {refresh_speedup:.1}x)",
+        TimingSummary::human(refresh_then_solve.median_ns)
+    );
+
     // --- emit BENCH_engine.json at the repo root ---------------------
     let json = format!(
         r#"{{
@@ -402,9 +448,16 @@ fn main() {
     "speedup_vs_cold_rebuild": {fleet_speedup:.2},
     "cache_bytes_high_water": {fleet_high_water},
     "cache_budget_bytes": {fleet_budget}
+  }},
+  "value_refresh": {{
+    "refresh_then_solve_ns": {refresh_med},
+    "rebuild_then_solve_ns": {rebuild_med},
+    "speedup_vs_rebuild": {refresh_speedup:.2}
   }}
 }}
 "#,
+        refresh_med = refresh_then_solve.median_ns,
+        rebuild_med = rebuild_then_solve.median_ns,
         fleet_reqs = FLEET_REQS,
         fleet_high_water = fleet_report.cache_bytes_high_water,
         fleet_budget = fleet_report.cache_budget_bytes,
@@ -465,6 +518,13 @@ fn main() {
         fleet_speedup >= 2.0,
         "a warm fleet submit must be at least 2x faster than a cold per-request \
          engine rebuild, got {fleet_speedup:.2}x"
+    );
+    // hardware-independent: the rebuild pays analysis + plan +
+    // adjacency + calibration; the refresh pays none of it
+    assert!(
+        refresh_speedup >= 3.0,
+        "refresh-then-solve must be at least 3x faster than rebuild-then-solve, \
+         got {refresh_speedup:.2}x"
     );
     // coalescing must beat the lock-per-request loop wherever parallel
     // hardware exists; a 1–3 thread machine records its honest numbers

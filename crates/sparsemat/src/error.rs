@@ -45,6 +45,13 @@ pub enum MatrixError {
         /// Column of the offending entry.
         col: usize,
     },
+    /// A matrix handed to a value-refresh path does not have the
+    /// sparsity pattern the recorded analysis was built for — in-place
+    /// refresh requires an identical structure.
+    StructureMismatch {
+        /// Which recorded pattern the matrix drifted from.
+        what: &'static str,
+    },
     /// A caller-supplied scalar argument (e.g. the ILU(0) pivot fill)
     /// is outside its valid domain.
     InvalidArgument {
@@ -76,6 +83,9 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::NonFiniteValue { row, col } => {
                 write!(f, "non-finite value at ({row}, {col}) would poison every dependent solve")
+            }
+            MatrixError::StructureMismatch { what } => {
+                write!(f, "sparsity pattern drifted from the recorded {what} pattern — in-place refresh requires an identical structure")
             }
             MatrixError::InvalidArgument { what, value } => {
                 write!(f, "invalid {what}: {value} (must be finite and nonzero)")

@@ -13,6 +13,20 @@
 //! Both produce a solvable `(L, U)` pair whose level structure matches
 //! the input's dependency pattern, which is the property the
 //! experiments rely on (see DESIGN.md §1).
+//!
+//! ## Refactorization: new values, recorded pattern
+//!
+//! Time-stepping and transient workloads refactor the *same* sparsity
+//! pattern with new numeric values every few steps. [`ilu0`] therefore
+//! records its elimination pattern (the combined-factor structure,
+//! diagonal positions, and the scatter maps between `A`, the combined
+//! factor, and the split `L`/`U`) inside the returned [`LuFactors`],
+//! and [`ilu0_refactor`] replays the numeric elimination over that
+//! record with **zero symbolic work** — no diagonal search, no pattern
+//! matching, no triangular split. The refreshed factors are
+//! bit-identical to a fresh [`ilu0`] on the new values; a matrix whose
+//! pattern drifted from the record is rejected with a typed
+//! [`MatrixError::StructureMismatch`] before anything is mutated.
 
 use crate::csc::CscMatrix;
 use crate::csr::CsrMatrix;
@@ -21,13 +35,82 @@ use crate::Triangle;
 
 /// Result of an (incomplete) LU factorization: `A ≈ L · U` with `L`
 /// unit-lower-triangular (unit diagonal stored explicitly) and `U`
-/// upper triangular.
+/// upper triangular, plus the recorded elimination pattern that lets
+/// [`ilu0_refactor`] refresh the values without re-doing any symbolic
+/// work.
 #[derive(Debug, Clone)]
 pub struct LuFactors {
     /// Lower factor, unit diagonal stored, CSC.
     pub l: CscMatrix,
     /// Upper factor, CSC.
     pub u: CscMatrix,
+    /// The recorded elimination pattern (see [`ilu0_refactor`]).
+    pattern: ElimPattern,
+}
+
+/// The symbolic record of one [`ilu0`] run: everything the numeric
+/// elimination needs that does not depend on the values. Stored inside
+/// [`LuFactors`] so [`ilu0_refactor`] can replay the factorization
+/// over new values with zero pattern work.
+#[derive(Debug, Clone)]
+struct ElimPattern {
+    /// Dimension.
+    n: usize,
+    /// Combined-factor CSR row pointers (the diagonal-completed
+    /// pattern of `A`).
+    row_ptr: Vec<usize>,
+    /// Combined-factor CSR column indices.
+    col_idx: Vec<u32>,
+    /// Position of `a_ii` within row `i` of the combined factor.
+    diag_pos: Vec<usize>,
+    /// Combined position → position in `A`'s CSC value array;
+    /// `usize::MAX` marks a diagonal the completion inserted (its seed
+    /// value is `pivot_fill`, not an entry of `A`).
+    from_a: Vec<usize>,
+    /// `L` CSC value position → combined position; `usize::MAX` marks
+    /// the unit diagonal (always exactly `1.0`).
+    l_from: Vec<usize>,
+    /// `U` CSC value position → combined position.
+    u_from: Vec<usize>,
+    /// The pivot repair value the original factorization used.
+    pivot_fill: f64,
+    /// `A`'s stored-entry count, part of the structure-identity check.
+    a_nnz: usize,
+}
+
+impl ElimPattern {
+    /// Verify `a` has exactly the recorded sparsity pattern — an exact
+    /// O(nnz) check, not a hash compare. Every recorded `A`-position
+    /// must still name the same `(row, col)` in `a`, and `a` must have
+    /// no entries beyond the recorded ones.
+    fn check_structure(&self, a: &CscMatrix) -> Result<(), MatrixError> {
+        let drift = MatrixError::StructureMismatch { what: "ILU(0) elimination" };
+        if a.n() != self.n || a.nnz() != self.a_nnz {
+            return Err(drift);
+        }
+        let col_ptr = a.col_ptr();
+        let row_idx = a.row_idx();
+        let mut mapped = 0usize;
+        for i in 0..self.n {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let p = self.from_a[k];
+                if p == usize::MAX {
+                    continue; // inserted diagonal: no counterpart in A
+                }
+                let j = self.col_idx[k] as usize;
+                if p < col_ptr[j] || p >= col_ptr[j + 1] || row_idx[p] as usize != i {
+                    return Err(drift);
+                }
+                mapped += 1;
+            }
+        }
+        // the map is injective ((row, col) pairs are unique), so full
+        // coverage of a's entries follows from the count alone
+        if mapped != a.nnz() {
+            return Err(drift);
+        }
+        Ok(())
+    }
 }
 
 /// ILU(0): incomplete LU restricted to the sparsity pattern of `A`.
@@ -104,15 +187,166 @@ pub fn ilu0(a: &CscMatrix, pivot_fill: f64) -> Result<LuFactors, MatrixError> {
         }
     }
 
+    // Record where each combined entry came from in A — the numeric
+    // seed map a refactorization replays instead of re-matching the
+    // patterns.
+    let from_a = map_from_a(a, n, &row_ptr, &col_idx);
+
     // Split the combined factor into L (unit diag) and U.
-    let combined = CsrMatrix::try_new(n, row_ptr, col_idx, val)?.to_csc();
+    let combined = CsrMatrix::try_new(n, row_ptr.clone(), col_idx.clone(), val)?.to_csc();
     let mut l = combined.triangular_part(Triangle::Lower, 1.0);
     // Force L's diagonal to exactly 1 (unit lower factor).
     set_diagonal(&mut l, 1.0);
     let u = combined.triangular_part(Triangle::Upper, pivot_fill);
     l.validate_triangular(Triangle::Lower)?;
     u.validate_triangular(Triangle::Upper)?;
-    Ok(LuFactors { l, u })
+    let l_from = map_into_combined(&l, &row_ptr, &col_idx, true);
+    let u_from = map_into_combined(&u, &row_ptr, &col_idx, false);
+    let pattern = ElimPattern {
+        n,
+        row_ptr,
+        col_idx,
+        diag_pos,
+        from_a,
+        l_from,
+        u_from,
+        pivot_fill,
+        a_nnz: a.nnz(),
+    };
+    Ok(LuFactors { l, u, pattern })
+}
+
+/// Recompute the values of an existing ILU(0) factorization for a
+/// matrix with the **same sparsity pattern** but new values — the
+/// time-stepping refresh path.
+///
+/// Replays the numeric IKJ elimination over the pattern [`ilu0`]
+/// recorded (combined structure, diagonal positions, scatter maps), so
+/// no symbolic work happens: no diagonal search, no pattern matching,
+/// no triangular re-split, no validation sweep of the outputs. The
+/// refreshed `f.l`/`f.u` values are **bit-identical** to a fresh
+/// `ilu0(a, pivot_fill)` with the original `pivot_fill`, including the
+/// zero-pivot repairs.
+///
+/// # Errors
+/// A matrix whose dimension or sparsity pattern differs from the
+/// recorded one is rejected as [`MatrixError::StructureMismatch`]
+/// **before** any factor value is touched, so `f` is left exactly as
+/// it was on failure (strong exception guarantee).
+pub fn ilu0_refactor(f: &mut LuFactors, a: &CscMatrix) -> Result<(), MatrixError> {
+    let LuFactors { l, u, pattern } = f;
+    pattern.check_structure(a)?;
+    let n = pattern.n;
+    let a_vals = a.values();
+
+    // Numeric seed: pull A's values through the recorded map, applying
+    // the same diagonal repair the original diagonal completion did
+    // (absent diagonal → pivot_fill, present-but-zero → pivot_fill).
+    let mut val = vec![0.0f64; pattern.col_idx.len()];
+    for i in 0..n {
+        for k in pattern.row_ptr[i]..pattern.row_ptr[i + 1] {
+            let src = pattern.from_a[k];
+            val[k] = if src == usize::MAX { pattern.pivot_fill } else { a_vals[src] };
+        }
+        let dk = pattern.diag_pos[i];
+        if val[dk] == 0.0 {
+            val[dk] = pattern.pivot_fill;
+        }
+    }
+
+    // Replay the elimination — the identical loop `ilu0` runs, over the
+    // identical pattern, so every value comes out bit-identical.
+    let mut pos_of = vec![usize::MAX; n];
+    for i in 0..n {
+        let (lo, hi) = (pattern.row_ptr[i], pattern.row_ptr[i + 1]);
+        for k in lo..hi {
+            pos_of[pattern.col_idx[k] as usize] = k;
+        }
+        for kk in lo..hi {
+            let k = pattern.col_idx[kk] as usize;
+            if k >= i {
+                break;
+            }
+            let mut pivot = val[pattern.diag_pos[k]];
+            if pivot == 0.0 {
+                pivot = pattern.pivot_fill;
+            }
+            let factor = val[kk] / pivot;
+            val[kk] = factor;
+            for kj in pattern.diag_pos[k] + 1..pattern.row_ptr[k + 1] {
+                let j = pattern.col_idx[kj] as usize;
+                let p = pos_of[j];
+                if p != usize::MAX {
+                    val[p] -= factor * val[kj];
+                }
+            }
+        }
+        if val[pattern.diag_pos[i]] == 0.0 {
+            val[pattern.diag_pos[i]] = pattern.pivot_fill;
+        }
+        for k in lo..hi {
+            pos_of[pattern.col_idx[k] as usize] = usize::MAX;
+        }
+    }
+
+    // Scatter the combined values into the split factors in place.
+    for (dst, &src) in l.values_mut().iter_mut().zip(&pattern.l_from) {
+        *dst = if src == usize::MAX { 1.0 } else { val[src] };
+    }
+    for (dst, &src) in u.values_mut().iter_mut().zip(&pattern.u_from) {
+        *dst = if src == usize::MAX { pattern.pivot_fill } else { val[src] };
+    }
+    Ok(())
+}
+
+/// For each combined-CSR position, the position of the same `(row,
+/// col)` entry in `a`'s CSC value array (`usize::MAX` for diagonals the
+/// completion inserted).
+fn map_from_a(a: &CscMatrix, n: usize, row_ptr: &[usize], col_idx: &[u32]) -> Vec<usize> {
+    let col_ptr = a.col_ptr();
+    let row_idx = a.row_idx();
+    let mut from_a = vec![usize::MAX; col_idx.len()];
+    for i in 0..n {
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            let j = col_idx[k] as usize;
+            let col = &row_idx[col_ptr[j]..col_ptr[j + 1]];
+            if let Ok(off) = col.binary_search(&(i as u32)) {
+                from_a[k] = col_ptr[j] + off;
+            } else {
+                debug_assert_eq!(i, j, "only diagonals are inserted by completion");
+            }
+        }
+    }
+    from_a
+}
+
+/// For each CSC value position of a split factor, the combined-CSR
+/// position holding the same `(row, col)` entry; for the unit-lower
+/// factor the diagonal maps to `usize::MAX` (it is pinned to `1.0`,
+/// not read from the combined factor).
+fn map_into_combined(
+    factor: &CscMatrix,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    unit_diagonal: bool,
+) -> Vec<usize> {
+    let col_ptr = factor.col_ptr();
+    let row_idx = factor.row_idx();
+    let mut map = vec![usize::MAX; factor.nnz()];
+    for j in 0..factor.n() {
+        for p in col_ptr[j]..col_ptr[j + 1] {
+            let i = row_idx[p] as usize;
+            if unit_diagonal && i == j {
+                continue;
+            }
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            let off = row
+                .binary_search(&(j as u32))
+                .expect("split factor entries exist in the combined pattern");
+            map[p] = row_ptr[i] + off;
+        }
+    }
+    map
 }
 
 /// Findings per category an audit keeps before it stops recording (the
@@ -431,6 +665,63 @@ mod tests {
         }
         // valid fills (including negative) still factor
         ilu0(&a, -1e-8).unwrap();
+    }
+
+    #[test]
+    fn refactor_matches_fresh_ilu0_bitwise() {
+        let a1 = gen::grid_laplacian(10, 9);
+        let mut a2 = a1.clone();
+        for (i, v) in a2.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 0.01 * ((i % 7) as f64);
+        }
+        let mut f = ilu0(&a1, 1e-8).unwrap();
+        ilu0_refactor(&mut f, &a2).unwrap();
+        let fresh = ilu0(&a2, 1e-8).unwrap();
+        assert_eq!(f.l.values(), fresh.l.values(), "L values must be bit-identical");
+        assert_eq!(f.u.values(), fresh.u.values(), "U values must be bit-identical");
+        // refreshing back to the original values restores the original factor
+        let orig = ilu0(&a1, 1e-8).unwrap();
+        ilu0_refactor(&mut f, &a1).unwrap();
+        assert_eq!(f.l.values(), orig.l.values());
+        assert_eq!(f.u.values(), orig.u.values());
+    }
+
+    #[test]
+    fn refactor_replays_pivot_repair() {
+        // missing diagonal (1,1) plus a value refresh that zeroes the
+        // (0,0) pivot: both repairs must replay exactly as a fresh
+        // factorization would perform them
+        let build = |d00: f64| {
+            let mut b = TripletBuilder::new(3);
+            b.push(0, 0, d00);
+            b.push(1, 0, 1.0);
+            b.push(2, 2, 3.0);
+            b.build().unwrap()
+        };
+        let a1 = build(2.0);
+        let a2 = build(0.0);
+        let mut f = ilu0(&a1, 1e-4).unwrap();
+        ilu0_refactor(&mut f, &a2).unwrap();
+        let fresh = ilu0(&a2, 1e-4).unwrap();
+        assert_eq!(f.l.values(), fresh.l.values());
+        assert_eq!(f.u.values(), fresh.u.values());
+        f.l.validate_triangular(Triangle::Lower).unwrap();
+        f.u.validate_triangular(Triangle::Upper).unwrap();
+    }
+
+    #[test]
+    fn refactor_rejects_pattern_drift_untouched() {
+        let a = gen::grid_laplacian(8, 8);
+        let mut f = ilu0(&a, 1e-8).unwrap();
+        let (l_before, u_before) = (f.l.values().to_vec(), f.u.values().to_vec());
+        // different dimension and different same-dimension pattern both drift
+        for other in [gen::grid_laplacian(8, 7), gen::banded_lower(64, 5, 3.0, 9)] {
+            let err = ilu0_refactor(&mut f, &other).unwrap_err();
+            assert!(matches!(err, MatrixError::StructureMismatch { .. }), "{err:?}");
+            assert!(err.to_string().contains("identical structure"), "{err}");
+        }
+        assert_eq!(f.l.values(), &l_before[..], "failed refresh must not touch L");
+        assert_eq!(f.u.values(), &u_before[..], "failed refresh must not touch U");
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //! * the **structural hash** digests the dimension and the full
 //!   sparsity pattern (`col_ptr` + `row_idx`), so two matrices with the
 //!   same structure — the cache-hit case the paper's amortization
-//!   argument (§II-B) is about — hash equal regardless of their values;
+//!   argument (§II-B) is about — compare equal on
+//!   [`FactorFingerprint::structure_hash`] regardless of their values;
+//! * the **value hash** digests the stored numeric values, so "same
+//!   pattern, new values" — the in-place refresh case — is detectable:
+//!   a refreshed factor fingerprints equal on structure and unequal on
+//!   values;
 //! * the **value epoch** is a caller-managed counter bumped on every
-//!   value refresh. Values are deliberately *not* hashed: a fingerprint
-//!   must be reproducible from metadata a client holds (structure +
-//!   refresh count) without streaming `nnz` floats per request, and a
-//!   cache keyed on a value digest could never tell "same values" from
-//!   "hash collision" anyway.
+//!   value refresh — the cheap identity a client can advance from
+//!   metadata alone (structure + refresh count) without streaming
+//!   `nnz` floats per request.
 //!
 //! The digest is a split-mix64 accumulation — not cryptographic, but
 //! 64 bits of avalanche over every structural word, which is the same
@@ -32,16 +35,19 @@ fn mix(state: u64, word: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Content-derived identity of a triangular factor: structural hash
-/// plus a caller-managed value epoch. See the [module docs](self) for
-/// why values are not digested.
+/// Content-derived identity of a triangular factor: a structural hash,
+/// a value hash, and a caller-managed value epoch. See the
+/// [module docs](self) for what each component distinguishes.
 ///
-/// Ordering is lexicographic (structure, then epoch) — only so
-/// fingerprints can key ordered maps; the order itself is meaningless.
+/// Ordering is lexicographic (structure, then values, then epoch) —
+/// only so fingerprints can key ordered maps; the order itself is
+/// meaningless.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FactorFingerprint {
     /// Split-mix digest of `(n, col_ptr, row_idx)`.
     pub structural: u64,
+    /// Split-mix digest of the stored values' bit patterns.
+    pub values: u64,
     /// Value-refresh counter: bump via [`FactorFingerprint::next_epoch`]
     /// whenever the factor's values change under a fixed structure, so
     /// caches keyed by fingerprint never serve stale numerics.
@@ -49,11 +55,11 @@ pub struct FactorFingerprint {
 }
 
 impl FactorFingerprint {
-    /// Fingerprint `m`'s sparsity structure at value epoch 0.
+    /// Fingerprint `m`'s sparsity structure and values at value epoch 0.
     ///
-    /// Cost: one pass over `col_ptr` and `row_idx` (O(n + nnz) words)
-    /// — orders of magnitude cheaper than the analysis it lets a cache
-    /// skip.
+    /// Cost: one pass over `col_ptr`, `row_idx` and `values`
+    /// (O(n + nnz) words) — orders of magnitude cheaper than the
+    /// analysis it lets a cache skip.
     pub fn of(m: &CscMatrix) -> FactorFingerprint {
         let mut h = mix(0x5EED_F1D0_CAFE_F00D, m.n() as u64);
         for &p in m.col_ptr() {
@@ -70,7 +76,35 @@ impl FactorFingerprint {
             };
             h = mix(h, word);
         }
-        FactorFingerprint { structural: h, epoch: 0 }
+        let mut v = mix(0x0F1D_0F1D_5EED_5EED, m.nnz() as u64);
+        for &x in m.values() {
+            v = mix(v, x.to_bits());
+        }
+        FactorFingerprint { structural: h, values: v, epoch: 0 }
+    }
+
+    /// The structural component alone: equal for any two matrices with
+    /// the same dimension and sparsity pattern, whatever their values —
+    /// what a refresh path checks before rewriting numerics in place.
+    #[inline]
+    pub fn structure_hash(&self) -> u64 {
+        self.structural
+    }
+
+    /// The value component alone: changes whenever any stored value's
+    /// bit pattern changes — what makes "same pattern, new values"
+    /// detectable.
+    #[inline]
+    pub fn values_hash(&self) -> u64 {
+        self.values
+    }
+
+    /// Whether `other` fingerprints the same sparsity pattern
+    /// (dimension + `col_ptr` + `row_idx`), regardless of values or
+    /// epoch.
+    #[inline]
+    pub fn same_structure(&self, other: &FactorFingerprint) -> bool {
+        self.structural == other.structural
     }
 
     /// This structure at an explicit value epoch.
@@ -87,7 +121,7 @@ impl FactorFingerprint {
 
 impl std::fmt::Display for FactorFingerprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:016x}@{}", self.structural, self.epoch)
+        write!(f, "{:016x}.{:016x}@{}", self.structural, self.values, self.epoch)
     }
 }
 
@@ -96,14 +130,25 @@ mod tests {
     use super::*;
     use crate::gen;
 
+    /// Regression for the all-or-nothing hash this module used to
+    /// compute: a value refresh of one sparsity pattern must fingerprint
+    /// equal on structure and unequal on values — otherwise "same
+    /// pattern, new numerics" is indistinguishable from "same factor".
     #[test]
-    fn same_structure_same_hash_values_ignored() {
+    fn refreshed_values_split_the_hash() {
         let a = gen::banded_lower(256, 6, 3.0, 11);
         let mut b = a.clone();
         for v in b.values_mut() {
             *v *= 1.5;
         }
-        assert_eq!(FactorFingerprint::of(&a), FactorFingerprint::of(&b));
+        let fa = FactorFingerprint::of(&a);
+        let fb = FactorFingerprint::of(&b);
+        assert_eq!(fa.structure_hash(), fb.structure_hash());
+        assert!(fa.same_structure(&fb));
+        assert_ne!(fa.values_hash(), fb.values_hash());
+        assert_ne!(fa, fb, "the full fingerprint must see the new values");
+        // identical content still fingerprints identically
+        assert_eq!(fa, FactorFingerprint::of(&a.clone()));
     }
 
     #[test]
@@ -123,6 +168,6 @@ mod tests {
         assert_eq!(f0.structural, f1.structural);
         assert_ne!(f0, f1);
         assert_eq!(f0.with_epoch(1), f1);
-        assert_eq!(format!("{f1}"), format!("{:016x}@1", f0.structural));
+        assert_eq!(format!("{f1}"), format!("{:016x}.{:016x}@1", f0.structural, f0.values));
     }
 }

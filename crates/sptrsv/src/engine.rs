@@ -81,6 +81,41 @@
 //! and its partial sum accumulated in canonical source order, by
 //! exactly one worker), the panel tiers because lanes never mix.
 //!
+//! ## The value-refresh lifecycle
+//!
+//! Time-stepping and quasi-Newton workloads refactor the **same
+//! sparsity pattern** with new numeric values every few steps. Because
+//! the analysis phase — level sets, the plan, the flat adjacency, the
+//! calibration timeline — depends only on *structure*, none of it goes
+//! stale when values change. [`SolverEngine::refresh_values`] exploits
+//! that: the engine's prebuilt state is split into an immutable
+//! **structure plan** (the canonical order, the calibration template,
+//! the sharding heuristic) and a mutable **numeric state** (the
+//! adjacency's value arrays, the sharded schedule's update values)
+//! behind one `RwLock`, and a refresh rewrites only the numeric half —
+//! zero symbolic work, zero allocation on a clean factor.
+//!
+//! The refresh contract:
+//!
+//! * **Validate first, mutate after.** The incoming matrix must carry
+//!   the *identical* sparsity pattern (checked entry-for-entry; drift
+//!   is a typed [`SolveError::StructureMismatch`]) and pass the same
+//!   [`sparsemat::audit_factor`] sweep a cold build runs (non-finite
+//!   values and zero pivots are typed [`SolveError::Matrix`] errors).
+//!   Failures leave the engine exactly as it was — the strong
+//!   exception guarantee, so a rejected refresh keeps serving the old
+//!   values bit-identically.
+//! * **Epoch atomicity.** Solve entry points hold the numeric read
+//!   lock across the solve *and* its verification; a refresh takes the
+//!   write lock, so it quiesces naturally at solve boundaries and
+//!   every solve executes against exactly one value epoch — old or
+//!   new, never a torn mix. [`SolverEngine::value_epoch`] counts
+//!   committed refreshes.
+//! * **Bit-identity with a cold rebuild.** A refreshed engine's four
+//!   warm tiers produce bit-for-bit the solutions a freshly built
+//!   engine on the new matrix would — same canonical order, same
+//!   operation sequence, only the values swapped.
+//!
 //! ## Error contract
 //!
 //! Problems a *caller* can cause — wrong right-hand-side length, wrong
@@ -90,18 +125,19 @@
 //! argument).
 
 use crate::exec::{self, ExecAnalysis, ExecConfig, ReplayWorkspace, ShardedReplay};
+use crate::fault::{self, FaultSite};
 use crate::levelset;
 use crate::plan::{ExecutionPlan, Partition};
 use crate::pool::{self, ScopedTask, WorkerPool};
-use crate::reference;
 use crate::report::{SolveReport, Timings};
 use crate::solver::{MultiRhsReport, SolveError, SolveOptions, SolverKind};
 use crate::verify;
 use crate::Backend;
 use desim::SimTime;
 use mgpu_sim::{Machine, MachineConfig};
-use sparsemat::{CscMatrix, FactorAudit, LevelSets, MatrixError};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use sparsemat::{CscMatrix, FactorAudit, FactorFingerprint, LevelSets, MatrixError, Triangle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reusable solver: analysis done once at build, arbitrarily many
 /// solves afterwards.
@@ -114,10 +150,15 @@ pub struct SolverEngine<'m> {
     m: &'m CscMatrix,
     opts: SolveOptions,
     variant: Variant,
-    /// The build-time numeric/structural sweep over the factor (see
-    /// [`sparsemat::audit_factor`]); clean by construction on a built
-    /// engine, since non-finite findings fail the build.
-    audit: FactorAudit,
+    /// The latest numeric/structural sweep over the factor's values
+    /// (see [`sparsemat::audit_factor`]) — from the build, or from the
+    /// most recent committed value refresh. Clean by construction on a
+    /// live engine, since non-finite findings fail the build and any
+    /// finding fails a refresh.
+    audit: RwLock<FactorAudit>,
+    /// Committed value refreshes (0 = the build's values). Solves
+    /// observe exactly one epoch each — see the module docs.
+    value_epoch: AtomicU64,
     /// Worker pool + recycled workspaces — engine-private by default,
     /// or shared with sibling engines via
     /// [`SolverEngine::build_shared`] (the L/U pair of a
@@ -196,37 +237,132 @@ impl<T: Default> RecyclePool<T> {
     }
 }
 
-/// The per-kind prebuilt state. `template` is the calibration run's
-/// report with an empty `x`, held behind `Arc` — warm solves that need
-/// a report clone it (every value-independent field — timings, stats,
-/// event counts — stays bit-identical across solves), while the
-/// zero-allocation `*_into` paths just share the handle.
+/// The per-kind prebuilt state, split along the refresh boundary: what
+/// depends only on *structure* is immutable for the engine's lifetime;
+/// what depends on *values* sits behind a `RwLock` so
+/// [`SolverEngine::refresh_values`] can rewrite it in place.
 #[derive(Debug)]
 enum Variant {
-    /// Serial host reference — no machine, no analysis.
-    Serial,
+    /// Serial host solver — no machine, no plan; solves by natural-order
+    /// replay of the flat column adjacency
+    /// ([`ExecAnalysis::columns_only`]), which is bit-identical to the
+    /// classic CSC substitution and gives the serial tier the same
+    /// refreshable numeric state as every other tier.
+    Serial(Box<RwLock<ExecAnalysis>>),
     /// Every simulated solver (level-set and the whole sync-free
-    /// family); boxed to keep the enum small next to `Serial`.
+    /// family); boxed to keep the enum small.
     Simulated(Box<Prepared>),
 }
 
-/// Prebuilt state of a simulated solver: flat column data, the
-/// canonical warm-solve order, the level-parallel sharded schedule and
-/// the calibration template. `order` is the sharded schedule's own
-/// level-major, owner-grouped order (shared via `Arc`, not copied) —
-/// the single operation sequence every warm tier replays, which is
-/// what keeps serial, sharded, panel and batched solves bit-identical
-/// to one another.
+/// Prebuilt state of a simulated solver, split for in-place value
+/// refresh: the immutable [`StructurePlan`] next to the
+/// [`NumericState`] a refresh rewrites under the lock.
 #[derive(Debug)]
 struct Prepared {
-    analysis: ExecAnalysis,
+    structure: StructurePlan,
+    /// Solves take the read lock for their whole duration (solve +
+    /// verification); a refresh takes the write lock — which is the
+    /// quiesce point that makes every solve observe exactly one value
+    /// epoch.
+    numeric: RwLock<NumericState>,
+}
+
+/// Everything a simulated solver prebuilds that depends only on the
+/// sparsity structure — immutable across value refreshes.
+///
+/// `order` is the sharded schedule's own level-major, owner-grouped
+/// order (shared via `Arc`, not copied) — the single operation
+/// sequence every warm tier replays, which is what keeps serial,
+/// sharded, panel and batched solves bit-identical to one another.
+///
+/// `template` — the calibration run's report with an empty `x`, held
+/// behind `Arc` — lives here *by design*: the discrete-event timeline
+/// advances on structure alone (column sizes, ownership, the seeded
+/// jitter stream), never on numeric values, so the calibration
+/// survives a value refresh untouched and a refreshed engine reports
+/// the same virtual timings a cold rebuild on the new values would.
+#[derive(Debug)]
+struct StructurePlan {
     order: Arc<[u32]>,
-    sharded: ShardedReplay,
     /// Worker count the `solve`/`solve_into` auto-heuristic uses for
     /// the sharded tier; `1` means the factor is too narrow/deep for
     /// level parallelism and serial replay stays the default.
     auto_workers: usize,
     template: Arc<SolveReport>,
+}
+
+/// The value-dependent half of a simulated solver's prebuilt state:
+/// the flat adjacency (whose `dep_vals`/`diag` arrays carry matrix
+/// values) and the sharded schedule (whose packed update values mirror
+/// them). A value refresh rewrites both in place — the topology fields
+/// inside are never touched after build.
+#[derive(Debug)]
+pub(crate) struct NumericState {
+    analysis: ExecAnalysis,
+    sharded: ShardedReplay,
+}
+
+/// Read access to an engine's flat dependency adjacency, whichever
+/// variant owns it. This is a lock guard: the borrowed analysis is
+/// pinned to one value epoch for the guard's lifetime, and a value
+/// refresh waits until the guard drops — hold it across a composed
+/// solve (the Krylov preconditioner does) and the whole application
+/// runs against consistent values.
+#[derive(Debug)]
+pub(crate) enum AnalysisGuard<'a> {
+    Direct(RwLockReadGuard<'a, ExecAnalysis>),
+    Prepared(RwLockReadGuard<'a, NumericState>),
+}
+
+impl std::ops::Deref for AnalysisGuard<'_> {
+    type Target = ExecAnalysis;
+    fn deref(&self) -> &ExecAnalysis {
+        match self {
+            AnalysisGuard::Direct(g) => g,
+            AnalysisGuard::Prepared(g) => &g.analysis,
+        }
+    }
+}
+
+/// Write access to an engine's numeric state, whichever variant owns
+/// it — handed out by [`SolverEngine::lock_numeric_mut`] so a
+/// multi-engine refresh can hold every write lock across a pair-atomic
+/// commit.
+#[derive(Debug)]
+pub(crate) enum NumericWriteGuard<'a> {
+    Direct(RwLockWriteGuard<'a, ExecAnalysis>),
+    Prepared(RwLockWriteGuard<'a, NumericState>),
+}
+
+/// Read-lock with poison recovery: the numeric state is only written
+/// by the infallible commit phase of a refresh (every failure happens
+/// before the write lock is taken), so a poisoned lock means a reader
+/// unwound mid-solve — the data itself is intact.
+fn rlock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock with the same poison-recovery rationale as [`rlock`].
+fn wlock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The receipt of a committed [`SolverEngine::refresh_values`]: what
+/// changed, which value epoch is now live, and the audit evidence the
+/// new values passed the same sweep a cold build runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshReport {
+    /// System dimension (unchanged by construction — structure is
+    /// immutable).
+    pub n: usize,
+    /// Nonzeros rewritten in place.
+    pub nnz: usize,
+    /// The value epoch now being served (1 after the first refresh).
+    pub value_epoch: u64,
+    /// The [`sparsemat::audit_factor`] sweep over the new values —
+    /// clean by construction on a committed refresh, kept as the
+    /// evidence trail.
+    pub audit: FactorAudit,
 }
 
 /// Reusable scratch for the allocation-free warm-solve paths
@@ -293,7 +429,12 @@ impl<'m> SolverEngine<'m> {
         let zeros = vec![0.0f64; m.n()];
 
         let variant = match opts.kind {
-            SolverKind::Serial => Variant::Serial,
+            // flat column data only — replayed in natural substitution
+            // order, so the serial tier shares the refreshable numeric
+            // representation without any level or plan analysis
+            SolverKind::Serial => {
+                Variant::Serial(Box::new(RwLock::new(ExecAnalysis::columns_only(m, opts.triangle))))
+            }
             SolverKind::LevelSet => {
                 let cfg = single_gpu(&machine_cfg);
                 let levels = LevelSets::analyze(m, opts.triangle);
@@ -327,11 +468,8 @@ impl<'m> SolverEngine<'m> {
                 let order = sharded.order_shared();
                 let auto_workers = auto_shard_workers(&levels);
                 Variant::Simulated(Box::new(Prepared {
-                    analysis,
-                    order,
-                    sharded,
-                    auto_workers,
-                    template: Arc::new(template),
+                    structure: StructurePlan { order, auto_workers, template: Arc::new(template) },
+                    numeric: RwLock::new(NumericState { analysis, sharded }),
                 }))
             }
             _ => {
@@ -413,28 +551,48 @@ impl<'m> SolverEngine<'m> {
                 let order = sharded.order_shared();
                 let auto_workers = auto_shard_workers(&levels);
                 Variant::Simulated(Box::new(Prepared {
-                    analysis,
-                    order,
-                    sharded,
-                    auto_workers,
-                    template: Arc::new(template),
+                    structure: StructurePlan { order, auto_workers, template: Arc::new(template) },
+                    numeric: RwLock::new(NumericState { analysis, sharded }),
                 }))
             }
         };
 
-        Ok(SolverEngine { m, opts: opts.clone(), variant, audit, resources })
+        Ok(SolverEngine {
+            m,
+            opts: opts.clone(),
+            variant,
+            audit: RwLock::new(audit),
+            value_epoch: AtomicU64::new(0),
+            resources,
+        })
     }
 
-    /// The build-time [`FactorAudit`] over this engine's factor. On a
-    /// successfully built engine it never carries non-finite findings
-    /// (those fail [`SolverEngine::build`] with a typed error), so
-    /// this is the evidence trail that the sweep ran, plus whatever
-    /// benign findings a caller may want to log.
-    pub fn factor_audit(&self) -> &FactorAudit {
-        &self.audit
+    /// The latest [`FactorAudit`] over this engine's values — from the
+    /// build, or from the most recent committed
+    /// [`SolverEngine::refresh_values`]. On a live engine it never
+    /// carries non-finite findings (those fail the build with a typed
+    /// error, and *any* finding fails a refresh), so this is the
+    /// evidence trail that the sweep ran, plus whatever benign findings
+    /// a caller may want to log.
+    pub fn factor_audit(&self) -> FactorAudit {
+        rlock(&self.audit).clone()
     }
 
-    /// The factor this engine was built for.
+    /// The value epoch currently being served: 0 until the first
+    /// committed [`SolverEngine::refresh_values`], incremented by one
+    /// per committed refresh. Cheap (one atomic load) — the number a
+    /// cache or client pairs with
+    /// [`sparsemat::FactorFingerprint::with_epoch`] to identify the
+    /// numerics without hashing them.
+    pub fn value_epoch(&self) -> u64 {
+        self.value_epoch.load(Ordering::Acquire)
+    }
+
+    /// The factor this engine was **built** for. The structure is
+    /// authoritative for the engine's lifetime; the *values* are those
+    /// of the build and are superseded once
+    /// [`SolverEngine::refresh_values`] commits (the engine borrows the
+    /// matrix immutably and never writes it back).
     #[inline]
     pub fn matrix(&self) -> &CscMatrix {
         self.m
@@ -458,8 +616,11 @@ impl<'m> SolverEngine<'m> {
         // plus the two n-length scalar scratch vectors
         let workspace = n * 8 * (3 * crate::exec::PANEL_K as u64 + 2);
         let prepared = match &self.variant {
-            Variant::Simulated(p) => p.analysis.host_bytes() + p.sharded.host_bytes(),
-            Variant::Serial => 0,
+            Variant::Simulated(p) => {
+                let num = rlock(&p.numeric);
+                num.analysis.host_bytes() + num.sharded.host_bytes()
+            }
+            Variant::Serial(a) => rlock(a).host_bytes(),
         };
         prepared + workspace
     }
@@ -468,8 +629,8 @@ impl<'m> SolverEngine<'m> {
     /// serial / level-set variants).
     pub fn cross_edges(&self) -> u64 {
         match &self.variant {
-            Variant::Simulated(p) => p.template.cross_edges,
-            Variant::Serial => 0,
+            Variant::Simulated(p) => p.structure.template.cross_edges,
+            Variant::Serial(_) => 0,
         }
     }
 
@@ -489,10 +650,18 @@ impl<'m> SolverEngine<'m> {
                 buffer: "rhs",
             });
         }
-        let report = match &self.variant {
-            Variant::Serial => {
-                let x = reference::solve_serial(self.m, b, self.opts.triangle)?;
-                return Ok(SolveReport {
+        // one read guard per solve: the whole call — substitution and
+        // verification — runs against a single value epoch
+        match &self.variant {
+            Variant::Serial(a) => {
+                let a = rlock(a);
+                let n = self.m.n();
+                let mut x = vec![0.0f64; n];
+                let mut left_sum = vec![0.0f64; n];
+                a.replay_natural_into(self.ascending(), b, &mut left_sum, &mut x);
+                // the natural-order replay *is* the serial reference,
+                // so verification is exact by construction
+                Ok(SolveReport {
                     x,
                     timings: Timings::default(),
                     stats: Default::default(),
@@ -503,16 +672,17 @@ impl<'m> SolverEngine<'m> {
                     fits_in_memory: true,
                     verified_rel_err: Some(0.0),
                     label: self.opts.kind.label().into(),
-                });
+                })
             }
             Variant::Simulated(p) => {
-                let mut report = (*p.template).clone();
-                let workers = self.effective_shard_workers(p.auto_workers);
+                let num = rlock(&p.numeric);
+                let mut report = (*p.structure.template).clone();
+                let workers = self.effective_shard_workers(p.structure.auto_workers);
                 if workers > 1 {
                     let mut x = vec![0.0f64; self.m.n()];
                     let mut left_sum = vec![0.0f64; self.m.n()];
-                    p.sharded.replay_into(
-                        &p.analysis,
+                    num.sharded.replay_into(
+                        &num.analysis,
                         b,
                         &mut left_sum,
                         &mut x,
@@ -521,12 +691,21 @@ impl<'m> SolverEngine<'m> {
                     );
                     report.x = x;
                 } else {
-                    report.x = p.analysis.replay(&p.order, b);
+                    report.x = num.analysis.replay(&p.structure.order, b);
                 }
-                report
+                if self.opts.verify {
+                    let mut scratch = vec![0.0f64; self.m.n()];
+                    let mut ref_x = vec![0.0f64; self.m.n()];
+                    num.analysis.replay_natural_into(self.ascending(), b, &mut scratch, &mut ref_x);
+                    let err = verify::rel_inf_diff(&report.x, &ref_x);
+                    if err > verify::DEFAULT_TOL {
+                        return Err(SolveError::Verification { rel_err: err });
+                    }
+                    report.verified_rel_err = Some(err);
+                }
+                Ok(report)
             }
-        };
-        self.finish(b, report)
+        }
     }
 
     /// Allocation-free warm solve: replay the numeric substitution into
@@ -558,20 +737,17 @@ impl<'m> SolverEngine<'m> {
         }
         ws.scratch.resize(n, 0.0);
         match &self.variant {
-            // the factor was validated once at build time; warm solves
-            // must not re-pay the O(nnz) validation sweep
-            Variant::Serial => reference::serial_into_prevalidated(
-                self.m,
-                b,
-                self.opts.triangle,
-                &mut ws.scratch,
-                out,
-            ),
+            Variant::Serial(a) => {
+                let a = rlock(a);
+                a.replay_natural_into(self.ascending(), b, &mut ws.scratch, out);
+                self.verify_into(&a, b, out, ws)
+            }
             Variant::Simulated(p) => {
-                let workers = self.effective_shard_workers(p.auto_workers);
+                let num = rlock(&p.numeric);
+                let workers = self.effective_shard_workers(p.structure.auto_workers);
                 if workers > 1 {
-                    p.sharded.replay_into(
-                        &p.analysis,
+                    num.sharded.replay_into(
+                        &num.analysis,
                         b,
                         &mut ws.scratch,
                         out,
@@ -579,11 +755,11 @@ impl<'m> SolverEngine<'m> {
                         workers,
                     );
                 } else {
-                    p.analysis.replay_into(&p.order, b, &mut ws.scratch, out);
+                    num.analysis.replay_into(&p.structure.order, b, &mut ws.scratch, out);
                 }
+                self.verify_into(&num.analysis, b, out, ws)
             }
         }
-        self.verify_into(b, out, ws)
     }
 
     /// Level-parallel warm solve (tier 2): one right-hand side executed
@@ -628,19 +804,25 @@ impl<'m> SolverEngine<'m> {
         }
         ws.scratch.resize(n, 0.0);
         match &self.variant {
-            Variant::Serial => reference::serial_into_prevalidated(
-                self.m,
-                b,
-                self.opts.triangle,
-                &mut ws.scratch,
-                out,
-            ),
+            Variant::Serial(a) => {
+                let a = rlock(a);
+                a.replay_natural_into(self.ascending(), b, &mut ws.scratch, out);
+                self.verify_into(&a, b, out, ws)
+            }
             Variant::Simulated(p) => {
+                let num = rlock(&p.numeric);
                 let workers = self.effective_shard_workers(workers);
-                p.sharded.replay_into(&p.analysis, b, &mut ws.scratch, out, self.pool(), workers);
+                num.sharded.replay_into(
+                    &num.analysis,
+                    b,
+                    &mut ws.scratch,
+                    out,
+                    self.pool(),
+                    workers,
+                );
+                self.verify_into(&num.analysis, b, out, ws)
             }
         }
-        self.verify_into(b, out, ws)
     }
 
     /// Fused multi-RHS warm solve (tier 2): the factor adjacency is
@@ -692,23 +874,26 @@ impl<'m> SolverEngine<'m> {
             out.resize(n, 0.0);
         }
         match &self.variant {
-            Variant::Serial => {
+            Variant::Serial(a) => {
+                let a = rlock(a);
                 ws.scratch.resize(n, 0.0);
                 for (b, out) in bs.iter().zip(outs.iter_mut()) {
-                    reference::serial_into_prevalidated(
-                        self.m,
-                        b,
-                        self.opts.triangle,
-                        &mut ws.scratch,
-                        out,
-                    );
+                    a.replay_natural_into(self.ascending(), b, &mut ws.scratch, out);
+                }
+                if self.opts.verify {
+                    for (b, out) in bs.iter().zip(outs.iter()) {
+                        self.verify_into(&a, b, out, ws)?;
+                    }
                 }
             }
-            Variant::Simulated(p) => p.analysis.replay_panel(&p.order, bs, &mut ws.panel, outs),
-        }
-        if self.opts.verify {
-            for (b, out) in bs.iter().zip(outs.iter()) {
-                self.verify_into(b, out, ws)?;
+            Variant::Simulated(p) => {
+                let num = rlock(&p.numeric);
+                num.analysis.replay_panel(&p.structure.order, bs, &mut ws.panel, outs);
+                if self.opts.verify {
+                    for (b, out) in bs.iter().zip(outs.iter()) {
+                        self.verify_into(&num.analysis, b, out, ws)?;
+                    }
+                }
             }
         }
         Ok(())
@@ -846,8 +1031,8 @@ impl<'m> SolverEngine<'m> {
     /// simulated timeline.
     pub fn calibration(&self) -> Option<&Arc<SolveReport>> {
         match &self.variant {
-            Variant::Simulated(p) => Some(&p.template),
-            Variant::Serial => None,
+            Variant::Simulated(p) => Some(&p.structure.template),
+            Variant::Serial(_) => None,
         }
     }
 
@@ -859,12 +1044,13 @@ impl<'m> SolverEngine<'m> {
     }
 
     /// The engine's flat dependency adjacency, for crate-internal
-    /// composition (`None` for the serial variant, which solves
-    /// directly off the CSC arrays).
-    pub(crate) fn analysis(&self) -> Option<&ExecAnalysis> {
+    /// composition — every variant has one (the serial variant carries
+    /// the columns-only form). Returned as a read guard: the borrow is
+    /// pinned to one value epoch, and a concurrent refresh waits for it.
+    pub(crate) fn analysis(&self) -> AnalysisGuard<'_> {
         match &self.variant {
-            Variant::Simulated(p) => Some(&p.analysis),
-            Variant::Serial => None,
+            Variant::Serial(a) => AnalysisGuard::Direct(rlock(a)),
+            Variant::Simulated(p) => AnalysisGuard::Prepared(rlock(&p.numeric)),
         }
     }
 
@@ -909,24 +1095,34 @@ impl<'m> SolverEngine<'m> {
         Ok(())
     }
 
-    /// Allocation-free verification: solve the serial reference into
-    /// workspace scratch and compare. No-op unless `opts.verify`.
-    fn verify_into(&self, b: &[f64], x: &[f64], ws: &mut SolveWorkspace) -> Result<(), SolveError> {
+    /// Whether the natural substitution order ascends (lower triangle)
+    /// or descends (upper) — the replay direction of the serial
+    /// reference.
+    #[inline]
+    fn ascending(&self) -> bool {
+        self.opts.triangle == Triangle::Lower
+    }
+
+    /// Allocation-free verification: replay the natural-order serial
+    /// reference off the given analysis into workspace scratch and
+    /// compare. No-op unless `opts.verify`. Takes the analysis rather
+    /// than reading `self.m` so the reference always uses the values of
+    /// the epoch the caller's guard pinned — the build matrix's values
+    /// go stale after a refresh.
+    fn verify_into(
+        &self,
+        a: &ExecAnalysis,
+        b: &[f64],
+        x: &[f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolveError> {
         if !self.opts.verify {
             return Ok(());
         }
         let n = self.m.n();
         ws.scratch.resize(n, 0.0);
         ws.ref_x.resize(n, 0.0);
-        // the factor was validated at build time — skip the per-solve
-        // O(nnz) validation sweep the public reference API performs
-        reference::serial_into_prevalidated(
-            self.m,
-            b,
-            self.opts.triangle,
-            &mut ws.scratch,
-            &mut ws.ref_x,
-        );
+        a.replay_natural_into(self.ascending(), b, &mut ws.scratch, &mut ws.ref_x);
         let err = verify::rel_inf_diff(x, &ws.ref_x);
         if err > verify::DEFAULT_TOL {
             return Err(SolveError::Verification { rel_err: err });
@@ -934,16 +1130,105 @@ impl<'m> SolverEngine<'m> {
         Ok(())
     }
 
-    fn finish(&self, b: &[f64], mut report: SolveReport) -> Result<SolveReport, SolveError> {
-        if self.opts.verify {
-            let reference = reference::solve_serial(self.m, b, self.opts.triangle)?;
-            let err = verify::rel_inf_diff(&report.x, &reference);
-            if err > verify::DEFAULT_TOL {
-                return Err(SolveError::Verification { rel_err: err });
-            }
-            report.verified_rel_err = Some(err);
+    /// Replace the engine's numeric values in place with `m2`'s —
+    /// **zero symbolic work**: no level sets, no plan, no adjacency
+    /// construction, no calibration; on a clean factor, no allocation
+    /// either. `m2` must carry the identical sparsity pattern the
+    /// engine was built for.
+    ///
+    /// Validation runs *before* any mutation: a structure drift is a
+    /// typed [`SolveError::StructureMismatch`], a non-finite value or
+    /// zero pivot a typed [`SolveError::Matrix`] (the same
+    /// [`sparsemat::audit_factor`] verdicts a cold build enforces) —
+    /// and on any failure the engine is untouched and keeps serving the
+    /// old values bit-identically (strong exception guarantee).
+    ///
+    /// The commit takes the numeric write lock, so it waits for
+    /// in-flight solves (which hold read guards) and blocks new ones
+    /// until the swap is done: every solve observes exactly one value
+    /// epoch. After a commit, all four warm tiers produce bit-for-bit
+    /// the solutions of a cold [`SolverEngine::build`] on `m2`.
+    pub fn refresh_values(&self, m2: &CscMatrix) -> Result<RefreshReport, SolveError> {
+        let audit = self.validate_refresh(m2)?;
+        // injected mid-refresh crash: sits after validation and before
+        // the first mutation, so an interrupted refresh leaves the old
+        // epoch fully intact (asserted by the chaos suite)
+        fault::fire_panic(FaultSite::ValueRefresh);
+        Ok(self.commit_refresh(m2, audit))
+    }
+
+    /// The fallible half of [`SolverEngine::refresh_values`]: check
+    /// structure identity and audit the new values, touching nothing.
+    /// Split from the infallible [`SolverEngine::commit_refresh`] so a
+    /// multi-engine caller (the L/U preconditioner pair) can validate
+    /// *every* side before committing *any* — pair-atomic refresh.
+    pub(crate) fn validate_refresh(&self, m2: &CscMatrix) -> Result<FactorAudit, SolveError> {
+        // exact, entry-for-entry structure identity — cheaper than
+        // hashing and allocation-free; the hashes are only computed on
+        // the failure path, to name both identities in the error
+        if m2.n() != self.m.n()
+            || m2.col_ptr() != self.m.col_ptr()
+            || m2.row_idx() != self.m.row_idx()
+        {
+            return Err(SolveError::StructureMismatch {
+                expected: FactorFingerprint::of(self.m).structure_hash(),
+                got: FactorFingerprint::of(m2).structure_hash(),
+            });
         }
-        Ok(report)
+        // same sweep a cold build runs — but a refresh rejects *all*
+        // findings: zero pivots would have failed the cold build's
+        // triangular validation, and duplicates cannot appear under an
+        // identical structure, so any finding here is disqualifying
+        let audit = sparsemat::audit_factor(m2);
+        if let Some(e) = audit.first_error() {
+            return Err(SolveError::Matrix(e));
+        }
+        Ok(audit)
+    }
+
+    /// The infallible half of [`SolverEngine::refresh_values`]: rewrite
+    /// the value arrays under the write lock and bump the epoch. Only
+    /// call with a matrix [`SolverEngine::validate_refresh`] accepted.
+    pub(crate) fn commit_refresh(&self, m2: &CscMatrix, audit: FactorAudit) -> RefreshReport {
+        let mut guard = self.lock_numeric_mut();
+        self.commit_refresh_locked(&mut guard, m2, audit)
+    }
+
+    /// Take this engine's numeric write lock without mutating anything.
+    /// A multi-engine commit (the L/U preconditioner pair) locks every
+    /// engine first — in the same fwd-then-bwd order appliers take read
+    /// guards, so no deadlock — and only then commits each side: no
+    /// reader can ever observe a half-refreshed pair.
+    pub(crate) fn lock_numeric_mut(&self) -> NumericWriteGuard<'_> {
+        match &self.variant {
+            Variant::Serial(a) => NumericWriteGuard::Direct(wlock(a)),
+            Variant::Simulated(p) => NumericWriteGuard::Prepared(wlock(&p.numeric)),
+        }
+    }
+
+    /// [`SolverEngine::commit_refresh`] against an already-held write
+    /// guard (see [`SolverEngine::lock_numeric_mut`]).
+    pub(crate) fn commit_refresh_locked(
+        &self,
+        guard: &mut NumericWriteGuard<'_>,
+        m2: &CscMatrix,
+        audit: FactorAudit,
+    ) -> RefreshReport {
+        match guard {
+            NumericWriteGuard::Direct(a) => a.refresh_values(m2, self.opts.triangle),
+            NumericWriteGuard::Prepared(num) => {
+                // split the guard so the sharded schedule can read the
+                // freshly rewritten adjacency it mirrors
+                let NumericState { analysis, sharded } = &mut **num;
+                analysis.refresh_values(m2, self.opts.triangle);
+                sharded.refresh_values(analysis);
+            }
+        }
+        // a clean audit's example lists are empty, so the clone (and
+        // the whole commit) allocates nothing
+        *wlock(&self.audit) = audit.clone();
+        let value_epoch = self.value_epoch.fetch_add(1, Ordering::Release) + 1;
+        RefreshReport { n: m2.n(), nnz: m2.nnz(), value_epoch, audit }
     }
 }
 

@@ -225,6 +225,36 @@ impl ExecAnalysis {
         }
     }
 
+    /// Rewrite the value-dependent arrays (`diag`, `dep_vals`) in place
+    /// from `m`'s values, leaving every topology field untouched — the
+    /// numeric half of a value refresh. `m` must have exactly the
+    /// structure this analysis was built from (the engine validates
+    /// that before calling); the extraction walks the same per-column
+    /// layout as [`ExecAnalysis::columns_only`], so a refreshed
+    /// analysis is indistinguishable from one built fresh on `m`.
+    /// Allocates nothing.
+    pub(crate) fn refresh_values(&mut self, m: &CscMatrix, tri: Triangle) {
+        debug_assert_eq!(self.n, m.n(), "refresh requires the recorded structure");
+        let col_ptr = m.col_ptr();
+        let values = m.values();
+        for j in 0..self.n {
+            let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+            let (dlo, dhi) = match tri {
+                Triangle::Lower => {
+                    self.diag[j] = values[lo];
+                    (lo + 1, hi)
+                }
+                Triangle::Upper => {
+                    self.diag[j] = values[hi - 1];
+                    (lo, hi - 1)
+                }
+            };
+            let (at_lo, at_hi) = (self.dep_ptr[j] as usize, self.dep_ptr[j + 1] as usize);
+            debug_assert_eq!(at_hi - at_lo, dhi - dlo, "dep layout must match the structure");
+            self.dep_vals[at_lo..at_hi].copy_from_slice(&values[dlo..dhi]);
+        }
+    }
+
     /// Host bytes held by this analysis' flat arrays — what an engine
     /// cache charges against its byte budget. Counts capacity, not
     /// length: the allocation is what occupies memory.
@@ -289,13 +319,48 @@ impl ExecAnalysis {
         assert_eq!(x.len(), self.n, "output length mismatch");
         left_sum.fill(0.0);
         for &c in order {
-            let i = c as usize;
-            let xi = (b[i] - left_sum[i]) / self.diag[i];
-            x[i] = xi;
-            let (rows, vals) = self.updates_of(c);
-            for (r, v) in rows.iter().zip(vals) {
-                left_sum[*r as usize] += *v * xi;
+            self.replay_step(c as usize, b, left_sum, x);
+        }
+    }
+
+    /// Replay along the **natural substitution order** (ascending
+    /// components for a lower triangle, descending for upper) without
+    /// materializing an order array. The per-component operations are
+    /// exactly [`ExecAnalysis::replay_into`]'s, so the result is
+    /// bit-identical to a replay over the corresponding explicit order
+    /// — and, by the Krylov path's property tests, bit-identical to the
+    /// serial reference substitution. Allocates nothing.
+    pub(crate) fn replay_natural_into(
+        &self,
+        ascending: bool,
+        b: &[f64],
+        left_sum: &mut [f64],
+        x: &mut [f64],
+    ) {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(left_sum.len(), self.n, "left_sum scratch length mismatch");
+        assert_eq!(x.len(), self.n, "output length mismatch");
+        left_sum.fill(0.0);
+        if ascending {
+            for i in 0..self.n {
+                self.replay_step(i, b, left_sum, x);
             }
+        } else {
+            for i in (0..self.n).rev() {
+                self.replay_step(i, b, left_sum, x);
+            }
+        }
+    }
+
+    /// Solve one component and push its updates — the shared inner body
+    /// of the scalar replay orders.
+    #[inline(always)]
+    fn replay_step(&self, i: usize, b: &[f64], left_sum: &mut [f64], x: &mut [f64]) {
+        let xi = (b[i] - left_sum[i]) / self.diag[i];
+        x[i] = xi;
+        let (rows, vals) = self.updates_of(i as u32);
+        for (r, v) in rows.iter().zip(vals) {
+            left_sum[*r as usize] += *v * xi;
         }
     }
 
@@ -499,6 +564,10 @@ pub struct ShardedReplay {
     upd_row: Vec<u32>,
     /// Matrix value per update entry.
     upd_val: Vec<f64>,
+    /// Source index of each update's value in the analysis' flat
+    /// `dep_vals` array — the permutation a value refresh replays to
+    /// rewrite `upd_val` in place without re-deriving the schedule.
+    upd_from: Vec<u32>,
 }
 
 /// How many owner shards each level is cut into. Worker counts above
@@ -542,15 +611,18 @@ impl ShardedReplay {
         let mut upd_src = vec![0u32; n_upd];
         let mut upd_row = vec![0u32; n_upd];
         let mut upd_val = vec![0.0f64; n_upd];
+        let mut upd_from = vec![0u32; n_upd];
         for &c in segs.order.iter() {
             let l = levels.level_of[c as usize] as usize;
+            let dep_base = a.dep_ptr[c as usize];
             let (rows, vals) = a.updates_of(c);
-            for (r, v) in rows.iter().zip(vals) {
+            for (k, (r, v)) in rows.iter().zip(vals).enumerate() {
                 let bucket = l * shards + segs.shard_of[*r as usize] as usize;
                 let at = cursor[bucket] as usize;
                 upd_src[at] = c;
                 upd_row[at] = *r;
                 upd_val[at] = *v;
+                upd_from[at] = dep_base + k as u32;
                 cursor[bucket] += 1;
             }
         }
@@ -564,6 +636,18 @@ impl ShardedReplay {
             upd_src,
             upd_row,
             upd_val,
+            upd_from,
+        }
+    }
+
+    /// Rewrite the schedule's value array in place from a refreshed
+    /// analysis by replaying the recorded `dep_vals` permutation —
+    /// every topology array (order, segments, buckets, sources,
+    /// targets) stays untouched. Allocates nothing.
+    pub(crate) fn refresh_values(&mut self, a: &ExecAnalysis) {
+        debug_assert_eq!(self.upd_val.len(), a.dep_vals.len(), "schedule/analysis mismatch");
+        for (v, &src) in self.upd_val.iter_mut().zip(&self.upd_from) {
+            *v = a.dep_vals[src as usize];
         }
     }
 
@@ -589,6 +673,7 @@ impl ShardedReplay {
             + cap(&self.upd_src)
             + cap(&self.upd_row)
             + cap(&self.upd_val)
+            + cap(&self.upd_from)
     }
 
     /// Execute one warm solve level-parallel across `workers` region

@@ -83,10 +83,16 @@ pub enum FaultSite {
     /// [`crate::fleet::FleetError::CacheFull`] and may retry — warm
     /// tenants are unaffected.
     CacheAdmit = 7,
+    /// An in-place value refresh panics after validation and before the
+    /// commit completes ([`crate::engine::SolverEngine::refresh_values`]):
+    /// the engine's numeric state is untouched (the probe sits before
+    /// the first mutation), so the old value epoch keeps serving — a
+    /// refresh observes the old values or the new, never a torn mix.
+    ValueRefresh = 8,
 }
 
 /// Number of distinct [`FaultSite`]s.
-pub const SITE_COUNT: usize = 8;
+pub const SITE_COUNT: usize = 9;
 
 /// Every site, in discriminant order — iterate this to reconcile a
 /// report's counters against [`FaultPlan::fired`].
@@ -99,6 +105,7 @@ pub const ALL_SITES: [FaultSite; SITE_COUNT] = [
     FaultSite::RhsCorruptNonFinite,
     FaultSite::EngineBuild,
     FaultSite::CacheAdmit,
+    FaultSite::ValueRefresh,
 ];
 
 impl FaultSite {
@@ -113,6 +120,7 @@ impl FaultSite {
             FaultSite::RhsCorruptNonFinite => "rhs-corrupt-nonfinite",
             FaultSite::EngineBuild => "engine-build",
             FaultSite::CacheAdmit => "cache-admit",
+            FaultSite::ValueRefresh => "value-refresh",
         }
     }
 }
@@ -220,6 +228,7 @@ const SITE_SALT: [u64; SITE_COUNT] = [
     0xE703_7ED1_A0B4_28DB,
     0xC2B2_AE3D_27D4_EB4F,
     0x8CB9_2BA7_2F3D_8DD7,
+    0xB492_B66F_BE98_F273,
 ];
 
 #[cfg(feature = "fault-inject")]

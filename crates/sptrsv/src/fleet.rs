@@ -47,6 +47,30 @@
 //! | cache pressure | LRU shed of coldest *idle* engine (in-flight engines pinned) | cold rebuild on next submit | `evictions` |
 //! | admission allocation failure ([`FaultSite::CacheAdmit`]) | admission gate | [`FleetError::CacheFull`] | `cache_admit_shed` |
 //! | fleet shutdown | every mailbox drained with typed errors | [`FleetError::ShuttingDown`] | — |
+//! | value refresh rejected or interrupted ([`FaultSite::ValueRefresh`]) | the tenant's engine validates before mutating; the old epoch keeps serving | typed error to the refresher only; tenant traffic unaffected | `refresh_failures` |
+//!
+//! ## Value-refresh lifecycle
+//!
+//! When the operator drifts but its sparsity pattern does not, a
+//! tenant does **not** need a second registration, a rebuild, or a
+//! restart: [`EngineFleet::refresh_tenant`] swaps the new values into
+//! the live tenant's warm engine in place, with zero symbolic work.
+//! The refresh rides the tenant mailbox like any request, so it
+//! executes on the bulkhead thread between request batches — the
+//! engine's own numeric write lock is the panel-boundary quiesce, and
+//! every in-flight ticket resolves against exactly one value epoch.
+//! On success the stored factor is replaced (a later eviction +
+//! rebuild uses the new values), the cache charge is corrected to the
+//! refreshed engine's actual footprint, and the tenant's value epoch
+//! gauge ([`EngineFleet::tenant_value_epoch`]) is bumped. On failure —
+//! structure drift, a non-finite or zero pivot, or an injected
+//! mid-refresh panic — the tenant keeps serving the old epoch
+//! bit-identically and the caller gets the typed error; a fingerprint
+//! inside its quarantine cooldown rejects refreshes with
+//! [`FleetError::Quarantined`] exactly like submits. A registered but
+//! non-resident fingerprint is refreshed *at rest*: same validation,
+//! no engine to touch, the next cold build simply uses the new
+//! values.
 //!
 //! Two invariants hold under any interleaving of the above — the chaos
 //! suite (`tests/chaos.rs`) asserts both while injecting faults into
@@ -87,7 +111,7 @@ use std::time::{Duration, Instant};
 use mgpu_sim::MachineConfig;
 use sparsemat::{CscMatrix, FactorFingerprint};
 
-use crate::engine::{EngineResources, SolverEngine};
+use crate::engine::{EngineResources, RefreshReport, SolverEngine};
 use crate::exec::PANEL_K;
 use crate::fault::{self, FaultSite};
 use crate::serve::{
@@ -320,6 +344,8 @@ struct FleetCounters {
     quarantine_events: AtomicU64,
     evictions: AtomicU64,
     tenant_aborts: AtomicU64,
+    value_refreshes: AtomicU64,
+    refresh_failures: AtomicU64,
 }
 
 /// A point-in-time snapshot of the fleet, from [`EngineFleet::report`].
@@ -363,6 +389,14 @@ pub struct FleetReport {
     /// Tenant dispatchers that exhausted their restart budget and
     /// aborted — contained to their own bulkhead.
     pub tenant_aborts: u64,
+    /// In-place value refreshes committed through
+    /// [`EngineFleet::refresh_tenant`] — live tenants and at-rest
+    /// factors both count.
+    pub value_refreshes: u64,
+    /// Refresh attempts that did not commit (structure drift, bad
+    /// pivots, mid-refresh fault); the old epoch kept serving in every
+    /// case.
+    pub refresh_failures: u64,
 }
 
 /// Live per-tenant gauges, shared between the tenant thread (writer)
@@ -373,6 +407,9 @@ struct TenantGauge {
     inflight_bytes: AtomicUsize,
     health: Mutex<TenantHealth>,
     last_report: Mutex<ServiceReport>,
+    /// Monotonic count of committed value refreshes on this tenant's
+    /// engine — 0 until the first [`EngineFleet::refresh_tenant`].
+    value_epoch: AtomicU64,
 }
 
 impl TenantGauge {
@@ -382,6 +419,7 @@ impl TenantGauge {
             inflight_bytes: AtomicUsize::new(0),
             health: Mutex::new(health),
             last_report: Mutex::new(ServiceReport::default()),
+            value_epoch: AtomicU64::new(0),
         }
     }
 
@@ -510,6 +548,13 @@ impl FleetTicket {
 
 enum TenantMsg {
     Req(Vec<f64>, SlotGuard),
+    /// In-place value refresh of the tenant's engine. The reply sender
+    /// carries the outcome plus the refreshed engine's actual
+    /// footprint (for the cache recharge); dropping it unread — dead
+    /// mailbox, pump panic — closes the channel, which the waiting
+    /// [`EngineFleet::refresh_tenant`] maps to a typed retryable
+    /// error. The no-hang guarantee, again.
+    Refresh(Arc<CscMatrix>, Sender<Result<(RefreshReport, u64), FleetError>>),
     Stop,
 }
 
@@ -908,6 +953,137 @@ impl EngineFleet {
         }
     }
 
+    /// Refresh the factor registered under `fp` with new numeric
+    /// values **in place** — no second tenant, no rebuild, no symbolic
+    /// work. `m2` must have the exact sparsity pattern of the
+    /// registered matrix; only its values may differ. The routing key
+    /// stays `fp`.
+    ///
+    /// A **live** tenant is refreshed on its own bulkhead thread: the
+    /// refresh rides the mailbox between request batches, commits at a
+    /// panel boundary under the engine's numeric write lock, replaces
+    /// the stored factor (so a later eviction + rebuild uses the new
+    /// values), corrects the cache charge to the refreshed footprint,
+    /// and bumps [`EngineFleet::tenant_value_epoch`]. A registered but
+    /// **non-resident** fingerprint is refreshed at rest: validated
+    /// the same way, stored for the next cold build, reported with
+    /// `value_epoch` 0.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFactor`] for an unregistered fingerprint;
+    /// [`FleetError::Quarantined`] inside a cooldown (same gate as
+    /// submits); [`FleetError::ShuttingDown`]; and
+    /// [`FleetError::Serve`] wrapping the engine's typed rejection —
+    /// [`SolveError::StructureMismatch`] on pattern drift, the factor
+    /// audit's error on non-finite or zero pivots, or
+    /// [`ServeError::Retryable`] when an injected
+    /// [`FaultSite::ValueRefresh`] panic interrupted the refresh
+    /// before commit. In every failure case the tenant keeps serving
+    /// the old value epoch bit-identically.
+    pub fn refresh_tenant(
+        &self,
+        fp: FactorFingerprint,
+        m2: Arc<CscMatrix>,
+    ) -> Result<RefreshReport, FleetError> {
+        let tx = {
+            let mut st = self.shared.lock();
+            if st.shutdown {
+                return Err(FleetError::ShuttingDown);
+            }
+            if let Some(q) = st.quarantine.get(&fp).copied() {
+                let now = Instant::now();
+                if q.until > now {
+                    self.shared.counters.quarantine_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(FleetError::Quarantined {
+                        failures: q.failures,
+                        retry_in: q.until - now,
+                    });
+                }
+            }
+            if !st.factors.contains_key(&fp) {
+                return Err(FleetError::UnknownFactor { fingerprint: fp });
+            }
+            if st.tenants.contains_key(&fp) {
+                st.lru_clock += 1;
+                let clock = st.lru_clock;
+                let entry = st.tenants.get_mut(&fp).expect("checked above");
+                entry.last_used = clock;
+                entry.tx.clone()
+            } else {
+                // at rest: validate against the stored structure, then
+                // swap the registration so the next cold build picks
+                // up the new values
+                let stored = Arc::clone(st.factors.get(&fp).expect("checked above"));
+                drop(st);
+                let report = match self.validate_at_rest(&stored, &m2) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.shared.counters.refresh_failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
+                self.shared.lock().factors.insert(fp, m2);
+                self.shared.counters.value_refreshes.fetch_add(1, Ordering::Relaxed);
+                return Ok(report);
+            }
+        };
+        let (reply_tx, reply_rx) = channel();
+        let _ = tx.send(TenantMsg::Refresh(Arc::clone(&m2), reply_tx));
+        let outcome = reply_rx.recv().unwrap_or(Err(FleetError::Serve(ServeError::Retryable {
+            reason: "tenant exited before the value refresh ran; the old epoch is intact",
+        })));
+        match outcome {
+            Ok((report, actual)) => {
+                self.shared.lock().factors.insert(fp, m2);
+                // correct the cache charge to the refreshed engine's
+                // actual footprint (identical structure ⇒ identical
+                // arrays, so this is a same-size recharge in practice;
+                // a missing entry just means the tenant was evicted
+                // after replying, and the evictor released its bytes)
+                let _ = self.shared.recharge(fp, actual);
+                self.shared.counters.value_refreshes.fetch_add(1, Ordering::Relaxed);
+                Ok(report)
+            }
+            Err(e) => {
+                self.shared.counters.refresh_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// The at-rest half of [`EngineFleet::refresh_tenant`]: the same
+    /// validate-before-mutate contract a live engine enforces, applied
+    /// to a factor with no engine built over it.
+    fn validate_at_rest(
+        &self,
+        stored: &CscMatrix,
+        m2: &CscMatrix,
+    ) -> Result<RefreshReport, FleetError> {
+        if m2.n() != stored.n()
+            || m2.col_ptr() != stored.col_ptr()
+            || m2.row_idx() != stored.row_idx()
+        {
+            return Err(FleetError::Serve(ServeError::Solve(SolveError::StructureMismatch {
+                expected: FactorFingerprint::of(stored).structure_hash(),
+                got: FactorFingerprint::of(m2).structure_hash(),
+            })));
+        }
+        let audit = sparsemat::audit_factor(m2);
+        if let Some(e) = audit.first_error() {
+            return Err(FleetError::Serve(ServeError::Solve(SolveError::Matrix(e))));
+        }
+        Ok(RefreshReport { n: m2.n(), nnz: m2.nnz(), value_epoch: 0, audit })
+    }
+
+    /// Committed value refreshes on `fp`'s live engine — 0 before the
+    /// first [`EngineFleet::refresh_tenant`], `None` for fingerprints
+    /// without a live tenant.
+    pub fn tenant_value_epoch(&self, fp: FactorFingerprint) -> Option<u64> {
+        let st = self.shared.lock();
+        st.tenants.get(&fp).map(|e| e.gauge.value_epoch.load(Ordering::Acquire))
+    }
+
     /// Per-tenant condition, sorted by fingerprint for deterministic
     /// output: live tenants report their gauge; quarantined
     /// fingerprints without a live engine are appended as
@@ -963,6 +1139,8 @@ impl EngineFleet {
             quarantine_events: c.quarantine_events.load(Ordering::Relaxed),
             evictions: c.evictions.load(Ordering::Relaxed),
             tenant_aborts: c.tenant_aborts.load(Ordering::Relaxed),
+            value_refreshes: c.value_refreshes.load(Ordering::Relaxed),
+            refresh_failures: c.refresh_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -1121,6 +1299,22 @@ fn pump(rx: &Receiver<TenantMsg>, svc: &SolverService<'_, '_>, gauge: &TenantGau
                     Ok(t) => inflight.push((t, guard)),
                     Err(e) => guard.complete(Err(FleetError::Serve(e))),
                 },
+                TenantMsg::Refresh(m2, reply) => {
+                    let r = svc
+                        .refresh_solver(&m2)
+                        .map(|rep| {
+                            let bytes = match svc.engine() {
+                                ServiceEngine::Solver(e) => {
+                                    matrix_host_bytes(&m2) + e.footprint_bytes()
+                                }
+                                ServiceEngine::Preconditioner(_) => 0,
+                            };
+                            gauge.value_epoch.store(rep.value_epoch, Ordering::Release);
+                            (rep, bytes)
+                        })
+                        .map_err(FleetError::Serve);
+                    let _ = reply.send(r);
+                }
                 TenantMsg::Stop => stop = true,
             }
         }

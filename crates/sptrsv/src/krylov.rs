@@ -57,9 +57,9 @@
 //! baseline) and once on a warm [`PreconditionerEngine`] — and records
 //! the speedup of amortizing the analysis across the iteration loop.
 
-use crate::engine::{EngineResources, RecyclePool, SolverEngine};
+use crate::engine::{EngineResources, RecyclePool, RefreshReport, SolverEngine};
 use crate::exec::ReplayWorkspace;
-use crate::reference;
+use crate::fault::{self, FaultSite};
 use crate::solver::{SolveError, SolveOptions};
 use mgpu_sim::MachineConfig;
 use sparsemat::factor::LuFactors;
@@ -214,6 +214,36 @@ impl<'m> PreconditionerEngine<'m> {
         &self.bwd
     }
 
+    /// In-place value refresh of **both** factors from a new
+    /// [`LuFactors`] over the same sparsity pattern — zero symbolic
+    /// work, see [`SolverEngine::refresh_values`]. The workload this
+    /// exists for: a time-stepper or quasi-Newton loop refactors the
+    /// same pattern every few steps, and the Krylov iterations in
+    /// between must not re-pay two analysis phases.
+    ///
+    /// The refresh is **pair-atomic**. Both sides are validated before
+    /// either mutates (a failed side is a typed error with both
+    /// engines untouched — strong exception guarantee), and the commit
+    /// holds both numeric write locks across both swaps, so no
+    /// application — scalar or batched, in flight or arriving — can
+    /// ever observe a new-`L`/old-`U` mix. In-flight applications hold
+    /// read guards on both sides and finish against the old epoch
+    /// undisturbed; the commit waits for them at the apply boundary.
+    pub fn refresh(&self, f: &LuFactors) -> Result<(RefreshReport, RefreshReport), SolveError> {
+        let l_audit = self.fwd.validate_refresh(&f.l)?;
+        let u_audit = self.bwd.validate_refresh(&f.u)?;
+        // one probe for the whole pair, after validation and before
+        // any lock or mutation: an injected mid-refresh crash leaves
+        // both sides serving the old epoch
+        fault::fire_panic(FaultSite::ValueRefresh);
+        // fwd-then-bwd, the same order appliers take read guards
+        let mut lg = self.fwd.lock_numeric_mut();
+        let mut ug = self.bwd.lock_numeric_mut();
+        let l = self.fwd.commit_refresh_locked(&mut lg, &f.l, l_audit);
+        let u = self.bwd.commit_refresh_locked(&mut ug, &f.u, u_audit);
+        Ok((l, u))
+    }
+
     /// Apply `z = M⁻¹ r` (forward solve on `L`, then backward solve on
     /// `U`), allocating the result — convenience for callers outside a
     /// hot loop. Scratch comes from the engine's recycled workspace
@@ -252,26 +282,13 @@ impl<'m> PreconditionerEngine<'m> {
         }
         ws.mid.resize(n, 0.0);
         ws.scratch.resize(n, 0.0);
-        match self.fwd.analysis() {
-            Some(a) => a.replay_into(&self.fwd_order, r, &mut ws.scratch, &mut ws.mid),
-            None => reference::serial_into_prevalidated(
-                self.fwd.matrix(),
-                r,
-                Triangle::Lower,
-                &mut ws.scratch,
-                &mut ws.mid,
-            ),
-        }
-        match self.bwd.analysis() {
-            Some(a) => a.replay_into(&self.bwd_order, &ws.mid, &mut ws.scratch, z),
-            None => reference::serial_into_prevalidated(
-                self.bwd.matrix(),
-                &ws.mid,
-                Triangle::Upper,
-                &mut ws.scratch,
-                z,
-            ),
-        }
+        // both guards up front (fwd then bwd, the crate-wide order):
+        // the whole application runs against one consistent L/U value
+        // epoch — a concurrent pair refresh waits for both
+        let fa = self.fwd.analysis();
+        let ba = self.bwd.analysis();
+        fa.replay_into(&self.fwd_order, r, &mut ws.scratch, &mut ws.mid);
+        ba.replay_into(&self.bwd_order, &ws.mid, &mut ws.scratch, z);
         Ok(())
     }
 
@@ -330,40 +347,14 @@ impl<'m> PreconditionerEngine<'m> {
         while ws.mids.len() < rs.len() {
             ws.mids.push(Vec::new());
         }
-        let ApplyWorkspace { mids, scratch, panel, .. } = ws;
+        let ApplyWorkspace { mids, panel, .. } = ws;
         let mids = &mut mids[..rs.len()];
-        match self.fwd.analysis() {
-            Some(a) => a.replay_panel(&self.fwd_order, rs, panel, mids),
-            None => {
-                scratch.resize(n, 0.0);
-                for (r, mid) in rs.iter().zip(mids.iter_mut()) {
-                    mid.resize(n, 0.0);
-                    reference::serial_into_prevalidated(
-                        self.fwd.matrix(),
-                        r,
-                        Triangle::Lower,
-                        scratch,
-                        mid,
-                    );
-                }
-            }
-        }
-        match self.bwd.analysis() {
-            Some(a) => a.replay_panel(&self.bwd_order, mids, panel, zs),
-            None => {
-                scratch.resize(n, 0.0);
-                for (mid, z) in mids.iter().zip(zs.iter_mut()) {
-                    z.resize(n, 0.0);
-                    reference::serial_into_prevalidated(
-                        self.bwd.matrix(),
-                        mid,
-                        Triangle::Upper,
-                        scratch,
-                        z,
-                    );
-                }
-            }
-        }
+        // both guards up front, same order and rationale as
+        // `apply_into`: one L/U value epoch per batched application
+        let fa = self.fwd.analysis();
+        let ba = self.bwd.analysis();
+        fa.replay_panel(&self.fwd_order, rs, panel, mids);
+        ba.replay_panel(&self.bwd_order, mids, panel, zs);
         Ok(())
     }
 
@@ -684,6 +675,7 @@ fn bicgstab_inner<A: SpMv + ?Sized, M: Precondition + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference;
     use crate::solver::SolverKind;
     use sparsemat::factor::ilu0;
     use sparsemat::gen;

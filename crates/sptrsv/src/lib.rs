@@ -128,7 +128,7 @@ pub mod serve;
 pub mod solver;
 pub mod verify;
 
-pub use engine::{EngineResources, SolveWorkspace, SolverEngine};
+pub use engine::{EngineResources, RefreshReport, SolveWorkspace, SolverEngine};
 pub use fault::{FaultPlan, FaultSite};
 pub use fleet::{EngineFleet, FleetConfig, FleetError, FleetReport, FleetTicket, TenantHealth};
 pub use krylov::{

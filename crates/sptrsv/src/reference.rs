@@ -139,21 +139,6 @@ pub fn solve_serial_into(
     }
 }
 
-/// [`solve_serial_into`] minus the validation sweep; see
-/// [`lower_into_prevalidated`].
-pub(crate) fn serial_into_prevalidated(
-    m: &CscMatrix,
-    b: &[f64],
-    tri: Triangle,
-    left_sum: &mut [f64],
-    x: &mut [f64],
-) {
-    match tri {
-        Triangle::Lower => lower_into_prevalidated(m, b, left_sum, x),
-        Triangle::Upper => upper_into_prevalidated(m, b, left_sum, x),
-    }
-}
-
 /// Multiple right-hand sides: solve `L X = B` column by column
 /// (the Liu et al. \[2\] multi-RHS setting).
 pub fn solve_multi(

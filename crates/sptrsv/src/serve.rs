@@ -95,6 +95,27 @@
 //! dispatch through the pooled batch tier instead, which allocates
 //! its chunk tasks per dispatch — documented trade, not default.
 //!
+//! ## Value-refresh lifecycle
+//!
+//! [`SolverService::refresh_solver`] (or
+//! [`SolverService::refresh_preconditioner`] for a
+//! preconditioner-backed service) swaps new numeric values into the
+//! warm engine **while traffic is flowing** — no re-analysis, no
+//! service restart, no queue drain. The quiesce point is the engine's
+//! own numeric lock: every panel solve holds a read guard for the
+//! duration of the panel, and the refresh commit takes the write
+//! guard, so the swap waits for the in-flight panel, blocks the next
+//! one, and every ticket resolves against **exactly one value epoch**
+//! (old or new, never a mix). Validation — structure identity plus the
+//! factor audit — happens before any mutation, so a rejected refresh
+//! (structure drift → [`SolveError::StructureMismatch`], a non-finite
+//! or zero pivot → the audit's typed error) leaves the engine serving
+//! the old values untouched; an injected mid-refresh panic
+//! ([`crate::fault::FaultSite::ValueRefresh`]) surfaces to the
+//! refresher as a typed [`ServeError::Retryable`] with the old epoch
+//! still live and bit-identical. [`ServiceReport::value_refreshes`]
+//! and [`ServiceReport::refresh_failures`] count both outcomes.
+//!
 //! ## Failure modes and containment
 //!
 //! Every fault the [`crate::fault`] plane can inject (and the real
@@ -111,6 +132,7 @@
 //! | `PanelSolve` (kernel panic) | per-panel `catch_unwind` in `run_group`; [`BREAKER_TRIP_PANELS`] consecutive failures open the circuit breaker → per-request serial solves | [`ServeError::DispatcherPanicked`] on failed panels, then plain results (degraded, bit-identical) | [`ServiceReport::breaker_trips`], [`ServiceReport::degraded_solves`] |
 //! | `AdmissionAlloc` | admission control sheds exactly like a full queue | [`ServeError::QueueFull`]; [`SolverService::submit_with_retry`] absorbs it | [`ServiceReport::admission_shed`] |
 //! | `RhsCorruptNonFinite` | post-admission corruption; the output scan ([`ServiceConfig::scan_outputs`]) quarantines the lane and re-solves its panel-mates | [`SolveError::NonFinite`] on the one poisoned request; mates get bit-identical results | [`ServiceReport::poisoned_lanes`], [`ServiceReport::panel_retries`] |
+//! | `ValueRefresh` | probe fires before the first mutation; `catch_unwind` in the refresh entry points — the old value epoch keeps serving | [`ServeError::Retryable`] to the refresher only; in-flight tickets unaffected | [`ServiceReport::refresh_failures`] |
 //!
 //! Finite-but-wrong inputs are cheaper to stop earlier: submits scan
 //! the right-hand side at admission (typed [`SolveError::NonFinite`],
@@ -128,11 +150,13 @@
 //! of waiting on occupied workers — so a full pool of blocked clients
 //! cannot deadlock the service (regression-tested).
 
-use crate::engine::{EngineResources, SolveWorkspace, SolverEngine};
+use crate::engine::{EngineResources, RefreshReport, SolveWorkspace, SolverEngine};
 use crate::exec::PANEL_K;
 use crate::fault::{self, FaultSite};
 use crate::krylov::{ApplyWorkspace, Precondition, PreconditionerEngine};
 use crate::solver::SolveError;
+use sparsemat::factor::LuFactors;
+use sparsemat::CscMatrix;
 use std::collections::VecDeque;
 use std::mem;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -682,6 +706,16 @@ pub struct ServiceReport {
     /// during the run — each one degraded a sharded solve to the
     /// bit-identical serial replay.
     pub spawn_shortfalls: u64,
+    /// In-place value refreshes committed through
+    /// [`SolverService::refresh_solver`] /
+    /// [`SolverService::refresh_preconditioner`] while the service was
+    /// live.
+    pub value_refreshes: u64,
+    /// Refresh attempts that did not commit — rejected up front
+    /// (structure drift, non-finite or zero pivots) or interrupted by
+    /// a panic before the first mutation. The old value epoch kept
+    /// serving in every case.
+    pub refresh_failures: u64,
 }
 
 impl ServiceReport {
@@ -1027,6 +1061,86 @@ impl<'e, 'm> SolverService<'e, 'm> {
             return ServiceHealth::Degraded { reason: "dispatcher recently restarted" };
         }
         ServiceHealth::Ok
+    }
+
+    // ---- value refresh ----------------------------------------------
+
+    /// Swap new numeric values into the backing [`SolverEngine`]
+    /// **while the service keeps serving** — see the
+    /// [value-refresh lifecycle](self#value-refresh-lifecycle). `m2`
+    /// must have the exact sparsity pattern the engine was built for;
+    /// only its values may differ. The commit quiesces at a panel
+    /// boundary (the engine's numeric write lock waits out the
+    /// in-flight panel), so every ticket resolves against exactly one
+    /// value epoch.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidConfig`] — the service is
+    ///   preconditioner-backed; use
+    ///   [`SolverService::refresh_preconditioner`].
+    /// * [`ServeError::Solve`] wrapping
+    ///   [`SolveError::StructureMismatch`] or a factor-audit error —
+    ///   the refresh was rejected before any mutation.
+    /// * [`ServeError::Retryable`] — an injected
+    ///   [`crate::fault::FaultSite::ValueRefresh`] panic interrupted
+    ///   the refresh before commit; the old epoch is intact and the
+    ///   call is safe to retry.
+    pub fn refresh_solver(&self, m2: &CscMatrix) -> Result<RefreshReport, ServeError> {
+        let ServiceEngine::Solver(e) = self.engine else {
+            return Err(ServeError::InvalidConfig {
+                what: "refresh_solver needs a solver-backed service; \
+                       use refresh_preconditioner",
+            });
+        };
+        self.record_refresh(catch_unwind(AssertUnwindSafe(|| e.refresh_values(m2))))
+    }
+
+    /// [`SolverService::refresh_solver`] for a preconditioner-backed
+    /// service: refresh the `L` and `U` engines pair-atomically from a
+    /// refactored [`LuFactors`]. No application ever observes a
+    /// new-`L`/old-`U` mix — both commits happen under both engines'
+    /// write locks, which is also the panel-boundary quiesce point.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`SolverService::refresh_solver`], validated
+    /// for both triangles before either is touched.
+    pub fn refresh_preconditioner(
+        &self,
+        f: &LuFactors,
+    ) -> Result<(RefreshReport, RefreshReport), ServeError> {
+        let ServiceEngine::Preconditioner(p) = self.engine else {
+            return Err(ServeError::InvalidConfig {
+                what: "refresh_preconditioner needs a preconditioner-backed service; \
+                       use refresh_solver",
+            });
+        };
+        self.record_refresh(catch_unwind(AssertUnwindSafe(|| p.refresh(f))))
+    }
+
+    /// Map a caught refresh outcome to the service error surface and
+    /// bump the matching counter. A panic payload is dropped, not
+    /// resumed: the engine's refresh probe fires before the first
+    /// mutation, so the old epoch is intact and the failure is typed
+    /// [`ServeError::Retryable`].
+    fn record_refresh<T>(
+        &self,
+        caught: std::thread::Result<Result<T, SolveError>>,
+    ) -> Result<T, ServeError> {
+        let out = match caught {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(ServeError::Solve(e)),
+            Err(_) => Err(ServeError::Retryable {
+                reason: "value refresh interrupted before commit; the old epoch is intact",
+            }),
+        };
+        let mut q = self.shared.lock();
+        match &out {
+            Ok(_) => q.stats.value_refreshes += 1,
+            Err(_) => q.stats.refresh_failures += 1,
+        }
+        out
     }
 
     // ---- dispatcher -------------------------------------------------

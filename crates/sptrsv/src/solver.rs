@@ -149,6 +149,19 @@ pub enum SolveError {
         /// The companion's dimension.
         got: usize,
     },
+    /// A value refresh was handed a matrix whose sparsity pattern
+    /// differs from the one the engine's analysis was built for. The
+    /// structural state of an engine is immutable — only values can be
+    /// refreshed in place; a pattern change requires a rebuild. Carries
+    /// the two structure hashes (see
+    /// [`sparsemat::FactorFingerprint::structure_hash`]) so logs can
+    /// name both identities.
+    StructureMismatch {
+        /// Structure hash the engine was built for.
+        expected: u64,
+        /// Structure hash of the rejected matrix.
+        got: u64,
+    },
     /// A serving front-end ([`crate::serve`]) refused or abandoned the
     /// request — admission control (queue full), shutdown, or a
     /// dispatcher that died mid-solve. Carried through [`SolveError`]
@@ -219,6 +232,12 @@ impl std::fmt::Display for SolveError {
             },
             SolveError::ShapeMismatch { what, n, got } => {
                 write!(f, "the {what} is {got}x{got} but the system dimension is {n}")
+            }
+            SolveError::StructureMismatch { expected, got } => {
+                write!(
+                    f,
+                    "value refresh requires an identical sparsity pattern: engine structure {expected:016x}, incoming {got:016x} — rebuild instead"
+                )
             }
             SolveError::Rejected { reason } => {
                 write!(f, "the serving front-end rejected the solve: {reason}")

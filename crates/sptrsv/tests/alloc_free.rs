@@ -2,6 +2,10 @@
 //! `solve_sharded_into` — and the preconditioner tier's `apply_into` /
 //! `apply_batch_into` — allocate nothing.
 //!
+//! Also proves `refresh_values` — the in-place value swap across
+//! every warm tier — requests no heap memory at all: the recorded
+//! analysis is reused verbatim, nothing symbolic is rebuilt.
+//!
 //! A counting global allocator wraps [`std::alloc::System`]; after a
 //! warm-up call has grown the workspace and output buffers (and, for
 //! the sharded tier, spawned the pool workers and sized the region
@@ -82,6 +86,15 @@ fn warm_solve_into_and_panel_allocate_nothing() {
     let m = gen::level_structured(&LevelSpec::new(2000, 40, 8000, 23));
     let n = m.n();
     let bs: Vec<Vec<f64>> = (0..5u64).map(|k| verify::rhs_for(&m, 10 + k).1).collect();
+    // same structure, perturbed values — the refresh windows below
+    // prove the in-place value swap itself never touches the heap
+    let m2 = {
+        let mut t = m.clone();
+        for (i, v) in t.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + ((i % 7) as f64) * 0.01;
+        }
+        t
+    };
 
     for (kind, verify_opt) in [
         (SolverKind::ZeroCopy { per_gpu: 8 }, false),
@@ -128,6 +141,24 @@ fn warm_solve_into_and_panel_allocate_nothing() {
         assert_eq!(
             sharded, 0,
             "{kind:?} verify={verify_opt}: warm solve_sharded_into must not allocate"
+        );
+
+        // value refresh: structure validation, the numeric audit, the
+        // in-place rewrite of every warm tier's value arrays and the
+        // epoch bump must all be heap-silent — the operation's whole
+        // point is reusing the recorded analysis, and a clean audit's
+        // empty finding lists never allocate
+        let refreshed = allocations_during(|| {
+            engine.refresh_values(&m2).unwrap();
+        });
+        assert_eq!(refreshed, 0, "{kind:?} verify={verify_opt}: refresh_values must not allocate");
+        // the refreshed engine keeps its warm zero-allocation property
+        let post = allocations_during(|| {
+            engine.solve_into(&bs[0], &mut out, &mut ws).unwrap();
+        });
+        assert_eq!(
+            post, 0,
+            "{kind:?} verify={verify_opt}: warm solve_into after a refresh must not allocate"
         );
     }
 

@@ -750,3 +750,114 @@ fn retry_exhaustion_is_typed_with_attempt_count() {
     });
     assert_eq!(plan.fired(FaultSite::AdmissionAlloc), u64::from(policy.max_attempts));
 }
+
+/// Targeted [`FaultSite::ValueRefresh`]: an injected panic mid-refresh
+/// (after validation, before the first value write) surfaces as a
+/// typed `Retryable` to the refresher only — the old value epoch keeps
+/// serving bit-identically, never torn — and once the fault budget is
+/// spent the retried refresh commits and the new epoch serves.
+#[test]
+fn value_refresh_fault_is_typed_and_never_tears() {
+    let _g = chaos_guard();
+    let (m, opts) = fixture();
+    let mut m2 = m.clone();
+    for (i, v) in m2.values_mut().iter_mut().enumerate() {
+        *v *= 1.0 + ((i % 7) as f64) * 0.01;
+    }
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &opts).unwrap();
+    let cold2 = SolverEngine::build(&m2, MachineConfig::dgx1(2), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 61);
+    let old_expect = engine.solve(&b).unwrap().x;
+    let new_expect = cold2.solve(&b).unwrap().x;
+    let plan = Arc::new(
+        FaultPlan::new(0x0EF)
+            .with_rate(FaultSite::ValueRefresh, 1.0)
+            .with_budget(FaultSite::ValueRefresh, 1),
+    );
+    let report = with_watchdog(120, || {
+        fault::with_plan(&plan, || {
+            let ((), report) = SolverService::run(
+                ServiceEngine::Solver(&engine),
+                &ServiceConfig::default(),
+                |svc| {
+                    // first attempt rides the injected panic: typed,
+                    // contained to the refresher
+                    match svc.refresh_solver(&m2) {
+                        Err(ServeError::Retryable { .. }) => {}
+                        other => {
+                            panic!("expected Retryable from the injected fault, got {other:?}")
+                        }
+                    }
+                    // the old epoch is intact and serving — never torn
+                    assert_eq!(engine.value_epoch(), 0);
+                    assert_eq!(svc.submit(&b).unwrap().wait().unwrap(), old_expect);
+                    // budget spent: the retry commits, the new epoch serves
+                    let rep = svc.refresh_solver(&m2).unwrap();
+                    assert_eq!(rep.value_epoch, 1);
+                    assert_eq!(svc.submit(&b).unwrap().wait().unwrap(), new_expect);
+                },
+            )
+            .unwrap();
+            report
+        })
+    });
+    assert_eq!(plan.fired(FaultSite::ValueRefresh), 1);
+    assert_eq!(report.refresh_failures, 1);
+    assert_eq!(report.value_refreshes, 1);
+    assert_eq!(report.failed, 0, "a refresh fault must not fail any ticket");
+}
+
+/// The same fault through the fleet: a live tenant's value refresh
+/// rides the mailbox onto its bulkhead thread, the injected panic
+/// comes back as a typed `Serve(Retryable)`, the tenant keeps serving
+/// the old epoch bit-identically, and the post-budget retry swaps the
+/// values in place without a rebuild.
+#[test]
+fn fleet_value_refresh_fault_leaves_tenant_serving_old_epoch() {
+    let _g = chaos_guard();
+    let cfg = fleet_cfg();
+    let ms = fleet_tenants(1);
+    let m2 = {
+        let mut t = (*ms[0]).clone();
+        for (i, v) in t.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + ((i % 5) as f64) * 0.002;
+        }
+        Arc::new(t)
+    };
+    let plan = Arc::new(
+        FaultPlan::new(0xEF2)
+            .with_rate(FaultSite::ValueRefresh, 1.0)
+            .with_budget(FaultSite::ValueRefresh, 1),
+    );
+    with_watchdog(120, || {
+        let fleet = EngineFleet::new(cfg.clone()).unwrap();
+        let fp = fleet.register(Arc::clone(&ms[0]));
+        // warm the tenant before arming the plan, so the build and the
+        // first solve run fault-free
+        let (_, b) = verify::rhs_for(&ms[0], 7);
+        let old_x = fleet.submit(fp, &b).unwrap().wait().unwrap();
+        fault::with_plan(&plan, || {
+            match fleet.refresh_tenant(fp, Arc::clone(&m2)) {
+                Err(FleetError::Serve(ServeError::Retryable { .. })) => {}
+                other => panic!("expected typed Retryable through the fleet, got {other:?}"),
+            }
+            assert_eq!(fleet.tenant_value_epoch(fp), Some(0), "old epoch stays current");
+            assert_eq!(
+                fleet.submit(fp, &b).unwrap().wait().unwrap(),
+                old_x,
+                "the tenant keeps serving old values bit-identically"
+            );
+            // budget spent: the retried refresh commits in place
+            let rep = fleet.refresh_tenant(fp, Arc::clone(&m2)).unwrap();
+            assert_eq!(rep.value_epoch, 1);
+            assert_eq!(fleet.tenant_value_epoch(fp), Some(1));
+            let x2 = fleet.submit(fp, &b).unwrap().wait().unwrap();
+            assert_eq!(x2, serial_x(&m2, &cfg, &b), "the new epoch serves the new values");
+            let report = fleet.report();
+            assert_eq!(report.refresh_failures, 1);
+            assert_eq!(report.value_refreshes, 1);
+            assert_eq!(report.builds_ok, 1, "a refresh must never trigger a rebuild");
+        });
+        assert_eq!(plan.fired(FaultSite::ValueRefresh), 1);
+    });
+}

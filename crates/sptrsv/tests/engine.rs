@@ -214,6 +214,148 @@ fn mismatched_output_count_is_an_error_not_a_panic() {
     }
 }
 
+/// New values on the recorded structure: scale every entry by a
+/// position-dependent factor so no two refreshes are alike and no
+/// diagonal is zeroed.
+fn perturbed(m: &sparsemat::CscMatrix) -> sparsemat::CscMatrix {
+    let mut m2 = m.clone();
+    for (i, v) in m2.values_mut().iter_mut().enumerate() {
+        *v *= 1.0 + ((i % 7) as f64) * 0.01;
+    }
+    m2
+}
+
+/// The tentpole contract: after `refresh_values(&m2)`, every warm tier
+/// — plain solve, `solve_into`, the sharded level-parallel solve, the
+/// fused panel and the pooled batch — is **bit-identical** to a cold
+/// engine built from `m2`, for representative engine kinds and both
+/// triangles.
+#[test]
+fn refresh_matches_cold_rebuild_across_all_tiers_and_triangles() {
+    let lower = gen::level_structured(&LevelSpec::new(500, 14, 2000, 21));
+    let upper = lower.transpose();
+    for (m, tri) in [(&lower, Triangle::Lower), (&upper, Triangle::Upper)] {
+        let m2 = perturbed(m);
+        for kind in [SolverKind::Serial, SolverKind::LevelSet, SolverKind::ZeroCopy { per_gpu: 8 }]
+        {
+            let opts = SolveOptions { kind, triangle: tri, ..SolveOptions::default() };
+            let warm = SolverEngine::build(m, MachineConfig::dgx1(4), &opts).unwrap();
+            let _ = warm.solve(&verify::rhs_for(m, 1).1).unwrap(); // serve the old epoch first
+            let report = warm.refresh_values(&m2).unwrap();
+            assert_eq!(report.value_epoch, 1, "{kind:?}/{tri:?}: first refresh is epoch 1");
+            assert_eq!(warm.value_epoch(), 1);
+            assert_eq!(report.n, m2.n());
+            assert_eq!(report.nnz, m2.nnz());
+            assert!(report.audit.is_clean());
+
+            let cold = SolverEngine::build(&m2, MachineConfig::dgx1(4), &opts).unwrap();
+            let bs: Vec<Vec<f64>> = (0..5).map(|k| verify::rhs_for(m, 5000 + k).1).collect();
+            let expect: Vec<Vec<f64>> = bs.iter().map(|b| cold.solve(b).unwrap().x).collect();
+
+            for (b, e) in bs.iter().zip(&expect) {
+                assert_eq!(&warm.solve(b).unwrap().x, e, "{kind:?}/{tri:?}: solve bits");
+            }
+            let mut ws = SolveWorkspace::new();
+            let mut out = vec![0.0f64; m.n()];
+            warm.solve_into(&bs[0], &mut out, &mut ws).unwrap();
+            assert_eq!(out, expect[0], "{kind:?}/{tri:?}: solve_into bits");
+            warm.solve_sharded_into(&bs[0], &mut out, &mut ws, 3).unwrap();
+            assert_eq!(out, expect[0], "{kind:?}/{tri:?}: sharded bits");
+            let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+            warm.solve_panel_into(&bs, &mut outs, &mut ws).unwrap();
+            assert_eq!(outs, expect, "{kind:?}/{tri:?}: panel bits");
+            let mut batch_outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+            warm.solve_batch_into(&bs, &mut batch_outs).unwrap();
+            assert_eq!(batch_outs, expect, "{kind:?}/{tri:?}: batch bits");
+
+            // a second refresh back to the original values round-trips
+            let report = warm.refresh_values(m).unwrap();
+            assert_eq!(report.value_epoch, 2);
+            let original = SolverEngine::build(m, MachineConfig::dgx1(4), &opts).unwrap();
+            assert_eq!(
+                warm.solve(&bs[0]).unwrap().x,
+                original.solve(&bs[0]).unwrap().x,
+                "{kind:?}/{tri:?}: round-trip bits"
+            );
+        }
+    }
+}
+
+/// Value refresh is analysis-free: no level-set analyses, no plan
+/// builds, no exec adjacency construction anywhere in the refresh —
+/// the same counters the warm-solve contract is proved with.
+#[test]
+fn refresh_performs_zero_symbolic_work() {
+    let m = gen::level_structured(&LevelSpec::new(1200, 24, 4800, 31));
+    let m2 = perturbed(&m);
+    for kind in [SolverKind::Serial, SolverKind::LevelSet, SolverKind::ZeroCopy { per_gpu: 8 }] {
+        let opts = SolveOptions { kind, ..SolveOptions::default() };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let levels = sparsemat::levels::analyze_invocations();
+        let plans = plan::build_invocations();
+        let execs = exec::analysis_builds();
+        for swap in [&m2, &m, &m2] {
+            engine.refresh_values(swap).unwrap();
+        }
+        assert_eq!(sparsemat::levels::analyze_invocations(), levels, "{kind:?}: levels rebuilt");
+        assert_eq!(plan::build_invocations(), plans, "{kind:?}: plan rebuilt");
+        assert_eq!(exec::analysis_builds(), execs, "{kind:?}: adjacency rebuilt");
+    }
+}
+
+/// Structure drift is a typed rejection carrying both structure
+/// hashes, and the engine keeps serving the old values bit-identically
+/// — the strong exception guarantee.
+#[test]
+fn refresh_rejects_structure_drift_and_keeps_old_values() {
+    let m = gen::level_structured(&LevelSpec::new(400, 10, 1600, 41));
+    let other = gen::banded_lower(400, 6, 3.0, 41); // same n, different pattern
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &SolveOptions::default()).unwrap();
+    let (_, b) = verify::rhs_for(&m, 9);
+    let before = engine.solve(&b).unwrap().x;
+
+    let err = engine.refresh_values(&other).unwrap_err();
+    match err {
+        sptrsv::SolveError::StructureMismatch { expected, got } => {
+            assert_ne!(expected, got, "the two hashes must name different structures");
+        }
+        e => panic!("expected StructureMismatch, got {e:?}"),
+    }
+    assert_eq!(engine.value_epoch(), 0, "a rejected refresh must not bump the epoch");
+    assert_eq!(engine.solve(&b).unwrap().x, before, "old values must keep serving");
+}
+
+/// Non-finite entries and zero pivots are rejected by the same audit a
+/// cold build runs, before any mutation — old state intact, typed
+/// error out.
+#[test]
+fn refresh_rejects_bad_values_and_keeps_old_state() {
+    let m = gen::level_structured(&LevelSpec::new(300, 8, 1200, 51));
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(2), &SolveOptions::default()).unwrap();
+    let (_, b) = verify::rhs_for(&m, 3);
+    let before = engine.solve(&b).unwrap().x;
+
+    let mut poisoned = m.clone();
+    let mid = poisoned.nnz() / 2;
+    poisoned.values_mut()[mid] = f64::NAN;
+    let err = engine.refresh_values(&poisoned).unwrap_err();
+    assert!(
+        matches!(err, sptrsv::SolveError::Matrix(sparsemat::MatrixError::NonFiniteValue { .. })),
+        "{err:?}"
+    );
+
+    let mut singular = m.clone();
+    singular.values_mut()[0] = 0.0; // first entry of column 0 is its diagonal
+    let err = engine.refresh_values(&singular).unwrap_err();
+    assert!(
+        matches!(err, sptrsv::SolveError::Matrix(sparsemat::MatrixError::ZeroDiagonal { .. })),
+        "{err:?}"
+    );
+
+    assert_eq!(engine.value_epoch(), 0);
+    assert_eq!(engine.solve(&b).unwrap().x, before, "old values must keep serving");
+}
+
 /// Batched solves reuse one persistent pool: repeated calls leave the
 /// worker count unchanged, and results stay deterministic.
 #[test]

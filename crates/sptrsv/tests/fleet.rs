@@ -39,7 +39,7 @@ fn serial_solution(m: &CscMatrix, cfg: &FleetConfig, b: &[f64]) -> Vec<f64> {
 #[test]
 fn unknown_fingerprint_is_a_typed_error() {
     let fleet = EngineFleet::new(fleet_config()).unwrap();
-    let bogus = FactorFingerprint { structural: 0xDEAD, epoch: 0 };
+    let bogus = FactorFingerprint { structural: 0xDEAD, values: 0xBEEF, epoch: 0 };
     match fleet.submit(bogus, &[1.0; 8]) {
         Err(FleetError::UnknownFactor { fingerprint }) => assert_eq!(fingerprint, bogus),
         other => panic!("expected UnknownFactor, got {other:?}"),
@@ -276,6 +276,114 @@ fn health_reports_building_then_ok_sorted() {
             "served tenant should be live, got {h:?}"
         );
     }
+}
+
+/// Same pattern, new values.
+fn perturbed(m: &CscMatrix) -> Arc<CscMatrix> {
+    let mut m2 = m.clone();
+    for (i, v) in m2.values_mut().iter_mut().enumerate() {
+        *v *= 1.0 + ((i % 7) as f64) * 0.01;
+    }
+    Arc::new(m2)
+}
+
+/// The in-place tentpole at fleet level: refreshing a live tenant
+/// swaps values on its warm engine — no second tenant, no rebuild —
+/// and subsequent results are bit-identical to a serial solve of the
+/// new values under the **same** routing key.
+#[test]
+fn refresh_tenant_live_swaps_values_without_a_rebuild() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let m = tenant_matrix(80);
+    let m2 = perturbed(&m);
+    let fp = fleet.register(Arc::clone(&m));
+    let (_, b) = verify::rhs_for(&m, 6);
+    let x_old = fleet.submit(fp, &b).unwrap().wait().unwrap();
+    assert_eq!(x_old, serial_solution(&m, &cfg, &b));
+    assert_eq!(fleet.tenant_value_epoch(fp), Some(0));
+
+    let report = fleet.refresh_tenant(fp, Arc::clone(&m2)).unwrap();
+    assert_eq!(report.value_epoch, 1);
+    assert!(report.audit.is_clean());
+    assert_eq!(fleet.tenant_value_epoch(fp), Some(1));
+
+    let x_new = fleet.submit(fp, &b).unwrap().wait().unwrap();
+    assert_eq!(x_new, serial_solution(&m2, &cfg, &b), "refreshed tenant must serve new values");
+    assert_ne!(x_new, x_old);
+
+    let r = fleet.report();
+    assert_eq!(r.builds_ok, 1, "a value refresh must not rebuild the engine");
+    assert_eq!(r.value_refreshes, 1);
+    assert_eq!(r.refresh_failures, 0);
+    assert_eq!(r.tenants_live, 1, "still one tenant — refresh must not spawn a second");
+    assert!(r.cache_bytes <= r.cache_budget_bytes);
+}
+
+/// Refresh rejections are typed and harmless: unknown fingerprints,
+/// structure drift and poisoned values all leave the tenant serving
+/// the old epoch bit-identically.
+#[test]
+fn refresh_tenant_rejections_are_typed_and_leave_old_values_serving() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let m = tenant_matrix(90);
+    let fp = fleet.register(Arc::clone(&m));
+    let (_, b) = verify::rhs_for(&m, 2);
+    let x_old = fleet.submit(fp, &b).unwrap().wait().unwrap();
+
+    let bogus = FactorFingerprint { structural: 1, values: 2, epoch: 3 };
+    assert!(matches!(
+        fleet.refresh_tenant(bogus, Arc::clone(&m)),
+        Err(FleetError::UnknownFactor { .. })
+    ));
+
+    // different sparsity pattern, same dimension: typed drift rejection
+    let drifted = Arc::new(gen::banded_lower(m.n(), 5, 3.0, 90));
+    assert!(matches!(
+        fleet.refresh_tenant(fp, drifted),
+        Err(FleetError::Serve(sptrsv::ServeError::Solve(
+            sptrsv::SolveError::StructureMismatch { .. }
+        )))
+    ));
+
+    // same pattern, poisoned values: the audit rejects before mutation
+    let mut poisoned = (*m).clone();
+    let mid = poisoned.nnz() / 2;
+    poisoned.values_mut()[mid] = f64::NAN;
+    assert!(matches!(
+        fleet.refresh_tenant(fp, Arc::new(poisoned)),
+        Err(FleetError::Serve(sptrsv::ServeError::Solve(sptrsv::SolveError::Matrix(_))))
+    ));
+
+    assert_eq!(fleet.tenant_value_epoch(fp), Some(0), "no rejected refresh may bump the epoch");
+    assert_eq!(fleet.submit(fp, &b).unwrap().wait().unwrap(), x_old);
+    let r = fleet.report();
+    assert_eq!(r.value_refreshes, 0);
+    assert_eq!(r.refresh_failures, 2, "drift + poison; the unknown fp never reached a tenant");
+}
+
+/// A registered but non-resident fingerprint refreshes *at rest*: the
+/// stored factor is swapped after the same validation, and the next
+/// cold build serves the new values.
+#[test]
+fn refresh_tenant_at_rest_updates_the_stored_factor() {
+    let cfg = fleet_config();
+    let fleet = EngineFleet::new(cfg.clone()).unwrap();
+    let m = tenant_matrix(95);
+    let m2 = perturbed(&m);
+    let fp = fleet.register(Arc::clone(&m));
+
+    let report = fleet.refresh_tenant(fp, Arc::clone(&m2)).unwrap();
+    assert_eq!(report.value_epoch, 0, "no live engine, so no epoch to bump");
+    assert_eq!(fleet.tenant_value_epoch(fp), None);
+
+    let (_, b) = verify::rhs_for(&m, 4);
+    let x = fleet.submit(fp, &b).unwrap().wait().unwrap();
+    assert_eq!(x, serial_solution(&m2, &cfg, &b), "cold build must use the refreshed values");
+    let r = fleet.report();
+    assert_eq!(r.value_refreshes, 1);
+    assert_eq!(r.builds_ok, 1);
 }
 
 /// Epoch registration: the same structure at two value epochs routes

@@ -231,6 +231,84 @@ fn driver_dimension_errors_are_typed() {
     assert!(matches!(err, SolveError::ShapeMismatch { what: "operator", n: 64, got: 25 }));
 }
 
+/// Value refresh across the `L`/`U` pair: after
+/// `PreconditionerEngine::refresh(&f2)`, scalar and fused-panel
+/// applies are bit-identical to a preconditioner freshly built from
+/// `f2` — no re-analysis, same trajectory bits.
+#[test]
+fn preconditioner_refresh_matches_fresh_pair_bitwise() {
+    let mut rng = Pcg32::seed_from_u64(0x5EF2);
+    let a = gen::spd_banded(800, 9, 4.0, 23);
+    let f = ilu0(&a, 1e-8).unwrap();
+    for kind in [SolverKind::Serial, SolverKind::ZeroCopy { per_gpu: 8 }] {
+        let pre = PreconditionerEngine::from_ilu0(&f, MachineConfig::dgx1(4), &opts(kind)).unwrap();
+        // the operator drifts on its recorded pattern; refactor without
+        // symbolic work, then refresh the warm pair in place
+        let mut a2 = a.clone();
+        for (i, v) in a2.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + ((i % 5) as f64) * 0.004;
+        }
+        let mut f2 = ilu0(&a, 1e-8).unwrap();
+        sparsemat::factor::ilu0_refactor(&mut f2, &a2).unwrap();
+        let (l_rep, u_rep) = pre.refresh(&f2).unwrap();
+        assert_eq!(l_rep.value_epoch, 1, "{kind:?}: L epoch");
+        assert_eq!(u_rep.value_epoch, 1, "{kind:?}: U epoch");
+
+        let fresh =
+            PreconditionerEngine::from_ilu0(&f2, MachineConfig::dgx1(4), &opts(kind)).unwrap();
+        let mut ws = pre.take_apply_workspace();
+        let mut fws = fresh.take_apply_workspace();
+        let mut z = vec![0.0; a.n()];
+        let mut ze = vec![0.0; a.n()];
+        for _ in 0..3 {
+            let r = random_vec(a.n(), &mut rng);
+            pre.apply_into(&r, &mut z, &mut ws).unwrap();
+            fresh.apply_into(&r, &mut ze, &mut fws).unwrap();
+            assert_eq!(z, ze, "{kind:?}: refreshed apply differs from fresh pair");
+        }
+        let rs: Vec<Vec<f64>> = (0..5).map(|_| random_vec(a.n(), &mut rng)).collect();
+        let mut zs: Vec<Vec<f64>> = vec![Vec::new(); rs.len()];
+        let mut zes: Vec<Vec<f64>> = vec![Vec::new(); rs.len()];
+        pre.apply_batch_into(&rs, &mut zs, &mut ws).unwrap();
+        fresh.apply_batch_into(&rs, &mut zes, &mut fws).unwrap();
+        assert_eq!(zs, zes, "{kind:?}: refreshed batch apply differs from fresh pair");
+        pre.put_apply_workspace(ws);
+        fresh.put_apply_workspace(fws);
+    }
+}
+
+/// The pair refresh is atomic: a pair whose `U` is rejected must leave
+/// `L` uncommitted too — no apply can ever see a new-`L`/old-`U` mix.
+#[test]
+fn preconditioner_refresh_is_pair_atomic_on_rejection() {
+    let a = gen::spd_banded(300, 6, 4.0, 31);
+    let f = ilu0(&a, 1e-8).unwrap();
+    let pre =
+        PreconditionerEngine::from_ilu0(&f, MachineConfig::dgx1(2), &opts(SolverKind::LevelSet))
+            .unwrap();
+    let mut ws = pre.take_apply_workspace();
+    let r: Vec<f64> = (0..a.n()).map(|i| (i as f64).cos()).collect();
+    let mut before = vec![0.0; a.n()];
+    pre.apply_into(&r, &mut before, &mut ws).unwrap();
+
+    // a perfectly valid L paired with a poisoned U: validation covers
+    // both triangles before either engine is touched
+    let mut bad = ilu0(&a, 1e-8).unwrap();
+    for v in bad.l.values_mut() {
+        *v *= 1.01;
+    }
+    let mid = bad.u.nnz() / 2;
+    bad.u.values_mut()[mid] = f64::NAN;
+    let err = pre.refresh(&bad).unwrap_err();
+    assert!(matches!(err, SolveError::Matrix(_)), "{err:?}");
+    assert_eq!(pre.forward().value_epoch(), 0, "L must not commit when U is rejected");
+    assert_eq!(pre.backward().value_epoch(), 0);
+    let mut after = vec![0.0; a.n()];
+    pre.apply_into(&r, &mut after, &mut ws).unwrap();
+    assert_eq!(after, before, "the old pair must keep serving bit-identically");
+    pre.put_apply_workspace(ws);
+}
+
 #[test]
 fn shared_resources_are_actually_shared() {
     let a = gen::grid_laplacian(16, 16);

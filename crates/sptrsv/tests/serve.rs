@@ -707,3 +707,133 @@ fn shutdown_racing_inflight_panels_reconciles_in_both_modes() {
         );
     }
 }
+
+/// Value refresh under live traffic: client threads stream requests
+/// while the main thread swaps in new factor values mid-stream. Every
+/// ticket must resolve against exactly one value epoch — each result
+/// is bit-identical to either the old-epoch or the new-epoch warm
+/// solve, never a mix — and anything submitted after `refresh_solver`
+/// returns must see the new values.
+#[test]
+fn refresh_solver_under_live_traffic_serves_exactly_one_epoch_per_ticket() {
+    let (m, opts) = engine_fixture();
+    let mut m2 = m.clone();
+    for (i, v) in m2.values_mut().iter_mut().enumerate() {
+        *v *= 1.0 + ((i % 7) as f64) * 0.01;
+    }
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    // new-epoch ground truth from a cold build; old-epoch ground truth
+    // from the served engine itself, solved before the service starts
+    let cold2 = SolverEngine::build(&m2, MachineConfig::dgx1(4), &opts).unwrap();
+    const CLIENTS: u64 = 4;
+    const PER_CLIENT: u64 = 10;
+    let rhs = |c: u64, k: u64| verify::rhs_for(&m, 5000 + c * 100 + k).1;
+    let old_x: Vec<Vec<Vec<f64>>> = (0..CLIENTS)
+        .map(|c| (0..PER_CLIENT).map(|k| engine.solve(&rhs(c, k)).unwrap().x).collect())
+        .collect();
+    let new_x: Vec<Vec<Vec<f64>>> = (0..CLIENTS)
+        .map(|c| (0..PER_CLIENT).map(|k| cold2.solve(&rhs(c, k)).unwrap().x).collect())
+        .collect();
+
+    let cfg = ServiceConfig { max_linger: Duration::from_micros(200), ..Default::default() };
+    let m = &m;
+    let m2 = &m2;
+    let cold2 = &cold2;
+    let ((), report) = serve_solver(&engine, &cfg, |svc| {
+        std::thread::scope(|s| {
+            for c in 0..CLIENTS {
+                let (old_x, new_x) = (&old_x[c as usize], &new_x[c as usize]);
+                s.spawn(move || {
+                    for k in 0..PER_CLIENT {
+                        let (_, b) = verify::rhs_for(m, 5000 + c * 100 + k);
+                        let x = svc.submit(&b).unwrap().wait().unwrap();
+                        let (ok, nk) = (k as usize, k as usize);
+                        assert!(
+                            x == old_x[ok] || x == new_x[nk],
+                            "client {c} request {k}: result must match exactly one \
+                             value epoch, never a torn mix"
+                        );
+                    }
+                });
+            }
+            // refresh while the clients are mid-stream
+            std::thread::sleep(Duration::from_millis(1));
+            let rep = svc.refresh_solver(m2).unwrap();
+            assert_eq!(rep.value_epoch, 1);
+            assert!(rep.audit.is_clean());
+            // anything submitted after the refresh returned is
+            // guaranteed the new epoch
+            let (_, b) = verify::rhs_for(m, 9_999);
+            let x = svc.submit(&b).unwrap().wait().unwrap();
+            assert_eq!(x, cold2.solve(&b).unwrap().x, "post-refresh tickets see new values");
+        });
+    })
+    .unwrap();
+    assert_eq!(report.value_refreshes, 1, "{report:?}");
+    assert_eq!(report.refresh_failures, 0, "{report:?}");
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert_eq!(report.served, CLIENTS * PER_CLIENT + 1);
+    assert_eq!(engine.value_epoch(), 1, "the refresh lands in the underlying engine");
+}
+
+/// The refresh entry points are arm-checked and failure-counted: a
+/// solver-backed service rejects `refresh_preconditioner` (and vice
+/// versa) with a typed config error, and a rejected refresh leaves the
+/// old epoch serving bit-identically while `refresh_failures` ticks.
+#[test]
+fn refresh_cross_arm_and_rejections_are_typed() {
+    let (m, opts) = engine_fixture();
+    let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+    let (_, b) = verify::rhs_for(&m, 41);
+    let expect = engine.solve(&b).unwrap().x;
+    let f = ilu0(&gen::grid_laplacian(6, 5), 1e-8).unwrap();
+    let mut poisoned = m.clone();
+    let mid = poisoned.nnz() / 2;
+    poisoned.values_mut()[mid] = f64::NAN;
+    let ((), report) = serve_solver(&engine, &ServiceConfig::default(), |svc| {
+        let err = svc.refresh_preconditioner(&f).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err:?}");
+        // a non-finite replacement value is rejected before any
+        // mutation — the old epoch keeps serving, bit-identically
+        let err = svc.refresh_solver(&poisoned).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Solve(SolveError::Matrix(_))),
+            "poisoned values must surface the typed matrix error, got {err:?}"
+        );
+        assert_eq!(svc.submit(&b).unwrap().wait().unwrap(), expect);
+    })
+    .unwrap();
+    assert_eq!(report.value_refreshes, 0);
+    assert_eq!(report.refresh_failures, 1, "{report:?}");
+    assert_eq!(engine.value_epoch(), 0, "a rejected refresh must not bump the epoch");
+
+    // the preconditioner arm, including a successful pair refresh
+    let a = gen::grid_laplacian(14, 11);
+    let f = ilu0(&a, 1e-8).unwrap();
+    let mut a2 = a.clone();
+    for (i, v) in a2.values_mut().iter_mut().enumerate() {
+        *v *= 1.0 + ((i % 5) as f64) * 0.004;
+    }
+    let mut f2 = ilu0(&a, 1e-8).unwrap();
+    sparsemat::factor::ilu0_refactor(&mut f2, &a2).unwrap();
+    let popts = SolveOptions {
+        kind: SolverKind::ZeroCopy { per_gpu: 8 },
+        verify: false,
+        ..SolveOptions::default()
+    };
+    let pre = PreconditionerEngine::from_ilu0(&f, MachineConfig::dgx1(4), &popts).unwrap();
+    let pre2 = PreconditionerEngine::from_ilu0(&f2, MachineConfig::dgx1(4), &popts).unwrap();
+    let (_, r) = verify::rhs_for(&f.l, 77);
+    let expect2 = pre2.apply(&r).unwrap();
+    let ((), report) = serve_preconditioner(&pre, &ServiceConfig::default(), |svc| {
+        let err = svc.refresh_solver(&m).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig { .. }), "{err:?}");
+        let (l_rep, u_rep) = svc.refresh_preconditioner(&f2).unwrap();
+        assert_eq!((l_rep.value_epoch, u_rep.value_epoch), (1, 1));
+        let z = svc.submit(&r).unwrap().wait().unwrap();
+        assert_eq!(z, expect2, "the served pair must apply the refreshed values");
+    })
+    .unwrap();
+    assert_eq!(report.value_refreshes, 1, "{report:?}");
+    assert_eq!(report.refresh_failures, 0, "{report:?}");
+}
