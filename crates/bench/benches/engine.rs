@@ -19,6 +19,14 @@
 //!   floor (≥ 1.5× at 4 workers) is asserted only when the hardware
 //!   actually has ≥ 4 threads; on narrower machines the numbers are
 //!   recorded with the effective worker count for the record.
+//! * **chain-fused replay vs per-level barriers** — `solve_sharded_into`
+//!   on a *deep/narrow* synthetic factor (thousands of levels, a
+//!   handful of rows each) with the default Schedule IR tuning (narrow
+//!   runs fuse into single-worker chains, barriers only at chain
+//!   boundaries) against the same engine at `chain_width_threshold: 0`
+//!   (the historical two-barriers-per-level schedule). The ≥ 5×
+//!   barrier cut is asserted from the reported schedule statistics on
+//!   any hardware; the ≥ 1.2× wall-clock floor only on ≥ 4 threads.
 //! * **value refresh vs full rebuild** — the time-stepping step cost:
 //!   `refresh_values` (in-place value swap, zero symbolic work) then a
 //!   warm solve, against a full `SolverEngine::build` then the same
@@ -191,6 +199,56 @@ fn main() {
     println!(
         "sharded warm replay median {:>12}   ({workers} workers, {sharded_speedup:.2}x, hw={hw})",
         TimingSummary::human(sharded_warm.median_ns)
+    );
+
+    // --- chain-fused replay vs per-level barriers on deep/narrow -----
+    // The Schedule IR's home turf: a factor thousands of levels deep
+    // with single-digit level widths. The per-level schedule
+    // (`chain_width_threshold: 0`) pays two barriers per level; the
+    // default tuning fuses the narrow runs into a handful of chains,
+    // so barriers land only at chain boundaries. Barrier counts come
+    // from the reported schedule stats (valid on any core count); the
+    // wall-clock floor binds only where parallel hardware exists.
+    let deep_depth = ((2_000.0 * scale) as usize).max(64);
+    let dm = gen::deep_narrow(deep_depth, 6, 3.2, 0xBEEF);
+    let deep_n = dm.n();
+    let deep_nnz = dm.nnz();
+    let (_, db) = verify::rhs_for(&dm, 13);
+    let fused_engine = SolverEngine::build(&dm, cfg.clone(), &opts).unwrap();
+    let unfused_opts = SolveOptions { chain_width_threshold: 0, ..opts.clone() };
+    let unfused_engine = SolverEngine::build(&dm, cfg.clone(), &unfused_opts).unwrap();
+    let fused_sched = fused_engine.solve(&db).unwrap().schedule.unwrap();
+    let unfused_sched = unfused_engine.solve(&db).unwrap().schedule.unwrap();
+    let chain_workers = 4usize;
+    let mut dws = SolveWorkspace::new();
+    let mut dout = vec![0.0f64; deep_n];
+    // warm-up both engines: grow buffers, spawn the pools
+    fused_engine.solve_sharded_into(&db, &mut dout, &mut dws, chain_workers).unwrap();
+    unfused_engine.solve_sharded_into(&db, &mut dout, &mut dws, chain_workers).unwrap();
+    let fused_chain = time_ns(7, || {
+        fused_engine.solve_sharded_into(&db, &mut dout, &mut dws, chain_workers).unwrap();
+        dout[0]
+    });
+    let unfused_chain = time_ns(7, || {
+        unfused_engine.solve_sharded_into(&db, &mut dout, &mut dws, chain_workers).unwrap();
+        dout[0]
+    });
+    let chain_speedup = unfused_chain.median_ns as f64 / fused_chain.median_ns.max(1) as f64;
+    let barrier_cut =
+        unfused_sched.barriers_per_solve as f64 / fused_sched.barriers_per_solve.max(1) as f64;
+    println!(
+        "deep/narrow factor n={deep_n} nnz={deep_nnz} levels={} chains={} fused_fraction={:.3}",
+        fused_sched.levels, fused_sched.chains, fused_sched.fused_fraction
+    );
+    println!(
+        "per-level barriers  median {:>12}   ({} barriers/solve)",
+        TimingSummary::human(unfused_chain.median_ns),
+        unfused_sched.barriers_per_solve
+    );
+    println!(
+        "chain-fused replay  median {:>12}   ({} barriers/solve, {barrier_cut:.0}x fewer, {chain_speedup:.2}x, hw={hw})",
+        TimingSummary::human(fused_chain.median_ns),
+        fused_sched.barriers_per_solve
     );
 
     // --- serving front-end: coalesced panels vs lock-per-request -----
@@ -441,6 +499,22 @@ fn main() {
     "sharded_warm_ns": {sharded_med},
     "speedup_vs_serial": {sharded_speedup:.2}
   }},
+  "chain_fused": {{
+    "matrix": {{ "n": {deep_n}, "nnz": {deep_nnz}, "generator": "deep_narrow(depth={deep_depth}, width=6, seed=0xBEEF)" }},
+    "levels": {cf_levels},
+    "chains": {cf_chains},
+    "fused_levels": {cf_fused_levels},
+    "fused_fraction": {cf_fused_fraction:.4},
+    "shards": {cf_shards},
+    "barriers_per_solve_fused": {cf_barriers_fused},
+    "barriers_per_solve_per_level": {cf_barriers_unfused},
+    "barrier_cut": {barrier_cut:.1},
+    "workers": {chain_workers},
+    "hardware_threads": {hw},
+    "per_level_ns": {cf_unfused_med},
+    "chain_fused_ns": {cf_fused_med},
+    "speedup_vs_per_level": {chain_speedup:.2}
+  }},
   "fleet": {{
     "requests": {fleet_reqs},
     "warm_submit_ns_per_req": {fleet_per_req},
@@ -477,6 +551,15 @@ fn main() {
         fused_gbps = gbps(fused_sweeps, fused.median_ns),
         serial_med = serial_warm.median_ns,
         sharded_med = sharded_warm.median_ns,
+        cf_levels = fused_sched.levels,
+        cf_chains = fused_sched.chains,
+        cf_fused_levels = fused_sched.fused_levels,
+        cf_fused_fraction = fused_sched.fused_fraction,
+        cf_shards = fused_sched.shards,
+        cf_barriers_fused = fused_sched.barriers_per_solve,
+        cf_barriers_unfused = unfused_sched.barriers_per_solve,
+        cf_unfused_med = unfused_chain.median_ns,
+        cf_fused_med = fused_chain.median_ns,
         serve_clients = SERVE_CLIENTS,
         serve_per_client = SERVE_PER_CLIENT,
         serve_rhs = SERVE_CLIENTS * SERVE_PER_CLIENT,
@@ -508,6 +591,22 @@ fn main() {
         hw < 4 || sharded_speedup >= 1.5,
         "sharded replay must be at least 1.5x faster than serial warm replay \
          at {workers} workers on {hw} hardware threads, got {sharded_speedup:.2}x"
+    );
+    // schedule-stat floor, valid on any core count: fusion must cut
+    // barriers per solve at least 5x on the deep/narrow factor
+    assert!(
+        unfused_sched.barriers_per_solve >= 5 * fused_sched.barriers_per_solve.max(1),
+        "chain fusion must cut barriers >=5x on the deep/narrow factor: \
+         {} per-level vs {} fused",
+        unfused_sched.barriers_per_solve,
+        fused_sched.barriers_per_solve
+    );
+    // the wall-clock floor binds only where parallel hardware exists;
+    // narrower machines record their honest numbers
+    assert!(
+        hw < 4 || chain_speedup >= 1.2,
+        "chain-fused replay must be at least 1.2x faster than the per-level \
+         schedule at {chain_workers} workers on {hw} hardware threads, got {chain_speedup:.2}x"
     );
     assert!(
         pcg_speedup >= 2.0,

@@ -197,6 +197,35 @@ pub fn spd_corpus() -> Vec<SpdMatrix> {
     ]
 }
 
+/// Name of the deep/narrow chain-fusion corpus entry (see
+/// [`deep_narrow_entry`]).
+pub const DEEP_NARROW_NAME: &str = "deep-chain";
+
+/// The deep/narrow chain-fusion workload. Not a Table-I row (the
+/// 16-matrix analog corpus is untouched): this entry stands in for the
+/// ILU(0)/Cholesky factors whose level profile is thousands of narrow
+/// levels, where per-level synchronization dominates the solve and
+/// chain-fused scheduling pays off. `paper` holds the design targets
+/// the generator was pointed at rather than printed Table-I numbers.
+pub fn deep_narrow_entry() -> NamedMatrix {
+    let (depth, width, fill) = (2_500usize, 6usize, 3.2f64);
+    let rows = depth * width;
+    let matrix = crate::gen::deep_narrow(depth, width, fill, 0xDEE9);
+    let achieved = TriStats::compute(&matrix, Triangle::Lower);
+    NamedMatrix {
+        name: DEEP_NARROW_NAME,
+        class: "factor-deep",
+        matrix,
+        paper: PaperStats {
+            rows,
+            nnz: (rows as f64 * fill).round() as usize,
+            levels: depth,
+            parallelism: width as f64,
+        },
+        achieved,
+    }
+}
+
 /// The four representative matrices of the Fig. 3 UM-thrashing study.
 pub fn fig3_names() -> &'static [&'static str] {
     &["belgium_osm", "chipcool0", "nlpkkt160", "pkustk14"]
@@ -283,6 +312,19 @@ mod tests {
                 assert!(e.matrix.get(i, i).unwrap() > 0.0, "{} diag {i}", e.name);
             }
         }
+    }
+
+    #[test]
+    fn deep_narrow_entry_matches_its_design_targets() {
+        let e = deep_narrow_entry();
+        assert_eq!(e.name, DEEP_NARROW_NAME);
+        e.matrix.validate_triangular(Triangle::Lower).unwrap();
+        assert_eq!(e.achieved.levels, e.paper.levels, "depth is exact");
+        assert_eq!(e.achieved.rows, e.paper.rows);
+        assert!(e.achieved.parallelism <= 8.0, "parallelism {}", e.achieved.parallelism);
+        // Table-I corpus is untouched by the extra entry
+        assert_eq!(all_names().len(), 16);
+        assert!(!all_names().contains(&DEEP_NARROW_NAME));
     }
 
     #[test]

@@ -323,6 +323,26 @@ pub fn spd_structured(spec: &LevelSpec) -> CscMatrix {
     spd_from_lower(&level_structured(spec), spec.seed ^ 0x5bd)
 }
 
+/// Deep/narrow factor: exactly `depth` levels averaging `mean_width`
+/// components each (`n = depth · mean_width`), with `avg_row_nnz`
+/// stored entries per row and high dependency locality — the ILU(0) /
+/// Cholesky shape where long runs of narrow levels make per-level
+/// synchronization, not arithmetic, the solve cost. This is the honest
+/// workload for chain-fused scheduling: nearly every level sits far
+/// below any reasonable fusion width threshold.
+pub fn deep_narrow(depth: usize, mean_width: usize, avg_row_nnz: f64, seed: u64) -> CscMatrix {
+    assert!(depth > 0 && mean_width > 0, "deep_narrow needs positive depth and width");
+    let n = depth * mean_width;
+    level_structured(&LevelSpec {
+        n,
+        levels: depth,
+        nnz_target: (n as f64 * avg_row_nnz).round() as usize,
+        locality: 0.9,
+        window_frac: 0.01,
+        seed,
+    })
+}
+
 /// Bidiagonal chain: the fully sequential worst case (`n` levels,
 /// parallelism 1).
 pub fn chain(n: usize) -> CscMatrix {
@@ -466,6 +486,22 @@ mod tests {
         let a = spd_banded(128, 6, 3.0, 4);
         let b = spd_banded(128, 6, 3.0, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_narrow_is_deep_and_narrow() {
+        let m = deep_narrow(400, 5, 3.0, 17);
+        m.validate_triangular(Triangle::Lower).unwrap();
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        assert_eq!(ls.n_levels(), 400, "depth is exact");
+        assert_eq!(m.n(), 2_000);
+        assert!(ls.parallelism() <= 6.0, "parallelism {}", ls.parallelism());
+        // the ramp ends may pool a couple of wide levels, but ≥95% of
+        // the levels must sit within 3x the requested mean width
+        let narrow = (0..ls.n_levels()).filter(|&l| ls.level(l).len() <= 15).count();
+        assert!(narrow * 20 >= ls.n_levels() * 19, "only {narrow}/400 narrow levels");
+        // deterministic for fixed parameters
+        assert_eq!(m, deep_narrow(400, 5, 3.0, 17));
     }
 
     #[test]

@@ -210,6 +210,53 @@ impl LevelSets {
         }
         LevelSegments { shards, order, seg_ptr, shard_of }
     }
+
+    /// Partition the levels into **chains**: maximal runs of
+    /// consecutive levels whose width is at most `width_threshold`
+    /// fuse into one chain, while each wider level stands alone as a
+    /// singleton chain. A fused chain can be executed by a single
+    /// worker in canonical level-major order with **no internal
+    /// synchronization** (every dependency of a row in the chain that
+    /// lives inside the chain was solved earlier in the same walk), so
+    /// an executor only needs a barrier at chain boundaries — the
+    /// `chain_ptr` device from level-fusing GPU solvers, applied here
+    /// to deep/narrow factors where per-level barriers dominate.
+    ///
+    /// `width_threshold == 0` disables fusion (every width is ≥ 1):
+    /// each level becomes its own unfused singleton chain and the
+    /// partition describes exactly the classic one-barrier-per-level
+    /// schedule.
+    ///
+    /// The result is well-formed by construction: `chain_ptr` starts
+    /// at 0, is strictly increasing, and ends at `n_levels`, so the
+    /// chains tile the level sequence exactly.
+    pub fn chains(&self, width_threshold: usize) -> ChainPartition {
+        let n_levels = self.n_levels();
+        let mut chain_ptr = vec![0u32];
+        let mut fused = Vec::new();
+        // `open` marks a run of narrow levels not yet closed off; a
+        // wide level (or the end of the level sequence) closes it.
+        let mut open = false;
+        for l in 0..n_levels {
+            let width = (self.level_ptr[l + 1] - self.level_ptr[l]) as usize;
+            if width > width_threshold {
+                if open {
+                    chain_ptr.push(l as u32);
+                    fused.push(true);
+                    open = false;
+                }
+                chain_ptr.push((l + 1) as u32);
+                fused.push(false);
+            } else {
+                open = true;
+            }
+        }
+        if open {
+            chain_ptr.push(n_levels as u32);
+            fused.push(true);
+        }
+        ChainPartition { chain_ptr, fused, width_threshold }
+    }
 }
 
 /// The owner-computes decomposition produced by
@@ -237,6 +284,80 @@ impl LevelSegments {
     pub fn segment(&self, level: usize, shard: usize) -> &[Idx] {
         let k = level * self.shards + shard;
         &self.order[self.seg_ptr[k] as usize..self.seg_ptr[k + 1] as usize]
+    }
+}
+
+/// The chain partition produced by [`LevelSets::chains`]: a CSR-style
+/// grouping of consecutive levels into barrier-delimited chains.
+///
+/// Chain `k` spans levels `chain_ptr[k] .. chain_ptr[k + 1]`. A
+/// *fused* chain contains only levels at or below the width threshold
+/// and runs on one worker without internal barriers; an unfused chain
+/// is always a single wide level that keeps the owner-computes
+/// sharded execution. Note a lone narrow level between two wide ones
+/// still forms a (single-level) fused chain — it runs on one worker,
+/// which is the right call for a level too narrow to shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainPartition {
+    /// CSR-style level offsets: chain `k` spans levels
+    /// `chain_ptr[k] .. chain_ptr[k + 1]`. Strictly increasing from 0
+    /// to `n_levels`.
+    chain_ptr: Vec<u32>,
+    /// `fused[k]` — chain `k` is a run of narrow levels executed by a
+    /// single worker (`false` means a singleton wide level).
+    fused: Vec<bool>,
+    /// The width threshold the partition was built with: levels of
+    /// width ≤ this fused, wider levels stayed singleton chains.
+    width_threshold: usize,
+}
+
+impl ChainPartition {
+    /// Number of chains (0 for an empty matrix).
+    #[inline]
+    pub fn n_chains(&self) -> usize {
+        self.chain_ptr.len() - 1
+    }
+
+    /// The half-open level range of chain `k`.
+    #[inline]
+    pub fn chain(&self, k: usize) -> std::ops::Range<usize> {
+        self.chain_ptr[k] as usize..self.chain_ptr[k + 1] as usize
+    }
+
+    /// Whether chain `k` is a fused run of narrow levels (single
+    /// worker, no internal barriers) rather than a sharded wide level.
+    #[inline]
+    pub fn is_fused(&self, k: usize) -> bool {
+        self.fused[k]
+    }
+
+    /// The CSR-style level offsets (`n_chains + 1` entries).
+    #[inline]
+    pub fn chain_ptr(&self) -> &[u32] {
+        &self.chain_ptr
+    }
+
+    /// The width threshold the partition was built with.
+    #[inline]
+    pub fn width_threshold(&self) -> usize {
+        self.width_threshold
+    }
+
+    /// Total number of levels living inside fused chains.
+    pub fn fused_levels(&self) -> usize {
+        (0..self.n_chains()).filter(|&k| self.fused[k]).map(|k| self.chain(k).len()).sum()
+    }
+
+    /// Barriers one parallel solve over this partition pays: a fused
+    /// chain needs one trailing barrier (publish its rows to the other
+    /// workers), a sharded wide level needs two (solve phase → update
+    /// phase → publish), and the final chain drops its trailing
+    /// barrier because the region join synchronizes. The unfused
+    /// partition (`width_threshold == 0`) yields the classic
+    /// `2·levels − 1`.
+    pub fn barriers_per_solve(&self) -> usize {
+        let per_chain: usize = self.fused.iter().map(|&f| if f { 1 } else { 2 }).sum();
+        per_chain.saturating_sub(1)
     }
 }
 
@@ -489,6 +610,74 @@ mod tests {
         let segs = ls.owner_segments(None, 4);
         assert_eq!(segs.order.len(), 0);
         assert_eq!(segs.seg_ptr, vec![0]);
+    }
+
+    /// Fig. 1's widths are 1, 3, 2, 1, 1: with threshold 1 the narrow
+    /// singleton level 0 fuses alone, levels 1 and 2 stay wide
+    /// singletons, and the trailing run {3, 4} fuses into one chain.
+    #[test]
+    fn fig1_chains_at_threshold_one() {
+        let ls = LevelSets::analyze(&fig1(), Triangle::Lower);
+        let ch = ls.chains(1);
+        assert_eq!(ch.chain_ptr(), &[0, 1, 2, 3, 5]);
+        assert_eq!(ch.n_chains(), 4);
+        assert!(ch.is_fused(0) && !ch.is_fused(1) && !ch.is_fused(2) && ch.is_fused(3));
+        assert_eq!(ch.chain(3), 3..5);
+        assert_eq!(ch.fused_levels(), 3);
+        assert_eq!(ch.width_threshold(), 1);
+        // 1 + 2 + 2 + 1 barriers minus the dropped trailing one
+        assert_eq!(ch.barriers_per_solve(), 5);
+    }
+
+    /// Threshold 0 disables fusion: every level is a singleton wide
+    /// chain and the partition describes one barrier pair per level.
+    #[test]
+    fn threshold_zero_reproduces_per_level_schedule() {
+        let ls = LevelSets::analyze(&fig1(), Triangle::Lower);
+        let ch = ls.chains(0);
+        assert_eq!(ch.n_chains(), ls.n_levels());
+        assert!((0..ch.n_chains()).all(|k| !ch.is_fused(k) && ch.chain(k).len() == 1));
+        assert_eq!(ch.fused_levels(), 0);
+        assert_eq!(ch.barriers_per_solve(), 2 * ls.n_levels() - 1);
+    }
+
+    /// A pure dependency chain fuses into one barrier-free chain at
+    /// any threshold ≥ 1; a diagonal matrix is one wide singleton.
+    #[test]
+    fn chain_and_diagonal_partitions() {
+        let n = 10;
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            b.push(i, i, 1.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+        }
+        let ls = LevelSets::analyze(&b.build().unwrap(), Triangle::Lower);
+        let ch = ls.chains(1);
+        assert_eq!(ch.n_chains(), 1);
+        assert!(ch.is_fused(0));
+        assert_eq!(ch.chain(0), 0..n);
+        assert_eq!(ch.barriers_per_solve(), 0);
+
+        let diag = LevelSets::analyze(&CscMatrix::identity(16), Triangle::Lower);
+        let ch = diag.chains(4);
+        assert_eq!(ch.n_chains(), 1);
+        assert!(!ch.is_fused(0));
+        assert_eq!(ch.barriers_per_solve(), 1);
+        // threshold at the full width fuses even the single wide level
+        assert!(diag.chains(16).is_fused(0));
+    }
+
+    #[test]
+    fn empty_matrix_has_no_chains() {
+        let m = crate::build::TripletBuilder::new(0).build().unwrap();
+        let ls = LevelSets::analyze(&m, Triangle::Lower);
+        let ch = ls.chains(8);
+        assert_eq!(ch.n_chains(), 0);
+        assert_eq!(ch.chain_ptr(), &[0]);
+        assert_eq!(ch.fused_levels(), 0);
+        assert_eq!(ch.barriers_per_solve(), 0);
     }
 
     #[test]

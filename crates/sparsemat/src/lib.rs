@@ -42,7 +42,7 @@ pub use csr::CsrMatrix;
 pub use error::MatrixError;
 pub use factor::{audit_factor, FactorAudit};
 pub use fingerprint::FactorFingerprint;
-pub use levels::LevelSets;
+pub use levels::{ChainPartition, LevelSets};
 pub use reorder::Permutation;
 
 /// Row/column index type. `u32` keeps hot arrays compact (see the Rust

@@ -165,6 +165,69 @@ fn levels_respect_dependencies() {
     }
 }
 
+/// The chain partition is well-formed for every corpus entry (all 16
+/// Table-I analogs plus the deep/narrow chain-fusion entry) × both
+/// triangles × a spread of width thresholds: `chain_ptr` starts at 0,
+/// is strictly increasing and ends at `n_levels` (so the chains cover
+/// every level exactly once), no level inside a fused chain exceeds
+/// the width threshold, and every unfused chain is a single level
+/// wider than the threshold.
+#[test]
+fn chain_partition_is_well_formed_across_corpus() {
+    let mut entries: Vec<(&'static str, sparsemat::CscMatrix)> =
+        sparsemat::corpus::corpus_scaled(2_000, 40_000)
+            .into_iter()
+            .map(|e| (e.name, e.matrix))
+            .collect();
+    entries
+        .push((sparsemat::corpus::DEEP_NARROW_NAME, sparsemat::corpus::deep_narrow_entry().matrix));
+    for (name, lower) in &entries {
+        let upper = lower.transpose();
+        for (m, tri) in [(lower, Triangle::Lower), (&upper, Triangle::Upper)] {
+            let ls = LevelSets::analyze(m, tri);
+            for threshold in [0usize, 1, 4, 64, 1 << 20] {
+                let tag = format!("{name}/{}/t={threshold}", tri.name());
+                let ch = ls.chains(threshold);
+                let ptr = ch.chain_ptr();
+                assert_eq!(ptr[0], 0, "{tag}: chain_ptr must start at 0");
+                assert!(
+                    ptr.windows(2).all(|w| w[0] < w[1]),
+                    "{tag}: chain_ptr must be strictly increasing"
+                );
+                assert_eq!(
+                    *ptr.last().unwrap() as usize,
+                    ls.n_levels(),
+                    "{tag}: chains must cover every level exactly once"
+                );
+                let mut fused_levels = 0usize;
+                for k in 0..ch.n_chains() {
+                    for l in ch.chain(k) {
+                        let width = ls.level(l).len();
+                        if ch.is_fused(k) {
+                            fused_levels += 1;
+                            assert!(
+                                width <= threshold,
+                                "{tag}: fused level {l} width {width} above threshold"
+                            );
+                        } else {
+                            assert!(
+                                width > threshold,
+                                "{tag}: unfused level {l} width {width} within threshold"
+                            );
+                            assert_eq!(
+                                ch.chain(k).len(),
+                                1,
+                                "{tag}: wide chains must be singletons"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(fused_levels, ch.fused_levels(), "{tag}: fused-level accounting");
+            }
+        }
+    }
+}
+
 /// in_degrees equals the per-row count of strictly-lower entries.
 #[test]
 fn in_degrees_match_structure() {

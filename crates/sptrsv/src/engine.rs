@@ -130,6 +130,7 @@ use crate::levelset;
 use crate::plan::{ExecutionPlan, Partition};
 use crate::pool::{self, ScopedTask, WorkerPool};
 use crate::report::{SolveReport, Timings};
+use crate::schedule::Schedule;
 use crate::solver::{MultiRhsReport, SolveError, SolveOptions, SolverKind};
 use crate::verify;
 use crate::Backend;
@@ -270,10 +271,14 @@ struct Prepared {
 /// Everything a simulated solver prebuilds that depends only on the
 /// sparsity structure — immutable across value refreshes.
 ///
-/// `order` is the sharded schedule's own level-major, owner-grouped
-/// order (shared via `Arc`, not copied) — the single operation
-/// sequence every warm tier replays, which is what keeps serial,
-/// sharded, panel and batched solves bit-identical to one another.
+/// `schedule` is the warm-path **Schedule IR** ([`Schedule`]): the
+/// levels → chains → shards decomposition built exactly once here and
+/// shared (`Arc`) with the sharded executor. `order` is that
+/// schedule's canonical level-major, owner-grouped order — the single
+/// operation sequence every warm tier replays, which is what keeps
+/// serial, sharded, panel and batched solves bit-identical to one
+/// another. A value refresh rewrites only [`NumericState`]; the
+/// schedule is structure-only and stays untouched by construction.
 ///
 /// `template` — the calibration run's report with an empty `x`, held
 /// behind `Arc` — lives here *by design*: the discrete-event timeline
@@ -285,9 +290,13 @@ struct Prepared {
 struct StructurePlan {
     order: Arc<[u32]>,
     /// Worker count the `solve`/`solve_into` auto-heuristic uses for
-    /// the sharded tier; `1` means the factor is too narrow/deep for
-    /// level parallelism and serial replay stays the default.
+    /// the sharded tier ([`Schedule::auto_workers`] evaluated against
+    /// this host); `1` means the factor is too narrow/deep for level
+    /// parallelism — even after chain fusion — and serial replay stays
+    /// the default.
     auto_workers: usize,
+    /// The shared Schedule IR (also held by the sharded executor).
+    schedule: Arc<Schedule>,
     template: Arc<SolveReport>,
 }
 
@@ -444,6 +453,11 @@ impl<'m> SolverEngine<'m> {
                 let mut machine = Machine::new(cfg);
                 let out =
                     levelset::run_with_levels(m, &zeros, &mut machine, opts.triangle, &levels);
+                // level order (ascending level, ascending index within)
+                // is exactly the order the level-set solver computes
+                // in; the schedule owns the canonical order, the
+                // sharded executor and the structure plan share it
+                let schedule = Arc::new(Schedule::build(&levels, None, opts.schedule_tuning()));
                 let template = SolveReport {
                     timings: Timings {
                         analysis: out.analysis_end,
@@ -457,18 +471,20 @@ impl<'m> SolverEngine<'m> {
                     cross_edges: 0,
                     fits_in_memory: machine.fits_in_memory(),
                     verified_rel_err: None,
+                    schedule: Some(schedule.stats()),
                     label,
                     x: Vec::new(),
                 };
-                // level order (ascending level, ascending index within)
-                // is exactly the order the level-set solver computes
-                // in; the sharded schedule shares the analysis' own
-                // flat array instead of copying all n entries
-                let sharded = ShardedReplay::build(&analysis, &levels, None);
-                let order = sharded.order_shared();
-                let auto_workers = auto_shard_workers(&levels);
+                let sharded = ShardedReplay::build(&analysis, &levels, &schedule);
+                let order = schedule.order_shared();
+                let auto_workers = schedule.auto_workers(hardware_threads());
                 Variant::Simulated(Box::new(Prepared {
-                    structure: StructurePlan { order, auto_workers, template: Arc::new(template) },
+                    structure: StructurePlan {
+                        order,
+                        auto_workers,
+                        schedule,
+                        template: Arc::new(template),
+                    },
                     numeric: RwLock::new(NumericState { analysis, sharded }),
                 }))
             }
@@ -526,6 +542,13 @@ impl<'m> SolverEngine<'m> {
                 // and records the wake order for numeric replay
                 let out = exec::run_prepared(&zeros, &plan, &analysis, &mut machine, &exec_cfg)
                     .map_err(SolveError::Exec)?;
+                // the canonical warm order is the level-major,
+                // owner-grouped schedule order (not the recorded wake
+                // order): one operation sequence serves every warm
+                // tier, serial and parallel alike
+                let levels = LevelSets::analyze(m, opts.triangle);
+                let schedule =
+                    Arc::new(Schedule::build(&levels, Some(&plan.owner), opts.schedule_tuning()));
                 let template = SolveReport {
                     timings: Timings {
                         analysis: out.analysis_end,
@@ -539,19 +562,20 @@ impl<'m> SolverEngine<'m> {
                     cross_edges,
                     fits_in_memory: machine.fits_in_memory(),
                     verified_rel_err: None,
+                    schedule: Some(schedule.stats()),
                     label,
                     x: Vec::new(),
                 };
-                // the canonical warm order is the level-major,
-                // owner-grouped sharded schedule (not the recorded
-                // wake order): one operation sequence serves every
-                // warm tier, serial and parallel alike
-                let levels = LevelSets::analyze(m, opts.triangle);
-                let sharded = ShardedReplay::build(&analysis, &levels, Some(&plan.owner));
-                let order = sharded.order_shared();
-                let auto_workers = auto_shard_workers(&levels);
+                let sharded = ShardedReplay::build(&analysis, &levels, &schedule);
+                let order = schedule.order_shared();
+                let auto_workers = schedule.auto_workers(hardware_threads());
                 Variant::Simulated(Box::new(Prepared {
-                    structure: StructurePlan { order, auto_workers, template: Arc::new(template) },
+                    structure: StructurePlan {
+                        order,
+                        auto_workers,
+                        schedule,
+                        template: Arc::new(template),
+                    },
                     numeric: RwLock::new(NumericState { analysis, sharded }),
                 }))
             }
@@ -605,11 +629,13 @@ impl<'m> SolverEngine<'m> {
     }
 
     /// Host bytes this engine holds beyond the matrix it borrows:
-    /// analysis arrays, the sharded schedule (canonical order counted
-    /// once, here), plus one warm [`SolveWorkspace`] at this dimension
-    /// — the per-engine charge a byte-bounded factor cache accounts
-    /// (the cache adds the matrix's own bytes separately, since the
-    /// cache is what keeps the matrix alive).
+    /// analysis arrays, the Schedule IR (canonical order, shard
+    /// segments, chain partition — counted once, by its owner of
+    /// record), the sharded executor's numeric bucket arrays, plus one
+    /// warm [`SolveWorkspace`] at this dimension — the per-engine
+    /// charge a byte-bounded factor cache accounts (the cache adds the
+    /// matrix's own bytes separately, since the cache is what keeps
+    /// the matrix alive).
     pub fn footprint_bytes(&self) -> u64 {
         let n = self.m.n() as u64;
         // one fully-grown workspace: three n×PANEL_K panel buffers
@@ -618,7 +644,9 @@ impl<'m> SolverEngine<'m> {
         let prepared = match &self.variant {
             Variant::Simulated(p) => {
                 let num = rlock(&p.numeric);
-                num.analysis.host_bytes() + num.sharded.host_bytes()
+                p.structure.schedule.host_bytes()
+                    + num.analysis.host_bytes()
+                    + num.sharded.host_bytes()
             }
             Variant::Serial(a) => rlock(a).host_bytes(),
         };
@@ -671,6 +699,7 @@ impl<'m> SolverEngine<'m> {
                     cross_edges: 0,
                     fits_in_memory: true,
                     verified_rel_err: Some(0.0),
+                    schedule: None,
                     label: self.opts.kind.label().into(),
                 })
             }
@@ -1234,41 +1263,6 @@ impl<'m> SolverEngine<'m> {
 
 fn hardware_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |p| p.get())
-}
-
-/// Floor on `max_level_width / workers` for the auto-sharding
-/// heuristic: every region worker must amortize two level barriers
-/// (~1–2 µs each) with at least this many owned rows in the widest
-/// level, or the barriers eat the parallel win. Calibrated on the
-/// engine bench's wide synthetic factor (`BENCH_engine.json`,
-/// `sharded_replay` section).
-pub const SHARD_MIN_ROWS_PER_WORKER: usize = 512;
-
-/// Floor on the factor's average level width (`n / n_levels`) for the
-/// auto-sharding heuristic: a deep, narrow factor pays `2 × levels`
-/// barriers regardless of how wide its widest level is, so end-to-end
-/// it must average enough per-level work to cover them.
-pub const SHARD_MIN_AVG_LEVEL_WIDTH: usize = 256;
-
-/// The worker count `solve`/`solve_into` auto-select for the sharded
-/// tier — `1` (stay serial) unless the factor's level structure clears
-/// both calibrated thresholds on this machine.
-fn auto_shard_workers(levels: &LevelSets) -> usize {
-    let hw = hardware_threads().min(exec::SHARD_COUNT);
-    let n_levels = levels.n_levels();
-    if hw < 2 || n_levels == 0 {
-        return 1;
-    }
-    let n = levels.level_of.len();
-    if n / n_levels < SHARD_MIN_AVG_LEVEL_WIDTH {
-        return 1;
-    }
-    let workers = (levels.max_level_width() / SHARD_MIN_ROWS_PER_WORKER).min(hw);
-    if workers < 2 {
-        1
-    } else {
-        workers
-    }
 }
 
 /// Assemble the amortized multi-RHS accounting: the analysis phase is

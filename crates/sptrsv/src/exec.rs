@@ -38,9 +38,56 @@
 //! The executor runs real `f64` numerics as virtual time advances; the
 //! returned `x` is bit-stable for a fixed seed and is verified against
 //! the serial reference by the caller.
+//!
+//! ## Canonical order & why chain fusion is bit-identical
+//!
+//! Every warm tier executes the same **canonical order**: the
+//! level-major component order recorded in the engine's
+//! [`crate::schedule::Schedule`] (components grouped by level,
+//! owner-grouped within each level). Floating-point addition is not
+//! associative, so bit-identity across tiers holds iff every tier (a)
+//! solves each row from the same partial sum and (b) accumulates each
+//! row's partial sum in the same source order. Both are properties of
+//! the canonical order, not of the execution strategy — which is what
+//! lets [`ShardedReplay`] mix per-chain strategies freely:
+//!
+//! | chain kind | who solves a row          | who accumulates into a row         | source order        |
+//! |------------|---------------------------|------------------------------------|---------------------|
+//! | serial     | the one thread            | the one thread, inline             | canonical           |
+//! | fused      | worker 0, whole chain     | worker 0, inline at each source    | canonical           |
+//! | wide level | owner shard's worker      | target shard's worker, from its    | canonical (buckets  |
+//! |            | (phase A)                 | `(level, shard)` bucket (phase B)  | filled canonically) |
+//!
+//! Three invariants make every cell of that table produce identical
+//! bits:
+//!
+//! 1. **one writer per row** — each row's `x` is written by exactly
+//!    one worker, and each row's `left_sum` is accumulated by exactly
+//!    one worker per chain (owner-computes for wide levels, worker 0
+//!    for fused chains), with barriers ordering chains;
+//! 2. **canonical accumulation order** — update buckets are filled in
+//!    canonical source order at build time, and a fused chain applies
+//!    updates inline while walking the canonical order, so a target
+//!    row's partial sum always accumulates in exactly the serial
+//!    replay's source order;
+//! 3. **identical per-row arithmetic** — all paths compute
+//!    `x_i = (b_i − left_sum_i) / diag_i` then
+//!    `left_sum_r += l_ri · x_i` with the same operand values, since
+//!    (1) and (2) pin both operand sources.
+//!
+//! A fused chain is the degenerate case where "one worker" owns
+//! *every* row of a run of levels: within the chain, each row's
+//! dependencies are either in earlier chains (published before the
+//! chain's opening barrier) or earlier in the canonical walk (applied
+//! inline before the row is reached) — so no internal barrier is
+//! needed and the operation sequence is literally the serial replay's
+//! subsequence for those levels. That is why chain-fused execution is
+//! bit-identical *by construction* for every worker count, fused or
+//! not, before and after a value refresh.
 
 use crate::plan::ExecutionPlan;
 use crate::pool::{DisjointSlice, RegionBarrier, WorkerPool};
+use crate::schedule::Schedule;
 use crate::Backend;
 use desim::{EventQueue, SimTime};
 use mgpu_sim::{um::UmRange, GpuId, Machine};
@@ -518,45 +565,43 @@ impl ReplayWorkspace {
     }
 }
 
-/// The level-parallel, owner-segmented replay schedule — the paper's
+/// The chain-fused, level-parallel replay executor — the paper's
 /// parallel execution model (independent components solved
 /// concurrently, updates applied owner-locally) materialized for the
-/// host warm path.
+/// host warm path, stepping the engine's [`Schedule`] IR.
 ///
-/// Built once at engine-build time from the [`LevelSets`] and the
-/// [`ExecutionPlan`]'s ownership map:
+/// The scheduling facts — canonical order, owner segmentation, chain
+/// partition — live in the shared [`Schedule`] (built once at
+/// engine-build time); this struct adds only the *numeric* bucket
+/// arrays: per `(source level, target shard)` update lists, filled in
+/// canonical source order so every target row accumulates exactly as
+/// the serial [`ExecAnalysis::replay_into`] does.
 ///
-/// * the **canonical order** is level-major (components grouped by
-///   level, owner-grouped within each level — see
-///   [`LevelSets::owner_segments`]); it doubles as the engine's serial
-///   replay schedule, so every warm tier walks the same
-///   floating-point operation sequence;
-/// * every level is cut into [`SHARD_COUNT`] near-equal **shards**;
-///   shard `s` of a level is solved by worker `s % workers`, and —
-///   owner-computes — all updates *targeting* a shard's rows are
-///   applied by that same worker, in canonical source order. Each
-///   row's partial sum therefore accumulates in exactly the order the
-///   serial [`ExecAnalysis::replay_into`] uses, making the sharded
-///   result **bit-identical** to the serial replay for every worker
-///   count.
+/// At solve time execution steps the schedule's **chains**, with
+/// barriers only at chain boundaries:
 ///
-/// At solve time each level runs as two phases on a
-/// [`WorkerPool::run_region`] parallel region — solve owned
-/// components, barrier, apply updates into owned rows, barrier — with
-/// one reusable stack-allocated [`RegionBarrier`], so steady-state
-/// sharded solves allocate nothing.
+/// * a **fused chain** (run of narrow levels) is walked entirely by
+///   worker 0 in canonical order with inline solve+update — no
+///   internal barriers — then one trailing barrier publishes its rows;
+/// * a **wide level** runs the owner-computes two-phase path: shard
+///   `s` is handled by worker `s % workers`, solve phase → barrier →
+///   bucketed update phase → trailing barrier.
+///
+/// Both strategies execute the canonical floating-point sequence (see
+/// the module docs' bit-identity section), on a
+/// [`WorkerPool::run_region`] parallel region with one reusable
+/// stack-allocated [`RegionBarrier`], so steady-state sharded solves
+/// allocate nothing.
 #[derive(Debug, Clone)]
 pub struct ShardedReplay {
-    shards: usize,
-    n_levels: usize,
-    /// The canonical level-major component order (concatenation of all
-    /// solve segments).
-    order: Arc<[u32]>,
-    /// Solve-segment offsets into [`Self::order`]
-    /// (`n_levels * shards + 1` entries, CSR-style).
-    seg_ptr: Vec<u32>,
+    /// The engine-wide Schedule IR this executor steps (shared with
+    /// the engine's structure plan — a refcount, not a copy).
+    schedule: Arc<Schedule>,
     /// Update-list offsets per `(level, shard)` bucket
-    /// (`n_levels * shards + 1` entries, CSR-style).
+    /// (`n_levels * shards + 1` entries, CSR-style). Buckets exist for
+    /// every level — including fused ones, whose updates are applied
+    /// inline instead — so the layout is threshold-independent and a
+    /// value refresh never re-derives it.
     upd_ptr: Vec<u32>,
     /// Source component per update entry (its `x` feeds the update).
     upd_src: Vec<u32>,
@@ -578,17 +623,16 @@ pub struct ShardedReplay {
 pub const SHARD_COUNT: usize = 16;
 
 impl ShardedReplay {
-    /// Derive the level-parallel schedule for a prebuilt analysis.
-    ///
-    /// `owner` is the execution plan's component→GPU map (grouping
-    /// each level's components owner-locally before sharding), or
-    /// `None` for plan-less variants (the canonical order is then the
-    /// level sets' own flat array, shared not copied). Cost:
-    /// O(n log n + nnz); runs once per engine build.
-    pub fn build(a: &ExecAnalysis, levels: &LevelSets, owner: Option<&[usize]>) -> ShardedReplay {
-        let segs = levels.owner_segments(owner, SHARD_COUNT);
-        let shards = segs.shards;
-        let n_levels = levels.n_levels();
+    /// Derive the numeric bucket arrays for a prebuilt analysis under
+    /// an engine's [`Schedule`] (which owns the canonical order, the
+    /// owner segmentation and the chain partition — see
+    /// [`Schedule::build`]). Cost: O(n + nnz); runs once per engine
+    /// build.
+    pub fn build(a: &ExecAnalysis, levels: &LevelSets, schedule: &Arc<Schedule>) -> ShardedReplay {
+        let shards = schedule.shards();
+        let n_levels = schedule.n_levels();
+        debug_assert_eq!(n_levels, levels.n_levels(), "schedule built from different levels");
+        let shard_of = schedule.shard_of();
         let n_upd = a.dep_rows.len();
 
         // counting pass: one bucket per (source level, target shard)
@@ -597,7 +641,7 @@ impl ShardedReplay {
             let l = levels.level_of[c] as usize;
             let (rows, _) = a.updates_of(c as u32);
             for &r in rows {
-                upd_ptr[l * shards + segs.shard_of[r as usize] as usize + 1] += 1;
+                upd_ptr[l * shards + shard_of[r as usize] as usize + 1] += 1;
             }
         }
         for k in 0..n_levels * shards {
@@ -612,12 +656,12 @@ impl ShardedReplay {
         let mut upd_row = vec![0u32; n_upd];
         let mut upd_val = vec![0.0f64; n_upd];
         let mut upd_from = vec![0u32; n_upd];
-        for &c in segs.order.iter() {
+        for &c in schedule.order().iter() {
             let l = levels.level_of[c as usize] as usize;
             let dep_base = a.dep_ptr[c as usize];
             let (rows, vals) = a.updates_of(c);
             for (k, (r, v)) in rows.iter().zip(vals).enumerate() {
-                let bucket = l * shards + segs.shard_of[*r as usize] as usize;
+                let bucket = l * shards + shard_of[*r as usize] as usize;
                 let at = cursor[bucket] as usize;
                 upd_src[at] = c;
                 upd_row[at] = *r;
@@ -628,10 +672,7 @@ impl ShardedReplay {
         }
 
         ShardedReplay {
-            shards,
-            n_levels,
-            order: segs.order,
-            seg_ptr: segs.seg_ptr,
+            schedule: Arc::clone(schedule),
             upd_ptr,
             upd_src,
             upd_row,
@@ -651,48 +692,64 @@ impl ShardedReplay {
         }
     }
 
-    /// The canonical serial order of this schedule, behind a shared
-    /// handle. The engine stores this as its warm replay order, which
-    /// is what makes the sharded tier bit-identical to every serial
-    /// tier.
+    /// The canonical serial order of this executor's schedule, behind
+    /// a shared handle. The engine stores this as its warm replay
+    /// order, which is what makes the sharded tier bit-identical to
+    /// every serial tier.
     #[inline]
     pub fn order_shared(&self) -> Arc<[u32]> {
-        Arc::clone(&self.order)
+        self.schedule.order_shared()
     }
 
-    /// Host bytes held by the sharded schedule (including the shared
-    /// canonical order — counted once here, by the owner of record) —
-    /// what an engine cache charges against its byte budget.
+    /// The Schedule IR this executor steps.
+    #[inline]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Host bytes held by the numeric bucket arrays. The shared
+    /// [`Schedule`] (canonical order, segments, chains) is counted by
+    /// [`Schedule::host_bytes`] — its owner of record — not here.
     pub fn host_bytes(&self) -> u64 {
         fn cap<T>(v: &Vec<T>) -> u64 {
             (v.capacity() * std::mem::size_of::<T>()) as u64
         }
-        (self.order.len() * std::mem::size_of::<u32>()) as u64
-            + cap(&self.seg_ptr)
-            + cap(&self.upd_ptr)
+        cap(&self.upd_ptr)
             + cap(&self.upd_src)
             + cap(&self.upd_row)
             + cap(&self.upd_val)
             + cap(&self.upd_from)
     }
 
-    /// Execute one warm solve level-parallel across `workers` region
+    /// Execute one warm solve chain-parallel across `workers` region
     /// workers, writing the solution into `x` with `left_sum` as the
     /// partial-sum scratch (both length `n`).
     ///
+    /// The loop steps the schedule's [`ChainPartition`] rather than raw
+    /// levels. A **fused** chain (consecutive narrow levels) runs on
+    /// worker 0 in canonical level-major order with updates applied
+    /// inline — zero internal barriers. A **wide** chain is a single
+    /// level stepped owner-computes across shards in two
+    /// barrier-separated phases (solve, then bucket updates). Barriers
+    /// thus land only at chain boundaries plus one mid-level barrier
+    /// per wide level.
+    ///
     /// Bit-identical to `a.replay_into(&self.order_shared(), b, ...)`
     /// for **every** worker count: ownership fixes each row's solve
-    /// and accumulation onto one worker, and the bucket layout fixes
-    /// the accumulation order to the canonical source order. Steady
+    /// and accumulation onto one worker, the bucket layout fixes the
+    /// accumulation order to the canonical source order, and a fused
+    /// chain's instruction stream is literally the serial replay's
+    /// subsequence for those levels (see the module docs). Steady
     /// state this allocates nothing (the barrier lives on the stack,
     /// the region descriptor in the pool).
     ///
-    /// `workers` is clamped to `[1, SHARD_COUNT]`; with one worker (or
-    /// an empty system) the serial replay runs directly. If the pool's
-    /// region slot is already taken — a concurrent sharded solve — the
-    /// call degrades to the serial replay on the calling thread rather
-    /// than blocking, so concurrent solves on one engine never
-    /// serialize behind each other.
+    /// `workers` is clamped to `[1, SHARD_COUNT]`; with one worker, a
+    /// single chain, or an empty system the serial replay runs
+    /// directly. If the pool's region slot is already taken — a
+    /// concurrent sharded solve — the call degrades to the serial
+    /// replay on the calling thread rather than blocking, so
+    /// concurrent solves on one engine never serialize behind each
+    /// other.
     pub fn replay_into(
         &self,
         a: &ExecAnalysis,
@@ -702,9 +759,11 @@ impl ShardedReplay {
         pool: &WorkerPool,
         workers: usize,
     ) {
-        let workers = workers.clamp(1, self.shards);
-        if workers == 1 || self.n_levels <= 1 || a.n == 0 {
-            a.replay_into(&self.order, b, left_sum, x);
+        let sch = &*self.schedule;
+        let shards = sch.shards();
+        let workers = workers.clamp(1, shards.max(1));
+        if workers == 1 || sch.n_chains() <= 1 || a.n == 0 {
+            a.replay_into(sch.order(), b, left_sum, x);
             return;
         }
         assert_eq!(b.len(), a.n, "rhs length mismatch");
@@ -714,19 +773,24 @@ impl ShardedReplay {
         let xs = DisjointSlice::new(x);
         let ls = DisjointSlice::new(left_sum);
         let barrier = RegionBarrier::new(workers);
-        let shards = self.shards;
-        let n_levels = self.n_levels;
         let diag = &a.diag[..];
-        // Two phases per level, barrier-separated:
-        //   A: solve the components of this level's owned shards
-        //      (reads b/diag and owned left_sum entries — all updates
-        //      into them landed in earlier levels' phase B);
-        //   B: apply this level's updates into owned deeper rows
-        //      (reads x solved in phase A, possibly by peers — hence
-        //      the barrier — and writes only shard-owned left_sum).
-        // The trailing barrier orders phase B before the next level's
-        // phase A; the last level needs none (region completion
-        // synchronizes).
+        let (order, seg_ptr) = (sch.order(), sch.seg_ptr());
+        let chains = sch.chains();
+        let n_chains = chains.n_chains();
+        // Per chain:
+        //   fused — worker 0 walks the chain's slice of the canonical
+        //     order, solving each row and applying its updates inline;
+        //     peers park at the trailing barrier, whose acquire/release
+        //     ordering publishes worker 0's writes.
+        //   wide — two phases, barrier-separated:
+        //     A: solve the level's owned shards (reads b/diag and
+        //        owned left_sum — all updates into them landed in
+        //        earlier chains);
+        //     B: apply the level's updates into owned deeper rows
+        //        (reads x solved in phase A, possibly by peers — hence
+        //        the barrier — and writes only shard-owned left_sum).
+        // The trailing barrier orders each chain before the next; the
+        // last chain needs none (region completion synchronizes).
         //
         // try_run_region: if another region already occupies the pool
         // (a concurrent sharded solve on the same engine), run the
@@ -734,36 +798,59 @@ impl ShardedReplay {
         // bit-identical either way, and solving now on this thread
         // beats waiting for threads another solve is using.
         let ran_parallel = pool.try_run_region(workers, &|w| {
-            for l in 0..n_levels {
-                let base = l * shards;
-                let mut s = w;
-                while s < shards {
-                    let (lo, hi) =
-                        (self.seg_ptr[base + s] as usize, self.seg_ptr[base + s + 1] as usize);
-                    for &c in &self.order[lo..hi] {
-                        let i = c as usize;
-                        xs.set(i, (b[i] - ls.get(i)) / diag[i]);
+            for k in 0..n_chains {
+                let lv = chains.chain(k);
+                if chains.is_fused(k) {
+                    if w == 0 {
+                        // seg_ptr is cumulative across levels, so a
+                        // chain's rows are one contiguous slice of the
+                        // canonical order.
+                        let lo = seg_ptr[lv.start * shards] as usize;
+                        let hi = seg_ptr[lv.end * shards] as usize;
+                        for &c in &order[lo..hi] {
+                            let i = c as usize;
+                            let xi = (b[i] - ls.get(i)) / diag[i];
+                            xs.set(i, xi);
+                            let (rows, vals) = a.updates_of(c);
+                            for (r, v) in rows.iter().zip(vals) {
+                                let r = *r as usize;
+                                ls.set(r, ls.get(r) + *v * xi);
+                            }
+                        }
                     }
-                    s += workers;
-                }
-                barrier.wait();
-                let mut s = w;
-                while s < shards {
-                    let (lo, hi) =
-                        (self.upd_ptr[base + s] as usize, self.upd_ptr[base + s + 1] as usize);
-                    for k in lo..hi {
-                        let r = self.upd_row[k] as usize;
-                        ls.set(r, ls.get(r) + self.upd_val[k] * xs.get(self.upd_src[k] as usize));
+                } else {
+                    let base = lv.start * shards;
+                    let mut s = w;
+                    while s < shards {
+                        let (lo, hi) = (seg_ptr[base + s] as usize, seg_ptr[base + s + 1] as usize);
+                        for &c in &order[lo..hi] {
+                            let i = c as usize;
+                            xs.set(i, (b[i] - ls.get(i)) / diag[i]);
+                        }
+                        s += workers;
                     }
-                    s += workers;
+                    barrier.wait();
+                    let mut s = w;
+                    while s < shards {
+                        let (lo, hi) =
+                            (self.upd_ptr[base + s] as usize, self.upd_ptr[base + s + 1] as usize);
+                        for j in lo..hi {
+                            let r = self.upd_row[j] as usize;
+                            ls.set(
+                                r,
+                                ls.get(r) + self.upd_val[j] * xs.get(self.upd_src[j] as usize),
+                            );
+                        }
+                        s += workers;
+                    }
                 }
-                if l + 1 < n_levels {
+                if k + 1 < n_chains {
                     barrier.wait();
                 }
             }
         });
         if !ran_parallel {
-            a.replay_into(&self.order, b, left_sum, x);
+            a.replay_into(sch.order(), b, left_sum, x);
         }
     }
 }
@@ -1305,6 +1392,7 @@ mod tests {
     use super::*;
     use crate::plan::Partition;
     use crate::reference;
+    use crate::schedule::ScheduleTuning;
     use crate::verify;
     use mgpu_sim::MachineConfig;
     use sparsemat::gen;
@@ -1592,16 +1680,28 @@ mod tests {
         let analysis = ExecAnalysis::build(&m, &plan, &cfg);
         let levels = LevelSets::analyze(&m, Triangle::Lower);
         let pool = WorkerPool::new();
-        for owner in [None, Some(&plan.owner[..])] {
-            let sharded = ShardedReplay::build(&analysis, &levels, owner);
-            let order = sharded.order_shared();
-            let (_, b) = verify::rhs_for(&m, 99);
-            let serial = analysis.replay(&order, &b);
-            for workers in [1usize, 2, 3, 5, SHARD_COUNT, SHARD_COUNT + 7] {
-                let mut ls = vec![1.0; m.n()]; // dirty scratch must not leak in
-                let mut x = vec![2.0; m.n()];
-                sharded.replay_into(&analysis, &b, &mut ls, &mut x, &pool, workers);
-                assert_eq!(x, serial, "workers={workers} owner={}", owner.is_some());
+        // thresholds span no fusion (0), mixed (32 vs ~60 mean width)
+        // and the default (everything here fuses)
+        for threshold in [0usize, 32, ScheduleTuning::default().chain_width_threshold] {
+            for owner in [None, Some(&plan.owner[..])] {
+                let tuning =
+                    ScheduleTuning { chain_width_threshold: threshold, ..Default::default() };
+                let schedule = Arc::new(Schedule::build(&levels, owner, tuning));
+                let sharded = ShardedReplay::build(&analysis, &levels, &schedule);
+                let order = sharded.order_shared();
+                let (_, b) = verify::rhs_for(&m, 99);
+                let serial = analysis.replay(&order, &b);
+                for workers in [1usize, 2, 3, 5, SHARD_COUNT, SHARD_COUNT + 7] {
+                    let mut ls = vec![1.0; m.n()]; // dirty scratch must not leak in
+                    let mut x = vec![2.0; m.n()];
+                    sharded.replay_into(&analysis, &b, &mut ls, &mut x, &pool, workers);
+                    assert_eq!(
+                        x,
+                        serial,
+                        "workers={workers} owner={} t={threshold}",
+                        owner.is_some()
+                    );
+                }
             }
         }
     }
@@ -1612,7 +1712,9 @@ mod tests {
         let plan = ExecutionPlan::build(m.n(), 4, Partition::Blocked, Triangle::Lower);
         let analysis = ExecAnalysis::columns_only(&m, Triangle::Lower);
         let levels = LevelSets::analyze(&m, Triangle::Lower);
-        let sharded = ShardedReplay::build(&analysis, &levels, Some(&plan.owner));
+        let schedule =
+            Arc::new(Schedule::build(&levels, Some(&plan.owner), ScheduleTuning::default()));
+        let sharded = ShardedReplay::build(&analysis, &levels, &schedule);
         let order = sharded.order_shared();
         assert_eq!(order.len(), m.n());
         // level-major: levels never decrease along the order
@@ -1642,20 +1744,27 @@ mod tests {
         let empty = sparsemat::TripletBuilder::new(0).build().unwrap();
         let a = ExecAnalysis::columns_only(&empty, Triangle::Lower);
         let levels = LevelSets::analyze(&empty, Triangle::Lower);
-        let sharded = ShardedReplay::build(&a, &levels, None);
+        let schedule = Arc::new(Schedule::build(&levels, None, ScheduleTuning::default()));
+        let sharded = ShardedReplay::build(&a, &levels, &schedule);
         let (mut ls, mut x) = (Vec::new(), Vec::new());
         sharded.replay_into(&a, &[], &mut ls, &mut x, &pool, 4);
-        // fully sequential chain: every level has width 1
+        // fully sequential chain: every level has width 1. Default
+        // tuning fuses it into one chain (serial degrade); threshold 0
+        // forces 50 singleton chains through the barriered path.
         let chain = gen::chain(50);
         let a = ExecAnalysis::columns_only(&chain, Triangle::Lower);
         let levels = LevelSets::analyze(&chain, Triangle::Lower);
-        let sharded = ShardedReplay::build(&a, &levels, None);
-        let (_, b) = verify::rhs_for(&chain, 5);
-        let serial = a.replay(&sharded.order_shared(), &b);
-        let mut ls = vec![0.0; 50];
-        let mut x = vec![0.0; 50];
-        sharded.replay_into(&a, &b, &mut ls, &mut x, &pool, 4);
-        assert_eq!(x, serial);
+        for threshold in [ScheduleTuning::default().chain_width_threshold, 0] {
+            let tuning = ScheduleTuning { chain_width_threshold: threshold, ..Default::default() };
+            let schedule = Arc::new(Schedule::build(&levels, None, tuning));
+            let sharded = ShardedReplay::build(&a, &levels, &schedule);
+            let (_, b) = verify::rhs_for(&chain, 5);
+            let serial = a.replay(&sharded.order_shared(), &b);
+            let mut ls = vec![0.0; 50];
+            let mut x = vec![0.0; 50];
+            sharded.replay_into(&a, &b, &mut ls, &mut x, &pool, 4);
+            assert_eq!(x, serial, "t={threshold}");
+        }
     }
 
     #[test]

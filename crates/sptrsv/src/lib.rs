@@ -21,6 +21,14 @@
 //! * [`plan`] — data distribution: blocked (the baseline layout whose
 //!   unidirectional waiting §V criticizes) and the malleable
 //!   round-robin task pool (§V).
+//! * [`schedule`] — the warm-path **Schedule IR**: one
+//!   [`Schedule`] built at engine-build time owning the
+//!   levels → chains → shards decomposition (canonical level-major
+//!   order, owner-computes shard segments, and the chain partition
+//!   that fuses runs of narrow levels so barriers land only at chain
+//!   boundaries). Every warm tier and the engine's auto-heuristics
+//!   read this one structure instead of re-deriving it from raw
+//!   level sets.
 //! * [`solver`] — the high-level API tying a matrix, a machine
 //!   configuration and a solver variant into a verified
 //!   [`report::SolveReport`].
@@ -124,6 +132,7 @@ pub mod plan;
 mod pool;
 pub mod reference;
 pub mod report;
+pub mod schedule;
 pub mod serve;
 pub mod solver;
 pub mod verify;
@@ -137,6 +146,7 @@ pub use krylov::{
 };
 pub use plan::{ExecutionPlan, Partition};
 pub use report::{SolveReport, Timings};
+pub use schedule::{Schedule, ScheduleStats, ScheduleTuning};
 pub use serve::{
     serve_preconditioner, serve_solver, RetryPolicy, ServeError, ServedPreconditioner,
     ServiceConfig, ServiceEngine, ServiceHealth, ServiceReport, SolverService, Ticket,

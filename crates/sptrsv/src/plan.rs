@@ -65,10 +65,12 @@ pub struct KernelDesc {
 /// A complete component→GPU/kernel mapping.
 ///
 /// Besides driving the simulated executor, the ownership map seeds the
-/// host-side warm path: [`crate::exec::ShardedReplay`] groups each
-/// level's components by their owning GPU before cutting it into
-/// worker shards, so the level-parallel replay's owner-computes layout
-/// mirrors the data distribution the plan gives the machine.
+/// host-side warm path: [`crate::schedule::Schedule`] — the Schedule
+/// IR built once at engine-build time — groups each level's components
+/// by their owning GPU before cutting it into worker shards and fusing
+/// runs of narrow levels into chains, so the chain-parallel replay's
+/// owner-computes layout ([`crate::exec::ShardedReplay`] steps that
+/// schedule) mirrors the data distribution the plan gives the machine.
 #[derive(Debug, Clone)]
 pub struct ExecutionPlan {
     /// Owning GPU per component.

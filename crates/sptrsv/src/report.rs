@@ -1,5 +1,6 @@
 //! Solve reports: timings, machine statistics and verification data.
 
+use crate::schedule::ScheduleStats;
 use desim::SimTime;
 use mgpu_sim::MachineStats;
 use std::sync::Arc;
@@ -40,6 +41,11 @@ pub struct SolveReport {
     /// Max relative difference against the serial reference
     /// (`None` when verification was disabled).
     pub verified_rel_err: Option<f64>,
+    /// The warm-path Schedule IR statistics — levels, chains, shards,
+    /// fused-level fraction and barriers per sharded solve — for the
+    /// engines that build one (`None` for the plain serial variant,
+    /// which replays without any schedule).
+    pub schedule: Option<ScheduleStats>,
     /// Human-readable variant label (e.g. "zerocopy-8t"). Shared so
     /// cloning a warm-solve template bumps a refcount instead of
     /// copying the string.
@@ -86,6 +92,7 @@ mod tests {
             cross_edges: 0,
             fits_in_memory: true,
             verified_rel_err: None,
+            schedule: None,
             label: "test".into(),
         }
     }

@@ -85,16 +85,50 @@ pub struct SolveOptions {
     pub poll_caching: bool,
     /// Gather left_sum from all PEs (Alg. 3) vs only dependency owners.
     pub gather_all_pes: bool,
+    /// Minimum rows a level must offer **each** worker before the
+    /// engine's auto-heuristic adds that worker to the sharded warm
+    /// tier. Below this the per-level barrier overhead outweighs the
+    /// parallel substitution work. Default
+    /// [`crate::schedule::SHARD_MIN_ROWS_PER_WORKER`].
+    pub shard_min_rows_per_worker: usize,
+    /// Minimum average rows per synchronization step (levels, after
+    /// chain fusion collapses narrow runs) for the auto-heuristic to
+    /// pick the sharded tier at all. Factors deeper than they are wide
+    /// replay serially unless fusion shrinks the step count. Default
+    /// [`crate::schedule::SHARD_MIN_AVG_LEVEL_WIDTH`].
+    pub shard_min_avg_level_width: usize,
+    /// Levels at most this wide fuse with adjacent narrow levels into
+    /// a single-worker **chain** with no internal barriers (the warm
+    /// path's Schedule IR). `0` disables fusion — every level is its
+    /// own chain, reproducing the per-level barrier schedule. Default
+    /// [`crate::schedule::CHAIN_WIDTH_THRESHOLD`].
+    pub chain_width_threshold: usize,
+}
+
+impl SolveOptions {
+    /// The Schedule IR tuning these options describe — handed to
+    /// [`crate::schedule::Schedule::build`] at engine-build time.
+    pub fn schedule_tuning(&self) -> crate::schedule::ScheduleTuning {
+        crate::schedule::ScheduleTuning {
+            shard_min_rows_per_worker: self.shard_min_rows_per_worker,
+            shard_min_avg_level_width: self.shard_min_avg_level_width,
+            chain_width_threshold: self.chain_width_threshold,
+        }
+    }
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
+        let tuning = crate::schedule::ScheduleTuning::default();
         SolveOptions {
             kind: SolverKind::ZeroCopy { per_gpu: 8 },
             triangle: Triangle::Lower,
             verify: true,
             poll_caching: true,
             gather_all_pes: true,
+            shard_min_rows_per_worker: tuning.shard_min_rows_per_worker,
+            shard_min_avg_level_width: tuning.shard_min_avg_level_width,
+            chain_width_threshold: tuning.chain_width_threshold,
         }
     }
 }

@@ -109,6 +109,94 @@ fn concurrent_sharded_solves_agree_bit_for_bit() {
     });
 }
 
+/// New values on the recorded structure: scale every entry by a
+/// position-dependent factor so no diagonal is zeroed.
+fn perturbed(m: &sparsemat::CscMatrix) -> sparsemat::CscMatrix {
+    let mut m2 = m.clone();
+    for (i, v) in m2.values_mut().iter_mut().enumerate() {
+        *v *= 1.0 + ((i % 7) as f64) * 0.01;
+    }
+    m2
+}
+
+/// Chain-fused replay (the default tuning on a deep/narrow factor
+/// fuses nearly every level) is bit-identical to the serial replay for
+/// every worker count 1–8 across all three engine kinds × both
+/// triangles — **including after `refresh_values`**, which must leave
+/// the Schedule IR untouched while the fused chains pick up the new
+/// numeric epoch.
+#[test]
+fn chain_fused_bit_identical_including_after_refresh() {
+    let lower = gen::deep_narrow(150, 4, 3.0, 0xC4A1);
+    let upper = lower.transpose();
+    for (m, tri) in [(&lower, Triangle::Lower), (&upper, Triangle::Upper)] {
+        let m2 = perturbed(m);
+        for kind in kinds() {
+            let opts = SolveOptions { kind, triangle: tri, ..SolveOptions::default() };
+            let engine = SolverEngine::build(m, MachineConfig::dgx1(4), &opts).unwrap();
+            let stats = engine.solve(&verify::rhs_for(m, 1).1).unwrap().schedule.unwrap();
+            assert!(stats.fused_fraction > 0.5, "{kind:?}/{tri:?}: factor must actually fuse");
+            let (_, b) = verify::rhs_for(m, 0xF00D);
+            let serial = engine.solve(&b).unwrap().x;
+            let mut ws = SolveWorkspace::new();
+            let mut out = vec![0.0f64; m.n()];
+            for workers in 1..=8usize {
+                out.fill(f64::NAN);
+                engine.solve_sharded_into(&b, &mut out, &mut ws, workers).unwrap();
+                assert_eq!(out, serial, "{kind:?}/{tri:?} workers={workers}: fused bits");
+            }
+            // refresh to a new value epoch; the cold rebuild on the new
+            // values is the bit-exact oracle for every worker count
+            engine.refresh_values(&m2).unwrap();
+            let cold = SolverEngine::build(&m2, MachineConfig::dgx1(4), &opts).unwrap();
+            let expect = cold.solve(&b).unwrap().x;
+            for workers in 1..=8usize {
+                out.fill(f64::NAN);
+                engine.solve_sharded_into(&b, &mut out, &mut ws, workers).unwrap();
+                assert_eq!(
+                    out, expect,
+                    "{kind:?}/{tri:?} workers={workers}: fused bits after refresh"
+                );
+            }
+        }
+    }
+}
+
+/// On the deep/narrow corpus entry, chain fusion cuts barriers per
+/// sharded solve by at least 5x against the per-level schedule
+/// (`chain_width_threshold: 0`). Asserted from the reported Schedule
+/// IR statistics, so it holds on any core count.
+#[test]
+fn chain_fusion_cuts_barriers_on_deep_narrow_corpus() {
+    let entry = sparsemat::corpus::deep_narrow_entry();
+    let m = &entry.matrix;
+    let (_, b) = verify::rhs_for(m, 3);
+    let fused_opts = SolveOptions { kind: SolverKind::LevelSet, ..SolveOptions::default() };
+    let unfused_opts = SolveOptions { chain_width_threshold: 0, ..fused_opts.clone() };
+    let fused = SolverEngine::build(m, MachineConfig::dgx1(1), &fused_opts)
+        .unwrap()
+        .solve(&b)
+        .unwrap()
+        .schedule
+        .unwrap();
+    let unfused = SolverEngine::build(m, MachineConfig::dgx1(1), &unfused_opts)
+        .unwrap()
+        .solve(&b)
+        .unwrap()
+        .schedule
+        .unwrap();
+    assert_eq!(fused.levels, unfused.levels, "same level structure");
+    assert_eq!(unfused.chains, unfused.levels, "threshold 0 = one chain per level");
+    assert_eq!(unfused.barriers_per_solve, 2 * unfused.levels - 1);
+    assert!(fused.fused_fraction > 0.9, "deep/narrow entry must fuse nearly everything");
+    assert!(
+        unfused.barriers_per_solve >= 5 * fused.barriers_per_solve.max(1),
+        "chain fusion must cut barriers ≥5x: {} vs {}",
+        unfused.barriers_per_solve,
+        fused.barriers_per_solve
+    );
+}
+
 /// The serial engine variant accepts the sharded entry point (workers
 /// are irrelevant there) and still verifies.
 #[test]
