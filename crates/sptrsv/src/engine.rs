@@ -130,13 +130,15 @@ use crate::levelset;
 use crate::plan::{ExecutionPlan, Partition};
 use crate::pool::{self, ScopedTask, WorkerPool};
 use crate::report::{SolveReport, Timings};
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, ScheduleStats};
 use crate::solver::{MultiRhsReport, SolveError, SolveOptions, SolverKind};
+use crate::telemetry::{Hist, Site, SpanGuard, Stopwatch};
 use crate::verify;
 use crate::Backend;
 use desim::SimTime;
 use mgpu_sim::{Machine, MachineConfig};
 use sparsemat::{CscMatrix, FactorAudit, FactorFingerprint, LevelSets, MatrixError, Triangle};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -374,6 +376,26 @@ pub struct RefreshReport {
     pub audit: FactorAudit,
 }
 
+impl fmt::Display for RefreshReport {
+    /// One-liner for example/harness output, e.g.
+    /// `refresh: n=15000, nnz=44997 rewritten in place, value epoch 2,
+    /// audit clean`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refresh: n={}, nnz={} rewritten in place, value epoch {}, audit {}",
+            self.n,
+            self.nnz,
+            self.value_epoch,
+            if self.audit.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} findings", self.audit.finding_count)
+            }
+        )
+    }
+}
+
 /// Reusable scratch for the allocation-free warm-solve paths
 /// ([`SolverEngine::solve_into`], [`SolverEngine::solve_panel_into`]).
 /// Buffers grow on first use and are retained, so a workspace reused
@@ -424,6 +446,7 @@ impl<'m> SolverEngine<'m> {
         opts: &SolveOptions,
         resources: Arc<EngineResources>,
     ) -> Result<SolverEngine<'m>, SolveError> {
+        let build_sw = Stopwatch::start();
         m.validate_triangular(opts.triangle)?;
         // numeric guardrail, paid once where it is amortized: a NaN or
         // infinity in the factor would poison thousands of warm solves
@@ -442,21 +465,30 @@ impl<'m> SolverEngine<'m> {
             // order, so the serial tier shares the refreshable numeric
             // representation without any level or plan analysis
             SolverKind::Serial => {
+                let _g = SpanGuard::enter(Site::BuildAnalyze);
                 Variant::Serial(Box::new(RwLock::new(ExecAnalysis::columns_only(m, opts.triangle))))
             }
             SolverKind::LevelSet => {
                 let cfg = single_gpu(&machine_cfg);
-                let levels = LevelSets::analyze(m, opts.triangle);
-                // flat column data (diagonals + update lists) for the
-                // numeric replay — no distribution analysis needed
-                let analysis = ExecAnalysis::columns_only(m, opts.triangle);
+                let (levels, analysis) = {
+                    let _g = SpanGuard::enter(Site::BuildAnalyze);
+                    // flat column data (diagonals + update lists) for
+                    // the numeric replay — no distribution analysis
+                    (
+                        LevelSets::analyze(m, opts.triangle),
+                        ExecAnalysis::columns_only(m, opts.triangle),
+                    )
+                };
                 let mut machine = Machine::new(cfg);
-                let out =
-                    levelset::run_with_levels(m, &zeros, &mut machine, opts.triangle, &levels);
+                let out = {
+                    let _g = SpanGuard::enter(Site::BuildCalibrate);
+                    levelset::run_with_levels(m, &zeros, &mut machine, opts.triangle, &levels)
+                };
                 // level order (ascending level, ascending index within)
                 // is exactly the order the level-set solver computes
                 // in; the schedule owns the canonical order, the
                 // sharded executor and the structure plan share it
+                let sched_span = SpanGuard::enter(Site::BuildSchedule);
                 let schedule = Arc::new(Schedule::build(&levels, None, opts.schedule_tuning()));
                 let template = SolveReport {
                     timings: Timings {
@@ -472,10 +504,12 @@ impl<'m> SolverEngine<'m> {
                     fits_in_memory: machine.fits_in_memory(),
                     verified_rel_err: None,
                     schedule: Some(schedule.stats()),
+                    telemetry: Default::default(),
                     label,
                     x: Vec::new(),
                 };
                 let sharded = ShardedReplay::build(&analysis, &levels, &schedule);
+                drop(sched_span);
                 let order = schedule.order_shared();
                 let auto_workers = schedule.auto_workers(hardware_threads());
                 Variant::Simulated(Box::new(Prepared {
@@ -529,23 +563,35 @@ impl<'m> SolverEngine<'m> {
                     return Err(SolveError::NotP2p { gpus: machine.n_gpus() });
                 }
 
-                let plan = ExecutionPlan::build(m.n(), machine.n_gpus(), partition, opts.triangle);
-                let cross_edges = plan.cross_gpu_edges(m, opts.triangle);
+                let (plan, cross_edges) = {
+                    let _g = SpanGuard::enter(Site::BuildPlan);
+                    let plan =
+                        ExecutionPlan::build(m.n(), machine.n_gpus(), partition, opts.triangle);
+                    let cross_edges = plan.cross_gpu_edges(m, opts.triangle);
+                    (plan, cross_edges)
+                };
                 let exec_cfg = ExecConfig {
                     backend,
                     triangle: opts.triangle,
                     gather_all_pes: opts.gather_all_pes,
                 };
-                let analysis = ExecAnalysis::build(m, &plan, &exec_cfg);
+                let analysis = {
+                    let _g = SpanGuard::enter(Site::BuildAnalyze);
+                    ExecAnalysis::build(m, &plan, &exec_cfg)
+                };
 
                 // calibration: one full simulation fixes the timeline
                 // and records the wake order for numeric replay
-                let out = exec::run_prepared(&zeros, &plan, &analysis, &mut machine, &exec_cfg)
-                    .map_err(SolveError::Exec)?;
+                let out = {
+                    let _g = SpanGuard::enter(Site::BuildCalibrate);
+                    exec::run_prepared(&zeros, &plan, &analysis, &mut machine, &exec_cfg)
+                        .map_err(SolveError::Exec)?
+                };
                 // the canonical warm order is the level-major,
                 // owner-grouped schedule order (not the recorded wake
                 // order): one operation sequence serves every warm
                 // tier, serial and parallel alike
+                let sched_span = SpanGuard::enter(Site::BuildSchedule);
                 let levels = LevelSets::analyze(m, opts.triangle);
                 let schedule =
                     Arc::new(Schedule::build(&levels, Some(&plan.owner), opts.schedule_tuning()));
@@ -563,10 +609,12 @@ impl<'m> SolverEngine<'m> {
                     fits_in_memory: machine.fits_in_memory(),
                     verified_rel_err: None,
                     schedule: Some(schedule.stats()),
+                    telemetry: Default::default(),
                     label,
                     x: Vec::new(),
                 };
                 let sharded = ShardedReplay::build(&analysis, &levels, &schedule);
+                drop(sched_span);
                 let order = schedule.order_shared();
                 let auto_workers = schedule.auto_workers(hardware_threads());
                 Variant::Simulated(Box::new(Prepared {
@@ -581,6 +629,7 @@ impl<'m> SolverEngine<'m> {
             }
         };
 
+        build_sw.stop(Hist::BuildNs);
         Ok(SolverEngine {
             m,
             opts: opts.clone(),
@@ -682,13 +731,18 @@ impl<'m> SolverEngine<'m> {
         // verification — runs against a single value epoch
         match &self.variant {
             Variant::Serial(a) => {
+                let _g = SpanGuard::enter(Site::SolveSerial);
+                let sw = Stopwatch::start();
                 let a = rlock(a);
                 let n = self.m.n();
                 let mut x = vec![0.0f64; n];
                 let mut left_sum = vec![0.0f64; n];
                 a.replay_natural_into(self.ascending(), b, &mut left_sum, &mut x);
+                sw.stop(Hist::SolveSerialNs);
                 // the natural-order replay *is* the serial reference,
-                // so verification is exact by construction
+                // so verification is exact by construction. The
+                // degenerate single-chain stats keep `schedule`
+                // populated for every variant.
                 Ok(SolveReport {
                     x,
                     timings: Timings::default(),
@@ -699,7 +753,8 @@ impl<'m> SolverEngine<'m> {
                     cross_edges: 0,
                     fits_in_memory: true,
                     verified_rel_err: Some(0.0),
-                    schedule: None,
+                    schedule: Some(ScheduleStats::serial(n)),
+                    telemetry: Default::default(),
                     label: self.opts.kind.label().into(),
                 })
             }
@@ -708,6 +763,8 @@ impl<'m> SolverEngine<'m> {
                 let mut report = (*p.structure.template).clone();
                 let workers = self.effective_shard_workers(p.structure.auto_workers);
                 if workers > 1 {
+                    let _g = SpanGuard::enter(Site::SolveSharded);
+                    let sw = Stopwatch::start();
                     let mut x = vec![0.0f64; self.m.n()];
                     let mut left_sum = vec![0.0f64; self.m.n()];
                     num.sharded.replay_into(
@@ -718,9 +775,13 @@ impl<'m> SolverEngine<'m> {
                         self.pool(),
                         workers,
                     );
+                    sw.stop(Hist::SolveShardedNs);
                     report.x = x;
                 } else {
+                    let _g = SpanGuard::enter(Site::SolveSerial);
+                    let sw = Stopwatch::start();
                     report.x = num.analysis.replay(&p.structure.order, b);
+                    sw.stop(Hist::SolveSerialNs);
                 }
                 if self.opts.verify {
                     let mut scratch = vec![0.0f64; self.m.n()];
@@ -767,14 +828,19 @@ impl<'m> SolverEngine<'m> {
         ws.scratch.resize(n, 0.0);
         match &self.variant {
             Variant::Serial(a) => {
+                let _g = SpanGuard::enter(Site::SolveSerial);
+                let sw = Stopwatch::start();
                 let a = rlock(a);
                 a.replay_natural_into(self.ascending(), b, &mut ws.scratch, out);
+                sw.stop(Hist::SolveSerialNs);
                 self.verify_into(&a, b, out, ws)
             }
             Variant::Simulated(p) => {
                 let num = rlock(&p.numeric);
                 let workers = self.effective_shard_workers(p.structure.auto_workers);
                 if workers > 1 {
+                    let _g = SpanGuard::enter(Site::SolveSharded);
+                    let sw = Stopwatch::start();
                     num.sharded.replay_into(
                         &num.analysis,
                         b,
@@ -783,8 +849,12 @@ impl<'m> SolverEngine<'m> {
                         self.pool(),
                         workers,
                     );
+                    sw.stop(Hist::SolveShardedNs);
                 } else {
+                    let _g = SpanGuard::enter(Site::SolveSerial);
+                    let sw = Stopwatch::start();
                     num.analysis.replay_into(&p.structure.order, b, &mut ws.scratch, out);
+                    sw.stop(Hist::SolveSerialNs);
                 }
                 self.verify_into(&num.analysis, b, out, ws)
             }
@@ -834,11 +904,16 @@ impl<'m> SolverEngine<'m> {
         ws.scratch.resize(n, 0.0);
         match &self.variant {
             Variant::Serial(a) => {
+                let _g = SpanGuard::enter(Site::SolveSerial);
+                let sw = Stopwatch::start();
                 let a = rlock(a);
                 a.replay_natural_into(self.ascending(), b, &mut ws.scratch, out);
+                sw.stop(Hist::SolveSerialNs);
                 self.verify_into(&a, b, out, ws)
             }
             Variant::Simulated(p) => {
+                let _g = SpanGuard::enter(Site::SolveSharded);
+                let sw = Stopwatch::start();
                 let num = rlock(&p.numeric);
                 let workers = self.effective_shard_workers(workers);
                 num.sharded.replay_into(
@@ -849,6 +924,7 @@ impl<'m> SolverEngine<'m> {
                     self.pool(),
                     workers,
                 );
+                sw.stop(Hist::SolveShardedNs);
                 self.verify_into(&num.analysis, b, out, ws)
             }
         }
@@ -902,6 +978,8 @@ impl<'m> SolverEngine<'m> {
         for out in outs.iter_mut() {
             out.resize(n, 0.0);
         }
+        let _g = SpanGuard::enter(Site::SolvePanel);
+        let sw = Stopwatch::start();
         match &self.variant {
             Variant::Serial(a) => {
                 let a = rlock(a);
@@ -925,6 +1003,7 @@ impl<'m> SolverEngine<'m> {
                 }
             }
         }
+        sw.stop(Hist::SolvePanelNs);
         Ok(())
     }
 
@@ -1019,6 +1098,8 @@ impl<'m> SolverEngine<'m> {
         if outs.len() != bs.len() {
             return Err(SolveError::OutputLength { n: bs.len(), out: outs.len(), buffer: "outs" });
         }
+        let _g = SpanGuard::enter(Site::SolveBatch);
+        let sw = Stopwatch::start();
         let threads = hardware_threads().clamp(1, bs.len().max(1));
         // a panel only pays off with ≥ 2 lanes per worker; below that,
         // solve on the caller's thread without touching the pool
@@ -1026,6 +1107,7 @@ impl<'m> SolverEngine<'m> {
             let mut ws = self.take_workspace();
             let r = self.solve_panel_into(bs, outs, &mut ws);
             self.put_workspace(ws);
+            sw.stop(Hist::SolveBatchNs);
             return r;
         }
         let chunk = bs.len().div_ceil(threads);
@@ -1051,6 +1133,7 @@ impl<'m> SolverEngine<'m> {
         for r in results {
             r.expect("chunk task completed")?;
         }
+        sw.stop(Hist::SolveBatchNs);
         Ok(())
     }
 
@@ -1178,12 +1261,16 @@ impl<'m> SolverEngine<'m> {
     /// epoch. After a commit, all four warm tiers produce bit-for-bit
     /// the solutions of a cold [`SolverEngine::build`] on `m2`.
     pub fn refresh_values(&self, m2: &CscMatrix) -> Result<RefreshReport, SolveError> {
+        let _g = SpanGuard::enter(Site::ValueRefresh);
+        let sw = Stopwatch::start();
         let audit = self.validate_refresh(m2)?;
         // injected mid-refresh crash: sits after validation and before
         // the first mutation, so an interrupted refresh leaves the old
         // epoch fully intact (asserted by the chaos suite)
         fault::fire_panic(FaultSite::ValueRefresh);
-        Ok(self.commit_refresh(m2, audit))
+        let report = self.commit_refresh(m2, audit);
+        sw.stop(Hist::RefreshNs);
+        Ok(report)
     }
 
     /// The fallible half of [`SolverEngine::refresh_values`]: check
@@ -1308,6 +1395,36 @@ mod tests {
         assert_eq!(exec::analysis_builds(), exec_before);
         assert_eq!(r1.x, r2.x, "warm solves are bit-identical");
         assert_eq!(r1.timings.total, r2.timings.total);
+    }
+
+    #[test]
+    fn serial_variant_reports_degenerate_schedule_stats() {
+        // regression: `SolveReport.schedule` used to be `None` for the
+        // plain serial variant, forcing every consumer to special-case
+        let (m, b) = small();
+        let opts = SolveOptions { kind: SolverKind::Serial, ..Default::default() };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(1), &opts).unwrap();
+        let r = engine.solve(&b).unwrap();
+        let s = r.schedule.expect("serial reports populate schedule stats");
+        assert_eq!(s, ScheduleStats::serial(m.n()));
+        assert_eq!((s.chains, s.barriers_per_solve), (1, 0));
+        assert_eq!(s.rows, m.n());
+        // untraced solves embed the zero-cost default telemetry digest
+        assert_eq!(r.telemetry, crate::telemetry::TelemetryReport::default());
+    }
+
+    #[test]
+    fn refresh_report_display_is_a_single_line() {
+        let (m, _) = small();
+        let engine =
+            SolverEngine::build(&m, MachineConfig::dgx1(4), &SolveOptions::default()).unwrap();
+        let rep = engine.refresh_values(&m).unwrap();
+        let line = rep.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("refresh: "), "{line}");
+        assert!(line.contains(&format!("n={}", m.n())), "{line}");
+        assert!(line.contains(&format!("nnz={}", m.nnz())), "{line}");
+        assert!(line.contains("value epoch 1") && line.contains("audit clean"), "{line}");
     }
 
     #[test]

@@ -88,6 +88,7 @@
 use crate::plan::ExecutionPlan;
 use crate::pool::{DisjointSlice, RegionBarrier, WorkerPool};
 use crate::schedule::Schedule;
+use crate::telemetry::{Hist, Site, SpanGuard, Stopwatch};
 use crate::Backend;
 use desim::{EventQueue, SimTime};
 use mgpu_sim::{um::UmRange, GpuId, Machine};
@@ -797,9 +798,16 @@ impl ShardedReplay {
         // serial replay instead of queueing — the results are
         // bit-identical either way, and solving now on this thread
         // beats waiting for threads another solve is using.
+        // Telemetry: worker 0 records one `ShardedChain` span per
+        // chain and one `ShardedBarrier` span per barrier it waits on
+        // — chain spans == `ScheduleStats.chains` and barrier spans ==
+        // `ScheduleStats.barriers_per_solve`, exactly (every worker
+        // waits the same barriers; recording one lane keeps the
+        // timeline reconcilable with the static schedule counts).
         let ran_parallel = pool.try_run_region(workers, &|w| {
             for k in 0..n_chains {
                 let lv = chains.chain(k);
+                let chain_span = SpanGuard::enter_on(w == 0, Site::ShardedChain);
                 if chains.is_fused(k) {
                     if w == 0 {
                         // seg_ptr is cumulative across levels, so a
@@ -829,7 +837,14 @@ impl ShardedReplay {
                         }
                         s += workers;
                     }
-                    barrier.wait();
+                    if w == 0 {
+                        let _g = SpanGuard::enter(Site::ShardedBarrier);
+                        let sw = Stopwatch::start();
+                        barrier.wait();
+                        sw.stop(Hist::BarrierWaitNs);
+                    } else {
+                        barrier.wait();
+                    }
                     let mut s = w;
                     while s < shards {
                         let (lo, hi) =
@@ -844,8 +859,16 @@ impl ShardedReplay {
                         s += workers;
                     }
                 }
+                drop(chain_span);
                 if k + 1 < n_chains {
-                    barrier.wait();
+                    if w == 0 {
+                        let _g = SpanGuard::enter(Site::ShardedBarrier);
+                        let sw = Stopwatch::start();
+                        barrier.wait();
+                        sw.stop(Hist::BarrierWaitNs);
+                    } else {
+                        barrier.wait();
+                    }
                 }
             }
         });

@@ -38,16 +38,16 @@
 //!
 //! What fails, where the blast radius stops, and how you can tell:
 //!
-//! | failure | containment boundary | what the client sees | counter |
-//! |---|---|---|---|
-//! | engine build panics or times out ([`FaultSite::EngineBuild`]) | build pool: retries, then quarantine | [`FleetError::BuildFailed`], then [`FleetError::Quarantined`] | `builds_failed`, `quarantine_events` |
-//! | poisoned factor re-submitted after cooldown | one cold probe re-runs the build | success, or quarantine renewed | `build_retries`, `quarantine_rejections` |
-//! | one tenant's dispatcher panics repeatedly | that tenant's bulkhead thread | [`ServeError::Retryable`] on that tenant only; other tenants bit-identical | `tenant_aborts` |
-//! | one client floods the fleet | per-tenant request/byte budgets | [`FleetError::TenantQueueFull`] | `tenant_shed` |
-//! | cache pressure | LRU shed of coldest *idle* engine (in-flight engines pinned) | cold rebuild on next submit | `evictions` |
-//! | admission allocation failure ([`FaultSite::CacheAdmit`]) | admission gate | [`FleetError::CacheFull`] | `cache_admit_shed` |
-//! | fleet shutdown | every mailbox drained with typed errors | [`FleetError::ShuttingDown`] | — |
-//! | value refresh rejected or interrupted ([`FaultSite::ValueRefresh`]) | the tenant's engine validates before mutating; the old epoch keeps serving | typed error to the refresher only; tenant traffic unaffected | `refresh_failures` |
+//! | failure | containment boundary | what the client sees | counter | telemetry signal |
+//! |---|---|---|---|---|
+//! | engine build panics or times out ([`FaultSite::EngineBuild`]) | build pool: retries, then quarantine | [`FleetError::BuildFailed`], then [`FleetError::Quarantined`] | `builds_failed`, `quarantine_events` | long `fleet.build` span, then a `fleet.quarantine` instant |
+//! | poisoned factor re-submitted after cooldown | one cold probe re-runs the build | success, or quarantine renewed | `build_retries`, `quarantine_rejections` | a fresh `fleet.build` span; `fleet.quarantine` instant again on renewal |
+//! | one tenant's dispatcher panics repeatedly | that tenant's bulkhead thread | [`ServeError::Retryable`] on that tenant only; other tenants bit-identical | `tenant_aborts` | `serve.panel` spans stop on that tenant's thread only |
+//! | one client floods the fleet | per-tenant request/byte budgets | [`FleetError::TenantQueueFull`] | `tenant_shed` | `serve_queue_depth` gauge pegged at the budget |
+//! | cache pressure | LRU shed of coldest *idle* engine (in-flight engines pinned) | cold rebuild on next submit | `evictions` | `fleet.evict` instant (arg = bytes released); `fleet_cache_bytes` gauge drops |
+//! | admission allocation failure ([`FaultSite::CacheAdmit`]) | admission gate | [`FleetError::CacheFull`] | `cache_admit_shed` | no `fleet.build` span follows the submit |
+//! | fleet shutdown | every mailbox drained with typed errors | [`FleetError::ShuttingDown`] | — | `fleet_tenants_live` gauge falls to 0 |
+//! | value refresh rejected or interrupted ([`FaultSite::ValueRefresh`]) | the tenant's engine validates before mutating; the old epoch keeps serving | typed error to the refresher only; tenant traffic unaffected | `refresh_failures` | `fleet.refresh` span with no nested `engine.refresh.values` commit |
 //!
 //! ## Value-refresh lifecycle
 //!
@@ -119,6 +119,7 @@ use crate::serve::{
     SolverService,
 };
 use crate::solver::{SolveError, SolveOptions};
+use crate::telemetry::{self, Gauge, Site, SpanGuard, TelemetryReport};
 
 /// Tuning knobs for an [`EngineFleet`].
 #[derive(Debug, Clone)]
@@ -397,6 +398,10 @@ pub struct FleetReport {
     /// pivots, mid-refresh fault); the old epoch kept serving in every
     /// case.
     pub refresh_failures: u64,
+    /// Span/event digest from the [`crate::telemetry`] plane, captured
+    /// with this snapshot. `TelemetryReport::default()` (disabled,
+    /// empty) unless [`crate::telemetry::set_enabled`] was armed.
+    pub telemetry: TelemetryReport,
 }
 
 /// Live per-tenant gauges, shared between the tenant thread (writer)
@@ -639,6 +644,7 @@ impl FleetShared {
         q.failures += 1;
         q.until = Instant::now() + cooldown;
         self.counters.quarantine_events.fetch_add(1, Ordering::Relaxed);
+        telemetry::instant(Site::FleetQuarantine, u64::from(q.failures));
         if let Some(e) = st.tenants.remove(&fp) {
             st.cache_bytes = st.cache_bytes.saturating_sub(e.bytes);
         }
@@ -698,6 +704,7 @@ impl FleetShared {
             let _ = j.join();
         }
         self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        telemetry::instant(Site::FleetEvict, e.bytes);
     }
 
     /// Complete everything already queued in a dying mailbox with a
@@ -986,6 +993,7 @@ impl EngineFleet {
         fp: FactorFingerprint,
         m2: Arc<CscMatrix>,
     ) -> Result<RefreshReport, FleetError> {
+        let _refresh = SpanGuard::enter(Site::FleetRefresh);
         let tx = {
             let mut st = self.shared.lock();
             if st.shutdown {
@@ -1116,10 +1124,14 @@ impl EngineFleet {
     }
 
     /// A point-in-time snapshot of the fleet counters and gauges.
+    /// Also publishes the fleet gauges to the [`crate::telemetry`]
+    /// registry and, when that plane is armed, attaches a span digest.
     pub fn report(&self) -> FleetReport {
         let st = self.shared.lock();
         let c = &self.shared.counters;
         let now = Instant::now();
+        telemetry::gauge_set(Gauge::FleetTenantsLive, st.tenants.len() as u64);
+        telemetry::gauge_set(Gauge::FleetCacheBytes, st.cache_bytes);
         FleetReport {
             tenants_live: st.tenants.len(),
             quarantined_now: st.quarantine.values().filter(|q| q.until > now).count(),
@@ -1141,6 +1153,7 @@ impl EngineFleet {
             tenant_aborts: c.tenant_aborts.load(Ordering::Relaxed),
             value_refreshes: c.value_refreshes.load(Ordering::Relaxed),
             refresh_failures: c.refresh_failures.load(Ordering::Relaxed),
+            telemetry: telemetry::report(),
         }
     }
 
@@ -1195,6 +1208,9 @@ fn tenant_main(
     let deadline = Instant::now() + cfg.build_deadline;
     let mut attempts = 0u32;
     let mut engine = None;
+    // one fleet.build span per admission, covering every retry — the
+    // inner engine.build.* spans land inside it on the timeline
+    let build_span = SpanGuard::enter(Site::FleetBuild);
     while attempts < cfg.build_attempts {
         attempts += 1;
         let built = catch_unwind(AssertUnwindSafe(|| {
@@ -1228,6 +1244,7 @@ fn tenant_main(
         }
     }
     shared.release_build_permit();
+    drop(build_span);
     let Some(engine) = engine else {
         shared.counters.builds_failed.fetch_add(1, Ordering::Relaxed);
         shared.quarantine_and_remove(fp);

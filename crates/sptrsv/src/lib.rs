@@ -94,10 +94,37 @@
 //!   spawn failures, task/dispatcher panics, admission shedding and
 //!   RHS corruption from one `u64` seed (probes compile to constant
 //!   `false` without the `fault-inject` feature).
+//! * [`telemetry`] — the unified observability plane: per-thread
+//!   lock-free event rings (spans, instants, counter deltas on one
+//!   monotonic clock), a static metrics registry (counters, gauges,
+//!   p50/p95/p99 latency histograms), and exporters for
+//!   chrome://tracing JSON timelines and Prometheus text exposition.
 //!
 //! Every solve computes real `f64` numerics while the discrete-event
 //! machine model advances virtual time, so results are simultaneously
 //! *numerically checked* and *performance-profiled*.
+//!
+//! ## Observability
+//!
+//! Arm [`telemetry::set_enabled`] and every layer reports into one
+//! span/metric namespace (disabled, each probe is a single relaxed
+//! atomic load, and instrumented paths stay bit-identical and
+//! allocation-free — proven in `tests/alloc_free.rs`):
+//!
+//! | layer | spans | metrics |
+//! |---|---|---|
+//! | engine build | `engine.build.{analyze,plan,schedule,calibrate}` | `engine_build_ns` |
+//! | warm tiers | `engine.solve.{serial,sharded,panel,batch}` | `solve_*_ns` histograms |
+//! | value refresh | `engine.refresh.values` | `value_refresh_ns` |
+//! | sharded replay | `exec.sharded.chain` (one per chain), `exec.sharded.barrier` (one per barrier — the measured cost next to [`ScheduleStats::barriers_per_solve`]) | `barrier_wait_ns` |
+//! | worker pool | `pool.region.dispatch`, `pool.worker.park` instants | per-site counters |
+//! | serving | `serve.admit`, `serve.panel` spans; `serve.flush`, `serve.ticket` instants | `serve_queue_wait_ns`, `serve_solve_ns`, `serve_queue_depth` |
+//! | fleet | `fleet.build`, `fleet.refresh` spans; `fleet.{quarantine,evict}` instants | `fleet_tenants_live`, `fleet_cache_bytes` |
+//!
+//! [`telemetry::snapshot`] captures everything on demand;
+//! [`telemetry::chrome_trace_json`] / [`telemetry::prometheus_text`]
+//! export it, and the compact [`TelemetryReport`] is embedded by
+//! [`SolveReport`], [`ServiceReport`], and [`FleetReport`].
 //!
 //! ## One-shot vs engine
 //!
@@ -135,6 +162,7 @@ pub mod report;
 pub mod schedule;
 pub mod serve;
 pub mod solver;
+pub mod telemetry;
 pub mod verify;
 
 pub use engine::{EngineResources, RefreshReport, SolveWorkspace, SolverEngine};
@@ -152,6 +180,7 @@ pub use serve::{
     ServiceConfig, ServiceEngine, ServiceHealth, ServiceReport, SolverService, Ticket,
 };
 pub use solver::{solve, solve_multi_rhs, MultiRhsReport, SolveError, SolveOptions, SolverKind};
+pub use telemetry::{SpanSummary, TelemetryReport};
 
 /// Communication backend for the synchronization-free executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

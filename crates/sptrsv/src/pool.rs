@@ -55,6 +55,7 @@
 //! same reason); keep it that way.
 
 use crate::fault::{self, FaultSite};
+use crate::telemetry;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -436,6 +437,7 @@ impl WorkerPool {
 /// Install a fresh region descriptor in the (locked) queue state.
 fn install_region(q: &mut Queue, f: &'static (dyn Fn(usize) + Sync), workers: usize) {
     debug_assert!(q.region.is_none(), "region slot already occupied");
+    telemetry::instant(telemetry::Site::RegionDispatch, workers as u64);
     q.region = Some(ActiveRegion {
         f: RegionFn(f as *const _),
         next: 1,
@@ -472,6 +474,9 @@ enum Work {
 
 fn worker_loop(shared: &Shared) {
     IS_POOL_WORKER.with(|w| w.set(true));
+    // eager ring registration: a worker's first telemetry event (a
+    // park instant mid-solve, say) must not be the one that allocates
+    telemetry::warm_thread();
     loop {
         let work = {
             let mut q = shared.queue.lock().expect("pool poisoned");
@@ -582,6 +587,10 @@ impl RegionBarrier {
             }
             std::hint::spin_loop();
         }
+        // spinning did not pay off — this worker parks on the condvar
+        // (the telemetry signal that a solve's workers are imbalanced
+        // enough to pay a futex round trip, not just a spin)
+        telemetry::instant(telemetry::Site::WorkerPark, gen);
         let mut guard = self.lock.lock().expect("barrier poisoned");
         while self.generation.load(Ordering::Acquire) == gen {
             guard = self.cv.wait(guard).expect("barrier poisoned");

@@ -1,8 +1,10 @@
 //! Solve reports: timings, machine statistics and verification data.
 
 use crate::schedule::ScheduleStats;
+use crate::telemetry::TelemetryReport;
 use desim::SimTime;
 use mgpu_sim::MachineStats;
+use std::fmt;
 use std::sync::Arc;
 
 /// Phase timings of one solve, in virtual time.
@@ -16,6 +18,14 @@ pub struct Timings {
     /// "we sum up the execution time of the analysis phase and the
     /// solver phase").
     pub total: SimTime,
+}
+
+impl fmt::Display for Timings {
+    /// One-liner for example/harness output, e.g.
+    /// `timings: analysis 1.20ms + solve 340.00us = 1.54ms`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timings: analysis {} + solve {} = {}", self.analysis, self.solve, self.total)
+    }
 }
 
 /// The complete result of a verified solve.
@@ -42,10 +52,18 @@ pub struct SolveReport {
     /// (`None` when verification was disabled).
     pub verified_rel_err: Option<f64>,
     /// The warm-path Schedule IR statistics — levels, chains, shards,
-    /// fused-level fraction and barriers per sharded solve — for the
-    /// engines that build one (`None` for the plain serial variant,
-    /// which replays without any schedule).
+    /// fused-level fraction and barriers per sharded solve. Always
+    /// populated: variants that replay without analyzing level sets
+    /// (the plain serial solver) report the degenerate
+    /// [`ScheduleStats::serial`] single-chain stats, so consumers
+    /// never special-case. (Kept `Option` for API stability; `None`
+    /// no longer occurs on any in-tree path.)
     pub schedule: Option<ScheduleStats>,
+    /// Cross-layer telemetry digest. `TelemetryReport::default()`
+    /// (disabled, empty — costs nothing to clone) unless the
+    /// [`crate::telemetry`] sink was armed and the producer attached a
+    /// [`crate::telemetry::report`] snapshot.
+    pub telemetry: TelemetryReport,
     /// Human-readable variant label (e.g. "zerocopy-8t"). Shared so
     /// cloning a warm-solve template bumps a refcount instead of
     /// copying the string.
@@ -93,6 +111,7 @@ mod tests {
             fits_in_memory: true,
             verified_rel_err: None,
             schedule: None,
+            telemetry: TelemetryReport::default(),
             label: "test".into(),
         }
     }
@@ -108,5 +127,19 @@ mod tests {
     #[test]
     fn summary_mentions_label() {
         assert!(dummy(5).summary().contains("test"));
+    }
+
+    #[test]
+    fn timings_display_is_a_single_line() {
+        let t = Timings {
+            analysis: SimTime::from_ns(1_200_000),
+            solve: SimTime::from_ns(340_000),
+            total: SimTime::from_ns(1_540_000),
+        };
+        let line = t.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("timings: analysis "), "{line}");
+        assert!(line.contains(" + solve ") && line.contains(" = "), "{line}");
+        assert!(line.contains(&t.total.to_string()), "{line}");
     }
 }

@@ -29,6 +29,7 @@
 
 use sparsemat::levels::{ChainPartition, LevelSegments};
 use sparsemat::LevelSets;
+use std::fmt;
 use std::sync::Arc;
 
 /// Default for [`ScheduleTuning::shard_min_rows_per_worker`]: a worker
@@ -96,6 +97,49 @@ pub struct ScheduleStats {
     /// [`ChainPartition::barriers_per_solve`]. The unfused schedule
     /// pays `2·levels − 1`.
     pub barriers_per_solve: usize,
+}
+
+impl ScheduleStats {
+    /// Degenerate stats for a variant that replays the whole factor as
+    /// one fused sequential chain (the plain serial solver, which
+    /// never analyzes level sets): one level, one chain, one shard,
+    /// everything fused, zero barriers. An empty factor is all zeros,
+    /// matching [`Schedule::build`] on an empty matrix. Populating
+    /// this everywhere means `SolveReport.schedule` consumers never
+    /// special-case a missing schedule.
+    pub fn serial(rows: usize) -> ScheduleStats {
+        let unit = usize::from(rows > 0);
+        ScheduleStats {
+            rows,
+            levels: unit,
+            chains: unit,
+            shards: unit,
+            fused_levels: unit,
+            fused_fraction: unit as f64,
+            max_level_width: rows,
+            barriers_per_solve: 0,
+        }
+    }
+}
+
+impl fmt::Display for ScheduleStats {
+    /// One-liner for example/harness output, e.g.
+    /// `schedule: 15000 rows, 2500 levels -> 5 chains (2496 fused,
+    /// 99.8%), 16 shards, max width 6, 9 barriers/solve`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule: {} rows, {} levels -> {} chains ({} fused, {:.1}%), {} shards, max width {}, {} barriers/solve",
+            self.rows,
+            self.levels,
+            self.chains,
+            self.fused_levels,
+            self.fused_fraction * 100.0,
+            self.shards,
+            self.max_level_width,
+            self.barriers_per_solve
+        )
+    }
 }
 
 /// The Schedule IR: canonical order, owner segmentation and chain
@@ -348,6 +392,33 @@ mod tests {
         assert_eq!(unfused.auto_workers(16), 1, "unfused schedule is barrier-bound");
         assert!(fused.auto_workers(16) >= 2, "fusion must unlock the wide levels");
         assert!(fused.stats().barriers_per_solve < unfused.stats().barriers_per_solve / 5);
+    }
+
+    #[test]
+    fn serial_stats_are_one_fused_chain_with_no_barriers() {
+        let s = ScheduleStats::serial(1_000);
+        assert_eq!((s.rows, s.levels, s.chains, s.shards), (1_000, 1, 1, 1));
+        assert_eq!((s.fused_levels, s.barriers_per_solve), (1, 0));
+        assert_eq!(s.fused_fraction, 1.0);
+        assert_eq!(s.max_level_width, 1_000);
+        let empty = ScheduleStats::serial(0);
+        assert_eq!((empty.rows, empty.levels, empty.chains, empty.fused_levels), (0, 0, 0, 0));
+        assert_eq!(empty.fused_fraction, 0.0);
+    }
+
+    #[test]
+    fn stats_display_is_a_single_line_mentioning_every_field() {
+        let m = gen::deep_narrow(500, 5, 3.0, 11);
+        let s = Schedule::build(&levels_of(&m), None, ScheduleTuning::default()).stats();
+        let line = s.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("schedule: "), "{line}");
+        for needle in ["rows", "levels", "chains", "fused", "shards", "max width", "barriers/solve"]
+        {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+        let serial = ScheduleStats::serial(64).to_string();
+        assert!(serial.contains("64 rows") && serial.contains("0 barriers/solve"), "{serial}");
     }
 
     #[test]

@@ -124,15 +124,15 @@
 //! the chaos suite (`tests/chaos.rs`) asserts all three columns for
 //! 64 seeded plans:
 //!
-//! | Fault site ([`crate::fault::FaultSite`]) | Containment boundary | Client sees | Counter |
-//! |---|---|---|---|
-//! | `WorkerSpawn` | pool `ensure_threads` under-provisions; sharded tier declines and replays serially (bit-identical) | nothing — correct results, less parallelism | [`ServiceReport::spawn_shortfalls`] |
-//! | `WorkerTaskPanic` | worker-loop `catch_unwind`; batch tier converts to an error for that panel | [`ServeError::Solve`] / [`ServeError::DispatcherPanicked`] on the panel | [`ServiceReport::failed`], breaker counters |
-//! | `DispatcherPanic` | supervisor in `dispatcher_loop`: in-flight panel failed `Retryable`, dispatcher restarted with backoff ([`SolverService::run_supervised`]) | [`ServeError::Retryable`]; resubmit succeeds | [`ServiceReport::dispatcher_restarts`] |
-//! | `PanelSolve` (kernel panic) | per-panel `catch_unwind` in `run_group`; [`BREAKER_TRIP_PANELS`] consecutive failures open the circuit breaker → per-request serial solves | [`ServeError::DispatcherPanicked`] on failed panels, then plain results (degraded, bit-identical) | [`ServiceReport::breaker_trips`], [`ServiceReport::degraded_solves`] |
-//! | `AdmissionAlloc` | admission control sheds exactly like a full queue | [`ServeError::QueueFull`]; [`SolverService::submit_with_retry`] absorbs it | [`ServiceReport::admission_shed`] |
-//! | `RhsCorruptNonFinite` | post-admission corruption; the output scan ([`ServiceConfig::scan_outputs`]) quarantines the lane and re-solves its panel-mates | [`SolveError::NonFinite`] on the one poisoned request; mates get bit-identical results | [`ServiceReport::poisoned_lanes`], [`ServiceReport::panel_retries`] |
-//! | `ValueRefresh` | probe fires before the first mutation; `catch_unwind` in the refresh entry points — the old value epoch keeps serving | [`ServeError::Retryable`] to the refresher only; in-flight tickets unaffected | [`ServiceReport::refresh_failures`] |
+//! | Fault site ([`crate::fault::FaultSite`]) | Containment boundary | Client sees | Counter | Telemetry signal |
+//! |---|---|---|---|---|
+//! | `WorkerSpawn` | pool `ensure_threads` under-provisions; sharded tier declines and replays serially (bit-identical) | nothing — correct results, less parallelism | [`ServiceReport::spawn_shortfalls`] | `engine.solve.serial` spans replace `exec.sharded.chain` spans |
+//! | `WorkerTaskPanic` | worker-loop `catch_unwind`; batch tier converts to an error for that panel | [`ServeError::Solve`] / [`ServeError::DispatcherPanicked`] on the panel | [`ServiceReport::failed`], breaker counters | `serve.panel` span present, `serve_solve_ns` sample still recorded |
+//! | `DispatcherPanic` | supervisor in `dispatcher_loop`: in-flight panel failed `Retryable`, dispatcher restarted with backoff ([`SolverService::run_supervised`]) | [`ServeError::Retryable`]; resubmit succeeds | [`ServiceReport::dispatcher_restarts`] | gap in `serve.panel` spans across the restart |
+//! | `PanelSolve` (kernel panic) | per-panel `catch_unwind` in `run_group`; [`BREAKER_TRIP_PANELS`] consecutive failures open the circuit breaker → per-request serial solves | [`ServeError::DispatcherPanicked`] on failed panels, then plain results (degraded, bit-identical) | [`ServiceReport::breaker_trips`], [`ServiceReport::degraded_solves`] | `engine.solve.serial` spans inside `serve.panel` while the breaker is open |
+//! | `AdmissionAlloc` | admission control sheds exactly like a full queue | [`ServeError::QueueFull`]; [`SolverService::submit_with_retry`] absorbs it | [`ServiceReport::admission_shed`] | `serve.admit` span with no matching `serve.ticket` instant |
+//! | `RhsCorruptNonFinite` | post-admission corruption; the output scan ([`ServiceConfig::scan_outputs`]) quarantines the lane and re-solves its panel-mates | [`SolveError::NonFinite`] on the one poisoned request; mates get bit-identical results | [`ServiceReport::poisoned_lanes`], [`ServiceReport::panel_retries`] | extra `serve.panel` span for the retry |
+//! | `ValueRefresh` | probe fires before the first mutation; `catch_unwind` in the refresh entry points — the old value epoch keeps serving | [`ServeError::Retryable`] to the refresher only; in-flight tickets unaffected | [`ServiceReport::refresh_failures`] | `engine.refresh.values` span with no `value_refresh_ns` sample |
 //!
 //! Finite-but-wrong inputs are cheaper to stop earlier: submits scan
 //! the right-hand side at admission (typed [`SolveError::NonFinite`],
@@ -155,6 +155,7 @@ use crate::exec::PANEL_K;
 use crate::fault::{self, FaultSite};
 use crate::krylov::{ApplyWorkspace, Precondition, PreconditionerEngine};
 use crate::solver::SolveError;
+use crate::telemetry::{self, Gauge, Hist, Site, SpanGuard, TelemetryReport};
 use sparsemat::factor::LuFactors;
 use sparsemat::CscMatrix;
 use std::collections::VecDeque;
@@ -716,6 +717,11 @@ pub struct ServiceReport {
     /// a panic before the first mutation. The old value epoch kept
     /// serving in every case.
     pub refresh_failures: u64,
+    /// Span/event digest from the [`crate::telemetry`] plane, captured
+    /// when this snapshot was taken. `TelemetryReport::default()`
+    /// (disabled, empty) unless [`crate::telemetry::set_enabled`] was
+    /// armed.
+    pub telemetry: TelemetryReport,
 }
 
 impl ServiceReport {
@@ -950,6 +956,7 @@ impl<'e, 'm> SolverService<'e, 'm> {
     }
 
     fn submit_inner(&self, b: &[f64], deadline: Option<Instant>) -> Result<Ticket<'_>, ServeError> {
+        let _admit = SpanGuard::enter(Site::ServeAdmit);
         let n = self.n();
         if b.len() != n {
             return Err(ServeError::Solve(SolveError::DimensionMismatch {
@@ -1006,6 +1013,7 @@ impl<'e, 'm> SolverService<'e, 'm> {
         q.stats.submitted += 1;
         q.stats.queue_depth_high_water = q.stats.queue_depth_high_water.max(q.pending.len());
         q.stats.queue_bytes_high_water = q.stats.queue_bytes_high_water.max(q.bytes);
+        telemetry::gauge_set(Gauge::ServeQueueDepth, q.pending.len() as u64);
         self.shared.dispatch_cv.notify_one();
         Ok(ticket)
     }
@@ -1034,11 +1042,14 @@ impl<'e, 'm> SolverService<'e, 'm> {
         self.shared.lock().pending.len()
     }
 
-    /// A point-in-time copy of the service counters.
+    /// A point-in-time copy of the service counters. When the
+    /// [`crate::telemetry`] plane is armed the snapshot carries a
+    /// [`TelemetryReport`] digest of the spans recorded so far.
     pub fn stats(&self) -> ServiceReport {
         let mut s = self.shared.lock().stats.clone();
         s.spawn_shortfalls =
             self.engine.resources().spawn_shortfalls().saturating_sub(self.shortfall_base);
+        s.telemetry = telemetry::report();
         s
     }
 
@@ -1304,6 +1315,8 @@ impl<'e, 'm> SolverService<'e, 'm> {
             q.bytes -= p.bytes;
             group.push(p);
         }
+        telemetry::instant(Site::ServeFlush, cause as u64);
+        telemetry::gauge_set(Gauge::ServeQueueDepth, q.pending.len() as u64);
         Some(cause)
     }
 
@@ -1324,6 +1337,10 @@ impl<'e, 'm> SolverService<'e, 'm> {
             st.outs.push(mem::take(&mut s.out));
             drop(s);
             let w = dispatch_start.saturating_duration_since(p.submitted_at).as_nanos() as u64;
+            // per-ticket queue-wait split: the span-derived half of the
+            // admission→dispatch latency budget (solve half below)
+            telemetry::observe(Hist::ServeQueueWaitNs, w);
+            telemetry::instant(Site::ServeTicket, w);
             wait_ns += w;
             max_wait = max_wait.max(w);
         }
@@ -1332,6 +1349,7 @@ impl<'e, 'm> SolverService<'e, 'm> {
         st.lane_err.resize(fill, None);
 
         let reject = cause == FlushCause::Shutdown && !self.cfg.drain_on_shutdown;
+        let panel_span = SpanGuard::enter_on(!reject, Site::ServePanel);
         let mut solve_ns = 0u64;
         let mut poisoned = 0u64;
         let mut retries = 0u64;
@@ -1396,6 +1414,10 @@ impl<'e, 'm> SolverService<'e, 'm> {
                     retries += r;
                 }
             }
+        }
+        drop(panel_span);
+        if !reject {
+            telemetry::observe(Hist::ServeSolveNs, solve_ns);
         }
 
         let completed_at = Instant::now();

@@ -6,6 +6,13 @@
 //! every warm tier — requests no heap memory at all: the recorded
 //! analysis is reused verbatim, nothing symbolic is rebuilt.
 //!
+//! And proves the telemetry plane holds its zero-allocation contract
+//! on both sides of the switch: disabled probes never touch the heap
+//! (every warm window here runs with them compiled in), and once each
+//! recording thread's ring exists, *enabled* tracing keeps every warm
+//! tier heap-silent too — spans, instants, counters and histograms
+//! are pure atomics in steady state.
+//!
 //! A counting global allocator wraps [`std::alloc::System`]; after a
 //! warm-up call has grown the workspace and output buffers (and, for
 //! the sharded tier, spawned the pool workers and sized the region
@@ -225,6 +232,54 @@ fn warm_solve_into_and_panel_allocate_nothing() {
             }
         });
         assert_eq!(inert, 0, "disabled fault plane must not touch the heap");
+    }
+
+    // --- the telemetry plane, disabled (the default): every window
+    // above already ran with the span/metric probes compiled in and
+    // switched off, so those zero asserts double as the proof that the
+    // disabled probes never touch the heap. Pin the read side too: a
+    // disabled digest is the default (empty) report.
+    {
+        let disabled = allocations_during(|| {
+            for _ in 0..1000 {
+                let r = sptrsv::telemetry::report();
+                assert!(!r.enabled, "telemetry must be disabled by default");
+            }
+        });
+        assert_eq!(disabled, 0, "disabled telemetry report() must not touch the heap");
+    }
+
+    // --- the telemetry plane, enabled: after each recording thread's
+    // ring exists (pool workers register theirs eagerly at spawn; the
+    // caller's is created by the warm-up solves below), steady-state
+    // recording — spans, instants, counters, histograms — is pure
+    // atomics and must keep every warm tier heap-silent.
+    {
+        let opts = SolveOptions {
+            kind: SolverKind::ZeroCopy { per_gpu: 8 },
+            verify: false,
+            ..SolveOptions::default()
+        };
+        let engine = SolverEngine::build(&m, MachineConfig::dgx1(4), &opts).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let mut out = vec![0.0f64; n];
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(); bs.len()];
+        sptrsv::telemetry::set_enabled(true);
+        // warm-up: grows buffers AND allocates this thread's ring
+        engine.solve_into(&bs[0], &mut out, &mut ws).unwrap();
+        engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap();
+        engine.solve_sharded_into(&bs[0], &mut out, &mut ws, 2).unwrap();
+
+        let traced = allocations_during(|| {
+            for b in &bs {
+                engine.solve_into(b, &mut out, &mut ws).unwrap();
+                engine.solve_sharded_into(b, &mut out, &mut ws, 2).unwrap();
+            }
+            engine.solve_panel_into(&bs, &mut outs, &mut ws).unwrap();
+            engine.refresh_values(&m2).unwrap();
+        });
+        sptrsv::telemetry::set_enabled(false);
+        assert_eq!(traced, 0, "enabled telemetry must keep warm solves allocation-free");
     }
 
     // --- the preconditioner tier: warm apply_into / apply_batch_into
